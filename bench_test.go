@@ -1,0 +1,245 @@
+package qswitch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"qswitch/internal/core"
+	"qswitch/internal/experiments"
+	"qswitch/internal/matching"
+	"qswitch/internal/offline"
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+	"qswitch/internal/switchsim"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per experiment (E1-E12). Each iteration regenerates the
+// experiment's tables in quick mode; `go test -bench .` therefore exercises
+// the entire reproduction pipeline and reports how expensive each
+// table/figure is to produce.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(experiments.Options{Quick: true, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1GMRatio(b *testing.B)           { benchExperiment(b, "e1") }
+func BenchmarkE2PGRatio(b *testing.B)           { benchExperiment(b, "e2") }
+func BenchmarkE3CGURatio(b *testing.B)          { benchExperiment(b, "e3") }
+func BenchmarkE4CPGParams(b *testing.B)         { benchExperiment(b, "e4") }
+func BenchmarkE5MatchingCost(b *testing.B)      { benchExperiment(b, "e5") }
+func BenchmarkE6Speedup(b *testing.B)           { benchExperiment(b, "e6") }
+func BenchmarkE7Buffers(b *testing.B)           { benchExperiment(b, "e7") }
+func BenchmarkE8Adversarial(b *testing.B)       { benchExperiment(b, "e8") }
+func BenchmarkE9CIOQvsCrossbar(b *testing.B)    { benchExperiment(b, "e9") }
+func BenchmarkE10ValueDists(b *testing.B)       { benchExperiment(b, "e10") }
+func BenchmarkE11Rect(b *testing.B)             { benchExperiment(b, "e11") }
+func BenchmarkE12MaximalVsMaximum(b *testing.B) { benchExperiment(b, "e12") }
+func BenchmarkE13EdgeOrder(b *testing.B)        { benchExperiment(b, "e13") }
+func BenchmarkE14Randomization(b *testing.B)    { benchExperiment(b, "e14") }
+func BenchmarkE15FIFO(b *testing.B)             { benchExperiment(b, "e15") }
+func BenchmarkE16IQModel(b *testing.B)          { benchExperiment(b, "e16") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: per-slot policy cost on realistic switch sizes. These
+// back the paper's efficiency claim with end-to-end numbers (E5 measures
+// the matching engines in isolation).
+// ---------------------------------------------------------------------------
+
+func benchCIOQPolicy(b *testing.B, n int, mk func() switchsim.CIOQPolicy, weighted bool) {
+	const slots = 200
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4,
+		Speedup: 1, Slots: slots,
+	}
+	var vd packet.ValueDist = packet.UnitValues{}
+	if weighted {
+		vd = packet.UniformValues{Hi: 100}
+	}
+	rng := rand.New(rand.NewSource(1))
+	seq := packet.Bernoulli{Load: 0.95, Values: vd}.Generate(rng, n, n, slots)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsim.RunCIOQ(cfg, mk(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*slots), "ns/slot")
+}
+
+func benchCrossbarPolicy(b *testing.B, n int, mk func() switchsim.CrossbarPolicy, weighted bool) {
+	const slots = 200
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, CrossBuf: 2,
+		Speedup: 1, Slots: slots,
+	}
+	var vd packet.ValueDist = packet.UnitValues{}
+	if weighted {
+		vd = packet.UniformValues{Hi: 100}
+	}
+	rng := rand.New(rand.NewSource(1))
+	seq := packet.Bernoulli{Load: 0.95, Values: vd}.Generate(rng, n, n, slots)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsim.RunCrossbar(cfg, mk(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*slots), "ns/slot")
+}
+
+func BenchmarkGM16(b *testing.B) {
+	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.GM{} }, false)
+}
+func BenchmarkGM64(b *testing.B) {
+	benchCIOQPolicy(b, 64, func() switchsim.CIOQPolicy { return &core.GM{} }, false)
+}
+func BenchmarkKRMM16(b *testing.B) {
+	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.KRMM{} }, false)
+}
+func BenchmarkKRMM64(b *testing.B) {
+	benchCIOQPolicy(b, 64, func() switchsim.CIOQPolicy { return &core.KRMM{} }, false)
+}
+func BenchmarkPG16(b *testing.B) {
+	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.PG{} }, true)
+}
+func BenchmarkPG64(b *testing.B) {
+	benchCIOQPolicy(b, 64, func() switchsim.CIOQPolicy { return &core.PG{} }, true)
+}
+func BenchmarkKRMWM16(b *testing.B) {
+	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.KRMWM{} }, true)
+}
+func BenchmarkRoundRobin16(b *testing.B) {
+	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.RoundRobin{} }, false)
+}
+func BenchmarkCGU16(b *testing.B) {
+	benchCrossbarPolicy(b, 16, func() switchsim.CrossbarPolicy { return &core.CGU{} }, false)
+}
+func BenchmarkCGU64(b *testing.B) {
+	benchCrossbarPolicy(b, 64, func() switchsim.CrossbarPolicy { return &core.CGU{} }, false)
+}
+func BenchmarkCPG16(b *testing.B) {
+	benchCrossbarPolicy(b, 16, func() switchsim.CrossbarPolicy { return &core.CPG{} }, true)
+}
+func BenchmarkCPG64(b *testing.B) {
+	benchCrossbarPolicy(b, 64, func() switchsim.CrossbarPolicy { return &core.CPG{} }, true)
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+func BenchmarkQueuePushPreempt(b *testing.B) {
+	q := queue.New(16, queue.ByValue)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.PushPreempt(packet.Packet{ID: int64(i), Value: rng.Int63n(1000) + 1})
+		if q.Len() == 16 && i%16 == 0 {
+			q.PopHead()
+		}
+	}
+}
+
+func benchMatchingEngine(b *testing.B, n int, engine func(edges []matching.Edge, adj [][]int, w [][]int64)) {
+	rng := rand.New(rand.NewSource(2))
+	var edges []matching.Edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				edges = append(edges, matching.Edge{U: i, V: j, W: rng.Int63n(100) + 1})
+			}
+		}
+	}
+	adj := matching.AdjFromEdges(n, edges)
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for _, e := range edges {
+		w[e.U][e.V] = e.W
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine(edges, adj, w)
+	}
+}
+
+func BenchmarkMatchingGreedy64(b *testing.B) {
+	benchMatchingEngine(b, 64, func(e []matching.Edge, _ [][]int, _ [][]int64) {
+		matching.GreedyMaximal(64, 64, e)
+	})
+}
+func BenchmarkMatchingGreedyWeighted64(b *testing.B) {
+	benchMatchingEngine(b, 64, func(e []matching.Edge, _ [][]int, _ [][]int64) {
+		matching.GreedyMaximalWeighted(64, 64, e)
+	})
+}
+func BenchmarkMatchingHopcroftKarp64(b *testing.B) {
+	benchMatchingEngine(b, 64, func(_ []matching.Edge, adj [][]int, _ [][]int64) {
+		matching.HopcroftKarp(64, 64, adj)
+	})
+}
+func BenchmarkMatchingHungarian64(b *testing.B) {
+	benchMatchingEngine(b, 64, func(_ []matching.Edge, _ [][]int, w [][]int64) {
+		matching.Hungarian(w)
+	})
+}
+
+func BenchmarkExactUnitOPT(b *testing.B) {
+	cfg := switchsim.Config{Inputs: 2, Outputs: 2, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 1, Speedup: 1}
+	rng := rand.New(rand.NewSource(3))
+	seq := packet.Bernoulli{Load: 1.5}.Generate(rng, 2, 2, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.ExactUnitCIOQ(cfg, seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOfflineUpperBound(b *testing.B) {
+	cfg := switchsim.Config{Inputs: 8, Outputs: 8, InputBuf: 4, OutputBuf: 4,
+		CrossBuf: 1, Speedup: 1}
+	rng := rand.New(rand.NewSource(4))
+	seq := packet.Bernoulli{Load: 1.0, Values: packet.UniformValues{Hi: 50}}.
+		Generate(rng, 8, 8, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.OQUpperBound(cfg, seq, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceEncodeDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	seq := packet.Bernoulli{Load: 1.0, Values: packet.UniformValues{Hi: 100}}.
+		Generate(rng, 8, 8, 200)
+	tr := &packet.Trace{Inputs: 8, Outputs: 8, Packets: seq}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := packet.ReadBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command switchbench runs the paper-reproduction experiment suite
+// (E1–E12, see DESIGN.md) and renders each experiment's tables as ASCII
+// and, optionally, CSV files.
+//
+// Usage:
+//
+//	switchbench -list
+//	switchbench -run e1,e5 [-quick] [-seed 42] [-csv results/]
+//	switchbench -all [-quick] [-csv results/]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"qswitch/internal/experiments"
+	"qswitch/internal/stats"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		run   = flag.String("run", "", "comma-separated experiment ids to run (e.g. e1,e5)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced workloads (seconds instead of minutes)")
+		seed  = flag.Int64("seed", 1, "base RNG seed")
+		csv   = flag.String("csv", "", "directory to write per-table CSV files into")
+		figs  = flag.Bool("figures", true, "render ASCII charts for figure-type experiments")
+		par   = flag.Int("parallel", 1, "run up to this many experiments concurrently (output stays ordered)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	case *run != "":
+		ids = strings.Split(*run, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "switchbench: nothing to do; use -list, -run or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fatal("creating csv dir: %v", err)
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	// Each experiment renders into its own buffer so concurrent runs
+	// still print in the requested order.
+	type report struct {
+		out bytes.Buffer
+		err error
+	}
+	reports := make([]*report, len(ids))
+	sem := make(chan struct{}, maxInt(1, *par))
+	var wg sync.WaitGroup
+	for k, rawID := range ids {
+		k := k
+		id := strings.TrimSpace(rawID)
+		exp, ok := experiments.ByID(id)
+		if !ok {
+			fatal("unknown experiment %q (use -list)", id)
+		}
+		reports[k] = &report{}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := reports[k]
+			fmt.Fprintf(&r.out, "### %s — %s\n", exp.ID, exp.Title)
+			fmt.Fprintf(&r.out, "    %s\n\n", exp.Claim)
+			start := time.Now()
+			tables, err := exp.Run(opts)
+			if err != nil {
+				r.err = fmt.Errorf("%s failed: %w", exp.ID, err)
+				return
+			}
+			for ti, tb := range tables {
+				tb.Render(&r.out)
+				fmt.Fprintln(&r.out)
+				if *csv != "" {
+					if err := writeCSV(*csv, exp.ID, ti, tb); err != nil {
+						r.err = fmt.Errorf("writing csv: %w", err)
+						return
+					}
+				}
+			}
+			if *figs {
+				charts, err := experiments.BuildFigures(exp.ID, tables)
+				if err != nil {
+					r.err = fmt.Errorf("building figures: %w", err)
+					return
+				}
+				for _, ch := range charts {
+					ch.Render(&r.out, 64, 16)
+					fmt.Fprintln(&r.out)
+				}
+			}
+			fmt.Fprintf(&r.out, "    (%s in %.2fs)\n\n", exp.ID, time.Since(start).Seconds())
+		}()
+	}
+	wg.Wait()
+	for _, r := range reports {
+		if r.err != nil {
+			fatal("%v", r.err)
+		}
+		os.Stdout.Write(r.out.Bytes())
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func writeCSV(dir, id string, idx int, tb *stats.Table) error {
+	name := fmt.Sprintf("%s_%d.csv", id, idx)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tb.RenderCSV(f)
+	return nil
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "switchbench: "+format+"\n", args...)
+	os.Exit(1)
+}

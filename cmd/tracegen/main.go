@@ -1,0 +1,111 @@
+// Command tracegen generates, inspects and converts packet traces.
+//
+// Examples:
+//
+//	tracegen -o burst.qsw -n 8 -slots 1000 -traffic bursty -values zipf
+//	tracegen -inspect burst.qsw
+//	tracegen -convert burst.qsw -json burst.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qswitch/internal/packet"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output binary trace file")
+		inspect = flag.String("inspect", "", "print a summary of an existing binary trace")
+		convert = flag.String("convert", "", "binary trace to convert")
+		jsonOut = flag.String("json", "", "JSON output path for -convert")
+		n       = flag.Int("n", 8, "input ports")
+		m       = flag.Int("m", 0, "output ports (defaults to -n)")
+		slots   = flag.Int("slots", 1000, "arrival slots")
+		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation")
+		values  = flag.String("values", "unit", "unit, two, uniform, zipf, geometric")
+		load    = flag.Float64("load", 0.9, "offered load")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+	if *m == 0 {
+		*m = *n
+	}
+
+	switch {
+	case *inspect != "":
+		tr := readTrace(*inspect)
+		summarize(tr)
+	case *convert != "":
+		if *jsonOut == "" {
+			fatal("-convert requires -json OUT")
+		}
+		tr := readTrace(*convert)
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			fatal("writing json: %v", err)
+		}
+		fmt.Printf("wrote %s (%d packets)\n", *jsonOut, len(tr.Packets))
+	case *out != "":
+		gen, err := buildGenerator(*traffic, *values, *load)
+		if err != nil {
+			fatal("%v", err)
+		}
+		rng := newRand(*seed)
+		seq := gen.Generate(rng, *n, *m, *slots)
+		tr := &packet.Trace{Inputs: *n, Outputs: *m, Packets: seq}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := tr.WriteBinary(f); err != nil {
+			fatal("writing trace: %v", err)
+		}
+		fmt.Printf("wrote %s: %s, %d packets over %d slots\n", *out, gen.Name(), len(seq), *slots)
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: nothing to do; use -o, -inspect or -convert")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func readTrace(path string) *packet.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	tr, err := packet.ReadBinary(f)
+	if err != nil {
+		fatal("reading %s: %v", path, err)
+	}
+	return tr
+}
+
+func summarize(tr *packet.Trace) {
+	fmt.Printf("geometry : %dx%d\n", tr.Inputs, tr.Outputs)
+	fmt.Printf("packets  : %d\n", len(tr.Packets))
+	fmt.Printf("slots    : %d (max arrival)\n", tr.Packets.MaxSlot()+1)
+	fmt.Printf("value    : total %d, unit=%v\n", tr.Packets.TotalValue(), tr.Packets.IsUnit())
+	cnt := tr.Packets.CountByPair(tr.Inputs, tr.Outputs)
+	fmt.Println("traffic matrix (packets in->out):")
+	for i := range cnt {
+		fmt.Printf("  in%-3d:", i)
+		for j := range cnt[i] {
+			fmt.Printf(" %6d", cnt[i][j])
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

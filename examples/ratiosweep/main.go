@@ -1,0 +1,44 @@
+// Ratio sweep: measure empirical competitive ratios for every CIOQ
+// policy in the registry against the exact offline optimum, in parallel
+// across all cores. Demonstrates the measurement API that backs the
+// paper-reproduction experiments (E1/E2) and the parallel harness.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"qswitch"
+)
+
+func main() {
+	cfg := qswitch.Config{
+		Inputs: 2, Outputs: 2,
+		InputBuf: 2, OutputBuf: 2,
+		Speedup: 1,
+		Slots:   6, // micro instances keep the exact optimum fast
+	}
+	gen := qswitch.UniformTraffic(1.8) // overload: contention is where ratios live
+	const runs = 200
+
+	fmt.Printf("exact-OPT competitive ratios, %d seeded overload workloads, %d cores\n\n",
+		runs, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-14s %10s %10s %10s %8s\n", "policy", "max", "mean", "ci95", "time")
+
+	for _, name := range qswitch.CIOQPolicyNames() {
+		start := time.Now()
+		est, err := qswitch.MeasureRatioCIOQParallel(cfg, name, gen, true, 1000, runs, 0)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-14s %10.4f %10.4f %10.4f %7.2fs\n",
+			name, est.Max, est.Mean, est.CI95, time.Since(start).Seconds())
+	}
+
+	fmt.Println("\nEvery unit-capable policy stays below 3 (Theorem 1's bound for GM);")
+	fmt.Println("weighted policies stay below 3+2*sqrt(2) (Theorem 2). The differences")
+	fmt.Println("between maximal and maximum matching are invisible here — efficiency")
+	fmt.Println("is where they differ (run ./cmd/switchbench -run e5).")
+}

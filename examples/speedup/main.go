@@ -1,0 +1,50 @@
+// Speedup study: how much fabric speedup do CIOQ and buffered crossbar
+// switches need before the output links (not the fabric) become the
+// bottleneck? Reproduces the shape of experiment E6 on hotspot traffic
+// and shows the crossbar's advantage at speedup 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qswitch"
+	"qswitch/internal/packet"
+)
+
+func main() {
+	const n = 16
+	const slots = 2000
+
+	gen := qswitch.HotspotTraffic(1.0, 0, 0.3, packet.UniformValues{Hi: 20})
+
+	fmt.Println("throughput (packets/slot) on 16x16 hotspot traffic, load 1.0:")
+	fmt.Printf("%-8s %-10s %-12s %-12s\n", "speedup", "model", "policy", "throughput")
+	for speedup := 1; speedup <= 4; speedup++ {
+		cfg := qswitch.Config{
+			Inputs: n, Outputs: n,
+			InputBuf: 4, OutputBuf: 4, CrossBuf: 2,
+			Speedup: speedup, Slots: slots,
+		}
+		seq := qswitch.GenerateTraffic(gen, cfg, slots*3/4, 11)
+
+		for _, name := range []string{"gm", "pg"} {
+			res, err := qswitch.SimulateCIOQ(cfg, name, seq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8d %-10s %-12s %.4f\n", speedup, "cioq", name, res.Throughput())
+		}
+		for _, name := range []string{"cgu", "cpg"} {
+			res, err := qswitch.SimulateCrossbar(cfg, name, seq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8d %-10s %-12s %.4f\n", speedup, "crossbar", name, res.Throughput())
+		}
+	}
+
+	fmt.Println("\nNote how the competitive guarantees (Theorems 1-4) hold at EVERY")
+	fmt.Println("speedup; extra cycles only move the operating point closer to the")
+	fmt.Println("output-link bound.")
+}

@@ -1,0 +1,93 @@
+package adversary
+
+import (
+	"fmt"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// AdaptiveAntiGreedy plays the adaptive adversary from the classical IQ
+// lower-bound proofs against an ARBITRARY unit-value CIOQ policy, using
+// the stepper API to observe the policy's queues after every slot.
+//
+// Strategy (per phase, on a 1-input x m-output switch with unit input
+// buffers): burst one packet into every virtual output queue; then, while
+// any queue is still occupied in the policy's switch, refill exactly one
+// still-occupied queue per slot — the policy must reject it, while a
+// schedule that served that queue first accepts it. After the queues
+// drain, idle long enough for any alternative schedule to catch up, then
+// start the next phase.
+//
+// Against deterministic greedy policies this regenerates the (2 - 1/m)
+// family without knowing the policy's service order; against randomized
+// policies the refills sometimes land in emptied queues, which is exactly
+// why randomization helps — experiment E14 measures that gap.
+//
+// It returns the adversarial arrival sequence (for offline evaluation)
+// and the policy's online benefit.
+func AdaptiveAntiGreedy(cfg switchsim.Config, pol switchsim.CIOQPolicy, phases int) (packet.Sequence, int64, error) {
+	if cfg.Inputs != 1 {
+		return nil, 0, fmt.Errorf("adversary: adaptive anti-greedy needs a single input port, got %d", cfg.Inputs)
+	}
+	m := cfg.Outputs
+	st, err := switchsim.NewCIOQStepper(cfg, pol)
+	if err != nil {
+		return nil, 0, err
+	}
+	var seq packet.Sequence
+	var id int64
+	record := func(slot, out int) packet.Packet {
+		p := packet.Packet{ID: id, Arrival: slot, In: 0, Out: out, Value: 1}
+		id++
+		seq = append(seq, p)
+		return p
+	}
+	for ph := 0; ph < phases; ph++ {
+		// Burst: one packet per queue.
+		burst := make([]packet.Packet, 0, m)
+		slot := st.Slot()
+		for j := 0; j < m; j++ {
+			burst = append(burst, record(slot, j))
+		}
+		if err := st.StepSlot(burst); err != nil {
+			return nil, 0, err
+		}
+		// Refill phase: while some queue is still occupied, target the
+		// highest-index occupied queue (any occupied queue works; the
+		// policy must drop the refill).
+		for k := 0; k < m-1; k++ {
+			target := -1
+			sw := st.Switch()
+			for j := m - 1; j >= 0; j-- {
+				if !sw.IQ[0][j].Empty() {
+					target = j
+					break
+				}
+			}
+			if target < 0 {
+				break
+			}
+			p := record(st.Slot(), target)
+			if err := st.StepSlot([]packet.Packet{p}); err != nil {
+				return nil, 0, err
+			}
+		}
+		// Idle slots: let any schedule drain before the next phase.
+		for st.Switch().QueuedPackets() > 0 {
+			if err := st.StepSlot(nil); err != nil {
+				return nil, 0, err
+			}
+		}
+		for k := 0; k < m; k++ {
+			if err := st.StepSlot(nil); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	res, err := st.Finish(2 * m * phases)
+	if err != nil {
+		return nil, 0, err
+	}
+	return seq.Normalize(), res.M.Benefit, nil
+}

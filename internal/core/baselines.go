@@ -1,0 +1,190 @@
+package core
+
+import (
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+	"qswitch/internal/switchsim"
+)
+
+// NaiveFIFO is a deliberately weak CIOQ baseline: non-preemptive FIFO
+// queues everywhere, first-fit admission, and a first-fit (row-major
+// greedy) matching that ignores values entirely. It shows how much of the
+// weighted algorithms' benefit comes from value awareness and preemption.
+type NaiveFIFO struct {
+	cfg switchsim.Config
+}
+
+// Name implements switchsim.CIOQPolicy.
+func (n *NaiveFIFO) Name() string { return "naive-fifo" }
+
+// Disciplines implements switchsim.CIOQPolicy.
+func (n *NaiveFIFO) Disciplines() (queue.Discipline, queue.Discipline) {
+	return queue.FIFO, queue.FIFO
+}
+
+// Reset implements switchsim.CIOQPolicy.
+func (n *NaiveFIFO) Reset(cfg switchsim.Config) { n.cfg = cfg }
+
+// Admit implements switchsim.CIOQPolicy.
+func (n *NaiveFIFO) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
+	if sw.IQ[p.In][p.Out].Full() {
+		return switchsim.Reject
+	}
+	return switchsim.Accept
+}
+
+// Schedule implements switchsim.CIOQPolicy: row-major first-fit matching.
+func (n *NaiveFIFO) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
+	usedOut := make([]bool, n.cfg.Outputs)
+	var out []switchsim.Transfer
+	for i := 0; i < n.cfg.Inputs; i++ {
+		for j := 0; j < n.cfg.Outputs; j++ {
+			if usedOut[j] || sw.IQ[i][j].Empty() || sw.OQ[j].Full() {
+				continue
+			}
+			usedOut[j] = true
+			out = append(out, switchsim.Transfer{In: i, Out: j})
+			break
+		}
+	}
+	return out
+}
+
+// RoundRobin is an iSLIP-inspired practical baseline for the unit-value
+// CIOQ case: a single grant/accept iteration with per-output grant
+// pointers and per-input accept pointers that advance past served ports,
+// desynchronizing over time. It represents what production crossbar
+// schedulers actually deploy, with O(N²) work per cycle but trivial
+// constants and no sorting.
+type RoundRobin struct {
+	cfg    switchsim.Config
+	grant  []int // per-output pointer over inputs
+	accept []int // per-input pointer over outputs
+}
+
+// Name implements switchsim.CIOQPolicy.
+func (r *RoundRobin) Name() string { return "roundrobin" }
+
+// Disciplines implements switchsim.CIOQPolicy.
+func (r *RoundRobin) Disciplines() (queue.Discipline, queue.Discipline) {
+	return queue.FIFO, queue.FIFO
+}
+
+// Reset implements switchsim.CIOQPolicy.
+func (r *RoundRobin) Reset(cfg switchsim.Config) {
+	r.cfg = cfg
+	r.grant = make([]int, cfg.Outputs)
+	r.accept = make([]int, cfg.Inputs)
+}
+
+// Admit implements switchsim.CIOQPolicy.
+func (r *RoundRobin) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
+	if sw.IQ[p.In][p.Out].Full() {
+		return switchsim.Reject
+	}
+	return switchsim.Accept
+}
+
+// Schedule implements switchsim.CIOQPolicy with one grant/accept round.
+func (r *RoundRobin) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
+	n, m := r.cfg.Inputs, r.cfg.Outputs
+	// Request: input i requests output j if Q_ij non-empty and Q_j open.
+	// Grant: each output grants the first requesting input at or after
+	// its grant pointer.
+	granted := make([]int, n) // granted[i] = output granting i, else -1
+	for i := range granted {
+		granted[i] = -1
+	}
+	grantOf := make([]int, m)
+	for j := range grantOf {
+		grantOf[j] = -1
+	}
+	for j := 0; j < m; j++ {
+		if sw.OQ[j].Full() {
+			continue
+		}
+		for di := 0; di < n; di++ {
+			i := (r.grant[j] + di) % n
+			if !sw.IQ[i][j].Empty() {
+				grantOf[j] = i
+				break
+			}
+		}
+	}
+	// Accept: each input accepts the first granting output at or after
+	// its accept pointer; pointers advance only on acceptance (the iSLIP
+	// desynchronization rule).
+	var out []switchsim.Transfer
+	for i := 0; i < n; i++ {
+		chosen := -1
+		for dj := 0; dj < m; dj++ {
+			j := (r.accept[i] + dj) % m
+			if grantOf[j] == i {
+				chosen = j
+				break
+			}
+		}
+		if chosen >= 0 {
+			out = append(out, switchsim.Transfer{In: i, Out: chosen})
+			r.accept[i] = (chosen + 1) % m
+			r.grant[chosen] = (i + 1) % n
+		}
+	}
+	return out
+}
+
+// CrossbarNaive is the weak crossbar baseline mirroring NaiveFIFO:
+// first-fit, non-preemptive, value-blind subphases.
+type CrossbarNaive struct {
+	cfg switchsim.Config
+}
+
+// Name implements switchsim.CrossbarPolicy.
+func (c *CrossbarNaive) Name() string { return "crossbar-naive" }
+
+// Disciplines implements switchsim.CrossbarPolicy.
+func (c *CrossbarNaive) Disciplines() (queue.Discipline, queue.Discipline, queue.Discipline) {
+	return queue.FIFO, queue.FIFO, queue.FIFO
+}
+
+// Reset implements switchsim.CrossbarPolicy.
+func (c *CrossbarNaive) Reset(cfg switchsim.Config) { c.cfg = cfg }
+
+// Admit implements switchsim.CrossbarPolicy.
+func (c *CrossbarNaive) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim.AdmitAction {
+	if sw.IQ[p.In][p.Out].Full() {
+		return switchsim.Reject
+	}
+	return switchsim.Accept
+}
+
+// InputSubphase implements switchsim.CrossbarPolicy.
+func (c *CrossbarNaive) InputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
+	var out []switchsim.Transfer
+	for i := 0; i < c.cfg.Inputs; i++ {
+		for j := 0; j < c.cfg.Outputs; j++ {
+			if !sw.IQ[i][j].Empty() && !sw.XQ[i][j].Full() {
+				out = append(out, switchsim.Transfer{In: i, Out: j})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OutputSubphase implements switchsim.CrossbarPolicy.
+func (c *CrossbarNaive) OutputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
+	var out []switchsim.Transfer
+	for j := 0; j < c.cfg.Outputs; j++ {
+		if sw.OQ[j].Full() {
+			continue
+		}
+		for i := 0; i < c.cfg.Inputs; i++ {
+			if !sw.XQ[i][j].Empty() {
+				out = append(out, switchsim.Transfer{In: i, Out: j})
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+	"qswitch/internal/switchsim"
+)
+
+// CGU is the Crossbar Greedy Unit algorithm for the unit-value buffered
+// crossbar case (Section 3.1). Arrival and transmission are as in GM; each
+// scheduling cycle's input subphase moves, for every input port, the head
+// packet of an arbitrary non-empty input queue whose crosspoint queue has
+// room, and the output subphase symmetrically fills each non-full output
+// queue from an arbitrary non-empty crosspoint queue.
+//
+// The algorithm is due to Kesselman, Kogan and Segal, who proved it
+// 4-competitive; the paper sharpens the analysis to 3-competitive for any
+// speedup (Theorem 3).
+type CGU struct {
+	// RotatePick desynchronizes the "arbitrary" choice by rotating the
+	// scan start across cycles (off = always lowest index first, the
+	// strictly arbitrary reading of the paper).
+	RotatePick bool
+
+	cfg   switchsim.Config
+	ticks int
+}
+
+// Name implements switchsim.CrossbarPolicy.
+func (c *CGU) Name() string {
+	if c.RotatePick {
+		return "cgu-rotating"
+	}
+	return "cgu"
+}
+
+// Disciplines implements switchsim.CrossbarPolicy.
+func (c *CGU) Disciplines() (queue.Discipline, queue.Discipline, queue.Discipline) {
+	return queue.FIFO, queue.FIFO, queue.FIFO
+}
+
+// Reset implements switchsim.CrossbarPolicy.
+func (c *CGU) Reset(cfg switchsim.Config) {
+	c.cfg = cfg
+	c.ticks = 0
+}
+
+// Admit implements switchsim.CrossbarPolicy: accept iff Q_ij is not full.
+func (c *CGU) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim.AdmitAction {
+	if sw.IQ[p.In][p.Out].Full() {
+		return switchsim.Reject
+	}
+	return switchsim.Accept
+}
+
+// InputSubphase implements switchsim.CrossbarPolicy: per input port, pick
+// the first j with Q_ij non-empty and C_ij not full.
+func (c *CGU) InputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
+	n, m := c.cfg.Inputs, c.cfg.Outputs
+	start := 0
+	if c.RotatePick {
+		start = c.ticks
+	}
+	var out []switchsim.Transfer
+	for i := 0; i < n; i++ {
+		for dj := 0; dj < m; dj++ {
+			j := (start + dj) % m
+			if !sw.IQ[i][j].Empty() && !sw.XQ[i][j].Full() {
+				out = append(out, switchsim.Transfer{In: i, Out: j})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OutputSubphase implements switchsim.CrossbarPolicy: per output port, pick
+// the first i with C_ij non-empty, provided Q_j has room.
+func (c *CGU) OutputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
+	n, m := c.cfg.Inputs, c.cfg.Outputs
+	start := 0
+	if c.RotatePick {
+		start = c.ticks
+	}
+	c.ticks++
+	var out []switchsim.Transfer
+	for j := 0; j < m; j++ {
+		if sw.OQ[j].Full() {
+			continue
+		}
+		for di := 0; di < n; di++ {
+			i := (start + di) % n
+			if !sw.XQ[i][j].Empty() {
+				out = append(out, switchsim.Transfer{In: i, Out: j})
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+	"qswitch/internal/switchsim"
+)
+
+// CPG is the Crossbar Preemptive Greedy algorithm for the general-value
+// buffered crossbar case (Section 3.2), ≈14.83-competitive for any speedup
+// at the paper's parameters β* = (ρ²+ρ+4)/(3ρ), ρ = (19+3√33)^⅓ and
+// α* = 2/(β*−1)² (Theorem 4).
+//
+//   - Arrival and transmission are as in PG.
+//   - Input subphase: per input port i, among queues Q_ij that are
+//     non-empty and whose crosspoint queue has room or satisfies
+//     v(g_ij) > β·v(lc_ij), pick the one with the most valuable head and
+//     transfer it to C_ij (preempting lc_ij when full).
+//   - Output subphase: per output port j, pick the crosspoint queue with
+//     the most valuable head; transfer it to Q_j if Q_j has room or
+//     v(gc_ij) > α·v(l_j) (preempting l_j when full).
+//
+// Setting β = α recovers the algorithm of Kesselman, Kogan and Segal,
+// whose best ratio is ≈16.24 (see CPGEqualParams); the paper's asymmetric
+// choice is what brings the ratio down to ≈14.83.
+type CPG struct {
+	// Beta is the crosspoint preemption threshold; DefaultBetaCPG() if 0.
+	Beta float64
+	// Alpha is the output preemption threshold; DefaultAlphaCPG() if 0.
+	Alpha float64
+
+	cfg   switchsim.Config
+	beta  float64
+	alpha float64
+}
+
+// CPGEqualParams returns the β=α parameterization of CPG — the algorithm
+// of Kesselman et al., originally proven 16.24-competitive — with β tuned
+// to the best value the paper's sharper analysis allows (bound ≈15.59,
+// still worse than the asymmetric optimum ≈14.83).
+func CPGEqualParams() *CPG {
+	b, _ := MinimizeCPGEqualParams()
+	return &CPG{Beta: b, Alpha: b}
+}
+
+// Name implements switchsim.CrossbarPolicy.
+func (c *CPG) Name() string {
+	switch {
+	case c.Beta == 0 && c.Alpha == 0:
+		return "cpg"
+	case c.Beta == c.Alpha:
+		return fmt.Sprintf("cpg(beta=alpha=%.3f)", c.Beta)
+	default:
+		return fmt.Sprintf("cpg(beta=%.3f,alpha=%.3f)", c.Beta, c.Alpha)
+	}
+}
+
+// Disciplines implements switchsim.CrossbarPolicy.
+func (c *CPG) Disciplines() (queue.Discipline, queue.Discipline, queue.Discipline) {
+	return queue.ByValue, queue.ByValue, queue.ByValue
+}
+
+// Reset implements switchsim.CrossbarPolicy.
+func (c *CPG) Reset(cfg switchsim.Config) {
+	c.cfg = cfg
+	c.beta = betaOrDefault(c.Beta, DefaultBetaCPG())
+	c.alpha = betaOrDefault(c.Alpha, DefaultAlphaCPG())
+}
+
+// Admit implements switchsim.CrossbarPolicy: greedy preemptive admission.
+func (c *CPG) Admit(_ *switchsim.Crossbar, _ packet.Packet) switchsim.AdmitAction {
+	return switchsim.AcceptPreempt
+}
+
+// InputSubphase implements switchsim.CrossbarPolicy.
+func (c *CPG) InputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
+	n, m := c.cfg.Inputs, c.cfg.Outputs
+	var out []switchsim.Transfer
+	for i := 0; i < n; i++ {
+		bestJ := -1
+		var best packet.Packet
+		for j := 0; j < m; j++ {
+			head, ok := sw.IQ[i][j].Head()
+			if !ok {
+				continue
+			}
+			if !eligibleOutput(sw.XQ[i][j], head.Value, c.beta) {
+				continue
+			}
+			if bestJ < 0 || packet.Less(head, best) {
+				bestJ, best = j, head
+			}
+		}
+		if bestJ >= 0 {
+			out = append(out, switchsim.Transfer{In: i, Out: bestJ, PreemptIfFull: true})
+		}
+	}
+	return out
+}
+
+// OutputSubphase implements switchsim.CrossbarPolicy.
+func (c *CPG) OutputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
+	n, m := c.cfg.Inputs, c.cfg.Outputs
+	var out []switchsim.Transfer
+	for j := 0; j < m; j++ {
+		bestI := -1
+		var best packet.Packet
+		for i := 0; i < n; i++ {
+			head, ok := sw.XQ[i][j].Head()
+			if !ok {
+				continue
+			}
+			if bestI < 0 || packet.Less(head, best) {
+				bestI, best = i, head
+			}
+		}
+		if bestI < 0 {
+			continue
+		}
+		// The choice of crosspoint queue ignores the output queue's
+		// state; the transfer condition is evaluated afterwards, per
+		// the paper's two-step formulation.
+		if eligibleOutput(sw.OQ[j], best.Value, c.alpha) {
+			out = append(out, switchsim.Transfer{In: bestI, Out: j, PreemptIfFull: true})
+		}
+	}
+	return out
+}

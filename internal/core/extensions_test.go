@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qswitch/internal/offline"
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+func TestRandomizedGMIsValidAndReproducible(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 3, Outputs: 3, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 1, Speedup: 2, Validate: true}
+	seq := genUnit(42, 3, 3, 20, 1.3)
+	a := mustRunCIOQ(t, cfg, &RandomizedGM{Seed: 9}, seq)
+	b := mustRunCIOQ(t, cfg, &RandomizedGM{Seed: 9}, seq)
+	if a.M.Benefit != b.M.Benefit || a.M.Sent != b.M.Sent {
+		t.Error("same seed produced different runs")
+	}
+	c := mustRunCIOQ(t, cfg, &RandomizedGM{Seed: 10}, seq)
+	_ = c // different seed may or may not differ; must just be valid
+	if a.M.PreemptedInput+a.M.PreemptedOutput != 0 {
+		t.Error("randomized GM must never preempt")
+	}
+}
+
+func TestRandomizedGMStaysWithinTheorem1(t *testing.T) {
+	// Randomization cannot break the bound: every realized order yields
+	// a greedy maximal matching, so GM's analysis applies per coin toss.
+	cfg := switchsim.Config{Inputs: 2, Outputs: 2, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 1, Speedup: 1, Validate: true}
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		seq := packet.Bernoulli{Load: 1.6}.Generate(rng, 2, 2, 6)
+		opt, err := offline.ExactUnitCIOQ(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt == 0 {
+			continue
+		}
+		res := mustRunCIOQ(t, cfg, &RandomizedGM{Seed: seed + 1}, seq)
+		if float64(opt) > 3*float64(res.M.Benefit) {
+			t.Errorf("seed %d: randomized GM ratio %.3f exceeds 3",
+				seed, float64(opt)/float64(res.M.Benefit))
+		}
+	}
+}
+
+func TestARFIFOPreemptsMinimum(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 1, Outputs: 1, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 1, Speedup: 1, Validate: true, Slots: 1}
+	// Queue fills with 5, 3; then 20 arrives: 20 > 2*3, so the 3 goes.
+	seq := packet.Sequence{
+		{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 5},
+		{ID: 1, Arrival: 0, In: 0, Out: 0, Value: 3},
+		{ID: 2, Arrival: 0, In: 0, Out: 0, Value: 20},
+	}
+	res := mustRunCIOQ(t, cfg, &ARFIFO{}, seq)
+	if res.M.PreemptedInput != 1 || res.M.PreemptedInputValue != 3 {
+		t.Errorf("preempted %d (value %d), want the 3",
+			res.M.PreemptedInput, res.M.PreemptedInputValue)
+	}
+}
+
+func TestARFIFORespectsBetaGate(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 1, Outputs: 1, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 1, Speedup: 1, Validate: true, Slots: 1}
+	// 5 then 3 fill the queue; 4 arrives: 4 <= 2*3, rejected.
+	seq := packet.Sequence{
+		{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 5},
+		{ID: 1, Arrival: 0, In: 0, Out: 0, Value: 3},
+		{ID: 2, Arrival: 0, In: 0, Out: 0, Value: 4},
+	}
+	res := mustRunCIOQ(t, cfg, &ARFIFO{}, seq)
+	if res.M.Rejected != 1 || res.M.PreemptedInput != 0 {
+		t.Errorf("rejected=%d preempted=%d, want 1, 0", res.M.Rejected, res.M.PreemptedInput)
+	}
+}
+
+func TestARFIFOTransmitsInArrivalOrder(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 1, Outputs: 1, InputBuf: 3, OutputBuf: 3,
+		CrossBuf: 1, Speedup: 3, Validate: true, RecordLatency: true}
+	// Three packets arrive together; value order differs from arrival
+	// order; all traverse within slot 0 and transmit over 3 slots in
+	// FIFO order — the low-value first packet goes first.
+	seq := packet.Sequence{
+		{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 1},
+		{ID: 1, Arrival: 0, In: 0, Out: 0, Value: 50},
+		{ID: 2, Arrival: 0, In: 0, Out: 0, Value: 10},
+	}
+	cfg.RecordSeries = true
+	res := mustRunCIOQ(t, cfg, &ARFIFO{}, seq)
+	if res.M.Sent != 3 {
+		t.Fatalf("sent %d, want 3", res.M.Sent)
+	}
+	if res.M.SlotBenefit[0] != 1 {
+		t.Errorf("slot 0 sent value %d, want 1 (FIFO head)", res.M.SlotBenefit[0])
+	}
+}
+
+func TestARFIFOSurvivesStress(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 1, Speedup: 2, Validate: true}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		seq := packet.Hotspot{Load: 2.0, HotFrac: 0.7, Values: packet.ZipfValues{Hi: 200, S: 1.2}}.
+			Generate(rng, 4, 4, 20)
+		mustRunCIOQ(t, cfg, &ARFIFO{}, seq)
+	}
+}
+
+func TestDescribeCoversRegistry(t *testing.T) {
+	for _, name := range []string{"gm", "pg", "cgu", "cpg", "kr-maxmatch",
+		"kr-maxweight", "gm-random", "ar-fifo", "naive-fifo", "roundrobin",
+		"crossbar-naive"} {
+		if d := Describe(name); d == "" || strings.HasPrefix(d, "policy ") {
+			t.Errorf("Describe(%q) = %q", name, d)
+		}
+	}
+	if !strings.Contains(Describe("whatever"), "whatever") {
+		t.Error("unknown policy description should echo the name")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"qswitch/internal/matching"
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+	"qswitch/internal/switchsim"
+)
+
+// EdgeOrder selects the scan order GM uses when building its greedy maximal
+// matching. The paper allows any fixed order ("iterate over all edges of
+// E"); the choice does not affect the competitive ratio but does affect
+// constants on specific workloads, so it is exposed for ablation.
+type EdgeOrder int
+
+const (
+	// RowMajor scans inputs outer, outputs inner: (0,0),(0,1),...,(1,0),...
+	RowMajor EdgeOrder = iota
+	// ColMajor scans outputs outer, inputs inner.
+	ColMajor
+	// Rotating row-major scan whose starting input and output indices
+	// advance every scheduling cycle, spreading service evenly across
+	// ports (desynchronization in the iSLIP spirit).
+	Rotating
+	// LongestFirst scans edges in decreasing order of source queue
+	// length (ties row-major), approximating longest-queue-first.
+	LongestFirst
+)
+
+// String implements fmt.Stringer.
+func (o EdgeOrder) String() string {
+	switch o {
+	case RowMajor:
+		return "rowmajor"
+	case ColMajor:
+		return "colmajor"
+	case Rotating:
+		return "rotating"
+	case LongestFirst:
+		return "longestfirst"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// GM is the paper's Greedy Matching algorithm for the unit-value CIOQ case
+// (Section 2.1): accept when the input queue has room, compute a greedy
+// maximal matching over edges {(i,j) : Q_ij non-empty and Q_j not full}
+// each scheduling cycle, and transmit the head of every non-empty output
+// queue. GM is 3-competitive at any speedup (Theorem 1).
+type GM struct {
+	// Order is the greedy scan order; RowMajor if unset.
+	Order EdgeOrder
+
+	cfg   switchsim.Config
+	edges []matching.Edge // scratch
+	sched matching.WeightedScheduler
+	ticks int
+}
+
+// Name implements switchsim.CIOQPolicy.
+func (g *GM) Name() string {
+	if g.Order == RowMajor {
+		return "gm"
+	}
+	return "gm-" + g.Order.String()
+}
+
+// Disciplines implements switchsim.CIOQPolicy. Unit values make FIFO the
+// natural (and equivalent) order.
+func (g *GM) Disciplines() (queue.Discipline, queue.Discipline) {
+	return queue.FIFO, queue.FIFO
+}
+
+// Reset implements switchsim.CIOQPolicy.
+func (g *GM) Reset(cfg switchsim.Config) {
+	g.cfg = cfg
+	g.edges = g.edges[:0]
+	g.ticks = 0
+}
+
+// Admit implements switchsim.CIOQPolicy: accept iff Q_ij is not full.
+func (g *GM) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
+	if sw.IQ[p.In][p.Out].Full() {
+		return switchsim.Reject
+	}
+	return switchsim.Accept
+}
+
+// Schedule implements switchsim.CIOQPolicy: greedy maximal matching on the
+// eligibility graph in the configured scan order.
+func (g *GM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
+	g.edges = g.edges[:0]
+	n, m := g.cfg.Inputs, g.cfg.Outputs
+	appendEdge := func(i, j int) {
+		if !sw.IQ[i][j].Empty() && !sw.OQ[j].Full() {
+			g.edges = append(g.edges, matching.Edge{U: i, V: j})
+		}
+	}
+	switch g.Order {
+	case ColMajor:
+		for j := 0; j < m; j++ {
+			for i := 0; i < n; i++ {
+				appendEdge(i, j)
+			}
+		}
+	case Rotating:
+		oi, oj := g.ticks%n, g.ticks%m
+		for di := 0; di < n; di++ {
+			for dj := 0; dj < m; dj++ {
+				appendEdge((oi+di)%n, (oj+dj)%m)
+			}
+		}
+	case LongestFirst:
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if !sw.IQ[i][j].Empty() && !sw.OQ[j].Full() {
+					g.edges = append(g.edges, matching.Edge{U: i, V: j, W: int64(sw.IQ[i][j].Len())})
+				}
+			}
+		}
+		// Reuse the weighted greedy: weight = queue length.
+		g.ticks++
+		return edgesToTransfers(g.sched.GreedyMaximalWeighted(n, m, g.edges), false)
+	default: // RowMajor
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				appendEdge(i, j)
+			}
+		}
+	}
+	g.ticks++
+	return edgesToTransfers(matching.GreedyMaximal(n, m, g.edges), false)
+}
+
+// KRMM is the maximum-matching baseline for the unit-value CIOQ case: the
+// same admission and eligibility rules as GM, but each scheduling cycle
+// computes a *maximum* matching with Hopcroft–Karp, as in the prior
+// Kesselman–Rosén line of work. Also 3-competitive, but asymptotically
+// slower per cycle — the comparison GM exists to win.
+type KRMM struct {
+	cfg switchsim.Config
+	adj [][]int
+}
+
+// Name implements switchsim.CIOQPolicy.
+func (k *KRMM) Name() string { return "kr-maxmatch" }
+
+// Disciplines implements switchsim.CIOQPolicy.
+func (k *KRMM) Disciplines() (queue.Discipline, queue.Discipline) {
+	return queue.FIFO, queue.FIFO
+}
+
+// Reset implements switchsim.CIOQPolicy.
+func (k *KRMM) Reset(cfg switchsim.Config) {
+	k.cfg = cfg
+	k.adj = make([][]int, cfg.Inputs)
+}
+
+// Admit implements switchsim.CIOQPolicy.
+func (k *KRMM) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
+	if sw.IQ[p.In][p.Out].Full() {
+		return switchsim.Reject
+	}
+	return switchsim.Accept
+}
+
+// Schedule implements switchsim.CIOQPolicy via Hopcroft–Karp.
+func (k *KRMM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
+	n, m := k.cfg.Inputs, k.cfg.Outputs
+	for i := 0; i < n; i++ {
+		k.adj[i] = k.adj[i][:0]
+		for j := 0; j < m; j++ {
+			if !sw.IQ[i][j].Empty() && !sw.OQ[j].Full() {
+				k.adj[i] = append(k.adj[i], j)
+			}
+		}
+	}
+	matchU, _ := matching.HopcroftKarp(n, m, k.adj)
+	var out []switchsim.Transfer
+	for i, j := range matchU {
+		if j >= 0 {
+			out = append(out, switchsim.Transfer{In: i, Out: j})
+		}
+	}
+	return out
+}
+
+func edgesToTransfers(es []matching.Edge, preempt bool) []switchsim.Transfer {
+	out := make([]switchsim.Transfer, len(es))
+	for k, e := range es {
+		out[k] = switchsim.Transfer{In: e.U, Out: e.V, PreemptIfFull: preempt}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"qswitch/internal/offline"
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+func TestKKSFIFOBasicFlow(t *testing.T) {
+	cfg := cfg2x2()
+	seq := packet.Sequence{
+		{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 5},
+		{ID: 1, Arrival: 0, In: 1, Out: 1, Value: 7},
+	}
+	res := mustRunXbar(t, cfg, &KKSFIFO{}, seq)
+	if res.M.Benefit != 12 {
+		t.Errorf("benefit %d, want 12", res.M.Benefit)
+	}
+}
+
+func TestKKSFIFOPreemptsMinOnAdmission(t *testing.T) {
+	cfg := cfg2x2()
+	cfg.InputBuf = 2
+	cfg.Slots = 1
+	seq := packet.Sequence{
+		{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 6},
+		{ID: 1, Arrival: 0, In: 0, Out: 0, Value: 3},
+		{ID: 2, Arrival: 0, In: 0, Out: 0, Value: 10}, // 10 > 2*3: preempt the 3
+		{ID: 3, Arrival: 0, In: 0, Out: 0, Value: 11}, // 11 <= 2*6: rejected
+	}
+	res := mustRunXbar(t, cfg, &KKSFIFO{}, seq)
+	if res.M.PreemptedInput != 1 || res.M.PreemptedInputValue != 3 {
+		t.Errorf("preempted %d (value %d), want the 3",
+			res.M.PreemptedInput, res.M.PreemptedInputValue)
+	}
+	if res.M.Rejected != 1 {
+		t.Errorf("rejected %d, want 1", res.M.Rejected)
+	}
+}
+
+func TestKKSFIFOKeepsArrivalOrder(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 1, Outputs: 1, InputBuf: 3, OutputBuf: 3,
+		CrossBuf: 3, Speedup: 3, Validate: true, RecordSeries: true}
+	seq := packet.Sequence{
+		{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 2},
+		{ID: 1, Arrival: 0, In: 0, Out: 0, Value: 90},
+	}
+	res := mustRunXbar(t, cfg, &KKSFIFO{}, seq)
+	// FIFO: the value-2 packet arrived first and departs first.
+	if res.M.SlotBenefit[0] != 2 {
+		t.Errorf("slot 0 transmitted value %d, want 2 (FIFO order)", res.M.SlotBenefit[0])
+	}
+}
+
+func TestKKSFIFOWithinUpperBound(t *testing.T) {
+	cfg := cfg2x2()
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		seq := packet.Hotspot{Load: 1.6, HotFrac: 0.7, Values: packet.UniformValues{Hi: 30}}.
+			Generate(rng, 2, 2, 12)
+		res := mustRunXbar(t, cfg, &KKSFIFO{}, seq)
+		ub, err := offline.CombinedUpperBound(cfg, seq, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.M.Benefit > ub {
+			t.Errorf("seed %d: benefit %d exceeds bound %d", seed, res.M.Benefit, ub)
+		}
+	}
+}
+
+func TestCPGBeatsKKSFIFOOnSkewedValues(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 1, Speedup: 1, Validate: true, Slots: 80}
+	rng := rand.New(rand.NewSource(5))
+	seq := packet.Hotspot{Load: 1.8, HotFrac: 0.7, Values: packet.ZipfValues{Hi: 500, S: 1.1}}.
+		Generate(rng, 4, 4, 60)
+	cpg := mustRunXbar(t, cfg, &CPG{}, seq)
+	fifo := mustRunXbar(t, cfg, &KKSFIFO{}, seq)
+	if cpg.M.Benefit < fifo.M.Benefit {
+		t.Errorf("CPG %d below KKS-FIFO %d on skewed values", cpg.M.Benefit, fifo.M.Benefit)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"qswitch/internal/matching"
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+	"qswitch/internal/switchsim"
+)
+
+// PG is the paper's Preemptive Greedy algorithm for the general-value CIOQ
+// case (Section 2.2), (3+2√2)-competitive at β = 1+√2 for any speedup
+// (Theorem 2).
+//
+//   - Arrival: accept p if Q_ij has room or its least valuable packet is
+//     strictly worse than p (preempting it).
+//   - Scheduling cycle: build the weighted eligibility graph with an edge
+//     (i,j) of weight v(g_ij) whenever Q_ij is non-empty and either Q_j has
+//     room or v(g_ij) > β·v(l_j); compute a greedy maximal matching by
+//     scanning edges in decreasing weight; transfer the heaviest packet of
+//     each matched input queue, preempting l_j when Q_j is full.
+//   - Transmission: send the most valuable packet of each output queue.
+//
+// Unlike the 6-competitive predecessor (see KRMWM), PG's matching is
+// maximal rather than maximum — O(E log E) instead of O(n³) per cycle.
+type PG struct {
+	// Beta is the preemption threshold β ≥ 1; DefaultBetaPG() if zero.
+	Beta float64
+
+	cfg   switchsim.Config
+	beta  float64
+	edges []matching.Edge
+	sched matching.WeightedScheduler
+}
+
+// Name implements switchsim.CIOQPolicy.
+func (g *PG) Name() string {
+	if g.Beta == 0 || g.Beta == DefaultBetaPG() {
+		return "pg"
+	}
+	return fmt.Sprintf("pg(beta=%.3f)", g.Beta)
+}
+
+// Disciplines implements switchsim.CIOQPolicy: value-ordered queues give
+// O(1) access to g_ij, l_ij and l_j.
+func (g *PG) Disciplines() (queue.Discipline, queue.Discipline) {
+	return queue.ByValue, queue.ByValue
+}
+
+// Reset implements switchsim.CIOQPolicy.
+func (g *PG) Reset(cfg switchsim.Config) {
+	g.cfg = cfg
+	g.beta = g.Beta
+	if g.beta == 0 {
+		g.beta = DefaultBetaPG()
+	}
+	if g.beta < 1 {
+		g.beta = 1
+	}
+	g.edges = g.edges[:0]
+}
+
+// Admit implements switchsim.CIOQPolicy: greedy preemptive admission.
+func (g *PG) Admit(_ *switchsim.CIOQ, _ packet.Packet) switchsim.AdmitAction {
+	// The queue's PushPreempt implements exactly the paper's rule
+	// (accept if |Q_ij| < B or v(l_ij) < v(p)).
+	return switchsim.AcceptPreempt
+}
+
+// Schedule implements switchsim.CIOQPolicy: greedy maximal weighted
+// matching over the β-eligibility graph.
+func (g *PG) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
+	g.edges = g.edges[:0]
+	n, m := g.cfg.Inputs, g.cfg.Outputs
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			head, ok := sw.IQ[i][j].Head()
+			if !ok {
+				continue
+			}
+			if eligibleOutput(sw.OQ[j], head.Value, g.beta) {
+				g.edges = append(g.edges, matching.Edge{U: i, V: j, W: head.Value})
+			}
+		}
+	}
+	return edgesToTransfers(g.sched.GreedyMaximalWeighted(n, m, g.edges), true)
+}
+
+// eligibleOutput reports the paper's eligibility condition for moving a
+// packet of value v into output queue q: the queue has room, or v exceeds
+// β times the value of the queue's least valuable packet.
+func eligibleOutput(q *queue.Queue, v int64, beta float64) bool {
+	if !q.Full() {
+		return true
+	}
+	tail, _ := q.Tail()
+	return float64(v) > beta*float64(tail.Value)
+}
+
+// KRMWM is the maximum-weight-matching baseline for the general-value CIOQ
+// case: PG's admission, eligibility and preemption rules, but each cycle
+// computes a *maximum-weight* matching (Hungarian algorithm) instead of a
+// greedy maximal one, in the spirit of Kesselman–Rosén's 6-competitive
+// algorithm (whose analysis optimizes at β = 2).
+type KRMWM struct {
+	// Beta defaults to 2, the parameter of the 6-competitive analysis.
+	Beta float64
+
+	cfg   switchsim.Config
+	beta  float64
+	edges []matching.Edge
+}
+
+// Name implements switchsim.CIOQPolicy.
+func (k *KRMWM) Name() string { return "kr-maxweight" }
+
+// Disciplines implements switchsim.CIOQPolicy.
+func (k *KRMWM) Disciplines() (queue.Discipline, queue.Discipline) {
+	return queue.ByValue, queue.ByValue
+}
+
+// Reset implements switchsim.CIOQPolicy.
+func (k *KRMWM) Reset(cfg switchsim.Config) {
+	k.cfg = cfg
+	k.beta = k.Beta
+	if k.beta == 0 {
+		k.beta = 2
+	}
+	k.edges = k.edges[:0]
+}
+
+// Admit implements switchsim.CIOQPolicy.
+func (k *KRMWM) Admit(_ *switchsim.CIOQ, _ packet.Packet) switchsim.AdmitAction {
+	return switchsim.AcceptPreempt
+}
+
+// Schedule implements switchsim.CIOQPolicy via the Hungarian algorithm.
+func (k *KRMWM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
+	k.edges = k.edges[:0]
+	n, m := k.cfg.Inputs, k.cfg.Outputs
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			head, ok := sw.IQ[i][j].Head()
+			if !ok {
+				continue
+			}
+			if eligibleOutput(sw.OQ[j], head.Value, k.beta) {
+				k.edges = append(k.edges, matching.Edge{U: i, V: j, W: head.Value})
+			}
+		}
+	}
+	return edgesToTransfers(matching.MaxWeightMatching(n, m, k.edges), true)
+}
+
+// betaOrDefault resolves a possibly-zero β parameter.
+func betaOrDefault(beta, def float64) float64 {
+	if beta == 0 {
+		return def
+	}
+	return math.Max(beta, 1)
+}

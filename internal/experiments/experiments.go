@@ -1,0 +1,117 @@
+// Package experiments implements the paper-reproduction experiment suite
+// E1–E12 defined in DESIGN.md. Each experiment regenerates one table or
+// figure's worth of data: competitive-ratio measurements against exact
+// offline optima (E1–E4, E8), scheduling-cost comparisons backing the
+// paper's efficiency claim (E5, E9, E12), and throughput studies across
+// speedup, buffers, traffic and value distributions (E6, E7, E10, E11).
+//
+// Experiments are pure functions from Options to stats.Tables so the same
+// code serves the switchbench CLI, the test suite (quick mode) and the
+// root benchmark harness.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"qswitch/internal/stats"
+	"qswitch/internal/switchsim"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Quick shrinks workloads by roughly an order of magnitude so every
+	// experiment finishes in well under a second (used by tests and
+	// benchmarks). Full mode is the CLI default.
+	Quick bool
+	// Seed is the base RNG seed; all experiments are deterministic
+	// given a seed.
+	Seed int64
+}
+
+// pick returns quick or full depending on the mode.
+func (o Options) pick(quick, full int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment couples an experiment's identity with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string // the paper claim this experiment reproduces
+	Run   func(Options) ([]*stats.Table, error)
+}
+
+// All returns the registry in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"e1", "GM competitive ratio (unit CIOQ)",
+			"Theorem 1: GM is 3-competitive for any speedup", E1GMRatio},
+		{"e2", "PG competitive ratio and beta sweep (weighted CIOQ)",
+			"Theorem 2: PG is (3+2*sqrt(2))-competitive at beta=1+sqrt(2)", E2PGRatio},
+		{"e3", "CGU competitive ratio (unit crossbar)",
+			"Theorem 3: CGU is 3-competitive (improves the known 4)", E3CGURatio},
+		{"e4", "CPG parameters and ratio (weighted crossbar)",
+			"Theorem 4: CPG is ~14.83-competitive at the asymmetric optimum", E4CPGParams},
+		{"e5", "scheduling cost: greedy maximal vs maximum matching",
+			"Section 1.1: greedy maximal matching is significantly more efficient", E5MatchingCost},
+		{"e6", "throughput vs speedup",
+			"Theorems 1-4 hold for any speedup; throughput saturates with s", E6Speedup},
+		{"e7", "throughput vs buffer size",
+			"buffer sensitivity of all four algorithms", E7Buffers},
+		{"e8", "adversarial lower bounds",
+			"Section 1.2/4: IQ lower bounds carry over; fuzzer stays below proven bounds", E8Adversarial},
+		{"e9", "CIOQ vs buffered crossbar",
+			"Section 1: crossbar buffers decrease scheduling overhead", E9CIOQvsCrossbar},
+		{"e10", "value-distribution robustness and practical beta",
+			"Section 4: choosing beta by traffic mix", E10ValueDists},
+		{"e11", "rectangular N x M switches",
+			"Section 4: all results generalize to N x M", E11Rect},
+		{"e12", "maximal vs maximum matching: equal competitiveness",
+			"Section 1.1: cheap maximal matchings lose no benefit in practice", E12MaximalVsMaximum},
+		{"e13", "GM edge-order ablation",
+			"the greedy scan order is a free choice; quantify its effect", E13EdgeOrder},
+		{"e14", "randomization vs the adaptive adversary",
+			"Section 4 open problem: randomized algorithms for CIOQ (empirical probe)", E14Randomization},
+		{"e15", "non-FIFO vs FIFO queues",
+			"the paper's non-FIFO model vs the FIFO related-work line", E15FIFOComparison},
+		{"e16", "IQ model reduction and bounds at scale",
+			"Section 1.2/4: GM/PG reduce to the classical IQ algorithms; IQ bounds carry over", E16IQModel},
+	}
+	sort.Slice(exps, func(a, b int) bool { return exps[a].ID < exps[b].ID })
+	return exps
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// microCfg is the shared geometry for exact-optimum experiments.
+func microCfg(slots int) switchsim.Config {
+	return switchsim.Config{
+		Inputs: 2, Outputs: 2,
+		InputBuf: 2, OutputBuf: 2, CrossBuf: 1,
+		Speedup: 1, Slots: slots,
+	}
+}
+
+func boolMark(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "VIOLATED"
+}
+
+func fmtCfg(c switchsim.Config) string {
+	return fmt.Sprintf("%dx%d Bin=%d Bout=%d Bx=%d s=%d",
+		c.Inputs, c.Outputs, c.InputBuf, c.OutputBuf, c.CrossBuf, c.Speedup)
+}

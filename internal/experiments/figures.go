@@ -1,0 +1,58 @@
+package experiments
+
+import "qswitch/internal/stats"
+
+// FigureSpec maps one of an experiment's tables onto a chart: which
+// table (by index in the Run result), which columns are x and y, and
+// which columns name the series.
+type FigureSpec struct {
+	TableIndex int
+	X, Y       string
+	GroupBy    []string
+}
+
+// Figures returns the chart specifications for an experiment, keyed by
+// the experiment id. Experiments without figure semantics return nil.
+func Figures(id string) []FigureSpec {
+	switch id {
+	case "e2":
+		return []FigureSpec{{TableIndex: 1, X: "beta", Y: "theory_bound"}}
+	case "e4":
+		return []FigureSpec{{TableIndex: 1, X: "beta", Y: "ratio_bound", GroupBy: []string{"alpha"}}}
+	case "e5":
+		return []FigureSpec{
+			{TableIndex: 0, X: "N", Y: "greedy_weighted_ns"},
+			{TableIndex: 0, X: "N", Y: "hungarian_ns"},
+		}
+	case "e6":
+		return []FigureSpec{{TableIndex: 0, X: "speedup", Y: "throughput", GroupBy: []string{"policy"}}}
+	case "e7":
+		return []FigureSpec{{TableIndex: 0, X: "buffer", Y: "throughput", GroupBy: []string{"policy", "model"}}}
+	case "e8":
+		return []FigureSpec{{TableIndex: 0, X: "m", Y: "ratio"}}
+	case "e9":
+		return []FigureSpec{{TableIndex: 0, X: "N", Y: "sim_ns_per_slot", GroupBy: []string{"policy"}}}
+	case "e14":
+		return []FigureSpec{{TableIndex: 1, X: "m", Y: "ratio", GroupBy: []string{"policy"}}}
+	default:
+		return nil
+	}
+}
+
+// BuildFigures converts an experiment's tables into charts according to
+// its figure specs. Tables out of range or missing columns yield errors;
+// experiments without specs yield an empty slice.
+func BuildFigures(id string, tables []*stats.Table) ([]*stats.Chart, error) {
+	var out []*stats.Chart
+	for _, spec := range Figures(id) {
+		if spec.TableIndex >= len(tables) {
+			continue
+		}
+		ch, err := stats.ChartFromTable(tables[spec.TableIndex], spec.X, spec.Y, spec.GroupBy...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ch)
+	}
+	return out, nil
+}

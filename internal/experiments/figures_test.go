@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFiguresSpecsResolve(t *testing.T) {
+	// Every figure spec must address an existing table and existing
+	// columns — run each figure-bearing experiment in quick mode and
+	// build its charts.
+	for _, e := range All() {
+		specs := Figures(e.ID)
+		if len(specs) == 0 {
+			continue
+		}
+		tables, err := e.Run(Options{Quick: true, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		charts, err := BuildFigures(e.ID, tables)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(charts) == 0 {
+			t.Errorf("%s: specs present but no charts built", e.ID)
+		}
+		for _, ch := range charts {
+			if len(ch.Series) == 0 {
+				t.Errorf("%s: chart %q has no series", e.ID, ch.Title)
+				continue
+			}
+			var buf bytes.Buffer
+			ch.Render(&buf, 48, 12)
+			if buf.Len() == 0 {
+				t.Errorf("%s: chart %q rendered empty", e.ID, ch.Title)
+			}
+		}
+	}
+}
+
+func TestFiguresUnknownID(t *testing.T) {
+	if specs := Figures("nope"); specs != nil {
+		t.Errorf("unknown id returned specs: %v", specs)
+	}
+	charts, err := BuildFigures("nope", nil)
+	if err != nil || len(charts) != 0 {
+		t.Errorf("unknown id built charts: %v, %v", charts, err)
+	}
+}

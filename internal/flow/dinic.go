@@ -1,0 +1,135 @@
+// Package flow implements the network-flow solvers backing the offline
+// optimum bounds: Dinic's maximum-flow algorithm and a successive-
+// shortest-path min-cost max-flow with Johnson potentials. Both operate on
+// integer capacities and costs, so the offline benchmarks are exact.
+package flow
+
+import "fmt"
+
+// Dinic is a max-flow solver over an explicitly built graph. Nodes are
+// dense integers 0..n-1; edges are added with AddEdge and residual state is
+// kept inline.
+type Dinic struct {
+	n     int
+	head  []int32 // head[v] = first edge index of v, -1 terminated chains
+	next  []int32
+	to    []int32
+	cap   []int64
+	level []int32
+	iter  []int32
+}
+
+// NewDinic creates a solver with n nodes.
+func NewDinic(n int) *Dinic {
+	d := &Dinic{n: n, head: make([]int32, n)}
+	for i := range d.head {
+		d.head[i] = -1
+	}
+	return d
+}
+
+// AddEdge adds a directed edge u->v with the given capacity and its
+// residual reverse edge. It returns the edge index, which can be used with
+// Flow to query how much flow the edge carries after MaxFlow.
+func (d *Dinic) AddEdge(u, v int, capacity int64) int {
+	if u < 0 || u >= d.n || v < 0 || v >= d.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range n=%d", u, v, d.n))
+	}
+	id := len(d.to)
+	d.to = append(d.to, int32(v))
+	d.cap = append(d.cap, capacity)
+	d.next = append(d.next, d.head[u])
+	d.head[u] = int32(id)
+	// Reverse edge.
+	d.to = append(d.to, int32(u))
+	d.cap = append(d.cap, 0)
+	d.next = append(d.next, d.head[v])
+	d.head[v] = int32(id + 1)
+	return id
+}
+
+// Flow returns the flow currently carried by edge id (its reverse
+// residual capacity).
+func (d *Dinic) Flow(id int) int64 { return d.cap[id^1] }
+
+// MaxFlow computes the maximum s-t flow.
+func (d *Dinic) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	d.level = make([]int32, d.n)
+	d.iter = make([]int32, d.n)
+	queue := make([]int32, 0, d.n)
+	for {
+		// BFS to build level graph.
+		for i := range d.level {
+			d.level[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		d.level[s] = 0
+		for h := 0; h < len(queue); h++ {
+			v := queue[h]
+			for e := d.head[v]; e != -1; e = d.next[e] {
+				if d.cap[e] > 0 && d.level[d.to[e]] < 0 {
+					d.level[d.to[e]] = d.level[v] + 1
+					queue = append(queue, d.to[e])
+				}
+			}
+		}
+		if d.level[t] < 0 {
+			return total
+		}
+		copy(d.iter, d.head)
+		for {
+			f := d.dfs(s, t, int64(1)<<62)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+}
+
+func (d *Dinic) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; d.iter[v] != -1; d.iter[v] = d.next[d.iter[v]] {
+		e := d.iter[v]
+		u := d.to[e]
+		if d.cap[e] > 0 && d.level[u] == d.level[v]+1 {
+			lim := f
+			if d.cap[e] < lim {
+				lim = d.cap[e]
+			}
+			got := d.dfs(int(u), t, lim)
+			if got > 0 {
+				d.cap[e] -= got
+				d.cap[e^1] += got
+				return got
+			}
+		}
+	}
+	return 0
+}
+
+// MinCut returns the set of nodes reachable from s in the residual graph
+// after MaxFlow has run; (reachable, complement) is a minimum cut.
+func (d *Dinic) MinCut(s int) []bool {
+	seen := make([]bool, d.n)
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := d.head[v]; e != -1; e = d.next[e] {
+			if d.cap[e] > 0 && !seen[d.to[e]] {
+				seen[d.to[e]] = true
+				stack = append(stack, int(d.to[e]))
+			}
+		}
+	}
+	return seen
+}

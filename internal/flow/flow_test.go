@@ -1,0 +1,251 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDinicKnownNetworks(t *testing.T) {
+	t.Run("single edge", func(t *testing.T) {
+		d := NewDinic(2)
+		d.AddEdge(0, 1, 7)
+		if got := d.MaxFlow(0, 1); got != 7 {
+			t.Errorf("flow %d, want 7", got)
+		}
+	})
+	t.Run("series bottleneck", func(t *testing.T) {
+		d := NewDinic(3)
+		d.AddEdge(0, 1, 10)
+		d.AddEdge(1, 2, 3)
+		if got := d.MaxFlow(0, 2); got != 3 {
+			t.Errorf("flow %d, want 3", got)
+		}
+	})
+	t.Run("parallel paths", func(t *testing.T) {
+		d := NewDinic(4)
+		d.AddEdge(0, 1, 5)
+		d.AddEdge(0, 2, 5)
+		d.AddEdge(1, 3, 4)
+		d.AddEdge(2, 3, 6)
+		if got := d.MaxFlow(0, 3); got != 9 {
+			t.Errorf("flow %d, want 9", got)
+		}
+	})
+	t.Run("classic CLRS network", func(t *testing.T) {
+		d := NewDinic(6)
+		d.AddEdge(0, 1, 16)
+		d.AddEdge(0, 2, 13)
+		d.AddEdge(1, 2, 10)
+		d.AddEdge(2, 1, 4)
+		d.AddEdge(1, 3, 12)
+		d.AddEdge(3, 2, 9)
+		d.AddEdge(2, 4, 14)
+		d.AddEdge(4, 3, 7)
+		d.AddEdge(3, 5, 20)
+		d.AddEdge(4, 5, 4)
+		if got := d.MaxFlow(0, 5); got != 23 {
+			t.Errorf("flow %d, want 23", got)
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		d := NewDinic(4)
+		d.AddEdge(0, 1, 5)
+		d.AddEdge(2, 3, 5)
+		if got := d.MaxFlow(0, 3); got != 0 {
+			t.Errorf("flow %d, want 0", got)
+		}
+	})
+	t.Run("s equals t", func(t *testing.T) {
+		d := NewDinic(1)
+		if got := d.MaxFlow(0, 0); got != 0 {
+			t.Errorf("flow %d, want 0", got)
+		}
+	})
+}
+
+func TestDinicEdgeFlowAccounting(t *testing.T) {
+	d := NewDinic(3)
+	e1 := d.AddEdge(0, 1, 5)
+	e2 := d.AddEdge(1, 2, 3)
+	total := d.MaxFlow(0, 2)
+	if total != 3 {
+		t.Fatalf("flow %d, want 3", total)
+	}
+	if d.Flow(e1) != 3 || d.Flow(e2) != 3 {
+		t.Errorf("edge flows %d,%d want 3,3", d.Flow(e1), d.Flow(e2))
+	}
+}
+
+// buildRandomNetwork returns a random DAG-ish network and its edges.
+type rndEdge struct {
+	u, v int
+	c    int64
+}
+
+func randomNetwork(rng *rand.Rand, n, m int) []rndEdge {
+	edges := make([]rndEdge, 0, m)
+	for k := 0; k < m; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, rndEdge{u, v, int64(rng.Intn(10) + 1)})
+	}
+	return edges
+}
+
+// TestDinicMaxFlowEqualsMinCut checks strong duality on random networks:
+// the computed flow must equal the capacity across the residual-graph cut.
+func TestDinicMaxFlowEqualsMinCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		edges := randomNetwork(rng, n, rng.Intn(15))
+		d := NewDinic(n)
+		for _, e := range edges {
+			d.AddEdge(e.u, e.v, e.c)
+		}
+		flow := d.MaxFlow(0, n-1)
+		inS := d.MinCut(0)
+		if inS[n-1] {
+			return flow == 0 || !inS[n-1] // sink reachable => flow saturated? must not happen
+		}
+		var cut int64
+		for _, e := range edges {
+			if inS[e.u] && !inS[e.v] {
+				cut += e.c
+			}
+		}
+		return cut == flow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMCMFSimpleSelection(t *testing.T) {
+	// Two items of value 5 and 3 compete for one slot (capacity-1
+	// bottleneck into the sink): benefit 5.
+	m := NewMCMF(5)
+	m.AddEdge(0, 1, 1, -5)
+	m.AddEdge(0, 2, 1, -3)
+	m.AddEdge(1, 3, 1, 0)
+	m.AddEdge(2, 3, 1, 0)
+	m.AddEdge(3, 4, 1, 0)
+	flow, benefit := m.MaxBenefit(0, 4)
+	if flow != 1 || benefit != 5 {
+		t.Errorf("flow=%d benefit=%d, want 1, 5", flow, benefit)
+	}
+}
+
+func TestMCMFTakesAllProfitable(t *testing.T) {
+	// Three items, two slots: take the best two.
+	m := NewMCMF(5)
+	for k, v := range []int64{7, 2, 9} {
+		m.AddEdge(0, k+1, 1, -v)
+		m.AddEdge(k+1, 4, 1, 0)
+	}
+	// Slot capacity via a bottleneck: widen sink edges through node 4.
+	mm := NewMCMF(6)
+	for k, v := range []int64{7, 2, 9} {
+		mm.AddEdge(0, k+1, 1, -v)
+		mm.AddEdge(k+1, 4, 1, 0)
+	}
+	mm.AddEdge(4, 5, 2, 0)
+	flow, benefit := mm.MaxBenefit(0, 5)
+	if flow != 2 || benefit != 16 {
+		t.Errorf("flow=%d benefit=%d, want 2, 16", flow, benefit)
+	}
+	_ = m
+}
+
+func TestMCMFStopsWhenUnprofitable(t *testing.T) {
+	// A positive-cost path must not be taken in MaxBenefit mode.
+	m := NewMCMF(2)
+	m.AddEdge(0, 1, 5, 3)
+	flow, benefit := m.MaxBenefit(0, 1)
+	if flow != 0 || benefit != 0 {
+		t.Errorf("took unprofitable path: flow=%d benefit=%d", flow, benefit)
+	}
+}
+
+func TestMCMFMinCostMaxFlow(t *testing.T) {
+	// Max flow is forced even at positive cost.
+	m := NewMCMF(3)
+	m.AddEdge(0, 1, 2, 1)
+	m.AddEdge(1, 2, 2, 2)
+	flow, cost := m.MinCostMaxFlow(0, 2)
+	if flow != 2 || cost != 6 {
+		t.Errorf("flow=%d cost=%d, want 2, 6", flow, cost)
+	}
+}
+
+func TestMCMFPrefersCheaperPath(t *testing.T) {
+	m := NewMCMF(4)
+	m.AddEdge(0, 1, 1, 1)
+	m.AddEdge(0, 2, 1, 5)
+	m.AddEdge(1, 3, 1, 1)
+	m.AddEdge(2, 3, 1, 1)
+	flow, cost := m.MinCostMaxFlow(0, 3)
+	if flow != 2 || cost != 8 {
+		t.Errorf("flow=%d cost=%d, want 2, 8", flow, cost)
+	}
+}
+
+// bruteBestSelection enumerates subsets of items (value, slot) with at most
+// cap items per slot and returns maximum value — a reference for the
+// knapsack-like MCMF usage.
+func bruteBestSelection(values []int64, slotOf []int, slots int, perSlot int) int64 {
+	n := len(values)
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		cnt := make([]int, slots)
+		var sum int64
+		ok := true
+		for k := 0; k < n && ok; k++ {
+			if mask&(1<<k) == 0 {
+				continue
+			}
+			cnt[slotOf[k]]++
+			if cnt[slotOf[k]] > perSlot {
+				ok = false
+			}
+			sum += values[k]
+		}
+		if ok && sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// TestMCMFMatchesBruteForceAssignment models a tiny assignment problem:
+// items pick their fixed slot, each slot holds at most one item.
+func TestMCMFMatchesBruteForceAssignment(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 1
+		slots := rng.Intn(4) + 1
+		values := make([]int64, n)
+		slotOf := make([]int, n)
+		for k := range values {
+			values[k] = int64(rng.Intn(20) + 1)
+			slotOf[k] = rng.Intn(slots)
+		}
+		// Network: S -> item (cap 1, cost -v), item -> slot, slot -> T (cap 1).
+		m := NewMCMF(2 + n + slots)
+		for k := 0; k < n; k++ {
+			m.AddEdge(0, 2+k, 1, -values[k])
+			m.AddEdge(2+k, 2+n+slotOf[k], 1, 0)
+		}
+		for s := 0; s < slots; s++ {
+			m.AddEdge(2+n+s, 1, 1, 0)
+		}
+		_, benefit := m.MaxBenefit(0, 1)
+		return benefit == bruteBestSelection(values, slotOf, slots, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

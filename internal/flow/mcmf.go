@@ -1,0 +1,204 @@
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// MCMF is a min-cost max-flow solver using successive shortest augmenting
+// paths with Johnson potentials (Bellman–Ford once to initialize when
+// negative costs are present, Dijkstra afterwards).
+//
+// The offline optimum bounds use it in "max benefit" mode: packet-selection
+// edges carry negative costs (-value), and MaxBenefit augments only while
+// the shortest path has negative reduced cost, i.e. while admitting another
+// packet still increases total delivered value.
+type MCMF struct {
+	n        int
+	head     []int32
+	next     []int32
+	to       []int32
+	capacity []int64
+	cost     []int64
+	hasNeg   bool
+}
+
+// NewMCMF creates a solver with n nodes.
+func NewMCMF(n int) *MCMF {
+	m := &MCMF{n: n, head: make([]int32, n)}
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	return m
+}
+
+// AddEdge adds a directed edge u->v with capacity and per-unit cost,
+// plus its zero-capacity reverse edge. Returns the edge index.
+func (m *MCMF) AddEdge(u, v int, capacity, cost int64) int {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range n=%d", u, v, m.n))
+	}
+	if cost < 0 {
+		m.hasNeg = true
+	}
+	id := len(m.to)
+	m.to = append(m.to, int32(v))
+	m.capacity = append(m.capacity, capacity)
+	m.cost = append(m.cost, cost)
+	m.next = append(m.next, m.head[u])
+	m.head[u] = int32(id)
+	m.to = append(m.to, int32(u))
+	m.capacity = append(m.capacity, 0)
+	m.cost = append(m.cost, -cost)
+	m.next = append(m.next, m.head[v])
+	m.head[v] = int32(id + 1)
+	return id
+}
+
+// Flow returns the flow on edge id after a solve.
+func (m *MCMF) Flow(id int) int64 { return m.capacity[id^1] }
+
+const infCost = int64(1) << 62
+
+// MaxBenefit augments along shortest (most negative) cost paths from s to t
+// while the path cost is strictly negative, returning (flow, benefit) where
+// benefit = -total cost. This computes max_{flows f} (-cost(f)) because
+// with convex (linear) costs the marginal path cost is non-decreasing.
+func (m *MCMF) MaxBenefit(s, t int) (flow, benefit int64) {
+	return m.run(s, t, true)
+}
+
+// MinCostMaxFlow augments to the maximum flow value regardless of sign and
+// returns (flow, cost).
+func (m *MCMF) MinCostMaxFlow(s, t int) (flow, cost int64) {
+	f, b := m.run(s, t, false)
+	return f, -b
+}
+
+func (m *MCMF) run(s, t int, stopWhenNonNegative bool) (flow, benefit int64) {
+	pot := make([]int64, m.n)
+	if m.hasNeg {
+		m.bellmanFord(s, pot)
+	}
+	dist := make([]int64, m.n)
+	prevEdge := make([]int32, m.n)
+	for {
+		// Dijkstra with potentials.
+		for i := range dist {
+			dist[i] = infCost
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		pq := &nodeHeap{}
+		heap.Push(pq, nodeDist{node: int32(s), dist: 0})
+		for pq.Len() > 0 {
+			nd := heap.Pop(pq).(nodeDist)
+			v := int(nd.node)
+			if nd.dist > dist[v] {
+				continue
+			}
+			for e := m.head[v]; e != -1; e = m.next[e] {
+				if m.capacity[e] <= 0 {
+					continue
+				}
+				u := int(m.to[e])
+				rc := dist[v] + m.cost[e] + pot[v] - pot[u]
+				if rc < dist[u] {
+					dist[u] = rc
+					prevEdge[u] = e
+					heap.Push(pq, nodeDist{node: int32(u), dist: rc})
+				}
+			}
+		}
+		if dist[t] >= infCost {
+			return flow, benefit
+		}
+		realCost := dist[t] - pot[s] + pot[t]
+		if stopWhenNonNegative && realCost >= 0 {
+			return flow, benefit
+		}
+		// Update potentials for the next round.
+		for v := 0; v < m.n; v++ {
+			if dist[v] < infCost {
+				pot[v] += dist[v]
+			}
+		}
+		// Find bottleneck and augment.
+		bottleneck := int64(1) << 62
+		for v := t; v != s; {
+			e := prevEdge[v]
+			if m.capacity[e] < bottleneck {
+				bottleneck = m.capacity[e]
+			}
+			v = int(m.to[e^1])
+		}
+		for v := t; v != s; {
+			e := prevEdge[v]
+			m.capacity[e] -= bottleneck
+			m.capacity[e^1] += bottleneck
+			v = int(m.to[e^1])
+		}
+		flow += bottleneck
+		benefit += -realCost * bottleneck
+	}
+}
+
+// bellmanFord initializes potentials from s, tolerating negative edge
+// costs. Nodes unreachable from s keep potential 0 (they can never be on an
+// augmenting path from s anyway).
+func (m *MCMF) bellmanFord(s int, pot []int64) {
+	dist := make([]int64, m.n)
+	for i := range dist {
+		dist[i] = infCost
+	}
+	dist[s] = 0
+	// SPFA-style queue-based relaxation.
+	queue := make([]int32, 0, m.n)
+	inq := make([]bool, m.n)
+	queue = append(queue, int32(s))
+	inq[s] = true
+	for len(queue) > 0 {
+		v := int(queue[0])
+		queue = queue[1:]
+		inq[v] = false
+		for e := m.head[v]; e != -1; e = m.next[e] {
+			if m.capacity[e] <= 0 {
+				continue
+			}
+			u := int(m.to[e])
+			if nd := dist[v] + m.cost[e]; nd < dist[u] {
+				dist[u] = nd
+				if !inq[u] {
+					inq[u] = true
+					queue = append(queue, int32(u))
+				}
+			}
+		}
+	}
+	for i := range pot {
+		if dist[i] < infCost {
+			pot[i] = dist[i]
+		} else {
+			pot[i] = 0
+		}
+	}
+}
+
+type nodeDist struct {
+	node int32
+	dist int64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

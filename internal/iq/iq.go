@@ -1,0 +1,172 @@
+// Package iq implements the input-queued (IQ) switch model of the
+// related work the paper builds on (Section 1.2): m bounded queues
+// sharing a single output link, one transmission per time slot.
+//
+// The paper's conclusion observes that on this model — a CIOQ switch with
+// one input port and speedup 1 — GM and PG become the classical
+// algorithms of Azar–Richter [6] and the Transmit-Largest-Head algorithm
+// [5], and that every IQ lower bound carries over to CIOQ and buffered
+// crossbar switches. This package makes those statements executable: it
+// provides the IQ algorithms, an EXACT offline optimum (the IQ model has
+// no matching coupling, so a single min-cost flow solves it at any
+// scale), and cross-model equivalence checks against the CIOQ simulator.
+//
+// Packets use their Out field as the queue index; In is ignored.
+package iq
+
+import (
+	"fmt"
+
+	"qswitch/internal/flow"
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+)
+
+// Policy decides admission and service for the IQ model.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Discipline selects the queue ordering (FIFO for the classical
+	// unit-value policies, ByValue for value-greedy ones).
+	Discipline() queue.Discipline
+	// Reset prepares for a run on m queues of capacity b.
+	Reset(m, b int)
+	// Admit decides the fate of packet p arriving to queue p.Out.
+	Admit(qs []*queue.Queue, p packet.Packet) AdmitDecision
+	// Serve returns the queue to transmit from this slot (-1 = idle).
+	// Work-conserving policies never return -1 when a queue is
+	// non-empty.
+	Serve(qs []*queue.Queue, slot int) int
+}
+
+// AdmitDecision mirrors the switchsim admission actions.
+type AdmitDecision int
+
+const (
+	// Reject drops the arrival.
+	Reject AdmitDecision = iota
+	// Accept enqueues; error if full.
+	Accept
+	// AcceptPreemptMin enqueues, preempting the queue minimum if full
+	// and strictly worse.
+	AcceptPreemptMin
+)
+
+// Result carries the outcome of an IQ simulation.
+type Result struct {
+	Policy    string
+	Slots     int
+	Arrived   int64
+	Accepted  int64
+	Rejected  int64
+	Preempted int64
+	Sent      int64
+	Benefit   int64
+}
+
+// Run simulates the policy over the sequence on m queues of capacity b.
+// The horizon is seq.Horizon() unless slots > 0.
+func Run(m, b int, pol Policy, seq packet.Sequence, slots int) (*Result, error) {
+	if m < 1 || b < 1 {
+		return nil, fmt.Errorf("iq: need m >= 1 queues of capacity >= 1, got m=%d b=%d", m, b)
+	}
+	if err := seq.Validate(1, m); err != nil {
+		// Queue index is carried in Out; In must be 0.
+		return nil, fmt.Errorf("iq: bad sequence: %w", err)
+	}
+	if slots <= 0 {
+		slots = seq.Horizon()
+	}
+	qs := make([]*queue.Queue, m)
+	for j := range qs {
+		qs[j] = queue.New(b, pol.Discipline())
+	}
+	pol.Reset(m, b)
+	res := &Result{Policy: pol.Name(), Slots: slots}
+	arrivals := seq.BySlot(slots)
+	for t := 0; t < slots; t++ {
+		for _, p := range arrivals[t] {
+			res.Arrived++
+			q := qs[p.Out]
+			switch pol.Admit(qs, p) {
+			case Reject:
+				res.Rejected++
+			case Accept:
+				if err := q.Push(p); err != nil {
+					return nil, fmt.Errorf("iq: policy accepted %v into full queue %d", p, p.Out)
+				}
+				res.Accepted++
+			case AcceptPreemptMin:
+				_, preempted, accepted := q.PushPreemptMin(p)
+				if !accepted {
+					res.Rejected++
+					continue
+				}
+				res.Accepted++
+				if preempted {
+					res.Preempted++
+				}
+			}
+		}
+		j := pol.Serve(qs, t)
+		if j >= 0 {
+			if j >= m {
+				return nil, fmt.Errorf("iq: policy served out-of-range queue %d", j)
+			}
+			p, ok := qs[j].PopHead()
+			if !ok {
+				return nil, fmt.Errorf("iq: policy served empty queue %d", j)
+			}
+			res.Sent++
+			res.Benefit += p.Value
+		}
+	}
+	return res, nil
+}
+
+// ExactOPT computes the exact offline optimum for the IQ model by a
+// single min-cost max-flow on the time-expanded network: each queue is a
+// capacity-b chain of slot nodes, all feeding a per-slot service node of
+// capacity one. Unlike the CIOQ/crossbar optima, there is no matching
+// coupling, so this is exact at ANY scale (m, b, packets) — which is what
+// makes the IQ model the reference point for lower bounds.
+func ExactOPT(m, b int, seq packet.Sequence, slots int) (int64, error) {
+	if m < 1 || b < 1 {
+		return 0, fmt.Errorf("iq: need m >= 1 queues of capacity >= 1, got m=%d b=%d", m, b)
+	}
+	if err := seq.Validate(1, m); err != nil {
+		return 0, fmt.Errorf("iq: bad sequence: %w", err)
+	}
+	if slots <= 0 {
+		slots = seq.Horizon()
+	}
+	// Node layout: 0 = source, 1 = sink, per (queue, slot) an in/out
+	// pair, per slot a service node, then one node per packet.
+	base := 2
+	qIn := func(j, t int) int { return base + 2*(j*slots+t) }
+	qOut := func(j, t int) int { return base + 2*(j*slots+t) + 1 }
+	svcBase := base + 2*m*slots
+	svc := func(t int) int { return svcBase + t }
+	pktBase := svcBase + slots
+	n := pktBase + len(seq)
+	mcmf := flow.NewMCMF(n)
+	for t := 0; t < slots; t++ {
+		mcmf.AddEdge(svc(t), 1, 1, 0)
+		for j := 0; j < m; j++ {
+			mcmf.AddEdge(qIn(j, t), qOut(j, t), int64(b), 0)
+			mcmf.AddEdge(qOut(j, t), svc(t), 1, 0)
+			if t+1 < slots {
+				mcmf.AddEdge(qOut(j, t), qIn(j, t+1), int64(b), 0)
+			}
+		}
+	}
+	for k, p := range seq {
+		if p.Arrival >= slots {
+			continue
+		}
+		mcmf.AddEdge(0, pktBase+k, 1, -p.Value)
+		mcmf.AddEdge(pktBase+k, qIn(p.Out, p.Arrival), 1, 0)
+	}
+	_, benefit := mcmf.MaxBenefit(0, 1)
+	return benefit, nil
+}

@@ -1,0 +1,165 @@
+package iq
+
+import (
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+)
+
+// ServeOrder selects how a greedy policy breaks ties / picks queues.
+type ServeOrder int
+
+const (
+	// LongestFirst serves a longest non-empty queue (ties: lowest
+	// index) — the classical greedy policy, 2-competitive [6] with the
+	// matching (2 - 1/B) greedy lower bound [3].
+	LongestFirst ServeOrder = iota
+	// FirstNonEmpty serves the lowest-indexed non-empty queue — this is
+	// exactly what GM's row-major scan does on the IQ reduction, so it
+	// is the order used by the cross-model equivalence tests.
+	FirstNonEmpty
+	// RoundRobinOrder serves non-empty queues cyclically.
+	RoundRobinOrder
+)
+
+// Greedy is the unit-value greedy policy: accept when there is room,
+// serve according to the configured order. Any work-conserving policy is
+// 2-competitive on the IQ model (Azar–Richter [6]).
+type Greedy struct {
+	Order ServeOrder
+
+	m, b    int
+	pointer int
+}
+
+// Name implements Policy.
+func (g *Greedy) Name() string {
+	switch g.Order {
+	case FirstNonEmpty:
+		return "iq-greedy-first"
+	case RoundRobinOrder:
+		return "iq-greedy-rr"
+	default:
+		return "iq-greedy-longest"
+	}
+}
+
+// Discipline implements Policy.
+func (g *Greedy) Discipline() queue.Discipline { return queue.FIFO }
+
+// Reset implements Policy.
+func (g *Greedy) Reset(m, b int) { g.m, g.b, g.pointer = m, b, 0 }
+
+// Admit implements Policy.
+func (g *Greedy) Admit(qs []*queue.Queue, p packet.Packet) AdmitDecision {
+	if qs[p.Out].Full() {
+		return Reject
+	}
+	return Accept
+}
+
+// Serve implements Policy.
+func (g *Greedy) Serve(qs []*queue.Queue, slot int) int {
+	switch g.Order {
+	case FirstNonEmpty:
+		for j := range qs {
+			if !qs[j].Empty() {
+				return j
+			}
+		}
+		return -1
+	case RoundRobinOrder:
+		for d := 0; d < g.m; d++ {
+			j := (g.pointer + d) % g.m
+			if !qs[j].Empty() {
+				g.pointer = (j + 1) % g.m
+				return j
+			}
+		}
+		return -1
+	default: // LongestFirst
+		best, bestLen := -1, 0
+		for j := range qs {
+			if l := qs[j].Len(); l > bestLen {
+				best, bestLen = j, l
+			}
+		}
+		return best
+	}
+}
+
+// TLH is the Transmit-Largest-Head policy for arbitrary packet values
+// (Azar–Richter [5]): FIFO queues with preempt-the-minimum admission, and
+// each slot the queue whose HEAD packet has the largest value transmits.
+// TLH is 3-competitive; Itoh–Takahashi sharpened this to 3 - 1/alpha for
+// values in [1, alpha]. On the IQ reduction, PG's value-greedy behavior
+// corresponds to the non-FIFO variant (see MaxHead).
+type TLH struct {
+	m, b int
+}
+
+// Name implements Policy.
+func (t *TLH) Name() string { return "iq-tlh" }
+
+// Discipline implements Policy: FIFO, per the model in [5].
+func (t *TLH) Discipline() queue.Discipline { return queue.FIFO }
+
+// Reset implements Policy.
+func (t *TLH) Reset(m, b int) { t.m, t.b = m, b }
+
+// Admit implements Policy: greedy preemptive admission.
+func (t *TLH) Admit(qs []*queue.Queue, p packet.Packet) AdmitDecision {
+	return AcceptPreemptMin
+}
+
+// Serve implements Policy: largest head value wins (ties: lowest queue).
+func (t *TLH) Serve(qs []*queue.Queue, slot int) int {
+	best := -1
+	var bestHead packet.Packet
+	for j := range qs {
+		head, ok := qs[j].Head()
+		if !ok {
+			continue
+		}
+		if best < 0 || packet.Less(head, bestHead) {
+			best, bestHead = j, head
+		}
+	}
+	return best
+}
+
+// MaxHead is the non-FIFO value-greedy policy: value-ordered queues with
+// tail preemption (the paper's admission rule), serving the globally most
+// valuable packet. It is PG's exact image under the IQ reduction.
+type MaxHead struct {
+	m, b int
+}
+
+// Name implements Policy.
+func (t *MaxHead) Name() string { return "iq-maxhead" }
+
+// Discipline implements Policy.
+func (t *MaxHead) Discipline() queue.Discipline { return queue.ByValue }
+
+// Reset implements Policy.
+func (t *MaxHead) Reset(m, b int) { t.m, t.b = m, b }
+
+// Admit implements Policy.
+func (t *MaxHead) Admit(qs []*queue.Queue, p packet.Packet) AdmitDecision {
+	return AcceptPreemptMin // identical to tail-preemption under ByValue
+}
+
+// Serve implements Policy.
+func (t *MaxHead) Serve(qs []*queue.Queue, slot int) int {
+	best := -1
+	var bestHead packet.Packet
+	for j := range qs {
+		head, ok := qs[j].Head()
+		if !ok {
+			continue
+		}
+		if best < 0 || packet.Less(head, bestHead) {
+			best, bestHead = j, head
+		}
+	}
+	return best
+}

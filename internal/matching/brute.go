@@ -1,0 +1,31 @@
+package matching
+
+// BruteForceMax returns the size of a maximum matching by exhaustive
+// search. Exponential; intended only for property tests on small graphs
+// (len(edges) <= ~20).
+func BruteForceMax(nU, nV int, edges []Edge) int {
+	return int(bruteRec(nU, nV, edges, 0, make([]bool, nU), make([]bool, nV), func(Edge) int64 { return 1 }))
+}
+
+// BruteForceMaxWeight returns the weight of a maximum-weight matching by
+// exhaustive search. Exponential; property tests only.
+func BruteForceMaxWeight(nU, nV int, edges []Edge) int64 {
+	return bruteRec(nU, nV, edges, 0, make([]bool, nU), make([]bool, nV), func(e Edge) int64 { return e.W })
+}
+
+func bruteRec(nU, nV int, edges []Edge, k int, usedU, usedV []bool, gain func(Edge) int64) int64 {
+	if k == len(edges) {
+		return 0
+	}
+	// Skip edge k.
+	best := bruteRec(nU, nV, edges, k+1, usedU, usedV, gain)
+	e := edges[k]
+	if !usedU[e.U] && !usedV[e.V] {
+		usedU[e.U], usedV[e.V] = true, true
+		if with := gain(e) + bruteRec(nU, nV, edges, k+1, usedU, usedV, gain); with > best {
+			best = with
+		}
+		usedU[e.U], usedV[e.V] = false, false
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package matching
+
+// HopcroftKarp computes a maximum-cardinality bipartite matching in
+// O(E sqrt(V)). adj[u] lists the right-side neighbors of left vertex u.
+// It returns matchU (matchU[u] = matched right vertex or -1) and the
+// matching size.
+//
+// This is the engine behind the Kesselman–Rosén-style unit-value baseline
+// (KR-MM): prior CIOQ scheduling results compute a maximum matching in
+// every scheduling cycle, which the paper replaces with the much cheaper
+// greedy maximal matching at no loss in competitiveness.
+func HopcroftKarp(nU, nV int, adj [][]int) (matchU []int, size int) {
+	const inf = int(^uint(0) >> 1)
+	matchU = make([]int, nU)
+	matchV := make([]int, nV)
+	for i := range matchU {
+		matchU[i] = -1
+	}
+	for i := range matchV {
+		matchV[i] = -1
+	}
+	dist := make([]int, nU)
+	queue := make([]int, 0, nU)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nU; u++ {
+			if matchU[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj[u] {
+				w := matchV[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchV[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchU[u] = v
+				matchV[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nU; u++ {
+			if matchU[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return matchU, size
+}
+
+// Kuhn computes a maximum-cardinality matching with the simple O(V*E)
+// augmenting-path algorithm. It exists as an independent implementation to
+// cross-check HopcroftKarp in tests.
+func Kuhn(nU, nV int, adj [][]int) (matchU []int, size int) {
+	matchU = make([]int, nU)
+	matchV := make([]int, nV)
+	for i := range matchU {
+		matchU[i] = -1
+	}
+	for i := range matchV {
+		matchV[i] = -1
+	}
+	seen := make([]bool, nV)
+	var try func(u int) bool
+	try = func(u int) bool {
+		for _, v := range adj[u] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if matchV[v] == -1 || try(matchV[v]) {
+				matchU[u] = v
+				matchV[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < nU; u++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		if try(u) {
+			size++
+		}
+	}
+	return matchU, size
+}
+
+// AdjFromEdges converts an edge list to the adjacency-list form consumed by
+// the maximum-matching engines, preserving edge order per vertex.
+func AdjFromEdges(nU int, edges []Edge) [][]int {
+	adj := make([][]int, nU)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+	}
+	return adj
+}

@@ -1,0 +1,131 @@
+package matching
+
+// Hungarian solves the rectangular assignment problem: given an nU x nV
+// weight matrix w (weights >= 0), it finds an assignment of left to right
+// vertices maximizing total weight, leaving vertices unassigned where that
+// is better (equivalently, missing edges have weight 0 and zero-weight
+// assignments are dropped from the result).
+//
+// This is the engine behind the maximum-weight-matching baseline (KR-MWM,
+// the 6-competitive predecessor of PG). Complexity O(n^2 m) with the
+// classical potentials formulation (Jonker–Volgenant style row-by-row
+// augmentation, adapted to maximization by negating weights).
+func Hungarian(w [][]int64) []Edge {
+	nU := len(w)
+	if nU == 0 {
+		return nil
+	}
+	nV := len(w[0])
+	// The potentials formulation solves min-cost perfect assignment on a
+	// square matrix with rows <= cols; pad with zero rows/cols as needed
+	// and use cost = -weight shifted to be >= 0.
+	n := nU
+	m := nV
+	transposed := false
+	if n > m {
+		// Transpose so rows <= cols.
+		wt := make([][]int64, m)
+		for j := 0; j < m; j++ {
+			wt[j] = make([]int64, n)
+			for i := 0; i < n; i++ {
+				wt[j][i] = w[i][j]
+			}
+		}
+		w = wt
+		n, m = m, n
+		transposed = true
+	}
+	const inf = int64(1) << 62
+	// u, v are potentials; p[j] = row matched to column j (1-based internal
+	// indexing with a virtual column 0).
+	u := make([]int64, n+1)
+	v := make([]int64, m+1)
+	p := make([]int, m+1)
+	way := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				// cost(i0, j) = -w[i0-1][j-1]; maximization via negation.
+				cur := -w[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	var out []Edge
+	for j := 1; j <= m; j++ {
+		i := p[j]
+		if i == 0 {
+			continue
+		}
+		var e Edge
+		if transposed {
+			e = Edge{U: j - 1, V: i - 1, W: w[i-1][j-1]}
+		} else {
+			e = Edge{U: i - 1, V: j - 1, W: w[i-1][j-1]}
+		}
+		if e.W > 0 { // zero-weight pairings are "unmatched" in our model
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MaxWeightMatching finds a maximum-weight bipartite matching for an edge
+// list with non-negative weights, via Hungarian on the induced dense
+// matrix. Vertices absent from any edge contribute nothing.
+func MaxWeightMatching(nU, nV int, edges []Edge) []Edge {
+	if len(edges) == 0 {
+		return nil
+	}
+	w := make([][]int64, nU)
+	for i := range w {
+		w[i] = make([]int64, nV)
+	}
+	for _, e := range edges {
+		if e.W > w[e.U][e.V] {
+			w[e.U][e.V] = e.W
+		}
+	}
+	return Hungarian(w)
+}

@@ -1,0 +1,198 @@
+// Package offline computes offline optima and upper bounds used to measure
+// empirical competitive ratios.
+//
+// Three tiers are provided, trading instance size for tightness:
+//
+//   - ExactUnitCIOQ / ExactUnitCrossbar: exact OPT for unit-value
+//     instances via dynamic programming over queue-length states. With
+//     unit values, packets in a queue are interchangeable, so queue
+//     lengths are a sufficient state; the paper's WLOG assumptions (OPT is
+//     greedy and work-conserving at outputs, never benefits from
+//     discarding a unit packet it could keep) shrink the action space to
+//     the per-cycle choice of matching.
+//
+//   - ExactWeightedCIOQ / ExactWeightedCrossbar: exact OPT for *micro*
+//     weighted instances via memoized search over value-multiset states,
+//     using the paper's exchange arguments (A1–A3: transfer/send maxima,
+//     preempt minima) to keep branching on admissions and matchings only.
+//
+//   - OQUpperBound: a polynomial upper bound for arbitrary instances. It
+//     relaxes the fabric entirely: each output j is served by a single
+//     time-expanded queue of capacity equal to *all* memory that can hold
+//     packets for j (N·B_in [+ N·B_x] + B_out), with one transmission per
+//     slot. Any feasible CIOQ/crossbar schedule maps to a feasible
+//     schedule of this relaxation, so its optimum — a min-cost-flow
+//     computation — upper-bounds OPT.
+package offline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"qswitch/internal/flow"
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// OQUpperBound computes the per-output time-expanded flow relaxation for a
+// CIOQ geometry. crossbar adds the crosspoint buffers to the relaxed
+// capacity. The result is an upper bound on the benefit of ANY schedule —
+// online or offline — for the given configuration and sequence.
+func OQUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	if err := cfg.Check(crossbar); err != nil {
+		return 0, err
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return 0, fmt.Errorf("offline: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	relaxed := int64(cfg.Inputs)*int64(cfg.InputBuf) + int64(cfg.OutputBuf)
+	if crossbar {
+		relaxed += int64(cfg.Inputs) * int64(cfg.CrossBuf)
+	}
+	byOut := make([][]packet.Packet, cfg.Outputs)
+	for _, p := range seq {
+		if p.Arrival < slots {
+			byOut[p.Out] = append(byOut[p.Out], p)
+		}
+	}
+	return sumParallel(len(byOut), func(j int) int64 {
+		return singleQueueOPT(byOut[j], slots, relaxed)
+	}), nil
+}
+
+// sumParallel evaluates f(0..n-1) across a bounded worker pool and sums
+// the results. The per-port min-cost flows are independent, so the bound
+// computation scales with cores; small n falls back to a plain loop.
+func sumParallel(n int, f func(int) int64) int64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4 {
+		var total int64
+		for k := 0; k < n; k++ {
+			total += f(k)
+		}
+		return total
+	}
+	partial := make([]int64, n)
+	var wg sync.WaitGroup
+	work := make(chan int, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				partial[k] = f(k)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	var total int64
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}
+
+// InputUpperBound is the input-side counterpart of OQUpperBound: each
+// input port i is relaxed to a single time-expanded queue holding all of
+// its virtual output queues (capacity M·B_in [+ M·B_x]), drained at the
+// fabric rate of ŝ transfers per slot, with transferred value counting as
+// delivered (outputs fully relaxed). Any feasible schedule maps into this
+// relaxation, so it is another valid upper bound — tight when the fabric,
+// not the output links, is the bottleneck.
+func InputUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	if err := cfg.Check(crossbar); err != nil {
+		return 0, err
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return 0, fmt.Errorf("offline: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	relaxed := int64(cfg.Outputs) * int64(cfg.InputBuf)
+	if crossbar {
+		relaxed += int64(cfg.Outputs) * int64(cfg.CrossBuf)
+	}
+	var total int64
+	byIn := make([][]packet.Packet, cfg.Inputs)
+	for _, p := range seq {
+		if p.Arrival < slots {
+			byIn[p.In] = append(byIn[p.In], p)
+		}
+	}
+	total = sumParallel(len(byIn), func(i int) int64 {
+		return singleQueueOPTCap(byIn[i], slots, relaxed, int64(cfg.Speedup))
+	})
+	return total, nil
+}
+
+// CombinedUpperBound returns the tighter of the output-side and
+// input-side relaxations. Both dominate every feasible schedule, so their
+// minimum is still a valid upper bound on OPT.
+func CombinedUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	out, err := OQUpperBound(cfg, seq, crossbar)
+	if err != nil {
+		return 0, err
+	}
+	in, err := InputUpperBound(cfg, seq, crossbar)
+	if err != nil {
+		return 0, err
+	}
+	if in < out {
+		return in, nil
+	}
+	return out, nil
+}
+
+// SingleQueueOPT computes the exact offline optimum of the bounded-buffer
+// single-queue problem: packets arrive at given slots, the buffer holds at
+// most bufCap packets at any time, one packet is transmitted per slot, and
+// preemption (discarding buffered packets) is free. This is exactly the
+// offline problem faced by one output port of an ideal OQ switch, solved
+// as a min-cost flow on the time-expanded line graph.
+func SingleQueueOPT(pkts []packet.Packet, slots int, bufCap int64) int64 {
+	return singleQueueOPTCap(pkts, slots, bufCap, 1)
+}
+
+func singleQueueOPT(pkts []packet.Packet, slots int, bufCap int64) int64 {
+	return singleQueueOPTCap(pkts, slots, bufCap, 1)
+}
+
+func singleQueueOPTCap(pkts []packet.Packet, slots int, bufCap, sendCap int64) int64 {
+	if len(pkts) == 0 || slots == 0 {
+		return 0
+	}
+	// Nodes: 0 = source, 1 = sink, then per slot t two nodes (in, out)
+	// forming the node-capacity gadget, then one node per packet.
+	base := 2
+	slotIn := func(t int) int { return base + 2*t }
+	slotOut := func(t int) int { return base + 2*t + 1 }
+	pktNode := func(k int) int { return base + 2*slots + k }
+	m := flow.NewMCMF(base + 2*slots + len(pkts))
+	for t := 0; t < slots; t++ {
+		// Buffer holds at most bufCap packets during a slot...
+		m.AddEdge(slotIn(t), slotOut(t), bufCap, 0)
+		// ...of which up to sendCap may depart...
+		m.AddEdge(slotOut(t), 1, sendCap, 0)
+		// ...and the rest carried to the next slot.
+		if t+1 < slots {
+			m.AddEdge(slotOut(t), slotIn(t+1), bufCap, 0)
+		}
+	}
+	for k, p := range pkts {
+		if p.Arrival >= slots {
+			continue
+		}
+		m.AddEdge(0, pktNode(k), 1, -p.Value)
+		m.AddEdge(pktNode(k), slotIn(p.Arrival), 1, 0)
+	}
+	_, benefit := m.MaxBenefit(0, 1)
+	return benefit
+}

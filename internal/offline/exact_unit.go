@@ -1,0 +1,334 @@
+package offline
+
+import (
+	"errors"
+	"fmt"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// ErrTooLarge is returned when an instance exceeds the exact solvers'
+// tractability guards.
+var ErrTooLarge = errors.New("offline: instance too large for exact solver")
+
+const (
+	maxExactBuf     = 15 // lengths must fit in the state encoding
+	maxExactSpeedup = 4
+	maxExactSlots   = 160
+	maxExactStates  = 1 << 22 // estimated reachable states per slot
+	memoCap         = 1 << 23 // total memo entries before giving up
+)
+
+// unitStateEstimate bounds the per-slot state count of the unit DP:
+// (Bin+1)^(N*M) * [(Bx+1)^(N*M)] * (Bout+1)^M, capped to avoid overflow.
+// Small geometries with large buffers and large geometries with unit
+// buffers are both tractable; the guard admits whatever fits.
+func unitStateEstimate(cfg switchsim.Config, crossbar bool) float64 {
+	est := 1.0
+	mul := func(base float64, times int) {
+		for k := 0; k < times && est <= 2*maxExactStates; k++ {
+			est *= base
+		}
+	}
+	mul(float64(cfg.InputBuf+1), cfg.Inputs*cfg.Outputs)
+	if crossbar {
+		mul(float64(cfg.CrossBuf+1), cfg.Inputs*cfg.Outputs)
+	}
+	mul(float64(cfg.OutputBuf+1), cfg.Outputs)
+	return est
+}
+
+// ExactUnitCIOQ computes the exact offline optimum benefit (= number of
+// transmitted packets) for a unit-value CIOQ instance by dynamic
+// programming over queue-length states.
+//
+// With unit values, packets in the same queue are interchangeable, so the
+// vector of queue lengths is a sufficient state. The paper's WLOG
+// reductions fix everything except the per-cycle matching choice: the
+// optimum accepts whenever there is room, never preempts, and transmits
+// from every non-empty output queue. The DP therefore branches only over
+// all matchings (including non-maximal ones) of the eligibility graph in
+// every scheduling cycle.
+//
+// Returns ErrTooLarge for instances beyond the tractability guards.
+func ExactUnitCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	if err := cfg.Check(false); err != nil {
+		return 0, err
+	}
+	if !seq.IsUnit() {
+		return 0, fmt.Errorf("offline: ExactUnitCIOQ requires unit values")
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return 0, fmt.Errorf("offline: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	if cfg.InputBuf > maxExactBuf || cfg.OutputBuf > maxExactBuf ||
+		cfg.Speedup > maxExactSpeedup || slots > maxExactSlots ||
+		unitStateEstimate(cfg, false) > maxExactStates {
+		return 0, ErrTooLarge
+	}
+	s := &unitCIOQSolver{
+		cfg:      cfg,
+		slots:    slots,
+		arrivals: seq.BySlot(slots),
+		memo:     make(map[unitKey]int64),
+	}
+	n, m := cfg.Inputs, cfg.Outputs
+	state := make([]byte, n*m+m) // iq lengths then oq lengths
+	v, err := s.slot(0, state)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+type unitKey struct {
+	slot  int
+	cycle int
+	state string
+}
+
+type unitCIOQSolver struct {
+	cfg      switchsim.Config
+	slots    int
+	arrivals [][]packet.Packet
+	memo     map[unitKey]int64
+}
+
+// slot applies slot t's arrival phase and descends into its cycles.
+func (s *unitCIOQSolver) slot(t int, state []byte) (int64, error) {
+	if t == s.slots {
+		return 0, nil
+	}
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	st := append([]byte(nil), state...)
+	for _, p := range s.arrivals[t] {
+		idx := p.In*m + p.Out
+		if int(st[idx]) < s.cfg.InputBuf {
+			st[idx]++ // greedy accept is WLOG-optimal for unit values
+		}
+	}
+	_ = n
+	return s.cycle(t, 0, st)
+}
+
+// cycle branches over all matchings for cycle c of slot t; after the last
+// cycle it applies the (work-conserving) transmission phase.
+func (s *unitCIOQSolver) cycle(t, c int, state []byte) (int64, error) {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	if c == s.cfg.Speedup {
+		// Transmission: one packet from every non-empty output queue.
+		st := append([]byte(nil), state...)
+		var sent int64
+		for j := 0; j < m; j++ {
+			if st[n*m+j] > 0 {
+				st[n*m+j]--
+				sent++
+			}
+		}
+		rest, err := s.slot(t+1, st)
+		return sent + rest, err
+	}
+	key := unitKey{slot: t, cycle: c, state: string(state)}
+	if v, ok := s.memo[key]; ok {
+		return v, nil
+	}
+	if len(s.memo) > memoCap {
+		return 0, ErrTooLarge
+	}
+	// Eligible transfer edges at the start of this cycle.
+	type edge struct{ i, j int }
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if state[i*m+j] > 0 && int(state[n*m+j]) < s.cfg.OutputBuf {
+				edges = append(edges, edge{i, j})
+			}
+		}
+	}
+	best := int64(-1)
+	usedIn := make([]bool, n)
+	usedOut := make([]bool, m)
+	st := append([]byte(nil), state...)
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(edges) {
+			v, err := s.cycle(t, c+1, st)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+			}
+			return nil
+		}
+		// Skip edge k.
+		if err := rec(k + 1); err != nil {
+			return err
+		}
+		e := edges[k]
+		if !usedIn[e.i] && !usedOut[e.j] {
+			usedIn[e.i], usedOut[e.j] = true, true
+			st[e.i*m+e.j]--
+			st[n*m+e.j]++
+			err := rec(k + 1)
+			st[e.i*m+e.j]++
+			st[n*m+e.j]--
+			usedIn[e.i], usedOut[e.j] = false, false
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	s.memo[key] = best
+	return best, nil
+}
+
+// ExactUnitCrossbar computes the exact offline optimum for a unit-value
+// buffered crossbar instance, analogously to ExactUnitCIOQ but with the
+// crosspoint queue lengths in the state and the two scheduling subphases
+// enumerated per cycle: the input subphase picks, for each input port, one
+// eligible queue (or none); the output subphase picks, for each output
+// port, one eligible crosspoint queue (or none).
+func ExactUnitCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	if err := cfg.Check(true); err != nil {
+		return 0, err
+	}
+	if !seq.IsUnit() {
+		return 0, fmt.Errorf("offline: ExactUnitCrossbar requires unit values")
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return 0, fmt.Errorf("offline: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	if cfg.InputBuf > maxExactBuf || cfg.OutputBuf > maxExactBuf || cfg.CrossBuf > maxExactBuf ||
+		cfg.Speedup > maxExactSpeedup || slots > maxExactSlots ||
+		unitStateEstimate(cfg, true) > maxExactStates {
+		return 0, ErrTooLarge
+	}
+	s := &unitXbarSolver{
+		cfg:      cfg,
+		slots:    slots,
+		arrivals: seq.BySlot(slots),
+		memo:     make(map[unitKey]int64),
+	}
+	n, m := cfg.Inputs, cfg.Outputs
+	// State layout: iq (n*m), xq (n*m), oq (m).
+	state := make([]byte, 2*n*m+m)
+	return s.slot(0, state)
+}
+
+type unitXbarSolver struct {
+	cfg      switchsim.Config
+	slots    int
+	arrivals [][]packet.Packet
+	memo     map[unitKey]int64
+}
+
+func (s *unitXbarSolver) slot(t int, state []byte) (int64, error) {
+	if t == s.slots {
+		return 0, nil
+	}
+	m := s.cfg.Outputs
+	st := append([]byte(nil), state...)
+	for _, p := range s.arrivals[t] {
+		idx := p.In*m + p.Out
+		if int(st[idx]) < s.cfg.InputBuf {
+			st[idx]++
+		}
+	}
+	return s.cycle(t, 0, st)
+}
+
+func (s *unitXbarSolver) cycle(t, c int, state []byte) (int64, error) {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	if c == s.cfg.Speedup {
+		st := append([]byte(nil), state...)
+		var sent int64
+		for j := 0; j < m; j++ {
+			if st[2*n*m+j] > 0 {
+				st[2*n*m+j]--
+				sent++
+			}
+		}
+		rest, err := s.slot(t+1, st)
+		return sent + rest, err
+	}
+	key := unitKey{slot: t, cycle: c, state: string(state)}
+	if v, ok := s.memo[key]; ok {
+		return v, nil
+	}
+	if len(s.memo) > memoCap {
+		return 0, ErrTooLarge
+	}
+	best := int64(-1)
+	st := append([]byte(nil), state...)
+	// Input subphase: for each input, choose an eligible j or none.
+	var inputRec func(i int) error
+	var outputRec func(j int) error
+	inputRec = func(i int) error {
+		if i == n {
+			return outputRec(0)
+		}
+		// Choice: no transfer from input i.
+		if err := inputRec(i + 1); err != nil {
+			return err
+		}
+		for j := 0; j < m; j++ {
+			iq, xq := i*m+j, n*m+i*m+j
+			if st[iq] > 0 && int(st[xq]) < s.cfg.CrossBuf {
+				st[iq]--
+				st[xq]++
+				err := inputRec(i + 1)
+				st[iq]++
+				st[xq]--
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Output subphase: for each output, choose an eligible i or none.
+	outputRec = func(j int) error {
+		if j == m {
+			v, err := s.cycle(t, c+1, st)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+			}
+			return nil
+		}
+		if err := outputRec(j + 1); err != nil {
+			return err
+		}
+		if int(st[2*n*m+j]) < s.cfg.OutputBuf {
+			for i := 0; i < n; i++ {
+				xq := n*m + i*m + j
+				if st[xq] > 0 {
+					st[xq]--
+					st[2*n*m+j]++
+					err := outputRec(j + 1)
+					st[xq]++
+					st[2*n*m+j]--
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := inputRec(0); err != nil {
+		return 0, err
+	}
+	s.memo[key] = best
+	return best, nil
+}

@@ -1,0 +1,384 @@
+package offline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// Guards for the weighted searches: these explore admission decisions in
+// addition to matchings, so only micro instances are tractable.
+const (
+	maxWPorts   = 2
+	maxWBuf     = 3
+	maxWSpeedup = 2
+	maxWSlots   = 16
+	maxWPackets = 14
+)
+
+// ExactWeightedCIOQ computes the exact offline optimum benefit of a micro
+// weighted CIOQ instance by memoized search.
+//
+// The state is the multiset of packet values per queue. The paper's
+// exchange arguments (Assumptions A1–A3 plus the standard preempt-the-
+// minimum argument) let the search branch only over:
+//
+//   - admissions: reject, or accept (preempting the queue minimum if full
+//     and strictly smaller than the arrival), and
+//   - scheduling: every matching over the edges (i,j) where Q*_ij is
+//     non-empty and Q*_j has room or its minimum is smaller than the head
+//     of Q*_ij; matched edges always move the queue head (the maximum).
+//
+// Transmission is fixed: send the maximum of every non-empty output queue.
+// Returns ErrTooLarge when the instance exceeds the guards.
+func ExactWeightedCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	if err := cfg.Check(false); err != nil {
+		return 0, err
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return 0, fmt.Errorf("offline: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	if cfg.Inputs > maxWPorts || cfg.Outputs > maxWPorts ||
+		cfg.InputBuf > maxWBuf || cfg.OutputBuf > maxWBuf ||
+		cfg.Speedup > maxWSpeedup || slots > maxWSlots || len(seq) > maxWPackets {
+		return 0, ErrTooLarge
+	}
+	s := &weightedSolver{
+		cfg:      cfg,
+		crossbar: false,
+		slots:    slots,
+		arrivals: seq.BySlot(slots),
+		memo:     make(map[wKey]int64),
+	}
+	st := newWState(cfg.Inputs, cfg.Outputs, false)
+	return s.slot(0, st)
+}
+
+// ExactWeightedCrossbar is the buffered-crossbar counterpart of
+// ExactWeightedCIOQ: the state additionally tracks crosspoint queue
+// multisets, and each cycle branches over the input subphase (per input:
+// one eligible queue or none) and the output subphase (per output: one
+// eligible crosspoint queue or none).
+func ExactWeightedCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	if err := cfg.Check(true); err != nil {
+		return 0, err
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return 0, fmt.Errorf("offline: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	if cfg.Inputs > maxWPorts || cfg.Outputs > maxWPorts ||
+		cfg.InputBuf > maxWBuf || cfg.OutputBuf > maxWBuf || cfg.CrossBuf > maxWBuf ||
+		cfg.Speedup > maxWSpeedup || slots > maxWSlots || len(seq) > maxWPackets {
+		return 0, ErrTooLarge
+	}
+	s := &weightedSolver{
+		cfg:      cfg,
+		crossbar: true,
+		slots:    slots,
+		arrivals: seq.BySlot(slots),
+		memo:     make(map[wKey]int64),
+	}
+	st := newWState(cfg.Inputs, cfg.Outputs, true)
+	return s.slot(0, st)
+}
+
+// vset is a value multiset kept sorted descending (index 0 = maximum).
+type vset []int64
+
+func (v vset) insert(x int64) vset {
+	pos := sort.Search(len(v), func(k int) bool { return v[k] < x })
+	out := make(vset, 0, len(v)+1)
+	out = append(out, v[:pos]...)
+	out = append(out, x)
+	out = append(out, v[pos:]...)
+	return out
+}
+
+func (v vset) popHead() (int64, vset) { return v[0], append(vset(nil), v[1:]...) }
+
+func (v vset) popTail() (int64, vset) {
+	return v[len(v)-1], append(vset(nil), v[:len(v)-1]...)
+}
+
+// wState is the full queue state: per-queue value multisets.
+type wState struct {
+	iq []vset // n*m
+	xq []vset // n*m (crossbar only, else nil)
+	oq []vset // m
+}
+
+func newWState(n, m int, crossbar bool) *wState {
+	st := &wState{iq: make([]vset, n*m), oq: make([]vset, m)}
+	if crossbar {
+		st.xq = make([]vset, n*m)
+	}
+	return st
+}
+
+func (st *wState) clone() *wState {
+	out := &wState{iq: append([]vset(nil), st.iq...), oq: append([]vset(nil), st.oq...)}
+	if st.xq != nil {
+		out.xq = append([]vset(nil), st.xq...)
+	}
+	return out
+}
+
+// key encodes the state compactly: queue lengths and values, varint-free
+// fixed 8-byte little-endian values with 0xFF separators between queues.
+func (st *wState) key() string {
+	var buf []byte
+	var tmp [8]byte
+	app := func(sets []vset) {
+		for _, s := range sets {
+			for _, v := range s {
+				binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+				buf = append(buf, tmp[:]...)
+			}
+			buf = append(buf, 0xFF)
+		}
+	}
+	app(st.iq)
+	if st.xq != nil {
+		app(st.xq)
+	}
+	app(st.oq)
+	return string(buf)
+}
+
+type wKey struct {
+	slot  int
+	phase int // 0..speedup-1 = cycle index; arrivals folded into slot entry
+	state string
+}
+
+type weightedSolver struct {
+	cfg      switchsim.Config
+	crossbar bool
+	slots    int
+	arrivals [][]packet.Packet
+	memo     map[wKey]int64
+}
+
+// slot branches over admission decisions for slot t's arrivals, then
+// descends into the scheduling cycles.
+func (s *weightedSolver) slot(t int, st *wState) (int64, error) {
+	if t == s.slots {
+		return 0, nil
+	}
+	return s.admit(t, 0, st)
+}
+
+func (s *weightedSolver) admit(t, k int, st *wState) (int64, error) {
+	if k == len(s.arrivals[t]) {
+		return s.cycle(t, 0, st)
+	}
+	p := s.arrivals[t][k]
+	m := s.cfg.Outputs
+	idx := p.In*m + p.Out
+	q := st.iq[idx]
+	if len(q) < s.cfg.InputBuf {
+		// Room available: accepting weakly dominates rejecting (the
+		// packet can always be preempted later), so do not branch.
+		st2 := st.clone()
+		st2.iq[idx] = q.insert(p.Value)
+		return s.admit(t, k+1, st2)
+	}
+	// Full queue: branch between rejecting and, when profitable,
+	// preempting the minimum.
+	best, err := s.admit(t, k+1, st)
+	if err != nil {
+		return 0, err
+	}
+	if tail := q[len(q)-1]; tail < p.Value {
+		st2 := st.clone()
+		_, rest := q.popTail()
+		st2.iq[idx] = rest.insert(p.Value)
+		alt, err := s.admit(t, k+1, st2)
+		if err != nil {
+			return 0, err
+		}
+		if alt > best {
+			best = alt
+		}
+	}
+	return best, nil
+}
+
+// cycle branches over the scheduling decisions of cycle c; after the last
+// cycle it applies the fixed transmission phase.
+func (s *weightedSolver) cycle(t, c int, st *wState) (int64, error) {
+	if c == s.cfg.Speedup {
+		st2 := st.clone()
+		var sent int64
+		for j := range st2.oq {
+			if len(st2.oq[j]) > 0 {
+				var v int64
+				v, st2.oq[j] = st2.oq[j].popHead()
+				sent += v
+			}
+		}
+		rest, err := s.slot(t+1, st2)
+		return sent + rest, err
+	}
+	key := wKey{slot: t, phase: c, state: st.key()}
+	if v, ok := s.memo[key]; ok {
+		return v, nil
+	}
+	if len(s.memo) > memoCap {
+		return 0, ErrTooLarge
+	}
+	var best int64 = -1
+	var err error
+	if s.crossbar {
+		best, err = s.xbarCycle(t, c, st)
+	} else {
+		best, err = s.cioqCycle(t, c, st)
+	}
+	if err != nil {
+		return 0, err
+	}
+	s.memo[key] = best
+	return best, nil
+}
+
+// cioqCycle enumerates matchings over eligible (i,j) edges.
+func (s *weightedSolver) cioqCycle(t, c int, st *wState) (int64, error) {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	type edge struct{ i, j int }
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			q := st.iq[i*m+j]
+			if len(q) == 0 {
+				continue
+			}
+			oq := st.oq[j]
+			if len(oq) < s.cfg.OutputBuf || oq[len(oq)-1] < q[0] {
+				edges = append(edges, edge{i, j})
+			}
+		}
+	}
+	best := int64(-1)
+	usedIn := make([]bool, n)
+	usedOut := make([]bool, m)
+	var rec func(k int, cur *wState) error
+	rec = func(k int, cur *wState) error {
+		if k == len(edges) {
+			v, err := s.cycle(t, c+1, cur)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+			}
+			return nil
+		}
+		if err := rec(k+1, cur); err != nil {
+			return err
+		}
+		e := edges[k]
+		if usedIn[e.i] || usedOut[e.j] {
+			return nil
+		}
+		usedIn[e.i], usedOut[e.j] = true, true
+		st2 := cur.clone()
+		var v int64
+		v, st2.iq[e.i*m+e.j] = st2.iq[e.i*m+e.j].popHead()
+		oq := st2.oq[e.j]
+		if len(oq) == s.cfg.OutputBuf {
+			_, oq = oq.popTail() // preempt the minimum
+		}
+		st2.oq[e.j] = oq.insert(v)
+		err := rec(k+1, st2)
+		usedIn[e.i], usedOut[e.j] = false, false
+		return err
+	}
+	if err := rec(0, st); err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// xbarCycle enumerates input-subphase and output-subphase choices.
+func (s *weightedSolver) xbarCycle(t, c int, st *wState) (int64, error) {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	best := int64(-1)
+	var outputRec func(j int, cur *wState) error
+	outputRec = func(j int, cur *wState) error {
+		if j == m {
+			v, err := s.cycle(t, c+1, cur)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+			}
+			return nil
+		}
+		if err := outputRec(j+1, cur); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			q := cur.xq[i*m+j]
+			if len(q) == 0 {
+				continue
+			}
+			oq := cur.oq[j]
+			if len(oq) == s.cfg.OutputBuf && oq[len(oq)-1] >= q[0] {
+				continue
+			}
+			st2 := cur.clone()
+			var v int64
+			v, st2.xq[i*m+j] = st2.xq[i*m+j].popHead()
+			o2 := st2.oq[j]
+			if len(o2) == s.cfg.OutputBuf {
+				_, o2 = o2.popTail()
+			}
+			st2.oq[j] = o2.insert(v)
+			if err := outputRec(j+1, st2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var inputRec func(i int, cur *wState) error
+	inputRec = func(i int, cur *wState) error {
+		if i == n {
+			return outputRec(0, cur)
+		}
+		if err := inputRec(i+1, cur); err != nil {
+			return err
+		}
+		for j := 0; j < m; j++ {
+			q := cur.iq[i*m+j]
+			if len(q) == 0 {
+				continue
+			}
+			xq := cur.xq[i*m+j]
+			if len(xq) == s.cfg.CrossBuf && xq[len(xq)-1] >= q[0] {
+				continue
+			}
+			st2 := cur.clone()
+			var v int64
+			v, st2.iq[i*m+j] = st2.iq[i*m+j].popHead()
+			x2 := st2.xq[i*m+j]
+			if len(x2) == s.cfg.CrossBuf {
+				_, x2 = x2.popTail()
+			}
+			st2.xq[i*m+j] = x2.insert(v)
+			if err := inputRec(i+1, st2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := inputRec(0, st); err != nil {
+		return 0, err
+	}
+	return best, nil
+}

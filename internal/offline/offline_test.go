@@ -1,0 +1,396 @@
+package offline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qswitch/internal/core"
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+func microCfg() switchsim.Config {
+	return switchsim.Config{
+		Inputs: 2, Outputs: 2,
+		InputBuf: 2, OutputBuf: 2, CrossBuf: 2,
+		Speedup: 1, Validate: true,
+	}
+}
+
+func unitSeq(seed int64, slots int, load float64) packet.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	return packet.Bernoulli{Load: load}.Generate(rng, 2, 2, slots)
+}
+
+func weightedSeq(seed int64, slots int, load float64, hi int64) packet.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	seq := packet.Bernoulli{Load: load, Values: packet.UniformValues{Hi: hi}}.Generate(rng, 2, 2, slots)
+	if len(seq) > maxWPackets {
+		seq = seq[:maxWPackets]
+	}
+	return packet.Sequence(seq).Normalize()
+}
+
+func TestSingleQueueOPTKnownCases(t *testing.T) {
+	mk := func(arrivals []int, values []int64) []packet.Packet {
+		var ps []packet.Packet
+		for k := range arrivals {
+			ps = append(ps, packet.Packet{ID: int64(k), Arrival: arrivals[k], Out: 0, Value: values[k]})
+		}
+		return ps
+	}
+	tests := []struct {
+		name  string
+		pkts  []packet.Packet
+		slots int
+		buf   int64
+		want  int64
+	}{
+		{"empty", nil, 5, 2, 0},
+		{"single packet", mk([]int{0}, []int64{7}), 3, 1, 7},
+		{"two packets spread", mk([]int{0, 1}, []int64{3, 4}), 4, 1, 7},
+		{"burst exceeds buffer", mk([]int{0, 0, 0}, []int64{5, 6, 7}), 5, 2, 13},
+		{"burst fits via drain", mk([]int{0, 0, 2}, []int64{5, 6, 7}), 5, 2, 18},
+		{"buffer one keeps best", mk([]int{0, 0, 0}, []int64{1, 9, 4}), 5, 1, 9},
+		{"horizon truncates", mk([]int{0, 0}, []int64{8, 2}), 1, 2, 8},
+		{"late arrival ignored", mk([]int{9}, []int64{5}), 3, 1, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SingleQueueOPT(tc.pkts, tc.slots, tc.buf); got != tc.want {
+				t.Errorf("got %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExactUnitCIOQTrivialInstances(t *testing.T) {
+	cfg := microCfg()
+	t.Run("empty sequence", func(t *testing.T) {
+		got, err := ExactUnitCIOQ(cfg, nil)
+		if err != nil || got != 0 {
+			t.Errorf("got %d err %v", got, err)
+		}
+	})
+	t.Run("one packet", func(t *testing.T) {
+		seq := packet.Sequence{{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 1}}
+		got, err := ExactUnitCIOQ(cfg, seq)
+		if err != nil || got != 1 {
+			t.Errorf("got %d err %v", got, err)
+		}
+	})
+	t.Run("parallel pair", func(t *testing.T) {
+		seq := packet.Sequence{
+			{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 1},
+			{ID: 1, Arrival: 0, In: 1, Out: 1, Value: 1},
+		}
+		got, err := ExactUnitCIOQ(cfg, seq)
+		if err != nil || got != 2 {
+			t.Errorf("got %d err %v", got, err)
+		}
+	})
+	t.Run("input port conflict", func(t *testing.T) {
+		// Two packets at one input for different outputs, speedup 1,
+		// horizon auto-extends: both eventually delivered.
+		seq := packet.Sequence{
+			{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 1},
+			{ID: 1, Arrival: 0, In: 0, Out: 1, Value: 1},
+		}
+		got, err := ExactUnitCIOQ(cfg, seq)
+		if err != nil || got != 2 {
+			t.Errorf("got %d err %v", got, err)
+		}
+	})
+	t.Run("buffer overflow forces loss", func(t *testing.T) {
+		// 6 packets into one input queue of capacity 2 in one slot:
+		// at most 2 can be admitted; with a tight horizon both drain.
+		var ps []packet.Packet
+		for k := 0; k < 6; k++ {
+			ps = append(ps, packet.Packet{ID: int64(k), Arrival: 0, In: 0, Out: 0, Value: 1})
+		}
+		got, err := ExactUnitCIOQ(cfg, ps)
+		if err != nil || got != 2 {
+			t.Errorf("got %d err %v, want 2", got, err)
+		}
+	})
+}
+
+func TestExactUnitCIOQDominatesOnlinePolicies(t *testing.T) {
+	cfg := microCfg()
+	for seed := int64(0); seed < 30; seed++ {
+		seq := unitSeq(seed, 6, 1.2)
+		opt, err := ExactUnitCIOQ(cfg, seq)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, pol := range []switchsim.CIOQPolicy{&core.GM{}, &core.KRMM{}, &core.RoundRobin{}} {
+			res, err := switchsim.RunCIOQ(cfg, pol, seq)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, pol.Name(), err)
+			}
+			if res.M.Benefit > opt {
+				t.Errorf("seed %d: %s benefit %d exceeds exact OPT %d",
+					seed, pol.Name(), res.M.Benefit, opt)
+			}
+		}
+	}
+}
+
+func TestExactUnitCrossbarDominatesOnlinePolicies(t *testing.T) {
+	cfg := microCfg()
+	cfg.CrossBuf = 1
+	for seed := int64(0); seed < 20; seed++ {
+		seq := unitSeq(seed, 5, 1.2)
+		opt, err := ExactUnitCrossbar(cfg, seq)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := switchsim.RunCrossbar(cfg, &core.CGU{}, seq)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.M.Benefit > opt {
+			t.Errorf("seed %d: CGU benefit %d exceeds exact OPT %d", seed, res.M.Benefit, opt)
+		}
+	}
+}
+
+func TestCrossbarOPTAtLeastCIOQOPT(t *testing.T) {
+	// A buffered crossbar with the same input/output buffers plus
+	// crosspoint buffers can emulate the CIOQ switch's schedule (modulo
+	// the two-subphase pipeline, which only adds capacity), so the
+	// crossbar OPT should never be smaller on these micro instances.
+	cfg := microCfg()
+	for seed := int64(0); seed < 15; seed++ {
+		seq := unitSeq(seed, 5, 1.0)
+		cioq, err := ExactUnitCIOQ(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xbar, err := ExactUnitCrossbar(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xbar < cioq {
+			t.Errorf("seed %d: crossbar OPT %d < CIOQ OPT %d", seed, xbar, cioq)
+		}
+	}
+}
+
+func TestOQUpperBoundDominatesExactUnit(t *testing.T) {
+	cfg := microCfg()
+	for seed := int64(0); seed < 30; seed++ {
+		seq := unitSeq(seed, 6, 1.3)
+		opt, err := ExactUnitCIOQ(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := OQUpperBound(cfg, seq, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub < opt {
+			t.Errorf("seed %d: UB %d below exact OPT %d", seed, ub, opt)
+		}
+	}
+}
+
+func TestOQUpperBoundDominatesExactWeighted(t *testing.T) {
+	cfg := microCfg()
+	for seed := int64(0); seed < 15; seed++ {
+		seq := weightedSeq(seed, 4, 0.8, 10)
+		opt, err := ExactWeightedCIOQ(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := OQUpperBound(cfg, seq, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub < opt {
+			t.Errorf("seed %d: UB %d below exact weighted OPT %d", seed, ub, opt)
+		}
+	}
+}
+
+func TestExactWeightedCIOQKnownCases(t *testing.T) {
+	cfg := microCfg()
+	t.Run("values add up", func(t *testing.T) {
+		seq := packet.Sequence{
+			{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 5},
+			{ID: 1, Arrival: 0, In: 1, Out: 1, Value: 7},
+		}
+		got, err := ExactWeightedCIOQ(cfg, seq)
+		if err != nil || got != 12 {
+			t.Errorf("got %d err %v, want 12", got, err)
+		}
+	})
+	t.Run("overflow keeps the best", func(t *testing.T) {
+		c := cfg
+		c.InputBuf = 1
+		// Three packets in one slot to one queue of capacity 1: keep 9.
+		seq := packet.Sequence{
+			{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 4},
+			{ID: 1, Arrival: 0, In: 0, Out: 0, Value: 9},
+			{ID: 2, Arrival: 0, In: 0, Out: 0, Value: 2},
+		}
+		got, err := ExactWeightedCIOQ(c, seq)
+		if err != nil || got != 9 {
+			t.Errorf("got %d err %v, want 9", got, err)
+		}
+	})
+	t.Run("reject-now beats preempt", func(t *testing.T) {
+		c := cfg
+		c.InputBuf = 1
+		c.Slots = 3
+		// Queue holds 5; a 6 arrives the same slot (accept: 6) but the
+		// 5 could have been transferred first... with Slots=3 both
+		// strategies deliver one packet per slot anyway; OPT = 6 + 5?
+		// No: capacity 1 means the 5 is preempted if the 6 is accepted
+		// in the same slot — OPT transfers the 5 in slot 0's cycle
+		// only AFTER arrivals, so accepting the 6 kills the 5.
+		seq := packet.Sequence{
+			{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 5},
+			{ID: 1, Arrival: 0, In: 0, Out: 0, Value: 6},
+		}
+		got, err := ExactWeightedCIOQ(c, seq)
+		if err != nil || got != 6 {
+			t.Errorf("got %d err %v, want 6", got, err)
+		}
+	})
+	t.Run("staggered arrivals deliver both", func(t *testing.T) {
+		c := cfg
+		c.InputBuf = 1
+		seq := packet.Sequence{
+			{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 5},
+			{ID: 1, Arrival: 1, In: 0, Out: 0, Value: 6},
+		}
+		got, err := ExactWeightedCIOQ(c, seq)
+		if err != nil || got != 11 {
+			t.Errorf("got %d err %v, want 11", got, err)
+		}
+	})
+}
+
+func TestExactWeightedDominatesOnlinePolicies(t *testing.T) {
+	cfg := microCfg()
+	for seed := int64(0); seed < 12; seed++ {
+		seq := weightedSeq(seed, 4, 0.8, 10)
+		opt, err := ExactWeightedCIOQ(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []switchsim.CIOQPolicy{&core.PG{}, &core.KRMWM{}, &core.NaiveFIFO{}} {
+			res, err := switchsim.RunCIOQ(cfg, pol, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.M.Benefit > opt {
+				t.Errorf("seed %d: %s benefit %d exceeds exact OPT %d",
+					seed, pol.Name(), res.M.Benefit, opt)
+			}
+		}
+	}
+}
+
+func TestExactWeightedCrossbarDominatesCPG(t *testing.T) {
+	cfg := microCfg()
+	cfg.CrossBuf = 1
+	for seed := int64(0); seed < 8; seed++ {
+		seq := weightedSeq(seed, 3, 0.7, 8)
+		opt, err := ExactWeightedCrossbar(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := switchsim.RunCrossbar(cfg, &core.CPG{}, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.M.Benefit > opt {
+			t.Errorf("seed %d: CPG benefit %d exceeds exact OPT %d", seed, res.M.Benefit, opt)
+		}
+	}
+}
+
+func TestExactWeightedMatchesUnitDPOnUnitInstances(t *testing.T) {
+	// On unit-value instances the weighted search and the unit DP must
+	// agree exactly — two independent solvers cross-checking each other.
+	cfg := microCfg()
+	for seed := int64(0); seed < 10; seed++ {
+		seq := unitSeq(seed, 4, 0.9)
+		if len(seq) > maxWPackets {
+			continue
+		}
+		a, err := ExactUnitCIOQ(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ExactWeightedCIOQ(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("seed %d: unit DP %d != weighted search %d", seed, a, b)
+		}
+	}
+}
+
+func TestExactSolversEnforceGuards(t *testing.T) {
+	big := switchsim.Config{Inputs: 8, Outputs: 8, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 2, Speedup: 1}
+	if _, err := ExactUnitCIOQ(big, nil); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("unit DP accepted oversized instance: %v", err)
+	}
+	if _, err := ExactWeightedCIOQ(big, nil); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("weighted search accepted oversized instance: %v", err)
+	}
+	cfg := microCfg()
+	if _, err := ExactUnitCIOQ(cfg, packet.Sequence{{ID: 0, Value: 5}}); err == nil {
+		t.Error("unit DP accepted weighted packet")
+	}
+}
+
+func TestOQUpperBoundMonotoneInBuffers(t *testing.T) {
+	seq := weightedSeq(3, 5, 1.5, 10)
+	small := microCfg()
+	large := microCfg()
+	large.InputBuf = 4
+	large.OutputBuf = 6
+	ubS, err := OQUpperBound(small, seq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ubL, err := OQUpperBound(large, seq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ubL < ubS {
+		t.Errorf("UB not monotone in buffer size: %d (large) < %d (small)", ubL, ubS)
+	}
+	// Crossbar adds capacity, so its bound dominates the CIOQ bound.
+	ubX, err := OQUpperBound(small, seq, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ubX < ubS {
+		t.Errorf("crossbar UB %d below CIOQ UB %d", ubX, ubS)
+	}
+}
+
+func TestOQUpperBoundCapsAtServiceRate(t *testing.T) {
+	// One output, H slots: no schedule can send more than H packets.
+	cfg := switchsim.Config{Inputs: 2, Outputs: 1, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 1, Speedup: 1, Slots: 5}
+	var ps []packet.Packet
+	for k := 0; k < 30; k++ {
+		ps = append(ps, packet.Packet{ID: int64(k), Arrival: 0, In: k % 2, Out: 0, Value: 1})
+	}
+	ub, err := OQUpperBound(cfg, packet.Sequence(ps).Normalize(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub > 5 {
+		t.Errorf("UB %d exceeds service capacity 5", ub)
+	}
+}

@@ -1,0 +1,161 @@
+// Package packet defines the packet model shared by all switch simulators,
+// together with synthetic traffic generators, value distributions and trace
+// serialization.
+//
+// Time is discrete: packets carry the index of the time slot in which they
+// arrive at the switch. Values are positive integers so that offline optima
+// computed with integral min-cost flows are exact and all simulations are
+// bit-for-bit deterministic.
+package packet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Packet is a fixed-size unit of traffic traversing the switch.
+//
+// ID is unique within a sequence and doubles as the deterministic
+// tie-breaker whenever two packets have equal value (the paper's
+// Assumption A3: "ties are broken arbitrarily but consistently").
+type Packet struct {
+	ID      int64 // unique, ascending in arrival order
+	Arrival int   // time slot of arrival, 0-based
+	In      int   // ingress port, 0-based
+	Out     int   // egress port, 0-based
+	Value   int64 // service value, >= 1 (1 for the unit-value case)
+}
+
+// String renders a compact human-readable form used in error messages.
+func (p Packet) String() string {
+	return fmt.Sprintf("pkt{id=%d t=%d %d->%d v=%d}", p.ID, p.Arrival, p.In, p.Out, p.Value)
+}
+
+// Less orders packets by value descending, then by ID ascending. It defines
+// the canonical priority order used by all value-aware queues and policies.
+func Less(a, b Packet) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.ID < b.ID
+}
+
+// Sequence is an arrival sequence: packets sorted by (Arrival, ID).
+type Sequence []Packet
+
+// Validate checks structural well-formedness of a sequence against the
+// given port counts: sorted arrivals, unique ascending IDs, ports in range
+// and strictly positive values.
+func (s Sequence) Validate(inputs, outputs int) error {
+	var prevArrival int
+	var prevID int64 = -1
+	for k, p := range s {
+		if p.Arrival < prevArrival {
+			return fmt.Errorf("packet %d: arrival %d before previous %d", k, p.Arrival, prevArrival)
+		}
+		if p.ID <= prevID {
+			return fmt.Errorf("packet %d: id %d not ascending (prev %d)", k, p.ID, prevID)
+		}
+		if p.In < 0 || p.In >= inputs {
+			return fmt.Errorf("packet %d: input port %d out of range [0,%d)", k, p.In, inputs)
+		}
+		if p.Out < 0 || p.Out >= outputs {
+			return fmt.Errorf("packet %d: output port %d out of range [0,%d)", k, p.Out, outputs)
+		}
+		if p.Value < 1 {
+			return fmt.Errorf("packet %d: value %d < 1", k, p.Value)
+		}
+		prevArrival, prevID = p.Arrival, p.ID
+	}
+	return nil
+}
+
+// TotalValue sums the values of all packets in the sequence.
+func (s Sequence) TotalValue() int64 {
+	var t int64
+	for _, p := range s {
+		t += p.Value
+	}
+	return t
+}
+
+// MaxSlot returns the largest arrival slot in the sequence, or -1 if empty.
+func (s Sequence) MaxSlot() int {
+	if len(s) == 0 {
+		return -1
+	}
+	return s[len(s)-1].Arrival
+}
+
+// Horizon returns the number of simulation slots needed to both admit every
+// packet and drain any backlog: last arrival + the number of packets
+// (at one transmission per output per slot nothing can remain after that),
+// with a minimum of one slot.
+func (s Sequence) Horizon() int {
+	h := s.MaxSlot() + 1 + len(s)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// BySlot splits the sequence into per-slot arrival groups covering slots
+// [0, slots). Packets arriving at or beyond `slots` are dropped from the
+// grouping (they can never be admitted within the simulated horizon).
+func (s Sequence) BySlot(slots int) [][]Packet {
+	out := make([][]Packet, slots)
+	for _, p := range s {
+		if p.Arrival >= 0 && p.Arrival < slots {
+			out[p.Arrival] = append(out[p.Arrival], p)
+		}
+	}
+	return out
+}
+
+// Normalize sorts the sequence by (Arrival, ID) and reassigns IDs to be the
+// ascending sequence 0..len-1 in that order. It is used by generators that
+// assemble traffic from independent sub-streams.
+func (s Sequence) Normalize() Sequence {
+	sort.Slice(s, func(a, b int) bool {
+		if s[a].Arrival != s[b].Arrival {
+			return s[a].Arrival < s[b].Arrival
+		}
+		return s[a].ID < s[b].ID
+	})
+	for i := range s {
+		s[i].ID = int64(i)
+	}
+	return s
+}
+
+// Clone returns a deep copy of the sequence.
+func (s Sequence) Clone() Sequence {
+	out := make(Sequence, len(s))
+	copy(out, s)
+	return out
+}
+
+// IsUnit reports whether all packets have value exactly 1.
+func (s Sequence) IsUnit() bool {
+	for _, p := range s {
+		if p.Value != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CountByPair returns an Inputs x Outputs matrix of packet counts, useful
+// for asserting generator traffic matrices in tests.
+func (s Sequence) CountByPair(inputs, outputs int) [][]int {
+	m := make([][]int, inputs)
+	for i := range m {
+		m[i] = make([]int, outputs)
+	}
+	for _, p := range s {
+		if p.In >= 0 && p.In < inputs && p.Out >= 0 && p.Out < outputs {
+			m[p.In][p.Out]++
+		}
+	}
+	return m
+}

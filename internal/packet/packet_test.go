@@ -1,0 +1,295 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessOrdersByValueThenID(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Packet
+		want bool
+	}{
+		{"higher value first", Packet{ID: 5, Value: 10}, Packet{ID: 1, Value: 3}, true},
+		{"lower value second", Packet{ID: 1, Value: 3}, Packet{ID: 5, Value: 10}, false},
+		{"tie broken by id", Packet{ID: 1, Value: 7}, Packet{ID: 2, Value: 7}, true},
+		{"tie broken by id reversed", Packet{ID: 2, Value: 7}, Packet{ID: 1, Value: 7}, false},
+		{"identical not less", Packet{ID: 3, Value: 7}, Packet{ID: 3, Value: 7}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Less(tc.a, tc.b); got != tc.want {
+				t.Errorf("Less(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLessIsStrictTotalOrderOnDistinctPackets(t *testing.T) {
+	// Property: for packets with distinct IDs, exactly one of Less(a,b),
+	// Less(b,a) holds (trichotomy without equality).
+	f := func(v1, v2 uint8, id1, id2 uint16) bool {
+		if id1 == id2 {
+			return true
+		}
+		a := Packet{ID: int64(id1), Value: int64(v1) + 1}
+		b := Packet{ID: int64(id2), Value: int64(v2) + 1}
+		return Less(a, b) != Less(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequenceValidate(t *testing.T) {
+	valid := Sequence{
+		{ID: 0, Arrival: 0, In: 0, Out: 1, Value: 1},
+		{ID: 1, Arrival: 0, In: 1, Out: 0, Value: 5},
+		{ID: 2, Arrival: 3, In: 1, Out: 1, Value: 2},
+	}
+	if err := valid.Validate(2, 2); err != nil {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		seq  Sequence
+	}{
+		{"unsorted arrivals", Sequence{{ID: 0, Arrival: 5, Value: 1}, {ID: 1, Arrival: 2, Value: 1}}},
+		{"duplicate ids", Sequence{{ID: 0, Value: 1}, {ID: 0, Arrival: 1, Value: 1}}},
+		{"descending ids", Sequence{{ID: 3, Value: 1}, {ID: 1, Arrival: 1, Value: 1}}},
+		{"input out of range", Sequence{{ID: 0, In: 2, Value: 1}}},
+		{"negative input", Sequence{{ID: 0, In: -1, Value: 1}}},
+		{"output out of range", Sequence{{ID: 0, Out: 2, Value: 1}}},
+		{"zero value", Sequence{{ID: 0, Value: 0}}},
+		{"negative value", Sequence{{ID: 0, Value: -3}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.seq.Validate(2, 2); err == nil {
+				t.Errorf("Validate accepted invalid sequence %v", tc.seq)
+			}
+		})
+	}
+}
+
+func TestSequenceNormalize(t *testing.T) {
+	seq := Sequence{
+		{ID: 9, Arrival: 5, Value: 1},
+		{ID: 3, Arrival: 1, Value: 2},
+		{ID: 7, Arrival: 1, Value: 3},
+	}
+	norm := seq.Normalize()
+	if err := norm.Validate(1, 1); err != nil {
+		t.Fatalf("normalized sequence invalid: %v", err)
+	}
+	if norm[0].Value != 2 || norm[1].Value != 3 || norm[2].Value != 1 {
+		t.Errorf("normalize changed relative order: %v", norm)
+	}
+	for i, p := range norm {
+		if p.ID != int64(i) {
+			t.Errorf("packet %d has id %d after normalize", i, p.ID)
+		}
+	}
+}
+
+func TestSequenceHelpers(t *testing.T) {
+	seq := Sequence{
+		{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 2},
+		{ID: 1, Arrival: 2, In: 1, Out: 1, Value: 3},
+	}
+	if got := seq.TotalValue(); got != 5 {
+		t.Errorf("TotalValue = %d, want 5", got)
+	}
+	if got := seq.MaxSlot(); got != 2 {
+		t.Errorf("MaxSlot = %d, want 2", got)
+	}
+	if got := seq.Horizon(); got != 5 {
+		t.Errorf("Horizon = %d, want 5 (maxslot+1+len)", got)
+	}
+	if got := (Sequence{}).MaxSlot(); got != -1 {
+		t.Errorf("empty MaxSlot = %d, want -1", got)
+	}
+	if got := (Sequence{}).Horizon(); got != 1 {
+		t.Errorf("empty Horizon = %d, want 1", got)
+	}
+	if seq.IsUnit() {
+		t.Error("IsUnit true for weighted sequence")
+	}
+	if !(Sequence{{ID: 0, Value: 1}}).IsUnit() {
+		t.Error("IsUnit false for unit sequence")
+	}
+	by := seq.BySlot(3)
+	if len(by[0]) != 1 || len(by[1]) != 0 || len(by[2]) != 1 {
+		t.Errorf("BySlot grouping wrong: %v", by)
+	}
+	cnt := seq.CountByPair(2, 2)
+	if cnt[0][0] != 1 || cnt[1][1] != 1 || cnt[0][1] != 0 {
+		t.Errorf("CountByPair wrong: %v", cnt)
+	}
+}
+
+func TestSequenceCloneIsDeep(t *testing.T) {
+	seq := Sequence{{ID: 0, Value: 1}}
+	cl := seq.Clone()
+	cl[0].Value = 99
+	if seq[0].Value != 1 {
+		t.Error("Clone aliases the original backing array")
+	}
+}
+
+func TestBySlotDropsOutOfRangeArrivals(t *testing.T) {
+	seq := Sequence{{ID: 0, Arrival: 10, Value: 1}}
+	by := seq.BySlot(5)
+	for t2, g := range by {
+		if len(g) != 0 {
+			t.Errorf("slot %d unexpectedly has %d packets", t2, len(g))
+		}
+	}
+}
+
+func TestGeneratorsProduceValidSequences(t *testing.T) {
+	gens := []Generator{
+		Bernoulli{Load: 0.8},
+		Bernoulli{Load: 2.5, Values: UniformValues{Hi: 10}},
+		Hotspot{Load: 1.0, HotOut: 0, HotFrac: 0.7},
+		Diagonal{Load: 0.9, OffFrac: 0.2},
+		Bursty{OnLoad: 0.9, POnOff: 0.2, POffOn: 0.3},
+		Bursty{OnLoad: 0.9, POnOff: 0.1, POffOn: 0.1, Uniform: true, Values: ZipfValues{Hi: 100, S: 1.2}},
+		Permutation{Load: 1.0},
+		Fixed{Label: "x", Seq: Sequence{{ID: 0, Value: 1}}},
+	}
+	for _, g := range gens {
+		t.Run(g.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			seq := g.Generate(rng, 4, 4, 50)
+			if err := seq.Validate(4, 4); err != nil {
+				t.Fatalf("invalid sequence: %v", err)
+			}
+		})
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	gens := []Generator{
+		Bernoulli{Load: 0.8, Values: UniformValues{Hi: 9}},
+		Bursty{OnLoad: 0.9, POnOff: 0.2, POffOn: 0.3},
+		Hotspot{Load: 1.0, HotFrac: 0.5},
+	}
+	for _, g := range gens {
+		t.Run(g.Name(), func(t *testing.T) {
+			a := g.Generate(rand.New(rand.NewSource(42)), 3, 3, 30)
+			b := g.Generate(rand.New(rand.NewSource(42)), 3, 3, 30)
+			if len(a) != len(b) {
+				t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("packet %d differs: %v vs %v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestBernoulliLoadMatchesExpectation(t *testing.T) {
+	g := Bernoulli{Load: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	const slots, inputs = 4000, 4
+	seq := g.Generate(rng, inputs, 4, slots)
+	got := float64(len(seq)) / float64(slots*inputs)
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("empirical load %.3f too far from 0.5", got)
+	}
+}
+
+func TestBernoulliFractionalOverload(t *testing.T) {
+	g := Bernoulli{Load: 2.5}
+	rng := rand.New(rand.NewSource(1))
+	const slots = 2000
+	seq := g.Generate(rng, 1, 2, slots)
+	got := float64(len(seq)) / float64(slots)
+	if got < 2.3 || got > 2.7 {
+		t.Errorf("empirical load %.3f too far from 2.5", got)
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	g := Hotspot{Load: 1.0, HotOut: 2, HotFrac: 0.8}
+	rng := rand.New(rand.NewSource(3))
+	seq := g.Generate(rng, 4, 4, 2000)
+	var hot int
+	for _, p := range seq {
+		if p.Out == 2 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(seq))
+	// 0.8 targeted + 0.25 of the uniform remainder = 0.85 expected.
+	if frac < 0.80 || frac > 0.90 {
+		t.Errorf("hotspot fraction %.3f, want ~0.85", frac)
+	}
+}
+
+func TestPermutationIsAFixedMapping(t *testing.T) {
+	g := Permutation{Load: 1.0}
+	rng := rand.New(rand.NewSource(5))
+	seq := g.Generate(rng, 4, 4, 100)
+	dest := map[int]int{}
+	for _, p := range seq {
+		if prev, ok := dest[p.In]; ok && prev != p.Out {
+			t.Fatalf("input %d maps to both %d and %d", p.In, prev, p.Out)
+		}
+		dest[p.In] = p.Out
+	}
+	seen := map[int]bool{}
+	for _, o := range dest {
+		if seen[o] {
+			t.Fatalf("output %d used by two inputs: not a permutation", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestDiagonalStaysNearDiagonal(t *testing.T) {
+	g := Diagonal{Load: 1.0, OffFrac: 0.25}
+	rng := rand.New(rand.NewSource(5))
+	seq := g.Generate(rng, 4, 4, 500)
+	for _, p := range seq {
+		if p.Out != p.In && p.Out != (p.In+1)%4 {
+			t.Fatalf("packet %v is neither diagonal nor off-by-one", p)
+		}
+	}
+}
+
+func TestBurstyProducesBursts(t *testing.T) {
+	g := Bursty{OnLoad: 1.0, POnOff: 0.05, POffOn: 0.05}
+	rng := rand.New(rand.NewSource(11))
+	seq := g.Generate(rng, 1, 4, 3000)
+	if len(seq) == 0 {
+		t.Fatal("no packets generated")
+	}
+	// Within a burst all packets from one input share a destination;
+	// across the trace at least two destinations must appear (burst
+	// switching), and consecutive same-destination runs should be long.
+	dests := map[int]int{}
+	runs, runLen := 0, 0
+	prev := -1
+	for _, p := range seq {
+		dests[p.Out]++
+		if p.Out == prev {
+			runLen++
+		} else {
+			runs++
+			prev = p.Out
+		}
+	}
+	if len(dests) < 2 {
+		t.Skip("degenerate seed produced a single burst; acceptable")
+	}
+	meanRun := float64(len(seq)) / float64(runs)
+	if meanRun < 3 {
+		t.Errorf("mean burst run %.2f too short for ON/OFF traffic", meanRun)
+	}
+}

@@ -1,0 +1,111 @@
+package packet
+
+// Sequence manipulation utilities: composing, shifting and filtering
+// workloads. They back the trace tooling and let experiments build
+// structured scenarios (e.g. a background load merged with an adversarial
+// foreground burst).
+
+// Merge combines multiple sequences into one, reassigning IDs in
+// (arrival, original order) so the result is a valid sequence.
+func Merge(seqs ...Sequence) Sequence {
+	var out Sequence
+	for _, s := range seqs {
+		out = append(out, s...)
+	}
+	return out.Normalize()
+}
+
+// Shift returns a copy of the sequence with every arrival moved by delta
+// slots. Arrivals shifted below zero are clamped to slot 0.
+func (s Sequence) Shift(delta int) Sequence {
+	out := s.Clone()
+	for i := range out {
+		out[i].Arrival += delta
+		if out[i].Arrival < 0 {
+			out[i].Arrival = 0
+		}
+	}
+	return out.Normalize()
+}
+
+// Concat appends b after a ends: b's arrivals are shifted past a's last
+// arrival slot.
+func Concat(a, b Sequence) Sequence {
+	offset := a.MaxSlot() + 1
+	return Merge(a, b.Shift(offset))
+}
+
+// Filter returns the packets for which keep returns true, renumbered.
+func (s Sequence) Filter(keep func(Packet) bool) Sequence {
+	var out Sequence
+	for _, p := range s {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out.Normalize()
+}
+
+// ForOutput restricts the sequence to packets destined to output j.
+func (s Sequence) ForOutput(j int) Sequence {
+	return s.Filter(func(p Packet) bool { return p.Out == j })
+}
+
+// ForInput restricts the sequence to packets entering at input i.
+func (s Sequence) ForInput(i int) Sequence {
+	return s.Filter(func(p Packet) bool { return p.In == i })
+}
+
+// ScaleValues multiplies every packet value by factor (>= 1 keeps the
+// sequence valid). Useful for studying value-magnitude invariance: all
+// algorithms in the paper are scale-free.
+func (s Sequence) ScaleValues(factor int64) Sequence {
+	out := s.Clone()
+	for i := range out {
+		out[i].Value *= factor
+	}
+	return out
+}
+
+// WithUnitValues replaces every value by 1, converting a weighted
+// workload into its unit-value shadow (used by experiments comparing the
+// unit and weighted algorithms on identical arrival patterns).
+func (s Sequence) WithUnitValues() Sequence {
+	out := s.Clone()
+	for i := range out {
+		out[i].Value = 1
+	}
+	return out
+}
+
+// Window restricts the sequence to arrivals in [from, to) and rebases
+// them so the window starts at slot 0.
+func (s Sequence) Window(from, to int) Sequence {
+	return s.Filter(func(p Packet) bool {
+		return p.Arrival >= from && p.Arrival < to
+	}).Shift(-from)
+}
+
+// Stats summarizes a sequence for reports.
+type SeqStats struct {
+	Packets    int
+	TotalValue int64
+	MaxValue   int64
+	Slots      int     // last arrival + 1
+	MeanLoad   float64 // packets per slot over the arrival window
+}
+
+// Summarize computes summary statistics.
+func (s Sequence) Summarize() SeqStats {
+	st := SeqStats{Packets: len(s), Slots: s.MaxSlot() + 1}
+	for _, p := range s {
+		st.TotalValue += p.Value
+		if p.Value > st.MaxValue {
+			st.MaxValue = p.Value
+		}
+	}
+	if st.Slots > 0 {
+		st.MeanLoad = float64(st.Packets) / float64(st.Slots)
+	}
+	return st
+}

@@ -1,0 +1,133 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSeq(seed int64, n int) Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	return Bernoulli{Load: 1.0, Values: UniformValues{Hi: 9}}.Generate(rng, 3, 3, n)
+}
+
+func TestMergePreservesAllPackets(t *testing.T) {
+	a := sampleSeq(1, 10)
+	b := sampleSeq(2, 10)
+	m := Merge(a, b)
+	if len(m) != len(a)+len(b) {
+		t.Fatalf("merged %d packets, want %d", len(m), len(a)+len(b))
+	}
+	if err := m.Validate(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalValue() != a.TotalValue()+b.TotalValue() {
+		t.Error("merge lost value")
+	}
+}
+
+func TestShift(t *testing.T) {
+	s := Sequence{{ID: 0, Arrival: 2, Value: 1}, {ID: 1, Arrival: 5, Value: 1}}
+	sh := s.Shift(3)
+	if sh[0].Arrival != 5 || sh[1].Arrival != 8 {
+		t.Errorf("shift wrong: %v", sh)
+	}
+	// Negative shifts clamp at zero.
+	neg := s.Shift(-10)
+	if neg[0].Arrival != 0 || neg[1].Arrival != 0 {
+		t.Errorf("negative shift wrong: %v", neg)
+	}
+	// Original untouched.
+	if s[0].Arrival != 2 {
+		t.Error("Shift mutated the receiver")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Sequence{{ID: 0, Arrival: 0, Value: 1}, {ID: 1, Arrival: 4, Value: 1}}
+	b := Sequence{{ID: 0, Arrival: 0, Value: 1}}
+	c := Concat(a, b)
+	if len(c) != 3 {
+		t.Fatalf("len %d", len(c))
+	}
+	if c[2].Arrival != 5 {
+		t.Errorf("b should start at slot 5, got %d", c[2].Arrival)
+	}
+}
+
+func TestFilterAndPortViews(t *testing.T) {
+	s := Sequence{
+		{ID: 0, In: 0, Out: 1, Value: 2},
+		{ID: 1, In: 1, Out: 0, Value: 3},
+		{ID: 2, In: 0, Out: 0, Value: 4},
+	}
+	if got := s.ForInput(0); len(got) != 2 {
+		t.Errorf("ForInput(0) = %v", got)
+	}
+	if got := s.ForOutput(0); len(got) != 2 {
+		t.Errorf("ForOutput(0) = %v", got)
+	}
+	if got := s.Filter(func(p Packet) bool { return p.Value > 2 }); len(got) != 2 {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+func TestScaleAndUnitValues(t *testing.T) {
+	s := Sequence{{ID: 0, Value: 3}, {ID: 1, Value: 5}}
+	sc := s.ScaleValues(10)
+	if sc[0].Value != 30 || sc[1].Value != 50 {
+		t.Errorf("scaled: %v", sc)
+	}
+	u := sc.WithUnitValues()
+	if !u.IsUnit() {
+		t.Error("WithUnitValues not unit")
+	}
+	if s[0].Value != 3 {
+		t.Error("ScaleValues mutated the receiver")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := Sequence{
+		{ID: 0, Arrival: 1, Value: 1},
+		{ID: 1, Arrival: 3, Value: 1},
+		{ID: 2, Arrival: 7, Value: 1},
+	}
+	w := s.Window(2, 6)
+	if len(w) != 1 || w[0].Arrival != 1 { // slot 3 rebased to 1
+		t.Errorf("window: %v", w)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Sequence{
+		{ID: 0, Arrival: 0, Value: 2},
+		{ID: 1, Arrival: 3, Value: 8},
+	}
+	st := s.Summarize()
+	if st.Packets != 2 || st.TotalValue != 10 || st.MaxValue != 8 || st.Slots != 4 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MeanLoad != 0.5 {
+		t.Errorf("mean load %f", st.MeanLoad)
+	}
+	empty := Sequence{}.Summarize()
+	if empty.Packets != 0 || empty.MeanLoad != 0 {
+		t.Errorf("empty stats: %+v", empty)
+	}
+}
+
+// Property: Merge output is always valid and value-preserving.
+func TestMergeProperty(t *testing.T) {
+	f := func(s1, s2 int64, n1, n2 uint8) bool {
+		a := sampleSeq(s1, int(n1%20)+1)
+		b := sampleSeq(s2, int(n2%20)+1)
+		m := Merge(a, b)
+		return m.Validate(3, 3) == nil &&
+			m.TotalValue() == a.TotalValue()+b.TotalValue() &&
+			len(m) == len(a)+len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package packet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"io"
+)
+
+// Trace file formats.
+//
+// The binary format is a compact little-endian layout with a CRC64 trailer
+// so corrupt or truncated traces are detected on load:
+//
+//	magic   [8]byte  "QSWTRC01"
+//	inputs  uint32
+//	outputs uint32
+//	count   uint64
+//	records count * { arrival int64, in int32, out int32, value int64, id int64 }
+//	crc64   uint64   (ECMA polynomial, over everything before the trailer)
+//
+// The JSON format is a single object with a header and a packet array; it
+// is self-describing and convenient for hand-editing small adversarial
+// sequences.
+
+const traceMagic = "QSWTRC01"
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Trace couples a sequence with the port geometry it was generated for.
+type Trace struct {
+	Inputs  int      `json:"inputs"`
+	Outputs int      `json:"outputs"`
+	Packets Sequence `json:"packets"`
+}
+
+// WriteBinary serializes the trace in the binary format described above.
+func (tr *Trace) WriteBinary(w io.Writer) error {
+	if err := tr.Packets.Validate(tr.Inputs, tr.Outputs); err != nil {
+		return fmt.Errorf("trace: refusing to write invalid sequence: %w", err)
+	}
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(tr.Inputs)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(tr.Outputs)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(tr.Packets))); err != nil {
+		return err
+	}
+	var rec [32]byte
+	for _, p := range tr.Packets {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(p.Arrival))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(p.In))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(p.Out))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(p.Value))
+		binary.LittleEndian.PutUint64(rec[24:], uint64(p.ID))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailer goes to the raw writer so it is not included in its own CRC.
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], cw.sum)
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// ReadBinary parses a binary trace, verifying magic and checksum.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	cr := &crcReader{r: r}
+	br := bufio.NewReader(cr)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var inputs, outputs uint32
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &inputs); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &outputs); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if count > 1<<40 {
+		return nil, fmt.Errorf("trace: implausible packet count %d", count)
+	}
+	tr := &Trace{Inputs: int(inputs), Outputs: int(outputs), Packets: make(Sequence, 0, count)}
+	var rec [32]byte
+	for k := uint64(0); k < count; k++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", k, err)
+		}
+		tr.Packets = append(tr.Packets, Packet{
+			Arrival: int(int64(binary.LittleEndian.Uint64(rec[0:]))),
+			In:      int(int32(binary.LittleEndian.Uint32(rec[8:]))),
+			Out:     int(int32(binary.LittleEndian.Uint32(rec[12:]))),
+			Value:   int64(binary.LittleEndian.Uint64(rec[16:])),
+			ID:      int64(binary.LittleEndian.Uint64(rec[24:])),
+		})
+	}
+	var trailer [8]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading checksum: %w", err)
+	}
+	// The trailer has now certainly passed through crcReader, so its sum
+	// covers exactly the bytes before the trailer.
+	want := cr.sum
+	got := binary.LittleEndian.Uint64(trailer[:])
+	if got != want {
+		return nil, fmt.Errorf("trace: checksum mismatch: file has %#x, computed %#x", got, want)
+	}
+	if err := tr.Packets.Validate(tr.Inputs, tr.Outputs); err != nil {
+		return nil, fmt.Errorf("trace: invalid sequence: %w", err)
+	}
+	return tr, nil
+}
+
+// WriteJSON serializes the trace as indented JSON.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	if err := tr.Packets.Validate(tr.Inputs, tr.Outputs); err != nil {
+		return fmt.Errorf("trace: refusing to write invalid sequence: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadJSON parses a JSON trace and validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decoding json: %w", err)
+	}
+	if err := tr.Packets.Validate(tr.Inputs, tr.Outputs); err != nil {
+		return nil, fmt.Errorf("trace: invalid sequence: %w", err)
+	}
+	return &tr, nil
+}
+
+type crcWriter struct {
+	w   io.Writer
+	sum uint64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.sum = crc64.Update(c.sum, crcTable, p)
+	return c.w.Write(p)
+}
+
+// crcReader checksums everything it reads except a sliding 8-byte tail, so
+// that the trailer (the stored checksum itself) is excluded without knowing
+// in advance where the stream ends: whenever new bytes arrive, all but the
+// newest 8 bytes are folded into the running sum.
+type crcReader struct {
+	r     io.Reader
+	sum   uint64
+	tail  [8]byte
+	ntail int
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.fold(p[:n])
+	}
+	return n, err
+}
+
+func (c *crcReader) fold(p []byte) {
+	buf := make([]byte, 0, c.ntail+len(p))
+	buf = append(buf, c.tail[:c.ntail]...)
+	buf = append(buf, p...)
+	if len(buf) > 8 {
+		c.sum = crc64.Update(c.sum, crcTable, buf[:len(buf)-8])
+		copy(c.tail[:], buf[len(buf)-8:])
+		c.ntail = 8
+	} else {
+		copy(c.tail[:], buf)
+		c.ntail = len(buf)
+	}
+}

@@ -1,0 +1,150 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	gen := Bernoulli{Load: 0.9, Values: UniformValues{Hi: 1 << 30}}
+	seq := gen.Generate(rng, 4, 4, n)
+	return &Trace{Inputs: 4, Outputs: 4, Packets: seq}
+}
+
+func TestBinaryTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace(1, 40)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Inputs != tr.Inputs || got.Outputs != tr.Outputs {
+		t.Fatalf("geometry mismatch: %dx%d vs %dx%d", got.Inputs, got.Outputs, tr.Inputs, tr.Outputs)
+	}
+	if len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("length mismatch: %d vs %d", len(got.Packets), len(tr.Packets))
+	}
+	for i := range got.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("packet %d mismatch: %v vs %v", i, got.Packets[i], tr.Packets[i])
+		}
+	}
+}
+
+func TestBinaryTraceRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		tr := sampleTrace(seed, int(n%32)+1)
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Packets) != len(tr.Packets) {
+			return false
+		}
+		for i := range got.Packets {
+			if got.Packets[i] != tr.Packets[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryTraceDetectsCorruption(t *testing.T) {
+	tr := sampleTrace(2, 30)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data := buf.Bytes()
+	// Flip a byte in the middle of the record area.
+	data[len(data)/2] ^= 0xA5
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted trace accepted")
+	}
+}
+
+func TestBinaryTraceDetectsTruncation(t *testing.T) {
+	tr := sampleTrace(3, 30)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestBinaryTraceRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTATRACE-AT-ALL")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestJSONTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace(4, 20)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("length mismatch")
+	}
+	for i := range got.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("packet %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONTraceRejectsInvalidSequence(t *testing.T) {
+	in := `{"inputs":2,"outputs":2,"packets":[{"ID":0,"Arrival":0,"In":5,"Out":0,"Value":1}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("out-of-range input port accepted")
+	}
+}
+
+func TestWriteRejectsInvalidTrace(t *testing.T) {
+	tr := &Trace{Inputs: 1, Outputs: 1, Packets: Sequence{{ID: 0, In: 3, Value: 1}}}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err == nil {
+		t.Error("WriteBinary accepted invalid trace")
+	}
+	if err := tr.WriteJSON(&buf); err == nil {
+		t.Error("WriteJSON accepted invalid trace")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	tr := &Trace{Inputs: 2, Outputs: 2}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got.Packets) != 0 {
+		t.Fatalf("expected empty trace, got %d packets", len(got.Packets))
+	}
+}

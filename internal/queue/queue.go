@@ -1,0 +1,265 @@
+// Package queue implements the capacity-bounded, non-FIFO packet queues
+// used at the input, crosspoint and output ports of the simulated switches.
+//
+// The paper's model stores packets in arbitrary order ("non-FIFO queues"),
+// and its weighted algorithms always act on the extremes: they transfer or
+// transmit the most valuable packet and preempt the least valuable one.
+// A queue therefore maintains its packets in the canonical priority order
+// (value descending, ties broken by packet ID ascending — the paper's
+// Assumption A3 of consistent tie-breaking), giving O(1) access to both the
+// head (greatest value) and the tail (least value). A FIFO discipline is
+// also provided for the unit-value algorithms, where arrival order is the
+// natural (and equivalent) choice.
+package queue
+
+import (
+	"errors"
+	"fmt"
+
+	"qswitch/internal/packet"
+)
+
+// Discipline selects the internal ordering of a queue.
+type Discipline int
+
+const (
+	// FIFO keeps packets in insertion order; Head is the oldest packet.
+	FIFO Discipline = iota
+	// ByValue keeps packets sorted by (value desc, ID asc); Head is the
+	// most valuable packet and Tail the least valuable.
+	ByValue
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	switch d {
+	case FIFO:
+		return "fifo"
+	case ByValue:
+		return "byvalue"
+	default:
+		return fmt.Sprintf("discipline(%d)", int(d))
+	}
+}
+
+// ErrFull is returned by Push when the queue is at capacity.
+var ErrFull = errors.New("queue: full")
+
+// Queue is a bounded packet buffer. The zero value is not usable; use New.
+type Queue struct {
+	capacity int
+	disc     Discipline
+	items    []packet.Packet
+}
+
+// New returns an empty queue with the given capacity and discipline.
+// Capacity must be at least 1.
+func New(capacity int, d Discipline) *Queue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("queue: capacity must be >= 1, got %d", capacity))
+	}
+	return &Queue{capacity: capacity, disc: d, items: make([]packet.Packet, 0, min(capacity, 64))}
+}
+
+// Cap returns the queue capacity B(Q).
+func (q *Queue) Cap() int { return q.capacity }
+
+// Len returns the number of packets currently stored.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Empty reports whether the queue holds no packets.
+func (q *Queue) Empty() bool { return len(q.items) == 0 }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return len(q.items) >= q.capacity }
+
+// Discipline returns the queue's ordering discipline.
+func (q *Queue) Discipline() Discipline { return q.disc }
+
+// Head returns the packet at the queue's head without removing it:
+// the oldest packet under FIFO, the most valuable under ByValue.
+func (q *Queue) Head() (packet.Packet, bool) {
+	if len(q.items) == 0 {
+		return packet.Packet{}, false
+	}
+	return q.items[0], true
+}
+
+// Tail returns the packet at the queue's tail without removing it:
+// the newest packet under FIFO, the least valuable under ByValue.
+func (q *Queue) Tail() (packet.Packet, bool) {
+	if len(q.items) == 0 {
+		return packet.Packet{}, false
+	}
+	return q.items[len(q.items)-1], true
+}
+
+// At returns the packet at position k (0-based; position 0 is the head).
+func (q *Queue) At(k int) packet.Packet {
+	return q.items[k]
+}
+
+// Push inserts p, returning ErrFull if there is no room. Under ByValue the
+// packet is placed at its priority position; under FIFO it is appended.
+func (q *Queue) Push(p packet.Packet) error {
+	if q.Full() {
+		return ErrFull
+	}
+	q.insert(p)
+	return nil
+}
+
+// PushPreempt inserts p, preempting the tail packet if the queue is full
+// and the tail is strictly worse than p (under ByValue ordering: lower
+// value, or equal value and higher ID). It implements the paper's
+// preemptive admission rule "accept p if |Q| < B or v(l) < v(p)".
+//
+// The returned status reports whether p was accepted and, if a packet was
+// preempted to make room, which one.
+func (q *Queue) PushPreempt(p packet.Packet) (preempted packet.Packet, didPreempt, accepted bool) {
+	if !q.Full() {
+		q.insert(p)
+		return packet.Packet{}, false, true
+	}
+	tail := q.items[len(q.items)-1]
+	// Strict value comparison per the paper: equal-value packets do not
+	// preempt each other.
+	if tail.Value >= p.Value {
+		return packet.Packet{}, false, false
+	}
+	q.items = q.items[:len(q.items)-1]
+	q.insert(p)
+	return tail, true, true
+}
+
+// MinValue returns the packet with the least value in the queue (ties by
+// highest ID, i.e. the one the canonical order ranks last). Under ByValue
+// this is the tail in O(1); under FIFO it scans.
+func (q *Queue) MinValue() (packet.Packet, bool) {
+	if len(q.items) == 0 {
+		return packet.Packet{}, false
+	}
+	if q.disc == ByValue {
+		return q.items[len(q.items)-1], true
+	}
+	best := 0
+	for k := 1; k < len(q.items); k++ {
+		if packet.Less(q.items[best], q.items[k]) {
+			best = k
+		}
+	}
+	return q.items[best], true
+}
+
+// PushPreemptMin inserts p, preempting the queue's LEAST-VALUABLE packet
+// (wherever it sits) if the queue is full and that packet is strictly
+// worse than p. Under ByValue it coincides with PushPreempt; under FIFO
+// it implements the preemption rule of the FIFO buffer-management
+// literature, where packets depart in arrival order but any buffered
+// packet may be dropped.
+func (q *Queue) PushPreemptMin(p packet.Packet) (preempted packet.Packet, didPreempt, accepted bool) {
+	if !q.Full() {
+		q.insert(p)
+		return packet.Packet{}, false, true
+	}
+	min, _ := q.MinValue()
+	if min.Value >= p.Value {
+		return packet.Packet{}, false, false
+	}
+	// Remove the minimum, preserving order of the rest.
+	for k := range q.items {
+		if q.items[k].ID == min.ID {
+			copy(q.items[k:], q.items[k+1:])
+			q.items = q.items[:len(q.items)-1]
+			break
+		}
+	}
+	q.insert(p)
+	return min, true, true
+}
+
+// PopHead removes and returns the head packet.
+func (q *Queue) PopHead() (packet.Packet, bool) {
+	if len(q.items) == 0 {
+		return packet.Packet{}, false
+	}
+	p := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return p, true
+}
+
+// PopTail removes and returns the tail packet (used for preemption).
+func (q *Queue) PopTail() (packet.Packet, bool) {
+	if len(q.items) == 0 {
+		return packet.Packet{}, false
+	}
+	p := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return p, true
+}
+
+// TotalValue returns the sum of values of all stored packets.
+func (q *Queue) TotalValue() int64 {
+	var t int64
+	for _, p := range q.items {
+		t += p.Value
+	}
+	return t
+}
+
+// Snapshot returns a copy of the queue contents in queue order
+// (head first). It is intended for tests and invariant checking.
+func (q *Queue) Snapshot() []packet.Packet {
+	out := make([]packet.Packet, len(q.items))
+	copy(out, q.items)
+	return out
+}
+
+// Reset empties the queue.
+func (q *Queue) Reset() { q.items = q.items[:0] }
+
+// CheckInvariants verifies internal consistency: length within capacity
+// and, under ByValue, correct priority ordering. It returns a descriptive
+// error on violation and is called by the simulator's validation mode.
+func (q *Queue) CheckInvariants() error {
+	if len(q.items) > q.capacity {
+		return fmt.Errorf("queue: length %d exceeds capacity %d", len(q.items), q.capacity)
+	}
+	if q.disc == ByValue {
+		for k := 1; k < len(q.items); k++ {
+			if !packet.Less(q.items[k-1], q.items[k]) {
+				return fmt.Errorf("queue: order violation at %d: %v before %v", k, q.items[k-1], q.items[k])
+			}
+		}
+	}
+	return nil
+}
+
+// insert places p according to the discipline. The caller guarantees room.
+func (q *Queue) insert(p packet.Packet) {
+	if q.disc == FIFO {
+		q.items = append(q.items, p)
+		return
+	}
+	// Binary search for the insertion point in (value desc, ID asc) order.
+	lo, hi := 0, len(q.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if packet.Less(q.items[mid], p) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.items = append(q.items, packet.Packet{})
+	copy(q.items[lo+1:], q.items[lo:])
+	q.items[lo] = p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

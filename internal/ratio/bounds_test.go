@@ -1,0 +1,67 @@
+package ratio
+
+import (
+	"testing"
+
+	"qswitch/internal/core"
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+func TestUpperBoundCrossbarAdaptor(t *testing.T) {
+	cfg := microCfg()
+	cfg.Slots = 8
+	alg := CrossbarAlg(func() switchsim.CrossbarPolicy { return &core.CPG{} })
+	est, err := Run(cfg, alg, UpperBoundCrossbar, packet.Bernoulli{Load: 1.2,
+		Values: packet.UniformValues{Hi: 10}}, 21, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Runs == 0 {
+		t.Fatal("no runs")
+	}
+	if est.Max < 1.0-1e-9 {
+		t.Errorf("crossbar UB ratio %v below 1", est.Max)
+	}
+}
+
+func TestSingleSurfacesPolicyErrors(t *testing.T) {
+	cfg := microCfg()
+	// A policy that errors at runtime: transfer from empty queue.
+	bad := Alg(func(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+		return 0, errTest
+	})
+	seq := packet.Sequence{{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 1}}
+	if _, _, err := Single(cfg, bad, ExactUnitCIOQ, seq); err == nil {
+		t.Error("policy error swallowed")
+	}
+}
+
+func TestSingleFlagsZeroBenefitAgainstPositiveOPT(t *testing.T) {
+	cfg := microCfg()
+	lazy := Alg(func(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+		return 0, nil // scores nothing
+	})
+	seq := packet.Sequence{{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 1}}
+	if _, _, err := Single(cfg, lazy, ExactUnitCIOQ, seq); err == nil {
+		t.Error("unbounded ratio not surfaced as an error")
+	}
+}
+
+func TestPickSlotsRespectsConfig(t *testing.T) {
+	cfg := microCfg()
+	cfg.Slots = 9
+	if pickSlots(cfg) != 9 {
+		t.Error("configured slots ignored")
+	}
+	cfg.Slots = 0
+	if pickSlots(cfg) != 16 {
+		t.Error("default window wrong")
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "synthetic failure" }

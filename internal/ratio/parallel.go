@@ -1,0 +1,132 @@
+package ratio
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/stats"
+	"qswitch/internal/switchsim"
+)
+
+// RunParallel is Run with the per-seed measurements fanned out over a
+// worker pool. Each worker gets its own policy instance (via the Alg
+// closure) and its own rand.Rand, so runs are fully independent; results
+// are merged deterministically (sorted by seed), making RunParallel's
+// output bit-identical to Run's for the same inputs.
+//
+// workers <= 0 selects GOMAXPROCS. The speedup is near-linear because
+// each measurement is an independent simulation plus an offline solve.
+func RunParallel(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator,
+	baseSeed int64, runs, workers int) (Estimate, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		return Run(cfg, alg, opt, gen, baseSeed, runs)
+	}
+
+	type outcome struct {
+		seed    int64
+		ratio   float64
+		ok      bool
+		err     error
+		skipped bool
+	}
+	results := make([]outcome, runs)
+	seedCh := make(chan int, runs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range seedCh {
+				seed := baseSeed + int64(k)
+				rng := rand.New(rand.NewSource(seed))
+				seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
+				r, ok, err := Single(cfg, alg, opt, seq)
+				results[k] = outcome{seed: seed, ratio: r, ok: ok, err: err, skipped: !ok && err == nil}
+			}
+		}()
+	}
+	for k := 0; k < runs; k++ {
+		seedCh <- k
+	}
+	close(seedCh)
+	wg.Wait()
+
+	var est Estimate
+	var acc stats.Acc
+	for _, o := range results {
+		if o.err != nil {
+			return est, fmt.Errorf("ratio: seed %d: %w", o.seed, o.err)
+		}
+		if o.skipped {
+			est.Skipped++
+			continue
+		}
+		acc.Add(o.ratio)
+		est.Samples = append(est.Samples, o.ratio)
+		if o.ratio > est.Max {
+			est.Max = o.ratio
+			est.WorstSeed = o.seed
+		}
+		est.Runs++
+	}
+	est.Mean = acc.Mean()
+	est.CI95 = acc.CI95()
+	return est, nil
+}
+
+// Sweep evaluates a family of parameterized policies over the same seeded
+// workloads in parallel, one Estimate per parameter point. It is the
+// engine behind parameter-sweep figures (e.g. ratio vs beta): all points
+// see identical sequences, so curves are directly comparable.
+func Sweep(cfg switchsim.Config, algs map[string]Alg, opt Opt, gen packet.Generator,
+	baseSeed int64, runs, workers int) (map[string]Estimate, error) {
+	names := make([]string, 0, len(algs))
+	for name := range algs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]Estimate, len(algs))
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInt(1, workers))
+	for _, name := range names {
+		name := name
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			est, err := RunParallel(cfg, algs[name], opt, gen, baseSeed, runs, 1)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("sweep %q: %w", name, err)
+				return
+			}
+			out[name] = est
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

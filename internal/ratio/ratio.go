@@ -1,0 +1,158 @@
+// Package ratio estimates empirical competitive ratios: it runs a policy
+// and an offline optimum (exact solver where tractable, upper bound
+// otherwise) over many seeded workloads and aggregates max/mean ratios.
+// This is the measurement core behind experiments E1–E4 and E8.
+package ratio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qswitch/internal/offline"
+	"qswitch/internal/packet"
+	"qswitch/internal/stats"
+	"qswitch/internal/switchsim"
+)
+
+// Opt computes an offline benchmark value for a sequence: the exact
+// optimum or a proven upper bound.
+type Opt func(cfg switchsim.Config, seq packet.Sequence) (int64, error)
+
+// ExactUnitCIOQ adapts the exact unit-value DP to the Opt signature.
+func ExactUnitCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return offline.ExactUnitCIOQ(cfg, seq)
+}
+
+// ExactUnitCrossbar adapts the exact unit-value crossbar DP.
+func ExactUnitCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return offline.ExactUnitCrossbar(cfg, seq)
+}
+
+// ExactWeightedCIOQ adapts the exact weighted micro search.
+func ExactWeightedCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return offline.ExactWeightedCIOQ(cfg, seq)
+}
+
+// ExactWeightedCrossbar adapts the exact weighted crossbar micro search.
+func ExactWeightedCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return offline.ExactWeightedCrossbar(cfg, seq)
+}
+
+// UpperBoundCIOQ adapts the combined (output-side and input-side) flow
+// relaxation for CIOQ geometries.
+func UpperBoundCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return offline.CombinedUpperBound(cfg, seq, false)
+}
+
+// UpperBoundCrossbar adapts the combined flow relaxation for crossbar
+// geometries.
+func UpperBoundCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return offline.CombinedUpperBound(cfg, seq, true)
+}
+
+// Alg runs a policy on a sequence and returns its benefit.
+type Alg func(cfg switchsim.Config, seq packet.Sequence) (int64, error)
+
+// CIOQAlg adapts a CIOQ policy factory to the Alg signature. A factory is
+// needed (rather than a policy instance) so concurrent or repeated
+// evaluations never share mutable policy state.
+func CIOQAlg(factory func() switchsim.CIOQPolicy) Alg {
+	return func(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+		res, err := switchsim.RunCIOQ(cfg, factory(), seq)
+		if err != nil {
+			return 0, err
+		}
+		return res.M.Benefit, nil
+	}
+}
+
+// CrossbarAlg adapts a crossbar policy factory to the Alg signature.
+func CrossbarAlg(factory func() switchsim.CrossbarPolicy) Alg {
+	return func(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+		res, err := switchsim.RunCrossbar(cfg, factory(), seq)
+		if err != nil {
+			return 0, err
+		}
+		return res.M.Benefit, nil
+	}
+}
+
+// Estimate aggregates ratio measurements over many runs.
+type Estimate struct {
+	Max       float64
+	Mean      float64
+	CI95      float64
+	Runs      int
+	Skipped   int // runs where both OPT and ALG were zero
+	WorstSeed int64
+	Samples   []float64
+}
+
+// String renders a compact summary.
+func (e Estimate) String() string {
+	return fmt.Sprintf("ratio max=%.4f mean=%.4f±%.4f over %d runs (worst seed %d)",
+		e.Max, e.Mean, e.CI95, e.Runs, e.WorstSeed)
+}
+
+// Run measures OPT/ALG over `runs` seeded workloads drawn from gen.
+// Sequences where OPT = 0 are skipped (the ratio is vacuous); an ALG of 0
+// with positive OPT is reported as +Inf via a very large sentinel would be
+// wrong — it is a genuine unbounded ratio, surfaced as an error instead,
+// since none of the paper's algorithms can score zero against a positive
+// optimum.
+func Run(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator, baseSeed int64, runs int) (Estimate, error) {
+	var est Estimate
+	var acc stats.Acc
+	for k := 0; k < runs; k++ {
+		seed := baseSeed + int64(k)
+		rng := rand.New(rand.NewSource(seed))
+		seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
+		r, ok, err := Single(cfg, alg, opt, seq)
+		if err != nil {
+			return est, fmt.Errorf("ratio: seed %d: %w", seed, err)
+		}
+		if !ok {
+			est.Skipped++
+			continue
+		}
+		acc.Add(r)
+		est.Samples = append(est.Samples, r)
+		if r > est.Max {
+			est.Max = r
+			est.WorstSeed = seed
+		}
+		est.Runs++
+	}
+	est.Mean = acc.Mean()
+	est.CI95 = acc.CI95()
+	return est, nil
+}
+
+// Single measures OPT/ALG on one sequence. ok=false when OPT is zero.
+func Single(cfg switchsim.Config, alg Alg, opt Opt, seq packet.Sequence) (float64, bool, error) {
+	optVal, err := opt(cfg, seq)
+	if err != nil {
+		return 0, false, fmt.Errorf("offline optimum: %w", err)
+	}
+	if optVal == 0 {
+		return 0, false, nil
+	}
+	algVal, err := alg(cfg, seq)
+	if err != nil {
+		return 0, false, fmt.Errorf("policy run: %w", err)
+	}
+	if algVal == 0 {
+		return 0, false, fmt.Errorf("ratio: policy scored 0 against optimum %d", optVal)
+	}
+	return float64(optVal) / float64(algVal), true, nil
+}
+
+// pickSlots caps the generator horizon: when the config pins Slots use it,
+// otherwise default to a modest workload window (the simulator itself will
+// extend the run until drained).
+func pickSlots(cfg switchsim.Config) int {
+	if cfg.Slots > 0 {
+		return cfg.Slots
+	}
+	return 16
+}

@@ -1,0 +1,173 @@
+package ratio
+
+import (
+	"math"
+	"testing"
+
+	"qswitch/internal/core"
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+func microCfg() switchsim.Config {
+	return switchsim.Config{
+		Inputs: 2, Outputs: 2,
+		InputBuf: 2, OutputBuf: 2, CrossBuf: 2,
+		Speedup: 1, Validate: true, Slots: 0,
+	}
+}
+
+// TestTheorem1GMWithinBound fuzzes unit-value micro instances and checks
+// GM's measured competitive ratio against the exact offline optimum never
+// exceeds 3 (Theorem 1).
+func TestTheorem1GMWithinBound(t *testing.T) {
+	cfg := microCfg()
+	gens := []packet.Generator{
+		packet.Bernoulli{Load: 1.0},
+		packet.Bernoulli{Load: 2.0},
+		packet.Hotspot{Load: 1.5, HotFrac: 0.8},
+		packet.Bursty{OnLoad: 1.0, POnOff: 0.4, POffOn: 0.4},
+	}
+	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
+	for gi, gen := range gens {
+		c := cfg
+		c.Slots = 6 // keep the exact DP fast
+		est, err := Run(c, alg, ExactUnitCIOQ, gen, int64(1000*gi), 25)
+		if err != nil {
+			t.Fatalf("gen %d: %v", gi, err)
+		}
+		if est.Max > 3.0+1e-9 {
+			t.Errorf("gen %s: GM ratio %.4f exceeds Theorem 1 bound 3", gen.Name(), est.Max)
+		}
+		if est.Runs > 0 && est.Max < 1.0-1e-9 {
+			t.Errorf("gen %s: ratio %.4f below 1 — OPT not optimal?", gen.Name(), est.Max)
+		}
+	}
+}
+
+// TestTheorem1SpeedupInvariance repeats the GM check at higher speedups
+// ("for any speedup").
+func TestTheorem1SpeedupInvariance(t *testing.T) {
+	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
+	for _, speedup := range []int{1, 2, 3} {
+		cfg := microCfg()
+		cfg.Speedup = speedup
+		cfg.Slots = 5
+		est, err := Run(cfg, alg, ExactUnitCIOQ, packet.Bernoulli{Load: 1.8}, 42, 20)
+		if err != nil {
+			t.Fatalf("speedup %d: %v", speedup, err)
+		}
+		if est.Max > 3.0+1e-9 {
+			t.Errorf("speedup %d: GM ratio %.4f exceeds 3", speedup, est.Max)
+		}
+	}
+}
+
+// TestTheorem2PGWithinBound fuzzes weighted micro instances against the
+// exact weighted optimum: PG at β=1+√2 must stay within 3+2√2 (Theorem 2).
+func TestTheorem2PGWithinBound(t *testing.T) {
+	cfg := microCfg()
+	cfg.Slots = 4
+	bound := 3 + 2*math.Sqrt2
+	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.PG{} })
+	gens := []packet.Generator{
+		packet.Bernoulli{Load: 0.8, Values: packet.UniformValues{Hi: 20}},
+		packet.Bernoulli{Load: 0.8, Values: packet.TwoValued{Alpha: 50, PHigh: 0.3}},
+		packet.Hotspot{Load: 0.9, HotFrac: 0.9, Values: packet.GeometricValues{P: 0.3, Hi: 64}},
+	}
+	for gi, gen := range gens {
+		est, err := Run(cfg, alg, ExactWeightedCIOQ, gen, int64(2000*gi), 15)
+		if err != nil {
+			t.Fatalf("gen %d: %v", gi, err)
+		}
+		if est.Max > bound+1e-9 {
+			t.Errorf("gen %s: PG ratio %.4f exceeds Theorem 2 bound %.4f", gen.Name(), est.Max, bound)
+		}
+	}
+}
+
+// TestTheorem3CGUWithinBound checks CGU against the exact unit crossbar
+// optimum: ratio at most 3 (Theorem 3, improving the known 4).
+func TestTheorem3CGUWithinBound(t *testing.T) {
+	cfg := microCfg()
+	cfg.CrossBuf = 1
+	cfg.Slots = 5
+	alg := CrossbarAlg(func() switchsim.CrossbarPolicy { return &core.CGU{} })
+	gens := []packet.Generator{
+		packet.Bernoulli{Load: 1.5},
+		packet.Hotspot{Load: 1.5, HotFrac: 0.8},
+	}
+	for gi, gen := range gens {
+		est, err := Run(cfg, alg, ExactUnitCrossbar, gen, int64(3000*gi), 20)
+		if err != nil {
+			t.Fatalf("gen %d: %v", gi, err)
+		}
+		if est.Max > 3.0+1e-9 {
+			t.Errorf("gen %s: CGU ratio %.4f exceeds Theorem 3 bound 3", gen.Name(), est.Max)
+		}
+	}
+}
+
+// TestTheorem4CPGWithinBound checks CPG at (β*, α*) against the exact
+// weighted crossbar optimum: ratio at most ≈14.83 (Theorem 4).
+func TestTheorem4CPGWithinBound(t *testing.T) {
+	cfg := microCfg()
+	cfg.CrossBuf = 1
+	cfg.Slots = 3
+	bound := core.CPGRatioClosedForm()
+	alg := CrossbarAlg(func() switchsim.CrossbarPolicy { return &core.CPG{} })
+	gens := []packet.Generator{
+		packet.Bernoulli{Load: 0.8, Values: packet.UniformValues{Hi: 16}},
+		packet.Bernoulli{Load: 0.7, Values: packet.TwoValued{Alpha: 40, PHigh: 0.3}},
+	}
+	for gi, gen := range gens {
+		est, err := Run(cfg, alg, ExactWeightedCrossbar, gen, int64(4000*gi), 10)
+		if err != nil {
+			t.Fatalf("gen %d: %v", gi, err)
+		}
+		if est.Max > bound+1e-9 {
+			t.Errorf("gen %s: CPG ratio %.4f exceeds Theorem 4 bound %.4f", gen.Name(), est.Max, bound)
+		}
+	}
+}
+
+// TestUpperBoundRatiosAreLooserButFinite sanity-checks the flow relaxation
+// pipeline on larger instances where exact OPT is unavailable.
+func TestUpperBoundRatiosAreLooserButFinite(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2,
+		CrossBuf: 2, Speedup: 1, Validate: true, Slots: 20}
+	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
+	est, err := Run(cfg, alg, UpperBoundCIOQ, packet.Bernoulli{Load: 1.2}, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Runs == 0 {
+		t.Fatal("no successful runs")
+	}
+	if est.Max < 1.0-1e-9 {
+		t.Errorf("UB ratio %.4f below 1: the bound is not a bound", est.Max)
+	}
+	// The relaxation is loose but must not explode on benign traffic.
+	if est.Max > 20 {
+		t.Errorf("UB ratio %.4f implausibly loose", est.Max)
+	}
+}
+
+func TestSingleReportsVacuousInstances(t *testing.T) {
+	cfg := microCfg()
+	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
+	_, ok, err := Single(cfg, alg, ExactUnitCIOQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("empty sequence should be vacuous")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Max: 2.5, Mean: 1.7, Runs: 10}
+	if e.String() == "" {
+		t.Error("empty string")
+	}
+}

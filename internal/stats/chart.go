@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Chart is a multi-series scatter/line chart rendered as ASCII art. It is
+// how the benchmark harness draws the paper's "figures" in a terminal;
+// the same data is exported as CSV for external plotting.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// seriesMarks are the glyphs assigned to series in order.
+const seriesMarks = "*o+x#@%&"
+
+// Render draws the chart into an ASCII grid of the given size
+// (characters). Each series gets a distinct glyph; a legend follows.
+func (c *Chart) Render(w io.Writer, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "-- %s --\n", c.Title)
+	}
+	yHi := trimFloat(maxY)
+	yLo := trimFloat(minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yHi)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", margin), width-len(trimFloat(maxX)), trimFloat(minX), trimFloat(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s, y: %s\n", strings.Repeat(" ", margin), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "%s  %c = %s\n", strings.Repeat(" ", margin), seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', 4, 64)
+	return s
+}
+
+// ChartFromTable builds a chart from a rendered table: xCol and yCol name
+// the numeric columns; groupCols (optional) name columns whose joined
+// values split the rows into series. Non-numeric cells are skipped.
+func ChartFromTable(tb *Table, xCol, yCol string, groupCols ...string) (*Chart, error) {
+	xi := colIndex(tb, xCol)
+	yi := colIndex(tb, yCol)
+	if xi < 0 || yi < 0 {
+		return nil, fmt.Errorf("stats: chart columns %q/%q not found in table %q", xCol, yCol, tb.Title)
+	}
+	var gis []int
+	for _, g := range groupCols {
+		gi := colIndex(tb, g)
+		if gi < 0 {
+			return nil, fmt.Errorf("stats: group column %q not found in table %q", g, tb.Title)
+		}
+		gis = append(gis, gi)
+	}
+	bySeries := map[string]*Series{}
+	var order []string
+	for _, row := range tb.Rows {
+		if xi >= len(row) || yi >= len(row) {
+			continue
+		}
+		x, errX := strconv.ParseFloat(row[xi], 64)
+		y, errY := strconv.ParseFloat(row[yi], 64)
+		if errX != nil || errY != nil ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsNaN(x) || math.IsNaN(y) {
+			continue
+		}
+		name := yCol
+		if len(gis) > 0 {
+			var parts []string
+			for _, gi := range gis {
+				parts = append(parts, row[gi])
+			}
+			name = strings.Join(parts, "/")
+		}
+		s, ok := bySeries[name]
+		if !ok {
+			s = &Series{Name: name}
+			bySeries[name] = s
+			order = append(order, name)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	// Series keep first-appearance order, which is deterministic because
+	// table rows are.
+	ch := &Chart{Title: tb.Title, XLabel: xCol, YLabel: yCol}
+	for _, name := range order {
+		ch.Series = append(ch.Series, *bySeries[name])
+	}
+	return ch, nil
+}
+
+func colIndex(tb *Table, name string) int {
+	for i, h := range tb.Headers {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	ch := &Chart{
+		Title:  "demo",
+		XLabel: "n",
+		YLabel: "cost",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+		},
+	}
+	var buf bytes.Buffer
+	ch.Render(&buf, 40, 10)
+	out := buf.String()
+	for _, want := range []string{"demo", "* = a", "o = b", "x: n, y: cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs not plotted")
+	}
+}
+
+func TestChartRenderEmpty(t *testing.T) {
+	ch := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	ch.Render(&buf, 40, 10)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty chart rendered: %q", buf.String())
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point: ranges collapse; render must not panic or divide by
+	// zero.
+	ch := &Chart{Series: []Series{{Name: "p", X: []float64{3}, Y: []float64{7}}}}
+	var buf bytes.Buffer
+	ch.Render(&buf, 20, 8)
+	if buf.Len() == 0 {
+		t.Error("nothing rendered")
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tb := NewTable("t", "n", "policy", "cost")
+	tb.AddRow(1, "gm", 10.0)
+	tb.AddRow(2, "gm", 20.0)
+	tb.AddRow(1, "pg", 30.0)
+	tb.AddRow(2, "pg", 40.0)
+	ch, err := ChartFromTable(tb, "n", "cost", "policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(ch.Series))
+	}
+	if ch.Series[0].Name != "gm" || len(ch.Series[0].X) != 2 {
+		t.Errorf("series 0 = %+v", ch.Series[0])
+	}
+	if ch.Series[1].Name != "pg" || ch.Series[1].Y[1] != 40 {
+		t.Errorf("series 1 = %+v", ch.Series[1])
+	}
+}
+
+func TestChartFromTableSkipsNonNumeric(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.AddRow("oops", 1.0)
+	tb.AddRow(2, "+Inf")
+	tb.AddRow(3, 9.0)
+	ch, err := ChartFromTable(tb, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Series) != 1 || len(ch.Series[0].X) != 1 {
+		t.Fatalf("expected exactly one numeric point, got %+v", ch.Series)
+	}
+}
+
+func TestChartFromTableMissingColumns(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	if _, err := ChartFromTable(tb, "nope", "b"); err == nil {
+		t.Error("missing x column accepted")
+	}
+	if _, err := ChartFromTable(tb, "a", "nope"); err == nil {
+		t.Error("missing y column accepted")
+	}
+	if _, err := ChartFromTable(tb, "a", "b", "nope"); err == nil {
+		t.Error("missing group column accepted")
+	}
+}

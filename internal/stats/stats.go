@@ -1,0 +1,146 @@
+// Package stats provides the small statistics toolkit used by the
+// benchmark harness: streaming moments (Welford), quantiles, confidence
+// intervals, histograms, and ASCII/CSV table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Acc is a streaming accumulator for mean and variance (Welford's
+// algorithm), plus min/max. The zero value is ready to use.
+type Acc struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Acc) N() int64 { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance.
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (a *Acc) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (a *Acc) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (a *Acc) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.Std() / math.Sqrt(float64(a.n))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Histogram bins observations into equal-width buckets over [lo, hi].
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	Under   int64
+	Over    int64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram range [%g,%g)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n)}
+}
+
+// Add bins one observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	k := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if k == len(h.Buckets) {
+		k--
+	}
+	h.Buckets[k]++
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int64 {
+	t := h.Under + h.Over
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}

@@ -1,0 +1,254 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+)
+
+// CIOQPolicy is the decision interface for CIOQ switches. The engine calls
+// Admit once per arriving packet and Schedule once per scheduling cycle;
+// transmission is not a policy decision: the engine always transmits the
+// head packet of every non-empty output queue (all the paper's algorithms,
+// and WLOG the offline optimum, are work-conserving and greedy at outputs).
+type CIOQPolicy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Disciplines returns the queue orderings the policy requires for
+	// input and output queues (FIFO for unit-value algorithms, ByValue
+	// for weighted ones).
+	Disciplines() (input, output queue.Discipline)
+	// Reset prepares the policy for a fresh run on the given config.
+	Reset(cfg Config)
+	// Admit decides the fate of an arriving packet.
+	Admit(sw *CIOQ, p packet.Packet) AdmitAction
+	// Schedule returns the set of transfers for scheduling cycle
+	// `cycle` (0-based) of slot `slot`. The set must form a matching:
+	// at most one transfer out of each input port and at most one into
+	// each output port.
+	Schedule(sw *CIOQ, slot, cycle int) []Transfer
+}
+
+// CIOQ is the state of a combined input/output queued switch.
+type CIOQ struct {
+	Cfg Config
+	// IQ[i][j] is the input queue at port i holding packets for output j.
+	IQ [][]*queue.Queue
+	// OQ[j] is the queue at output port j.
+	OQ []*queue.Queue
+	M  Metrics
+}
+
+// NewCIOQ builds an empty switch with the queue disciplines requested by
+// the policy.
+func NewCIOQ(cfg Config, inDisc, outDisc queue.Discipline) *CIOQ {
+	sw := &CIOQ{Cfg: cfg}
+	sw.IQ = make([][]*queue.Queue, cfg.Inputs)
+	for i := range sw.IQ {
+		sw.IQ[i] = make([]*queue.Queue, cfg.Outputs)
+		for j := range sw.IQ[i] {
+			sw.IQ[i][j] = queue.New(cfg.InputBuf, inDisc)
+		}
+	}
+	sw.OQ = make([]*queue.Queue, cfg.Outputs)
+	for j := range sw.OQ {
+		sw.OQ[j] = queue.New(cfg.OutputBuf, outDisc)
+	}
+	return sw
+}
+
+// QueuedPackets returns the number of packets currently stored anywhere in
+// the switch.
+func (sw *CIOQ) QueuedPackets() int64 {
+	var n int64
+	for i := range sw.IQ {
+		for j := range sw.IQ[i] {
+			n += int64(sw.IQ[i][j].Len())
+		}
+	}
+	for j := range sw.OQ {
+		n += int64(sw.OQ[j].Len())
+	}
+	return n
+}
+
+func (sw *CIOQ) checkInvariants() error {
+	for i := range sw.IQ {
+		for j := range sw.IQ[i] {
+			if err := sw.IQ[i][j].CheckInvariants(); err != nil {
+				return fmt.Errorf("IQ[%d][%d]: %w", i, j, err)
+			}
+		}
+	}
+	for j := range sw.OQ {
+		if err := sw.OQ[j].CheckInvariants(); err != nil {
+			return fmt.Errorf("OQ[%d]: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// admit executes an admission decision, updating metrics.
+func (sw *CIOQ) admit(p packet.Packet, action AdmitAction) error {
+	sw.M.Arrived++
+	sw.M.ArrivedValue += p.Value
+	q := sw.IQ[p.In][p.Out]
+	switch action {
+	case Reject:
+		sw.M.Rejected++
+		sw.M.RejectedValue += p.Value
+		return nil
+	case Accept:
+		if err := q.Push(p); err != nil {
+			return fmt.Errorf("switchsim: policy accepted %v into full IQ[%d][%d]", p, p.In, p.Out)
+		}
+		sw.M.Accepted++
+		sw.M.AcceptedValue += p.Value
+		return nil
+	case AcceptPreempt, AcceptPreemptMin:
+		var victim packet.Packet
+		var preempted, accepted bool
+		if action == AcceptPreemptMin {
+			victim, preempted, accepted = q.PushPreemptMin(p)
+		} else {
+			victim, preempted, accepted = q.PushPreempt(p)
+		}
+		if !accepted {
+			sw.M.Rejected++
+			sw.M.RejectedValue += p.Value
+			return nil
+		}
+		sw.M.Accepted++
+		sw.M.AcceptedValue += p.Value
+		if preempted {
+			sw.M.PreemptedInput++
+			sw.M.PreemptedInputValue += victim.Value
+		}
+		return nil
+	default:
+		return fmt.Errorf("switchsim: unknown admit action %d", action)
+	}
+}
+
+// executeTransfers applies one scheduling cycle's matching, enforcing the
+// matching property and capacities.
+func (sw *CIOQ) executeTransfers(ts []Transfer) error {
+	usedIn := make([]bool, sw.Cfg.Inputs)
+	usedOut := make([]bool, sw.Cfg.Outputs)
+	for _, t := range ts {
+		if t.In < 0 || t.In >= sw.Cfg.Inputs || t.Out < 0 || t.Out >= sw.Cfg.Outputs {
+			return fmt.Errorf("switchsim: transfer (%d->%d) out of range", t.In, t.Out)
+		}
+		if usedIn[t.In] {
+			return fmt.Errorf("switchsim: matching violation: two transfers from input %d", t.In)
+		}
+		if usedOut[t.Out] {
+			return fmt.Errorf("switchsim: matching violation: two transfers to output %d", t.Out)
+		}
+		usedIn[t.In], usedOut[t.Out] = true, true
+	}
+	for _, t := range ts {
+		src := sw.IQ[t.In][t.Out]
+		dst := sw.OQ[t.Out]
+		p, ok := src.PopHead()
+		if !ok {
+			return fmt.Errorf("switchsim: transfer from empty IQ[%d][%d]", t.In, t.Out)
+		}
+		if (t.PreemptIfFull || t.PreemptMinIfFull) && dst.Full() {
+			var victim packet.Packet
+			var preempted, accepted bool
+			if t.PreemptMinIfFull {
+				victim, preempted, accepted = dst.PushPreemptMin(p)
+			} else {
+				victim, preempted, accepted = dst.PushPreempt(p)
+			}
+			if !accepted {
+				return fmt.Errorf("switchsim: transfer of %v into OQ[%d] rejected (victim %v not worse)", p, t.Out, victim)
+			}
+			if preempted {
+				sw.M.PreemptedOutput++
+				sw.M.PreemptedOutputValue += victim.Value
+			}
+		} else if err := dst.Push(p); err != nil {
+			return fmt.Errorf("switchsim: transfer of %v into full OQ[%d]", p, t.Out)
+		}
+		sw.M.Transferred++
+	}
+	return nil
+}
+
+// transmit performs the transmission phase of slot `slot`.
+func (sw *CIOQ) transmit(slot int) {
+	for j := range sw.OQ {
+		if p, ok := sw.OQ[j].PopHead(); ok {
+			sw.M.Sent++
+			sw.M.Benefit += p.Value
+			if sw.Cfg.RecordLatency {
+				sw.M.recordLatency(slot - p.Arrival)
+			}
+			if sw.Cfg.RecordSeries {
+				sw.M.SlotBenefit[slot] += p.Value
+			}
+		}
+	}
+}
+
+func (sw *CIOQ) sampleOccupancy() {
+	var in, out int64
+	for i := range sw.IQ {
+		for j := range sw.IQ[i] {
+			in += int64(sw.IQ[i][j].Len())
+		}
+	}
+	for j := range sw.OQ {
+		out += int64(sw.OQ[j].Len())
+	}
+	sw.M.InputOccupSum += in
+	sw.M.OutputOccupSum += out
+	sw.M.slotsSampled++
+}
+
+// RunCIOQ simulates the policy on the sequence and returns the result.
+// The sequence must be valid for the configured geometry.
+func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
+	if err := cfg.Check(false); err != nil {
+		return nil, err
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return nil, fmt.Errorf("switchsim: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	inDisc, outDisc := pol.Disciplines()
+	sw := NewCIOQ(cfg, inDisc, outDisc)
+	if cfg.RecordSeries {
+		sw.M.SlotBenefit = make([]int64, slots)
+	}
+	pol.Reset(cfg)
+	arrivals := seq.BySlot(slots)
+	for slot := 0; slot < slots; slot++ {
+		for _, p := range arrivals[slot] {
+			if err := sw.admit(p, pol.Admit(sw, p)); err != nil {
+				return nil, err
+			}
+		}
+		for cycle := 0; cycle < cfg.Speedup; cycle++ {
+			if err := sw.executeTransfers(pol.Schedule(sw, slot, cycle)); err != nil {
+				return nil, err
+			}
+		}
+		sw.transmit(slot)
+		sw.sampleOccupancy()
+		if cfg.Validate {
+			if err := sw.checkInvariants(); err != nil {
+				return nil, fmt.Errorf("switchsim: slot %d: %w", slot, err)
+			}
+		}
+	}
+	if cfg.Validate {
+		if err := sw.M.conservationCheck(sw.QueuedPackets()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Policy: pol.Name(), Cfg: cfg, Slots: slots, M: sw.M}, nil
+}

@@ -1,0 +1,126 @@
+// Package switchsim implements slot- and phase-accurate simulators for the
+// three switch architectures the paper discusses:
+//
+//   - CIOQ switches (input virtual-output queues + output queues),
+//   - buffered crossbar switches (additional per-crosspoint queues), and
+//   - an ideal output-queued (OQ) switch used as a reference point.
+//
+// Each time slot consists of an arrival phase, ŝ scheduling cycles
+// (ŝ = speedup; each cycle transfers a *matching* of packets), and a
+// transmission phase that sends at most one packet per output port.
+// Scheduling decisions are delegated to policies (package internal/core);
+// the engine owns the queues, enforces the physical constraints (matching
+// property, buffer capacities, phase ordering) and collects metrics, so a
+// buggy policy produces an error instead of silently cheating.
+package switchsim
+
+import (
+	"fmt"
+
+	"qswitch/internal/packet"
+)
+
+// Config describes the switch geometry and the simulation horizon.
+type Config struct {
+	// Inputs and Outputs are the port counts (N and M). The paper focuses
+	// on N = M but all results generalize to rectangular switches (§4).
+	Inputs  int
+	Outputs int
+
+	// InputBuf is B(Q_ij), the capacity of each input-side virtual output
+	// queue. OutputBuf is B(Q_j). CrossBuf is B(C_ij) and only used by the
+	// buffered crossbar model.
+	InputBuf  int
+	OutputBuf int
+	CrossBuf  int
+
+	// Speedup ŝ is the number of scheduling cycles per time slot.
+	Speedup int
+
+	// Slots is the simulation horizon. Zero means "derive from the
+	// sequence": last arrival + number of packets, enough to drain any
+	// backlog completely.
+	Slots int
+
+	// Validate enables per-phase invariant checking (queue ordering and
+	// capacities, conservation at the end). Simulations are ~2x slower
+	// with it on; tests enable it everywhere.
+	Validate bool
+
+	// RecordSeries collects the per-slot transmitted value (for figures).
+	RecordSeries bool
+
+	// RecordLatency collects a latency histogram (slots between arrival
+	// and transmission).
+	RecordLatency bool
+}
+
+// Check validates the configuration, applying no defaults.
+func (c Config) Check(needCross bool) error {
+	if c.Inputs < 1 || c.Outputs < 1 {
+		return fmt.Errorf("switchsim: need at least 1 input and 1 output, got %dx%d", c.Inputs, c.Outputs)
+	}
+	if c.InputBuf < 1 {
+		return fmt.Errorf("switchsim: input buffer capacity %d < 1", c.InputBuf)
+	}
+	if c.OutputBuf < 1 {
+		return fmt.Errorf("switchsim: output buffer capacity %d < 1", c.OutputBuf)
+	}
+	if needCross && c.CrossBuf < 1 {
+		return fmt.Errorf("switchsim: crossbar buffer capacity %d < 1", c.CrossBuf)
+	}
+	if c.Speedup < 1 {
+		return fmt.Errorf("switchsim: speedup %d < 1", c.Speedup)
+	}
+	if c.Slots < 0 {
+		return fmt.Errorf("switchsim: negative slot count %d", c.Slots)
+	}
+	return nil
+}
+
+// HorizonFor resolves the number of slots to simulate for a sequence.
+func (c Config) HorizonFor(seq packet.Sequence) int {
+	if c.Slots > 0 {
+		return c.Slots
+	}
+	return seq.Horizon()
+}
+
+// AdmitAction is a policy's decision for an arriving packet.
+type AdmitAction int
+
+const (
+	// Reject discards the arriving packet.
+	Reject AdmitAction = iota
+	// Accept enqueues the packet; it is a policy error if the target
+	// queue is full.
+	Accept
+	// AcceptPreempt enqueues the packet, preempting the queue's tail
+	// packet if the queue is full and the tail has strictly lower
+	// priority; otherwise the arrival is rejected. This is the paper's
+	// preemptive admission rule.
+	AcceptPreempt
+	// AcceptPreemptMin enqueues the packet, preempting the queue's
+	// least-valuable packet (wherever it sits) if the queue is full and
+	// strictly worse. Under ByValue queues it coincides with
+	// AcceptPreempt; under FIFO queues it implements the preemption rule
+	// of the FIFO buffer-management literature (packets depart in
+	// arrival order, but any buffered packet may be dropped).
+	AcceptPreemptMin
+)
+
+// Transfer instructs the engine to move the head packet of a source queue
+// to its destination queue during a scheduling cycle (or subphase).
+// For CIOQ: Q_{In,Out} -> Q_Out. For the crossbar input subphase:
+// Q_{In,Out} -> C_{In,Out}; output subphase: C_{In,Out} -> Q_Out.
+type Transfer struct {
+	In, Out int
+	// PreemptIfFull allows the transfer to preempt the destination
+	// queue's tail if the destination is full and the moved packet has
+	// strictly higher priority. Without it a transfer into a full queue
+	// is a policy error.
+	PreemptIfFull bool
+	// PreemptMinIfFull is the FIFO-model variant: preempt the
+	// destination queue's least-valuable packet instead of its tail.
+	PreemptMinIfFull bool
+}

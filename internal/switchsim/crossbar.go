@@ -1,0 +1,301 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+)
+
+// CrossbarPolicy is the decision interface for buffered crossbar switches.
+// Each scheduling cycle is split into an input subphase (moves from input
+// queues to crosspoint queues, at most one per input port) and an output
+// subphase (moves from crosspoint queues to output queues, at most one per
+// output port), per the paper's model (§1.3).
+type CrossbarPolicy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Disciplines returns the queue orderings for input, crosspoint and
+	// output queues.
+	Disciplines() (input, cross, output queue.Discipline)
+	// Reset prepares the policy for a fresh run.
+	Reset(cfg Config)
+	// Admit decides the fate of an arriving packet.
+	Admit(sw *Crossbar, p packet.Packet) AdmitAction
+	// InputSubphase returns transfers Q_{In,Out} -> C_{In,Out}; at most
+	// one per input port (Out may repeat across different inputs).
+	InputSubphase(sw *Crossbar, slot, cycle int) []Transfer
+	// OutputSubphase returns transfers C_{In,Out} -> Q_Out; at most one
+	// per output port.
+	OutputSubphase(sw *Crossbar, slot, cycle int) []Transfer
+}
+
+// Crossbar is the state of a buffered crossbar switch.
+type Crossbar struct {
+	Cfg Config
+	// IQ[i][j]: input queue at port i for output j.
+	IQ [][]*queue.Queue
+	// XQ[i][j]: crosspoint queue C_ij.
+	XQ [][]*queue.Queue
+	// OQ[j]: output queue at port j.
+	OQ []*queue.Queue
+	M  Metrics
+}
+
+// NewCrossbar builds an empty buffered crossbar switch.
+func NewCrossbar(cfg Config, inDisc, crossDisc, outDisc queue.Discipline) *Crossbar {
+	sw := &Crossbar{Cfg: cfg}
+	sw.IQ = make([][]*queue.Queue, cfg.Inputs)
+	sw.XQ = make([][]*queue.Queue, cfg.Inputs)
+	for i := 0; i < cfg.Inputs; i++ {
+		sw.IQ[i] = make([]*queue.Queue, cfg.Outputs)
+		sw.XQ[i] = make([]*queue.Queue, cfg.Outputs)
+		for j := 0; j < cfg.Outputs; j++ {
+			sw.IQ[i][j] = queue.New(cfg.InputBuf, inDisc)
+			sw.XQ[i][j] = queue.New(cfg.CrossBuf, crossDisc)
+		}
+	}
+	sw.OQ = make([]*queue.Queue, cfg.Outputs)
+	for j := range sw.OQ {
+		sw.OQ[j] = queue.New(cfg.OutputBuf, outDisc)
+	}
+	return sw
+}
+
+// QueuedPackets returns the number of packets currently stored anywhere.
+func (sw *Crossbar) QueuedPackets() int64 {
+	var n int64
+	for i := range sw.IQ {
+		for j := range sw.IQ[i] {
+			n += int64(sw.IQ[i][j].Len() + sw.XQ[i][j].Len())
+		}
+	}
+	for j := range sw.OQ {
+		n += int64(sw.OQ[j].Len())
+	}
+	return n
+}
+
+func (sw *Crossbar) checkInvariants() error {
+	for i := range sw.IQ {
+		for j := range sw.IQ[i] {
+			if err := sw.IQ[i][j].CheckInvariants(); err != nil {
+				return fmt.Errorf("IQ[%d][%d]: %w", i, j, err)
+			}
+			if err := sw.XQ[i][j].CheckInvariants(); err != nil {
+				return fmt.Errorf("XQ[%d][%d]: %w", i, j, err)
+			}
+		}
+	}
+	for j := range sw.OQ {
+		if err := sw.OQ[j].CheckInvariants(); err != nil {
+			return fmt.Errorf("OQ[%d]: %w", j, err)
+		}
+	}
+	return nil
+}
+
+func (sw *Crossbar) admit(p packet.Packet, action AdmitAction) error {
+	sw.M.Arrived++
+	sw.M.ArrivedValue += p.Value
+	q := sw.IQ[p.In][p.Out]
+	switch action {
+	case Reject:
+		sw.M.Rejected++
+		sw.M.RejectedValue += p.Value
+		return nil
+	case Accept:
+		if err := q.Push(p); err != nil {
+			return fmt.Errorf("switchsim: policy accepted %v into full IQ[%d][%d]", p, p.In, p.Out)
+		}
+		sw.M.Accepted++
+		sw.M.AcceptedValue += p.Value
+		return nil
+	case AcceptPreempt, AcceptPreemptMin:
+		var victim packet.Packet
+		var preempted, accepted bool
+		if action == AcceptPreemptMin {
+			victim, preempted, accepted = q.PushPreemptMin(p)
+		} else {
+			victim, preempted, accepted = q.PushPreempt(p)
+		}
+		if !accepted {
+			sw.M.Rejected++
+			sw.M.RejectedValue += p.Value
+			return nil
+		}
+		sw.M.Accepted++
+		sw.M.AcceptedValue += p.Value
+		if preempted {
+			sw.M.PreemptedInput++
+			sw.M.PreemptedInputValue += victim.Value
+		}
+		return nil
+	default:
+		return fmt.Errorf("switchsim: unknown admit action %d", action)
+	}
+}
+
+// executeInputSubphase moves head packets Q_ij -> C_ij with at most one
+// transfer per input port.
+func (sw *Crossbar) executeInputSubphase(ts []Transfer) error {
+	usedIn := make([]bool, sw.Cfg.Inputs)
+	for _, t := range ts {
+		if t.In < 0 || t.In >= sw.Cfg.Inputs || t.Out < 0 || t.Out >= sw.Cfg.Outputs {
+			return fmt.Errorf("switchsim: input-subphase transfer (%d->%d) out of range", t.In, t.Out)
+		}
+		if usedIn[t.In] {
+			return fmt.Errorf("switchsim: two input-subphase transfers from input %d", t.In)
+		}
+		usedIn[t.In] = true
+	}
+	for _, t := range ts {
+		src := sw.IQ[t.In][t.Out]
+		dst := sw.XQ[t.In][t.Out]
+		p, ok := src.PopHead()
+		if !ok {
+			return fmt.Errorf("switchsim: input-subphase transfer from empty IQ[%d][%d]", t.In, t.Out)
+		}
+		if (t.PreemptIfFull || t.PreemptMinIfFull) && dst.Full() {
+			var victim packet.Packet
+			var preempted, accepted bool
+			if t.PreemptMinIfFull {
+				victim, preempted, accepted = dst.PushPreemptMin(p)
+			} else {
+				victim, preempted, accepted = dst.PushPreempt(p)
+			}
+			if !accepted {
+				return fmt.Errorf("switchsim: transfer of %v into C[%d][%d] rejected", p, t.In, t.Out)
+			}
+			if preempted {
+				sw.M.PreemptedCross++
+				sw.M.PreemptedCrossValue += victim.Value
+			}
+		} else if err := dst.Push(p); err != nil {
+			return fmt.Errorf("switchsim: transfer of %v into full C[%d][%d]", p, t.In, t.Out)
+		}
+		sw.M.Transferred++
+	}
+	return nil
+}
+
+// executeOutputSubphase moves head packets C_ij -> Q_j with at most one
+// transfer per output port.
+func (sw *Crossbar) executeOutputSubphase(ts []Transfer) error {
+	usedOut := make([]bool, sw.Cfg.Outputs)
+	for _, t := range ts {
+		if t.In < 0 || t.In >= sw.Cfg.Inputs || t.Out < 0 || t.Out >= sw.Cfg.Outputs {
+			return fmt.Errorf("switchsim: output-subphase transfer (%d->%d) out of range", t.In, t.Out)
+		}
+		if usedOut[t.Out] {
+			return fmt.Errorf("switchsim: two output-subphase transfers to output %d", t.Out)
+		}
+		usedOut[t.Out] = true
+	}
+	for _, t := range ts {
+		src := sw.XQ[t.In][t.Out]
+		dst := sw.OQ[t.Out]
+		p, ok := src.PopHead()
+		if !ok {
+			return fmt.Errorf("switchsim: output-subphase transfer from empty C[%d][%d]", t.In, t.Out)
+		}
+		if (t.PreemptIfFull || t.PreemptMinIfFull) && dst.Full() {
+			var victim packet.Packet
+			var preempted, accepted bool
+			if t.PreemptMinIfFull {
+				victim, preempted, accepted = dst.PushPreemptMin(p)
+			} else {
+				victim, preempted, accepted = dst.PushPreempt(p)
+			}
+			if !accepted {
+				return fmt.Errorf("switchsim: transfer of %v into OQ[%d] rejected", p, t.Out)
+			}
+			if preempted {
+				sw.M.PreemptedOutput++
+				sw.M.PreemptedOutputValue += victim.Value
+			}
+		} else if err := dst.Push(p); err != nil {
+			return fmt.Errorf("switchsim: transfer of %v into full OQ[%d]", p, t.Out)
+		}
+		sw.M.TransferredCross++
+	}
+	return nil
+}
+
+func (sw *Crossbar) transmit(slot int) {
+	for j := range sw.OQ {
+		if p, ok := sw.OQ[j].PopHead(); ok {
+			sw.M.Sent++
+			sw.M.Benefit += p.Value
+			if sw.Cfg.RecordLatency {
+				sw.M.recordLatency(slot - p.Arrival)
+			}
+			if sw.Cfg.RecordSeries {
+				sw.M.SlotBenefit[slot] += p.Value
+			}
+		}
+	}
+}
+
+func (sw *Crossbar) sampleOccupancy() {
+	var in, cross, out int64
+	for i := range sw.IQ {
+		for j := range sw.IQ[i] {
+			in += int64(sw.IQ[i][j].Len())
+			cross += int64(sw.XQ[i][j].Len())
+		}
+	}
+	for j := range sw.OQ {
+		out += int64(sw.OQ[j].Len())
+	}
+	sw.M.InputOccupSum += in
+	sw.M.CrossOccupSum += cross
+	sw.M.OutputOccupSum += out
+	sw.M.slotsSampled++
+}
+
+// RunCrossbar simulates a crossbar policy on the sequence.
+func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, error) {
+	if err := cfg.Check(true); err != nil {
+		return nil, err
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return nil, fmt.Errorf("switchsim: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	inDisc, crossDisc, outDisc := pol.Disciplines()
+	sw := NewCrossbar(cfg, inDisc, crossDisc, outDisc)
+	if cfg.RecordSeries {
+		sw.M.SlotBenefit = make([]int64, slots)
+	}
+	pol.Reset(cfg)
+	arrivals := seq.BySlot(slots)
+	for slot := 0; slot < slots; slot++ {
+		for _, p := range arrivals[slot] {
+			if err := sw.admit(p, pol.Admit(sw, p)); err != nil {
+				return nil, err
+			}
+		}
+		for cycle := 0; cycle < cfg.Speedup; cycle++ {
+			if err := sw.executeInputSubphase(pol.InputSubphase(sw, slot, cycle)); err != nil {
+				return nil, err
+			}
+			if err := sw.executeOutputSubphase(pol.OutputSubphase(sw, slot, cycle)); err != nil {
+				return nil, err
+			}
+		}
+		sw.transmit(slot)
+		sw.sampleOccupancy()
+		if cfg.Validate {
+			if err := sw.checkInvariants(); err != nil {
+				return nil, fmt.Errorf("switchsim: slot %d: %w", slot, err)
+			}
+		}
+	}
+	if cfg.Validate {
+		if err := sw.M.conservationCheck(sw.QueuedPackets()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Policy: pol.Name(), Cfg: cfg, Slots: slots, M: sw.M}, nil
+}

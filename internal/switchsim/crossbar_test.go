@@ -1,0 +1,180 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+)
+
+// xbarPolicy is a configurable well-behaved crossbar policy.
+type xbarPolicy struct {
+	cfg    Config
+	admit  func(sw *Crossbar, p packet.Packet) AdmitAction
+	inSub  func(sw *Crossbar, slot, cycle int) []Transfer
+	outSub func(sw *Crossbar, slot, cycle int) []Transfer
+}
+
+func (s *xbarPolicy) Name() string { return "test-xbar" }
+func (s *xbarPolicy) Disciplines() (queue.Discipline, queue.Discipline, queue.Discipline) {
+	return queue.FIFO, queue.FIFO, queue.FIFO
+}
+func (s *xbarPolicy) Reset(cfg Config) { s.cfg = cfg }
+func (s *xbarPolicy) Admit(sw *Crossbar, p packet.Packet) AdmitAction {
+	if s.admit != nil {
+		return s.admit(sw, p)
+	}
+	if sw.IQ[p.In][p.Out].Full() {
+		return Reject
+	}
+	return Accept
+}
+func (s *xbarPolicy) InputSubphase(sw *Crossbar, slot, cycle int) []Transfer {
+	if s.inSub != nil {
+		return s.inSub(sw, slot, cycle)
+	}
+	var out []Transfer
+	for i := 0; i < s.cfg.Inputs; i++ {
+		for j := 0; j < s.cfg.Outputs; j++ {
+			if !sw.IQ[i][j].Empty() && !sw.XQ[i][j].Full() {
+				out = append(out, Transfer{In: i, Out: j})
+				break
+			}
+		}
+	}
+	return out
+}
+func (s *xbarPolicy) OutputSubphase(sw *Crossbar, slot, cycle int) []Transfer {
+	if s.outSub != nil {
+		return s.outSub(sw, slot, cycle)
+	}
+	var out []Transfer
+	for j := 0; j < s.cfg.Outputs; j++ {
+		if sw.OQ[j].Full() {
+			continue
+		}
+		for i := 0; i < s.cfg.Inputs; i++ {
+			if !sw.XQ[i][j].Empty() {
+				out = append(out, Transfer{In: i, Out: j})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestCrossbarFlowThrough(t *testing.T) {
+	cfg := baseCfg()
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 1, Value: 1},
+		packet.Packet{Arrival: 0, In: 1, Out: 0, Value: 1},
+	)
+	res, err := RunCrossbar(cfg, &xbarPolicy{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Sent != 2 {
+		t.Errorf("sent %d, want 2", res.M.Sent)
+	}
+	if res.M.Transferred != 2 || res.M.TransferredCross != 2 {
+		t.Errorf("transfers in=%d out=%d, want 2,2", res.M.Transferred, res.M.TransferredCross)
+	}
+}
+
+func TestCrossbarPacketTraversesBothSubphasesInOneCycle(t *testing.T) {
+	// A packet can move IQ -> XQ -> OQ within one cycle (input subphase
+	// then output subphase), and be transmitted the same slot.
+	cfg := Config{Inputs: 1, Outputs: 1, InputBuf: 1, OutputBuf: 1, CrossBuf: 1,
+		Speedup: 1, Validate: true, RecordLatency: true}
+	seq := seqOf(packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1})
+	res, err := RunCrossbar(cfg, &xbarPolicy{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Sent != 1 || res.M.LatencySum != 0 {
+		t.Errorf("sent=%d latency=%d, want same-slot delivery", res.M.Sent, res.M.LatencySum)
+	}
+}
+
+func TestCrossbarSubphaseConstraints(t *testing.T) {
+	cfg := baseCfg()
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 0, In: 0, Out: 1, Value: 1},
+		packet.Packet{Arrival: 0, In: 1, Out: 0, Value: 1},
+	)
+	t.Run("two input transfers from one port", func(t *testing.T) {
+		bad := &xbarPolicy{inSub: func(sw *Crossbar, slot, cycle int) []Transfer {
+			if slot == 0 {
+				return []Transfer{{In: 0, Out: 0}, {In: 0, Out: 1}}
+			}
+			return nil
+		}}
+		_, err := RunCrossbar(cfg, bad, seq)
+		if err == nil || !strings.Contains(err.Error(), "input") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("two output transfers to one port", func(t *testing.T) {
+		bad := &xbarPolicy{outSub: func(sw *Crossbar, slot, cycle int) []Transfer {
+			if slot == 1 {
+				return []Transfer{{In: 0, Out: 0}, {In: 1, Out: 0}}
+			}
+			return nil
+		}}
+		_, err := RunCrossbar(cfg, bad, seq)
+		if err == nil || !strings.Contains(err.Error(), "output") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("transfer from empty crosspoint", func(t *testing.T) {
+		bad := &xbarPolicy{outSub: func(sw *Crossbar, slot, cycle int) []Transfer {
+			return []Transfer{{In: 1, Out: 1}}
+		}}
+		_, err := RunCrossbar(cfg, bad, seq)
+		if err == nil || !strings.Contains(err.Error(), "empty") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestCrossbarDistinctOutputsViaSameInputDifferentCycles(t *testing.T) {
+	// Input subphase allows only one transfer per input per cycle; with
+	// speedup 2 both packets of one input move within a slot.
+	cfg := baseCfg()
+	cfg.Speedup = 2
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 0, In: 0, Out: 1, Value: 1},
+	)
+	res, err := RunCrossbar(cfg, &xbarPolicy{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Sent != 2 {
+		t.Errorf("sent %d, want 2", res.M.Sent)
+	}
+	// Both must have been transmitted in slot 0 (latency 0) because both
+	// subphases ran twice.
+	if res.Slots < 1 || res.M.Benefit != 2 {
+		t.Errorf("unexpected result %+v", res.M)
+	}
+}
+
+func TestCrossbarConservation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.InputBuf, cfg.CrossBuf, cfg.OutputBuf = 1, 1, 1
+	var ps []packet.Packet
+	for k := 0; k < 12; k++ {
+		ps = append(ps, packet.Packet{Arrival: k % 3, In: k % 2, Out: 0, Value: 1})
+	}
+	res, err := RunCrossbar(cfg, &xbarPolicy{}, seqOf(ps...))
+	if err != nil {
+		t.Fatal(err) // Validate mode runs the conservation check internally
+	}
+	if res.M.Accepted != res.M.Sent {
+		t.Errorf("non-preemptive crossbar run lost accepted packets: acc=%d sent=%d",
+			res.M.Accepted, res.M.Sent)
+	}
+}

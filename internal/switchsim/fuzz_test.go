@@ -1,0 +1,208 @@
+package switchsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+)
+
+// chaosPolicy makes random but LEGAL decisions: the engine must uphold
+// all invariants for any well-formed policy, not just the sensible ones.
+type chaosPolicy struct {
+	rng     *rand.Rand
+	cfg     Config
+	byValue bool
+}
+
+func (c *chaosPolicy) Name() string { return "chaos" }
+func (c *chaosPolicy) Disciplines() (queue.Discipline, queue.Discipline) {
+	if c.byValue {
+		return queue.ByValue, queue.ByValue
+	}
+	return queue.FIFO, queue.FIFO
+}
+func (c *chaosPolicy) Reset(cfg Config) { c.cfg = cfg }
+func (c *chaosPolicy) Admit(sw *CIOQ, p packet.Packet) AdmitAction {
+	switch c.rng.Intn(4) {
+	case 0:
+		return Reject
+	case 1:
+		return AcceptPreempt
+	case 2:
+		return AcceptPreemptMin
+	default:
+		if sw.IQ[p.In][p.Out].Full() {
+			return Reject
+		}
+		return Accept
+	}
+}
+func (c *chaosPolicy) Schedule(sw *CIOQ, slot, cycle int) []Transfer {
+	usedIn := make([]bool, c.cfg.Inputs)
+	usedOut := make([]bool, c.cfg.Outputs)
+	var out []Transfer
+	// Random subset of a random matching over currently legal moves.
+	for _, i := range c.rng.Perm(c.cfg.Inputs) {
+		if c.rng.Intn(3) == 0 {
+			continue // leave this input idle
+		}
+		for _, j := range c.rng.Perm(c.cfg.Outputs) {
+			if usedIn[i] || usedOut[j] {
+				continue
+			}
+			src := sw.IQ[i][j]
+			if src.Empty() {
+				continue
+			}
+			dst := sw.OQ[j]
+			if !dst.Full() {
+				usedIn[i], usedOut[j] = true, true
+				out = append(out, Transfer{In: i, Out: j})
+				break
+			}
+			// Full destination: only legal with a strictly better head.
+			head, _ := src.Head()
+			if min, ok := dst.MinValue(); ok && head.Value > min.Value {
+				usedIn[i], usedOut[j] = true, true
+				out = append(out, Transfer{In: i, Out: j, PreemptMinIfFull: true})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestEngineInvariantsUnderChaosPolicies drives the validating engine
+// with hundreds of random-but-legal policies over random traffic: any
+// invariant violation (queue order, capacity, conservation) fails the
+// run. This is the simulator's strongest correctness test.
+func TestEngineInvariantsUnderChaosPolicies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Inputs:    rng.Intn(3) + 1,
+			Outputs:   rng.Intn(3) + 1,
+			InputBuf:  rng.Intn(3) + 1,
+			OutputBuf: rng.Intn(3) + 1,
+			CrossBuf:  1,
+			Speedup:   rng.Intn(3) + 1,
+			Validate:  true,
+		}
+		gen := packet.Bernoulli{Load: 0.5 + rng.Float64()*1.5,
+			Values: packet.UniformValues{Hi: int64(rng.Intn(20) + 1)}}
+		seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, rng.Intn(12)+2)
+		pol := &chaosPolicy{rng: rng, byValue: rng.Intn(2) == 0}
+		res, err := RunCIOQ(cfg, pol, seq)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Benefit can never exceed total offered value.
+		return res.M.Benefit <= seq.TotalValue()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// chaosXbarPolicy is the crossbar counterpart.
+type chaosXbarPolicy struct {
+	rng *rand.Rand
+	cfg Config
+}
+
+func (c *chaosXbarPolicy) Name() string { return "chaos-xbar" }
+func (c *chaosXbarPolicy) Disciplines() (queue.Discipline, queue.Discipline, queue.Discipline) {
+	return queue.ByValue, queue.ByValue, queue.ByValue
+}
+func (c *chaosXbarPolicy) Reset(cfg Config) { c.cfg = cfg }
+func (c *chaosXbarPolicy) Admit(sw *Crossbar, p packet.Packet) AdmitAction {
+	if c.rng.Intn(2) == 0 {
+		return AcceptPreempt
+	}
+	if sw.IQ[p.In][p.Out].Full() {
+		return Reject
+	}
+	return Accept
+}
+func (c *chaosXbarPolicy) InputSubphase(sw *Crossbar, slot, cycle int) []Transfer {
+	var out []Transfer
+	for i := 0; i < c.cfg.Inputs; i++ {
+		if c.rng.Intn(3) == 0 {
+			continue
+		}
+		for _, j := range c.rng.Perm(c.cfg.Outputs) {
+			src := sw.IQ[i][j]
+			if src.Empty() {
+				continue
+			}
+			dst := sw.XQ[i][j]
+			if !dst.Full() {
+				out = append(out, Transfer{In: i, Out: j})
+				break
+			}
+			head, _ := src.Head()
+			if tail, ok := dst.Tail(); ok && head.Value > tail.Value {
+				out = append(out, Transfer{In: i, Out: j, PreemptIfFull: true})
+				break
+			}
+		}
+	}
+	return out
+}
+func (c *chaosXbarPolicy) OutputSubphase(sw *Crossbar, slot, cycle int) []Transfer {
+	var out []Transfer
+	for j := 0; j < c.cfg.Outputs; j++ {
+		if c.rng.Intn(3) == 0 {
+			continue
+		}
+		for _, i := range c.rng.Perm(c.cfg.Inputs) {
+			src := sw.XQ[i][j]
+			if src.Empty() {
+				continue
+			}
+			dst := sw.OQ[j]
+			if !dst.Full() {
+				out = append(out, Transfer{In: i, Out: j})
+				break
+			}
+			head, _ := src.Head()
+			if tail, ok := dst.Tail(); ok && head.Value > tail.Value {
+				out = append(out, Transfer{In: i, Out: j, PreemptIfFull: true})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestCrossbarEngineInvariantsUnderChaos(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Inputs:    rng.Intn(3) + 1,
+			Outputs:   rng.Intn(3) + 1,
+			InputBuf:  rng.Intn(3) + 1,
+			OutputBuf: rng.Intn(3) + 1,
+			CrossBuf:  rng.Intn(2) + 1,
+			Speedup:   rng.Intn(3) + 1,
+			Validate:  true,
+		}
+		gen := packet.Bernoulli{Load: 0.5 + rng.Float64()*1.5,
+			Values: packet.UniformValues{Hi: int64(rng.Intn(20) + 1)}}
+		seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, rng.Intn(12)+2)
+		pol := &chaosXbarPolicy{rng: rng}
+		res, err := RunCrossbar(cfg, pol, seq)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return res.M.Benefit <= seq.TotalValue()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package switchsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metrics aggregates everything observable about one simulation run.
+// Counts are packets; *Value fields are summed packet values, so the
+// unit-value case has Count == Value throughout.
+type Metrics struct {
+	Arrived      int64
+	ArrivedValue int64
+
+	Accepted      int64
+	AcceptedValue int64
+	Rejected      int64
+	RejectedValue int64
+
+	PreemptedInput       int64
+	PreemptedInputValue  int64
+	PreemptedCross       int64
+	PreemptedCrossValue  int64
+	PreemptedOutput      int64
+	PreemptedOutputValue int64
+
+	// Transferred counts input->output moves for CIOQ; for crossbars it
+	// counts input-subphase moves and TransferredCross output-subphase
+	// moves.
+	Transferred      int64
+	TransferredCross int64
+
+	Sent    int64
+	Benefit int64 // total transmitted value — the objective
+
+	// Latency statistics (slots between arrival and transmission),
+	// populated when Config.RecordLatency is set.
+	LatencySum   int64
+	LatencyMax   int
+	LatencyHist  []int64 // bucket k = packets with latency k (capped)
+	latencyCapHi bool
+
+	// SlotBenefit is the transmitted value per slot, populated when
+	// Config.RecordSeries is set.
+	SlotBenefit []int64
+
+	// Occupancy integrals: summed queue lengths sampled at the end of
+	// every slot, divided by slots for time-averages.
+	InputOccupSum  int64
+	CrossOccupSum  int64
+	OutputOccupSum int64
+	slotsSampled   int64
+}
+
+const latencyBuckets = 256
+
+func (m *Metrics) recordLatency(delay int) {
+	m.LatencySum += int64(delay)
+	if delay > m.LatencyMax {
+		m.LatencyMax = delay
+	}
+	if m.LatencyHist == nil {
+		m.LatencyHist = make([]int64, latencyBuckets)
+	}
+	if delay >= latencyBuckets {
+		delay = latencyBuckets - 1
+		m.latencyCapHi = true
+	}
+	m.LatencyHist[delay]++
+}
+
+// MeanLatency returns the average transmission delay in slots, or 0 when
+// nothing was recorded.
+func (m *Metrics) MeanLatency() float64 {
+	if m.Sent == 0 {
+		return 0
+	}
+	return float64(m.LatencySum) / float64(m.Sent)
+}
+
+// LatencyQuantile returns the q-th quantile (0..1) of the recorded
+// latency histogram, in slots. Latencies beyond the histogram range are
+// clamped to its top bucket (LatencyMax holds the true maximum). Returns
+// 0 when no latency was recorded.
+func (m *Metrics) LatencyQuantile(q float64) int {
+	if m.LatencyHist == nil {
+		return 0
+	}
+	var total int64
+	for _, b := range m.LatencyHist {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(total-1))
+	var seen int64
+	for k, b := range m.LatencyHist {
+		seen += b
+		if b > 0 && seen > target {
+			return k
+		}
+	}
+	return len(m.LatencyHist) - 1
+}
+
+// LossRate returns the fraction of arrived packets never transmitted
+// (rejected or preempted), by count.
+func (m *Metrics) LossRate() float64 {
+	if m.Arrived == 0 {
+		return 0
+	}
+	return 1 - float64(m.Sent)/float64(m.Arrived)
+}
+
+// MeanInputOccupancy returns the time-averaged total number of packets in
+// all input queues.
+func (m *Metrics) MeanInputOccupancy() float64 {
+	if m.slotsSampled == 0 {
+		return 0
+	}
+	return float64(m.InputOccupSum) / float64(m.slotsSampled)
+}
+
+// MeanOutputOccupancy returns the time-averaged total number of packets in
+// all output queues.
+func (m *Metrics) MeanOutputOccupancy() float64 {
+	if m.slotsSampled == 0 {
+		return 0
+	}
+	return float64(m.OutputOccupSum) / float64(m.slotsSampled)
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Policy string
+	Cfg    Config
+	Slots  int
+	M      Metrics
+}
+
+// Throughput is transmitted packets per slot.
+func (r *Result) Throughput() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.M.Sent) / float64(r.Slots)
+}
+
+// GoodputValue is transmitted value per slot.
+func (r *Result) GoodputValue() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.M.Benefit) / float64(r.Slots)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: benefit=%d sent=%d/%d arrived (%.1f%% loss)",
+		r.Policy, r.M.Benefit, r.M.Sent, r.M.Arrived, 100*r.M.LossRate())
+	if r.M.PreemptedInput+r.M.PreemptedCross+r.M.PreemptedOutput > 0 {
+		fmt.Fprintf(&b, " preempt(in=%d,x=%d,out=%d)",
+			r.M.PreemptedInput, r.M.PreemptedCross, r.M.PreemptedOutput)
+	}
+	return b.String()
+}
+
+// conservationCheck verifies that every accepted packet is accounted for:
+// accepted = sent + preempted (all stages) + still queued.
+func (m *Metrics) conservationCheck(residual int64) error {
+	preempted := m.PreemptedInput + m.PreemptedCross + m.PreemptedOutput
+	if m.Accepted != m.Sent+preempted+residual {
+		return fmt.Errorf("switchsim: conservation violated: accepted=%d sent=%d preempted=%d residual=%d",
+			m.Accepted, m.Sent, preempted, residual)
+	}
+	if m.Arrived != m.Accepted+m.Rejected {
+		return fmt.Errorf("switchsim: admission accounting violated: arrived=%d accepted=%d rejected=%d",
+			m.Arrived, m.Accepted, m.Rejected)
+	}
+	return nil
+}

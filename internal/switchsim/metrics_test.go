@@ -1,0 +1,133 @@
+package switchsim
+
+import (
+	"testing"
+
+	"qswitch/internal/packet"
+)
+
+func TestLatencyQuantile(t *testing.T) {
+	var m Metrics
+	if m.LatencyQuantile(0.5) != 0 {
+		t.Error("empty metrics quantile != 0")
+	}
+	// Record latencies 0 (x5), 2 (x4), 10 (x1).
+	for i := 0; i < 5; i++ {
+		m.recordLatency(0)
+	}
+	for i := 0; i < 4; i++ {
+		m.recordLatency(2)
+	}
+	m.recordLatency(10)
+	m.Sent = 10
+	tests := []struct {
+		q    float64
+		want int
+	}{
+		// Sorted latencies: 0,0,0,0,0,2,2,2,2,10 — index 4 is still 0.
+		{0, 0}, {0.5, 0}, {0.6, 2}, {0.85, 2}, {1.0, 10},
+		{-1, 0}, {2, 10}, // clamped
+	}
+	for _, tc := range tests {
+		if got := m.LatencyQuantile(tc.q); got != tc.want {
+			t.Errorf("LatencyQuantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if m.LatencyMax != 10 {
+		t.Errorf("LatencyMax = %d", m.LatencyMax)
+	}
+}
+
+func TestLatencyHistogramOverflowBucket(t *testing.T) {
+	var m Metrics
+	m.recordLatency(latencyBuckets + 50)
+	if m.LatencyHist[latencyBuckets-1] != 1 {
+		t.Error("overflow latency not clamped into top bucket")
+	}
+	if m.LatencyMax != latencyBuckets+50 {
+		t.Errorf("true max lost: %d", m.LatencyMax)
+	}
+}
+
+func TestOccupancyMeans(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Slots = 4
+	// One packet stuck behind a full output: occupancies are non-zero.
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 0, In: 0, Out: 1, Value: 1},
+		packet.Packet{Arrival: 0, In: 1, Out: 0, Value: 1},
+	)
+	res, err := RunCIOQ(cfg, &passPolicy{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.MeanInputOccupancy() < 0 || res.M.MeanOutputOccupancy() < 0 {
+		t.Error("negative occupancy")
+	}
+	var empty Metrics
+	if empty.MeanInputOccupancy() != 0 || empty.MeanOutputOccupancy() != 0 {
+		t.Error("empty metrics occupancy != 0")
+	}
+	if empty.MeanLatency() != 0 || empty.LossRate() != 0 {
+		t.Error("empty metrics latency/loss != 0")
+	}
+}
+
+func TestZeroSlotResultHelpers(t *testing.T) {
+	r := &Result{}
+	if r.Throughput() != 0 || r.GoodputValue() != 0 {
+		t.Error("zero-slot result helpers nonzero")
+	}
+}
+
+func TestStepperSwitchAccessor(t *testing.T) {
+	st, err := NewCIOQStepper(baseCfg(), &passPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Switch() == nil || st.Switch().Cfg.Inputs != 2 {
+		t.Error("Switch() accessor broken")
+	}
+}
+
+func TestCrossbarStepperFinishDrains(t *testing.T) {
+	cfg := baseCfg()
+	st, err := NewCrossbarStepper(cfg, &xbarPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load two packets for the same output; only one can transmit per
+	// slot, so Finish must run extra drain slots.
+	if err := st.StepSlot([]packet.Packet{
+		{In: 0, Out: 0, Value: 1},
+		{In: 1, Out: 0, Value: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Finish(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Sent != 2 {
+		t.Errorf("sent %d, want 2 after drain", res.M.Sent)
+	}
+	if _, err := st.Finish(1); err == nil {
+		t.Error("double finish accepted")
+	}
+}
+
+func TestConservationCatchesBadAccounting(t *testing.T) {
+	var m Metrics
+	m.Arrived = 2
+	m.Accepted = 2
+	m.Sent = 1
+	// residual 0, no preemptions: 2 != 1 -> violation.
+	if err := m.conservationCheck(0); err == nil {
+		t.Error("conservation violation not caught")
+	}
+	m.Arrived = 3 // arrived != accepted+rejected
+	if err := m.conservationCheck(1); err == nil {
+		t.Error("admission accounting violation not caught")
+	}
+}

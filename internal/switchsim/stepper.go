@@ -1,0 +1,108 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"qswitch/internal/packet"
+)
+
+// CIOQStepper drives a CIOQ simulation one slot at a time, with arrivals
+// supplied interactively. It enables adaptive adversaries — inputs chosen
+// after observing the policy's state — and incremental/streaming use of
+// the simulator (e.g. feeding live traces).
+//
+// The caller supplies each slot's arrivals via StepSlot; packets must
+// carry strictly increasing IDs and the current slot's index as Arrival.
+// Finish drains the backlog and returns the final result.
+type CIOQStepper struct {
+	cfg    Config
+	pol    CIOQPolicy
+	sw     *CIOQ
+	slot   int
+	nextID int64
+	done   bool
+}
+
+// NewCIOQStepper creates a stepper for the policy. Config.Slots is
+// ignored — the horizon is determined by how often StepSlot is called
+// (plus draining in Finish).
+func NewCIOQStepper(cfg Config, pol CIOQPolicy) (*CIOQStepper, error) {
+	if err := cfg.Check(false); err != nil {
+		return nil, err
+	}
+	if cfg.RecordSeries {
+		return nil, fmt.Errorf("switchsim: stepper does not support RecordSeries (unknown horizon)")
+	}
+	inDisc, outDisc := pol.Disciplines()
+	sw := NewCIOQ(cfg, inDisc, outDisc)
+	pol.Reset(cfg)
+	return &CIOQStepper{cfg: cfg, pol: pol, sw: sw}, nil
+}
+
+// Slot returns the index of the next slot to be simulated.
+func (st *CIOQStepper) Slot() int { return st.slot }
+
+// Switch exposes the live switch state (read-only use expected); adaptive
+// adversaries inspect queue occupancy through it.
+func (st *CIOQStepper) Switch() *CIOQ { return st.sw }
+
+// StepSlot runs one full time slot: the given arrivals (ports and values
+// only need to be set; Arrival and ID are assigned by the stepper), the
+// speedup's scheduling cycles, and the transmission phase.
+func (st *CIOQStepper) StepSlot(arrivals []packet.Packet) error {
+	if st.done {
+		return fmt.Errorf("switchsim: stepper already finished")
+	}
+	for _, p := range arrivals {
+		p.Arrival = st.slot
+		p.ID = st.nextID
+		st.nextID++
+		if p.In < 0 || p.In >= st.cfg.Inputs || p.Out < 0 || p.Out >= st.cfg.Outputs {
+			return fmt.Errorf("switchsim: stepper arrival %v out of range", p)
+		}
+		if p.Value < 1 {
+			return fmt.Errorf("switchsim: stepper arrival %v has value < 1", p)
+		}
+		if err := st.sw.admit(p, st.pol.Admit(st.sw, p)); err != nil {
+			return err
+		}
+	}
+	for cycle := 0; cycle < st.cfg.Speedup; cycle++ {
+		if err := st.sw.executeTransfers(st.pol.Schedule(st.sw, st.slot, cycle)); err != nil {
+			return err
+		}
+	}
+	st.sw.transmit(st.slot)
+	st.sw.sampleOccupancy()
+	if st.cfg.Validate {
+		if err := st.sw.checkInvariants(); err != nil {
+			return fmt.Errorf("switchsim: slot %d: %w", st.slot, err)
+		}
+	}
+	st.slot++
+	return nil
+}
+
+// Finish runs empty slots until the switch drains (or maxDrain slots have
+// passed) and returns the final result. The stepper cannot be used
+// afterwards.
+func (st *CIOQStepper) Finish(maxDrain int) (*Result, error) {
+	if st.done {
+		return nil, fmt.Errorf("switchsim: stepper already finished")
+	}
+	for d := 0; d < maxDrain && st.sw.QueuedPackets() > 0; d++ {
+		if err := st.StepSlot(nil); err != nil {
+			return nil, err
+		}
+	}
+	st.done = true
+	if st.cfg.Validate {
+		if err := st.sw.M.conservationCheck(st.sw.QueuedPackets()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Policy: st.pol.Name(), Cfg: st.cfg, Slots: st.slot, M: st.sw.M}, nil
+}
+
+// Benefit returns the value transmitted so far.
+func (st *CIOQStepper) Benefit() int64 { return st.sw.M.Benefit }

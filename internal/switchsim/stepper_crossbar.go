@@ -1,0 +1,101 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"qswitch/internal/packet"
+)
+
+// CrossbarStepper drives a buffered-crossbar simulation one slot at a
+// time, mirroring CIOQStepper: arrivals are supplied interactively and
+// adaptive adversaries may inspect the live switch between slots.
+type CrossbarStepper struct {
+	cfg    Config
+	pol    CrossbarPolicy
+	sw     *Crossbar
+	slot   int
+	nextID int64
+	done   bool
+}
+
+// NewCrossbarStepper creates a stepper for the policy.
+func NewCrossbarStepper(cfg Config, pol CrossbarPolicy) (*CrossbarStepper, error) {
+	if err := cfg.Check(true); err != nil {
+		return nil, err
+	}
+	if cfg.RecordSeries {
+		return nil, fmt.Errorf("switchsim: stepper does not support RecordSeries (unknown horizon)")
+	}
+	inDisc, crossDisc, outDisc := pol.Disciplines()
+	sw := NewCrossbar(cfg, inDisc, crossDisc, outDisc)
+	pol.Reset(cfg)
+	return &CrossbarStepper{cfg: cfg, pol: pol, sw: sw}, nil
+}
+
+// Slot returns the index of the next slot to be simulated.
+func (st *CrossbarStepper) Slot() int { return st.slot }
+
+// Switch exposes the live switch state for adaptive callers.
+func (st *CrossbarStepper) Switch() *Crossbar { return st.sw }
+
+// Benefit returns the value transmitted so far.
+func (st *CrossbarStepper) Benefit() int64 { return st.sw.M.Benefit }
+
+// StepSlot runs one full time slot with the given arrivals (ports and
+// values; Arrival and ID are assigned by the stepper).
+func (st *CrossbarStepper) StepSlot(arrivals []packet.Packet) error {
+	if st.done {
+		return fmt.Errorf("switchsim: stepper already finished")
+	}
+	for _, p := range arrivals {
+		p.Arrival = st.slot
+		p.ID = st.nextID
+		st.nextID++
+		if p.In < 0 || p.In >= st.cfg.Inputs || p.Out < 0 || p.Out >= st.cfg.Outputs {
+			return fmt.Errorf("switchsim: stepper arrival %v out of range", p)
+		}
+		if p.Value < 1 {
+			return fmt.Errorf("switchsim: stepper arrival %v has value < 1", p)
+		}
+		if err := st.sw.admit(p, st.pol.Admit(st.sw, p)); err != nil {
+			return err
+		}
+	}
+	for cycle := 0; cycle < st.cfg.Speedup; cycle++ {
+		if err := st.sw.executeInputSubphase(st.pol.InputSubphase(st.sw, st.slot, cycle)); err != nil {
+			return err
+		}
+		if err := st.sw.executeOutputSubphase(st.pol.OutputSubphase(st.sw, st.slot, cycle)); err != nil {
+			return err
+		}
+	}
+	st.sw.transmit(st.slot)
+	st.sw.sampleOccupancy()
+	if st.cfg.Validate {
+		if err := st.sw.checkInvariants(); err != nil {
+			return fmt.Errorf("switchsim: slot %d: %w", st.slot, err)
+		}
+	}
+	st.slot++
+	return nil
+}
+
+// Finish drains the backlog (bounded by maxDrain slots) and returns the
+// final result.
+func (st *CrossbarStepper) Finish(maxDrain int) (*Result, error) {
+	if st.done {
+		return nil, fmt.Errorf("switchsim: stepper already finished")
+	}
+	for d := 0; d < maxDrain && st.sw.QueuedPackets() > 0; d++ {
+		if err := st.StepSlot(nil); err != nil {
+			return nil, err
+		}
+	}
+	st.done = true
+	if st.cfg.Validate {
+		if err := st.sw.M.conservationCheck(st.sw.QueuedPackets()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Policy: st.pol.Name(), Cfg: st.cfg, Slots: st.slot, M: st.sw.M}, nil
+}

@@ -1,0 +1,385 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/queue"
+)
+
+// passPolicy is a minimal well-behaved CIOQ policy: accept when possible,
+// transfer row-major first-fit.
+type passPolicy struct {
+	cfg     Config
+	admit   func(sw *CIOQ, p packet.Packet) AdmitAction
+	sched   func(sw *CIOQ, slot, cycle int) []Transfer
+	inDisc  queue.Discipline
+	outDisc queue.Discipline
+}
+
+func (s *passPolicy) Name() string { return "test-pass" }
+func (s *passPolicy) Disciplines() (queue.Discipline, queue.Discipline) {
+	return s.inDisc, s.outDisc
+}
+func (s *passPolicy) Reset(cfg Config) { s.cfg = cfg }
+func (s *passPolicy) Admit(sw *CIOQ, p packet.Packet) AdmitAction {
+	if s.admit != nil {
+		return s.admit(sw, p)
+	}
+	if sw.IQ[p.In][p.Out].Full() {
+		return Reject
+	}
+	return Accept
+}
+func (s *passPolicy) Schedule(sw *CIOQ, slot, cycle int) []Transfer {
+	if s.sched != nil {
+		return s.sched(sw, slot, cycle)
+	}
+	usedOut := make([]bool, s.cfg.Outputs)
+	var out []Transfer
+	for i := 0; i < s.cfg.Inputs; i++ {
+		for j := 0; j < s.cfg.Outputs; j++ {
+			if !usedOut[j] && !sw.IQ[i][j].Empty() && !sw.OQ[j].Full() {
+				usedOut[j] = true
+				out = append(out, Transfer{In: i, Out: j})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func baseCfg() Config {
+	return Config{
+		Inputs: 2, Outputs: 2,
+		InputBuf: 2, OutputBuf: 2, CrossBuf: 2,
+		Speedup: 1, Validate: true,
+	}
+}
+
+func seqOf(ps ...packet.Packet) packet.Sequence {
+	return packet.Sequence(ps).Normalize()
+}
+
+func TestConfigCheck(t *testing.T) {
+	good := baseCfg()
+	if err := good.Check(true); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bads := []Config{
+		{Inputs: 0, Outputs: 1, InputBuf: 1, OutputBuf: 1, Speedup: 1},
+		{Inputs: 1, Outputs: 0, InputBuf: 1, OutputBuf: 1, Speedup: 1},
+		{Inputs: 1, Outputs: 1, InputBuf: 0, OutputBuf: 1, Speedup: 1},
+		{Inputs: 1, Outputs: 1, InputBuf: 1, OutputBuf: 0, Speedup: 1},
+		{Inputs: 1, Outputs: 1, InputBuf: 1, OutputBuf: 1, Speedup: 0},
+		{Inputs: 1, Outputs: 1, InputBuf: 1, OutputBuf: 1, Speedup: 1, Slots: -1},
+	}
+	for k, c := range bads {
+		if err := c.Check(false); err == nil {
+			t.Errorf("bad config %d accepted", k)
+		}
+	}
+	noCross := baseCfg()
+	noCross.CrossBuf = 0
+	if err := noCross.Check(false); err != nil {
+		t.Errorf("CIOQ config with CrossBuf=0 rejected: %v", err)
+	}
+	if err := noCross.Check(true); err == nil {
+		t.Error("crossbar config with CrossBuf=0 accepted")
+	}
+}
+
+func TestSimpleFlowThrough(t *testing.T) {
+	cfg := baseCfg()
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 0, In: 1, Out: 1, Value: 1},
+	)
+	res, err := RunCIOQ(cfg, &passPolicy{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Sent != 2 || res.M.Benefit != 2 {
+		t.Errorf("sent=%d benefit=%d, want 2,2", res.M.Sent, res.M.Benefit)
+	}
+	if res.M.Rejected != 0 || res.M.PreemptedInput != 0 {
+		t.Error("unexpected losses on an uncontended run")
+	}
+}
+
+func TestPacketDrainsWithinHorizon(t *testing.T) {
+	cfg := baseCfg()
+	// 8 packets all to output 0: horizon auto-extends so all survivors
+	// drain; capacity allows 2 (per input queue) * 2 inputs + ... with
+	// output buffer 2. Conservation is validated internally.
+	var ps []packet.Packet
+	for k := 0; k < 8; k++ {
+		ps = append(ps, packet.Packet{Arrival: 0, In: k % 2, Out: 0, Value: 1})
+	}
+	res, err := RunCIOQ(cfg, &passPolicy{}, seqOf(ps...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 inputs x InputBuf 2 = 4 accepted at slot 0, rest rejected.
+	if res.M.Accepted != 4 || res.M.Rejected != 4 {
+		t.Errorf("accepted=%d rejected=%d, want 4,4", res.M.Accepted, res.M.Rejected)
+	}
+	if res.M.Sent != 4 {
+		t.Errorf("sent=%d, want all 4 accepted packets drained", res.M.Sent)
+	}
+}
+
+func TestMatchingViolationsRejected(t *testing.T) {
+	cfg := baseCfg()
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 0, In: 0, Out: 1, Value: 1},
+		packet.Packet{Arrival: 0, In: 1, Out: 0, Value: 1},
+	)
+	tests := []struct {
+		name string
+		bad  func(sw *CIOQ, slot, cycle int) []Transfer
+		want string
+	}{
+		{
+			"two from same input",
+			func(sw *CIOQ, slot, cycle int) []Transfer {
+				if slot == 0 {
+					return []Transfer{{In: 0, Out: 0}, {In: 0, Out: 1}}
+				}
+				return nil
+			},
+			"two transfers from input",
+		},
+		{
+			"two to same output",
+			func(sw *CIOQ, slot, cycle int) []Transfer {
+				if slot == 0 {
+					return []Transfer{{In: 0, Out: 0}, {In: 1, Out: 0}}
+				}
+				return nil
+			},
+			"two transfers to output",
+		},
+		{
+			"transfer from empty queue",
+			func(sw *CIOQ, slot, cycle int) []Transfer {
+				return []Transfer{{In: 1, Out: 1}}
+			},
+			"empty",
+		},
+		{
+			"out of range",
+			func(sw *CIOQ, slot, cycle int) []Transfer {
+				return []Transfer{{In: 7, Out: 0}}
+			},
+			"out of range",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RunCIOQ(cfg, &passPolicy{sched: tc.bad}, seq)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestOverfullTransferRejected(t *testing.T) {
+	cfg := baseCfg()
+	cfg.OutputBuf = 1
+	// Two packets to output 0 from different inputs; a bad policy tries
+	// to push both in successive cycles while one is still queued and
+	// another transmitted... force it directly: transfer into an output
+	// queue that is kept full by a third packet.
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 1, In: 1, Out: 0, Value: 1},
+		packet.Packet{Arrival: 1, In: 0, Out: 0, Value: 1},
+	)
+	cfg.Speedup = 2
+	bad := func(sw *CIOQ, slot, cycle int) []Transfer {
+		if slot == 1 {
+			// Output 0 still holds the slot-0 packet only if the
+			// engine did not transmit yet... instead fill it in
+			// cycle 0 and violate in cycle 1.
+			if cycle == 0 {
+				return []Transfer{{In: 0, Out: 0}}
+			}
+			return []Transfer{{In: 1, Out: 0}}
+		}
+		return nil
+	}
+	_, err := RunCIOQ(cfg, &passPolicy{sched: bad}, seq)
+	if err == nil || !strings.Contains(err.Error(), "full") {
+		t.Errorf("err = %v, want full-queue violation", err)
+	}
+}
+
+func TestAcceptIntoFullQueueRejected(t *testing.T) {
+	cfg := baseCfg()
+	cfg.InputBuf = 1
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+	)
+	alwaysAccept := func(sw *CIOQ, p packet.Packet) AdmitAction { return Accept }
+	_, err := RunCIOQ(cfg, &passPolicy{admit: alwaysAccept, sched: func(*CIOQ, int, int) []Transfer { return nil }}, seq)
+	if err == nil || !strings.Contains(err.Error(), "full") {
+		t.Errorf("err = %v, want full-queue admission error", err)
+	}
+}
+
+func TestAcceptPreemptAccounting(t *testing.T) {
+	cfg := baseCfg()
+	cfg.InputBuf = 1
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 2},
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 5},
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+	)
+	pol := &passPolicy{
+		admit:   func(sw *CIOQ, p packet.Packet) AdmitAction { return AcceptPreempt },
+		inDisc:  queue.ByValue,
+		outDisc: queue.ByValue,
+	}
+	res, err := RunCIOQ(cfg, pol, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v=2 accepted, v=5 preempts it, v=1 rejected.
+	if res.M.Accepted != 2 || res.M.Rejected != 1 || res.M.PreemptedInput != 1 {
+		t.Errorf("acc=%d rej=%d pre=%d, want 2,1,1", res.M.Accepted, res.M.Rejected, res.M.PreemptedInput)
+	}
+	if res.M.Benefit != 5 {
+		t.Errorf("benefit=%d, want 5", res.M.Benefit)
+	}
+}
+
+func TestSpeedupMovesMorePackets(t *testing.T) {
+	// One input feeding two outputs at 2 packets/slot: with speedup 1
+	// the fabric is the bottleneck (1 transfer/slot, one output always
+	// starves); with speedup 2 both outputs stay busy. Truncate the
+	// horizon so the backlog cannot drain after arrivals stop.
+	const slots = 8
+	mk := func(speedup int) *Result {
+		cfg := Config{Inputs: 1, Outputs: 2, InputBuf: 2, OutputBuf: 2,
+			Speedup: speedup, Slots: slots, Validate: true}
+		var ps []packet.Packet
+		for k := 0; k < slots; k++ {
+			ps = append(ps, packet.Packet{Arrival: k, In: 0, Out: 0, Value: 1})
+			ps = append(ps, packet.Packet{Arrival: k, In: 0, Out: 1, Value: 1})
+		}
+		res, err := RunCIOQ(cfg, &passPolicy{}, seqOf(ps...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	s1, s2 := mk(1), mk(2)
+	if s2.M.Sent <= s1.M.Sent {
+		t.Errorf("speedup 2 sent %d, not more than speedup 1's %d", s2.M.Sent, s1.M.Sent)
+	}
+	if s2.M.Sent < int64(2*slots-4) {
+		t.Errorf("speedup 2 sent only %d of %d offered", s2.M.Sent, 2*slots)
+	}
+}
+
+func TestRecordSeriesSumsToBenefit(t *testing.T) {
+	cfg := baseCfg()
+	cfg.RecordSeries = true
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 3},
+		packet.Packet{Arrival: 1, In: 1, Out: 1, Value: 4},
+	)
+	res, err := RunCIOQ(cfg, &passPolicy{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range res.M.SlotBenefit {
+		sum += v
+	}
+	if sum != res.M.Benefit {
+		t.Errorf("series sum %d != benefit %d", sum, res.M.Benefit)
+	}
+}
+
+func TestBadSequenceRejected(t *testing.T) {
+	cfg := baseCfg()
+	seq := packet.Sequence{{ID: 0, In: 5, Out: 0, Value: 1}}
+	if _, err := RunCIOQ(cfg, &passPolicy{}, seq); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	if _, err := RunOQ(cfg, seq); err == nil {
+		t.Error("RunOQ accepted invalid sequence")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{Policy: "x", Slots: 10}
+	r.M.Sent = 5
+	r.M.Benefit = 20
+	r.M.Arrived = 10
+	if r.Throughput() != 0.5 {
+		t.Errorf("throughput %f", r.Throughput())
+	}
+	if r.GoodputValue() != 2.0 {
+		t.Errorf("goodput %f", r.GoodputValue())
+	}
+	if r.M.LossRate() != 0.5 {
+		t.Errorf("loss %f", r.M.LossRate())
+	}
+	if !strings.Contains(r.String(), "benefit=20") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestOQGreedyReference(t *testing.T) {
+	cfg := baseCfg()
+	cfg.OutputBuf = 1
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 0, In: 1, Out: 0, Value: 9},
+		packet.Packet{Arrival: 0, In: 0, Out: 1, Value: 2},
+	)
+	res, err := RunOQ(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output 0 keeps only the 9 (preempting the 1); output 1 keeps the 2.
+	if res.M.Benefit != 11 {
+		t.Errorf("benefit %d, want 11", res.M.Benefit)
+	}
+	if res.M.PreemptedOutput != 1 {
+		t.Errorf("preempted %d, want 1", res.M.PreemptedOutput)
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	cfg := baseCfg()
+	cfg.RecordLatency = true
+	seq := seqOf(
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+		packet.Packet{Arrival: 0, In: 0, Out: 0, Value: 1},
+	)
+	res, err := RunCIOQ(cfg, &passPolicy{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.LatencyHist == nil {
+		t.Fatal("no histogram recorded")
+	}
+	var total int64
+	for _, b := range res.M.LatencyHist {
+		total += b
+	}
+	if total != res.M.Sent {
+		t.Errorf("histogram total %d != sent %d", total, res.M.Sent)
+	}
+	if res.M.MeanLatency() <= 0 {
+		t.Errorf("mean latency %f, want > 0 (second packet waits)", res.M.MeanLatency())
+	}
+}

@@ -1,0 +1,341 @@
+// Package qswitch is a library of competitive online packet-scheduling
+// algorithms for CIOQ (combined input/output queued) and buffered crossbar
+// switches, reproducing:
+//
+//	Al-Bawani, Englert, Westermann.
+//	"Online Packet Scheduling for CIOQ and Buffered Crossbar Switches."
+//	SPAA 2016 / Algorithmica 2018.
+//
+// It bundles:
+//
+//   - the paper's algorithms — GM (unit-value CIOQ, 3-competitive),
+//     PG (weighted CIOQ, 3+2√2 ≈ 5.83-competitive), CGU (unit-value
+//     crossbar, 3-competitive) and CPG (weighted crossbar,
+//     ≈14.83-competitive) — plus the maximum-matching baselines of prior
+//     work and practical baselines (iSLIP-style round-robin, FIFO);
+//   - a slot/phase-accurate switch simulator that enforces the model's
+//     physical constraints (matching property, buffer capacities,
+//     speedup cycles);
+//   - synthetic traffic generators (uniform, bursty, hotspot, diagonal,
+//     permutation; unit, two-valued, Zipf, geometric value models) and
+//     trace serialization;
+//   - offline optima: exact solvers for small instances and a min-cost
+//     flow upper bound for arbitrary ones, enabling empirical
+//     competitive-ratio measurement.
+//
+// # Quick start
+//
+//	cfg := qswitch.Config{Inputs: 8, Outputs: 8, InputBuf: 4,
+//		OutputBuf: 4, Speedup: 1}
+//	gen := qswitch.UniformTraffic(0.9)
+//	seq := qswitch.GenerateTraffic(gen, cfg, 1000, 42)
+//	res, err := qswitch.SimulateCIOQ(cfg, "gm", seq)
+//
+// See the examples/ directory for complete programs.
+package qswitch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qswitch/internal/core"
+	"qswitch/internal/offline"
+	"qswitch/internal/packet"
+	"qswitch/internal/ratio"
+	"qswitch/internal/switchsim"
+)
+
+// Re-exported model types. These aliases are the stable public names; the
+// internal packages they point at are implementation detail.
+type (
+	// Packet is one fixed-size packet with arrival slot, ports and value.
+	Packet = packet.Packet
+	// Sequence is an arrival sequence sorted by (arrival, id).
+	Sequence = packet.Sequence
+	// Trace couples a sequence with its port geometry for (de)serialization.
+	Trace = packet.Trace
+	// Generator produces synthetic arrival sequences.
+	Generator = packet.Generator
+	// ValueDist draws packet values for generators.
+	ValueDist = packet.ValueDist
+	// Config describes switch geometry, buffers, speedup and horizon.
+	Config = switchsim.Config
+	// Result carries the metrics of one simulation run.
+	Result = switchsim.Result
+	// CIOQPolicy is the scheduling interface for CIOQ switches.
+	CIOQPolicy = switchsim.CIOQPolicy
+	// CrossbarPolicy is the scheduling interface for buffered crossbars.
+	CrossbarPolicy = switchsim.CrossbarPolicy
+	// RatioEstimate aggregates competitive-ratio measurements.
+	RatioEstimate = ratio.Estimate
+)
+
+// NewCIOQPolicy constructs a CIOQ policy by name:
+//
+//	gm            — Greedy Matching (paper, unit values, 3-competitive)
+//	gm-rotating   — GM with a rotating edge scan
+//	gm-colmajor   — GM with column-major scan
+//	gm-longest    — GM preferring longest queues
+//	gm-random     — GM with a random scan per cycle (open-problem probe)
+//	kr-maxmatch   — maximum-matching baseline (Hopcroft–Karp)
+//	pg            — Preemptive Greedy (paper, weighted, 5.83-competitive)
+//	kr-maxweight  — maximum-weight-matching baseline (Hungarian, β=2)
+//	ar-fifo       — FIFO-queue related-work baseline (Azar–Richter line)
+//	naive-fifo    — non-preemptive first-fit baseline
+//	roundrobin    — iSLIP-style round-robin matching
+func NewCIOQPolicy(name string) (CIOQPolicy, error) {
+	switch name {
+	case "gm":
+		return &core.GM{}, nil
+	case "gm-rotating":
+		return &core.GM{Order: core.Rotating}, nil
+	case "gm-colmajor":
+		return &core.GM{Order: core.ColMajor}, nil
+	case "gm-longest":
+		return &core.GM{Order: core.LongestFirst}, nil
+	case "kr-maxmatch":
+		return &core.KRMM{}, nil
+	case "pg":
+		return &core.PG{}, nil
+	case "kr-maxweight":
+		return &core.KRMWM{}, nil
+	case "naive-fifo":
+		return &core.NaiveFIFO{}, nil
+	case "roundrobin":
+		return &core.RoundRobin{}, nil
+	case "gm-random":
+		return &core.RandomizedGM{}, nil
+	case "ar-fifo":
+		return &core.ARFIFO{}, nil
+	default:
+		return nil, fmt.Errorf("qswitch: unknown CIOQ policy %q (have %v)", name, CIOQPolicyNames())
+	}
+}
+
+// NewPG constructs the Preemptive Greedy policy with an explicit β
+// (DefaultBetaPG when 0).
+func NewPG(beta float64) CIOQPolicy { return &core.PG{Beta: beta} }
+
+// NewCrossbarPolicy constructs a buffered-crossbar policy by name:
+//
+//	cgu           — Crossbar Greedy Unit (paper, 3-competitive)
+//	cgu-rotating  — CGU with rotating picks
+//	cpg           — Crossbar Preemptive Greedy (paper, 14.83-competitive)
+//	cpg-equal     — CPG with β=α (Kesselman et al.'s parameterization)
+//	crossbar-naive— non-preemptive first-fit baseline
+//	kks-fifo      — FIFO-queue related-work baseline (KKS line)
+func NewCrossbarPolicy(name string) (CrossbarPolicy, error) {
+	switch name {
+	case "cgu":
+		return &core.CGU{}, nil
+	case "cgu-rotating":
+		return &core.CGU{RotatePick: true}, nil
+	case "cpg":
+		return &core.CPG{}, nil
+	case "cpg-equal":
+		return core.CPGEqualParams(), nil
+	case "crossbar-naive":
+		return &core.CrossbarNaive{}, nil
+	case "kks-fifo":
+		return &core.KKSFIFO{}, nil
+	default:
+		return nil, fmt.Errorf("qswitch: unknown crossbar policy %q (have %v)", name, CrossbarPolicyNames())
+	}
+}
+
+// NewCPG constructs the Crossbar Preemptive Greedy policy with explicit
+// parameters (paper defaults when 0).
+func NewCPG(beta, alpha float64) CrossbarPolicy { return &core.CPG{Beta: beta, Alpha: alpha} }
+
+// CIOQPolicyNames lists the names accepted by NewCIOQPolicy.
+func CIOQPolicyNames() []string {
+	names := []string{"gm", "gm-rotating", "gm-colmajor", "gm-longest",
+		"gm-random", "kr-maxmatch", "pg", "kr-maxweight", "ar-fifo",
+		"naive-fifo", "roundrobin"}
+	sort.Strings(names)
+	return names
+}
+
+// CrossbarPolicyNames lists the names accepted by NewCrossbarPolicy.
+func CrossbarPolicyNames() []string {
+	names := []string{"cgu", "cgu-rotating", "cpg", "cpg-equal", "crossbar-naive", "kks-fifo"}
+	sort.Strings(names)
+	return names
+}
+
+// SimulateCIOQ runs the named (or given) policy on a CIOQ switch.
+// policy may be a string accepted by NewCIOQPolicy or a CIOQPolicy value.
+func SimulateCIOQ(cfg Config, policy interface{}, seq Sequence) (*Result, error) {
+	pol, err := resolveCIOQ(policy)
+	if err != nil {
+		return nil, err
+	}
+	return switchsim.RunCIOQ(cfg, pol, seq)
+}
+
+// SimulateCrossbar runs the named (or given) policy on a buffered
+// crossbar switch.
+func SimulateCrossbar(cfg Config, policy interface{}, seq Sequence) (*Result, error) {
+	pol, err := resolveCrossbar(policy)
+	if err != nil {
+		return nil, err
+	}
+	return switchsim.RunCrossbar(cfg, pol, seq)
+}
+
+// SimulateOQ runs the ideal output-queued reference switch.
+func SimulateOQ(cfg Config, seq Sequence) (*Result, error) {
+	return switchsim.RunOQ(cfg, seq)
+}
+
+// GenerateTraffic draws a reproducible sequence from a generator for the
+// given geometry: `slots` arrival slots seeded by `seed`.
+func GenerateTraffic(gen Generator, cfg Config, slots int, seed int64) Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.Generate(rng, cfg.Inputs, cfg.Outputs, slots)
+}
+
+// UniformTraffic is Bernoulli i.i.d. unit-value traffic at the given
+// per-input load.
+func UniformTraffic(load float64) Generator { return packet.Bernoulli{Load: load} }
+
+// WeightedTraffic is Bernoulli traffic with values drawn from dist.
+func WeightedTraffic(load float64, dist ValueDist) Generator {
+	return packet.Bernoulli{Load: load, Values: dist}
+}
+
+// BurstyTraffic is ON/OFF Markov-modulated traffic with per-burst
+// destinations; the non-Poisson workload of the paper's motivation.
+func BurstyTraffic(onLoad, pOnOff, pOffOn float64, dist ValueDist) Generator {
+	return packet.Bursty{OnLoad: onLoad, POnOff: pOnOff, POffOn: pOffOn, Values: dist}
+}
+
+// HotspotTraffic sends fraction hotFrac of all packets to output hotOut.
+func HotspotTraffic(load float64, hotOut int, hotFrac float64, dist ValueDist) Generator {
+	return packet.Hotspot{Load: load, HotOut: hotOut, HotFrac: hotFrac, Values: dist}
+}
+
+// OfflineUpperBound computes a proven upper bound on the benefit of ANY
+// schedule (online or offline) for the instance, via a per-output
+// time-expanded min-cost-flow relaxation. Set crossbar=true to include
+// crosspoint buffer capacity.
+func OfflineUpperBound(cfg Config, seq Sequence, crossbar bool) (int64, error) {
+	return offline.OQUpperBound(cfg, seq, crossbar)
+}
+
+// ExactOptimum computes the exact offline optimum for small instances
+// (see internal/offline for the tractability guards); crossbar selects the
+// buffered-crossbar model. It returns offline.ErrTooLarge-wrapped errors
+// when the instance is out of reach.
+func ExactOptimum(cfg Config, seq Sequence, crossbar bool) (int64, error) {
+	if seq.IsUnit() {
+		if crossbar {
+			return offline.ExactUnitCrossbar(cfg, seq)
+		}
+		return offline.ExactUnitCIOQ(cfg, seq)
+	}
+	if crossbar {
+		return offline.ExactWeightedCrossbar(cfg, seq)
+	}
+	return offline.ExactWeightedCIOQ(cfg, seq)
+}
+
+// MeasureRatioCIOQ estimates the empirical competitive ratio of a named
+// CIOQ policy over `runs` seeded workloads, judged by the exact offline
+// optimum when tractable (exact=true) or the flow upper bound otherwise.
+func MeasureRatioCIOQ(cfg Config, policyName string, gen Generator, exact bool, seed int64, runs int) (RatioEstimate, error) {
+	alg := ratio.CIOQAlg(func() CIOQPolicy {
+		p, err := NewCIOQPolicy(policyName)
+		if err != nil {
+			panic(err) // name validated below before first use
+		}
+		return p
+	})
+	if _, err := NewCIOQPolicy(policyName); err != nil {
+		return RatioEstimate{}, err
+	}
+	opt := ratio.UpperBoundCIOQ
+	if exact {
+		opt = func(cfg Config, seq Sequence) (int64, error) {
+			return ExactOptimum(cfg, seq, false)
+		}
+	}
+	return ratio.Run(cfg, alg, opt, gen, seed, runs)
+}
+
+// MeasureRatioCIOQParallel is MeasureRatioCIOQ with the per-seed
+// measurements spread over a worker pool (workers <= 0 selects
+// GOMAXPROCS). Results are bit-identical to the sequential version.
+func MeasureRatioCIOQParallel(cfg Config, policyName string, gen Generator, exact bool, seed int64, runs, workers int) (RatioEstimate, error) {
+	if _, err := NewCIOQPolicy(policyName); err != nil {
+		return RatioEstimate{}, err
+	}
+	alg := ratio.CIOQAlg(func() CIOQPolicy {
+		p, err := NewCIOQPolicy(policyName)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	})
+	opt := ratio.UpperBoundCIOQ
+	if exact {
+		opt = func(cfg Config, seq Sequence) (int64, error) {
+			return ExactOptimum(cfg, seq, false)
+		}
+	}
+	return ratio.RunParallel(cfg, alg, opt, gen, seed, runs, workers)
+}
+
+// MeasureRatioCrossbar is the buffered-crossbar analogue of
+// MeasureRatioCIOQ.
+func MeasureRatioCrossbar(cfg Config, policyName string, gen Generator, exact bool, seed int64, runs int) (RatioEstimate, error) {
+	alg := ratio.CrossbarAlg(func() CrossbarPolicy {
+		p, err := NewCrossbarPolicy(policyName)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	})
+	if _, err := NewCrossbarPolicy(policyName); err != nil {
+		return RatioEstimate{}, err
+	}
+	opt := ratio.UpperBoundCrossbar
+	if exact {
+		opt = func(cfg Config, seq Sequence) (int64, error) {
+			return ExactOptimum(cfg, seq, true)
+		}
+	}
+	return ratio.Run(cfg, alg, opt, gen, seed, runs)
+}
+
+// DefaultBetaPG returns β = 1+√2, PG's optimal parameter (Theorem 2).
+func DefaultBetaPG() float64 { return core.DefaultBetaPG() }
+
+// DefaultBetaCPG returns CPG's optimal β (Theorem 4).
+func DefaultBetaCPG() float64 { return core.DefaultBetaCPG() }
+
+// DefaultAlphaCPG returns CPG's optimal α = 2/(β−1)² (Theorem 4).
+func DefaultAlphaCPG() float64 { return core.DefaultAlphaCPG() }
+
+func resolveCIOQ(policy interface{}) (CIOQPolicy, error) {
+	switch p := policy.(type) {
+	case string:
+		return NewCIOQPolicy(p)
+	case CIOQPolicy:
+		return p, nil
+	default:
+		return nil, fmt.Errorf("qswitch: policy must be a name or CIOQPolicy, got %T", policy)
+	}
+}
+
+func resolveCrossbar(policy interface{}) (CrossbarPolicy, error) {
+	switch p := policy.(type) {
+	case string:
+		return NewCrossbarPolicy(p)
+	case CrossbarPolicy:
+		return p, nil
+	default:
+		return nil, fmt.Errorf("qswitch: policy must be a name or CrossbarPolicy, got %T", policy)
+	}
+}
