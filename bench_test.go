@@ -101,40 +101,46 @@ func benchCrossbarPolicy(b *testing.B, n int, mk func() switchsim.CrossbarPolicy
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*slots), "ns/slot")
 }
 
-func BenchmarkGM16(b *testing.B) {
-	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.GM{} }, false)
+func BenchmarkCIOQGM32(b *testing.B) {
+	benchCIOQPolicy(b, 32, func() switchsim.CIOQPolicy { return &core.GM{} }, false)
 }
-func BenchmarkGM64(b *testing.B) {
+func BenchmarkCIOQGM64(b *testing.B) {
 	benchCIOQPolicy(b, 64, func() switchsim.CIOQPolicy { return &core.GM{} }, false)
 }
-func BenchmarkKRMM16(b *testing.B) {
-	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.KRMM{} }, false)
+func BenchmarkCIOQGMRotating64(b *testing.B) {
+	benchCIOQPolicy(b, 64, func() switchsim.CIOQPolicy { return &core.GM{Order: core.Rotating} }, false)
 }
-func BenchmarkKRMM64(b *testing.B) {
+func BenchmarkCIOQKRMM32(b *testing.B) {
+	benchCIOQPolicy(b, 32, func() switchsim.CIOQPolicy { return &core.KRMM{} }, false)
+}
+func BenchmarkCIOQKRMM64(b *testing.B) {
 	benchCIOQPolicy(b, 64, func() switchsim.CIOQPolicy { return &core.KRMM{} }, false)
 }
-func BenchmarkPG16(b *testing.B) {
-	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.PG{} }, true)
+func BenchmarkCIOQPG32(b *testing.B) {
+	benchCIOQPolicy(b, 32, func() switchsim.CIOQPolicy { return &core.PG{} }, true)
 }
-func BenchmarkPG64(b *testing.B) {
+func BenchmarkCIOQPG64(b *testing.B) {
 	benchCIOQPolicy(b, 64, func() switchsim.CIOQPolicy { return &core.PG{} }, true)
 }
-func BenchmarkKRMWM16(b *testing.B) {
-	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.KRMWM{} }, true)
+func BenchmarkCIOQKRMWM32(b *testing.B) {
+	benchCIOQPolicy(b, 32, func() switchsim.CIOQPolicy { return &core.KRMWM{} }, true)
 }
-func BenchmarkRoundRobin16(b *testing.B) {
-	benchCIOQPolicy(b, 16, func() switchsim.CIOQPolicy { return &core.RoundRobin{} }, false)
+func BenchmarkCIOQRoundRobin32(b *testing.B) {
+	benchCIOQPolicy(b, 32, func() switchsim.CIOQPolicy { return &core.RoundRobin{} }, false)
 }
-func BenchmarkCGU16(b *testing.B) {
-	benchCrossbarPolicy(b, 16, func() switchsim.CrossbarPolicy { return &core.CGU{} }, false)
+func BenchmarkCIOQRoundRobin64(b *testing.B) {
+	benchCIOQPolicy(b, 64, func() switchsim.CIOQPolicy { return &core.RoundRobin{} }, false)
 }
-func BenchmarkCGU64(b *testing.B) {
+func BenchmarkCrossbarCGU32(b *testing.B) {
+	benchCrossbarPolicy(b, 32, func() switchsim.CrossbarPolicy { return &core.CGU{} }, false)
+}
+func BenchmarkCrossbarCGU64(b *testing.B) {
 	benchCrossbarPolicy(b, 64, func() switchsim.CrossbarPolicy { return &core.CGU{} }, false)
 }
-func BenchmarkCPG16(b *testing.B) {
-	benchCrossbarPolicy(b, 16, func() switchsim.CrossbarPolicy { return &core.CPG{} }, true)
+func BenchmarkCrossbarCPG32(b *testing.B) {
+	benchCrossbarPolicy(b, 32, func() switchsim.CrossbarPolicy { return &core.CPG{} }, true)
 }
-func BenchmarkCPG64(b *testing.B) {
+func BenchmarkCrossbarCPG64(b *testing.B) {
 	benchCrossbarPolicy(b, 64, func() switchsim.CrossbarPolicy { return &core.CPG{} }, true)
 }
 

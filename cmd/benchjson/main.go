@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, so benchmark baselines can be committed (BENCH_*.json) and
+// compared across PRs without parsing the free-form text format.
+//
+// Usage:
+//
+//	go test -bench 'CIOQ|Crossbar|E5' -benchmem -benchtime 3x | benchjson -label baseline > BENCH_1.json
+//
+// Every `Benchmark*` result line is parsed into the iteration count, the
+// primary ns/op figure and any additional metrics (B/op, allocs/op and
+// custom b.ReportMetric units such as ns/slot).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op", "ns/slot", "allocs/op".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Label      string      `json:"label,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "free-form label stored in the output (e.g. baseline, post-bitset)")
+	flag.Parse()
+
+	rep := Report{Label: *label}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses a single result line of the form
+//
+//	BenchmarkName-8   123   456.7 ns/op   89.0 ns/slot   12 B/op   3 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value/unit pairs.
+	for k := 2; k+1 < len(fields); k += 2 {
+		v, err := strconv.ParseFloat(fields[k], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[k+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,3 @@
+module qswitch
+
+go 1.24

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// Steady-state allocation regression tests: after warm-up (queue rings,
+// policy scratch and engine scratch all at their high-water sizes), a
+// full simulated slot — admission, scheduling cycles, transmission —
+// must not allocate at all. This is the "zero-allocation hot path" half
+// of the bitset-index refactor; the metamorphic tests in
+// reference_test.go are the "identical schedules" half.
+
+// arrivalPattern pre-builds a deterministic cyclic arrival workload so
+// the measured loop touches no generator or slice-growth code.
+func arrivalPattern(n int, slots int, seed int64, maxValue int64) [][]packet.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	pat := make([][]packet.Packet, slots)
+	for s := range pat {
+		k := rng.Intn(n + 1)
+		pat[s] = make([]packet.Packet, 0, k)
+		for a := 0; a < k; a++ {
+			v := int64(1)
+			if maxValue > 1 {
+				v = rng.Int63n(maxValue) + 1
+			}
+			pat[s] = append(pat[s], packet.Packet{
+				In:    rng.Intn(n),
+				Out:   rng.Intn(n),
+				Value: v,
+			})
+		}
+	}
+	return pat
+}
+
+func measureCIOQSlotAllocs(t *testing.T, pol switchsim.CIOQPolicy, maxValue int64) float64 {
+	t.Helper()
+	const n = 32
+	cfg := switchsim.Config{Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, Speedup: 2}
+	st, err := switchsim.NewCIOQStepper(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := arrivalPattern(n, 64, 42, maxValue)
+	slot := 0
+	step := func() {
+		if err := st.StepSlot(pat[slot%len(pat)]); err != nil {
+			t.Fatal(err)
+		}
+		slot++
+	}
+	for w := 0; w < 256; w++ { // warm-up: reach steady-state occupancy
+		step()
+	}
+	return testing.AllocsPerRun(100, step)
+}
+
+func measureCrossbarSlotAllocs(t *testing.T, pol switchsim.CrossbarPolicy, maxValue int64) float64 {
+	t.Helper()
+	const n = 32
+	cfg := switchsim.Config{Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, CrossBuf: 2, Speedup: 2}
+	st, err := switchsim.NewCrossbarStepper(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := arrivalPattern(n, 64, 43, maxValue)
+	slot := 0
+	step := func() {
+		if err := st.StepSlot(pat[slot%len(pat)]); err != nil {
+			t.Fatal(err)
+		}
+		slot++
+	}
+	for w := 0; w < 256; w++ {
+		step()
+	}
+	return testing.AllocsPerRun(100, step)
+}
+
+func TestGMSteadyStateZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pol  switchsim.CIOQPolicy
+	}{
+		{"rowmajor", &GM{}},
+		{"colmajor", &GM{Order: ColMajor}},
+		{"rotating", &GM{Order: Rotating}},
+		{"longestfirst", &GM{Order: LongestFirst}},
+	} {
+		if allocs := measureCIOQSlotAllocs(t, tc.pol, 1); allocs != 0 {
+			t.Errorf("GM %s: %v allocs/slot in steady state, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestPGSteadyStateZeroAllocs(t *testing.T) {
+	if allocs := measureCIOQSlotAllocs(t, &PG{}, 100); allocs != 0 {
+		t.Errorf("PG: %v allocs/slot in steady state, want 0", allocs)
+	}
+}
+
+func TestRoundRobinSteadyStateZeroAllocs(t *testing.T) {
+	if allocs := measureCIOQSlotAllocs(t, &RoundRobin{}, 1); allocs != 0 {
+		t.Errorf("RoundRobin: %v allocs/slot in steady state, want 0", allocs)
+	}
+}
+
+func TestNaiveFIFOSteadyStateZeroAllocs(t *testing.T) {
+	if allocs := measureCIOQSlotAllocs(t, &NaiveFIFO{}, 1); allocs != 0 {
+		t.Errorf("NaiveFIFO: %v allocs/slot in steady state, want 0", allocs)
+	}
+}
+
+func TestCGUSteadyStateZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pol  switchsim.CrossbarPolicy
+	}{
+		{"plain", &CGU{}},
+		{"rotating", &CGU{RotatePick: true}},
+	} {
+		if allocs := measureCrossbarSlotAllocs(t, tc.pol, 1); allocs != 0 {
+			t.Errorf("CGU %s: %v allocs/slot in steady state, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestCPGSteadyStateZeroAllocs(t *testing.T) {
+	if allocs := measureCrossbarSlotAllocs(t, &CPG{}, 100); allocs != 0 {
+		t.Errorf("CPG: %v allocs/slot in steady state, want 0", allocs)
+	}
+}
+
+func TestKKSFIFOSteadyStateZeroAllocs(t *testing.T) {
+	if allocs := measureCrossbarSlotAllocs(t, &KKSFIFO{}, 100); allocs != 0 {
+		t.Errorf("KKSFIFO: %v allocs/slot in steady state, want 0", allocs)
+	}
+}

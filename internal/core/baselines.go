@@ -1,6 +1,7 @@
 package core
 
 import (
+	"qswitch/internal/bitset"
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
 	"qswitch/internal/switchsim"
@@ -11,7 +12,9 @@ import (
 // greedy) matching that ignores values entirely. It shows how much of the
 // weighted algorithms' benefit comes from value awareness and preemption.
 type NaiveFIFO struct {
-	cfg switchsim.Config
+	cfg       switchsim.Config
+	avail     bitset.Mask
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CIOQPolicy.
@@ -23,7 +26,13 @@ func (n *NaiveFIFO) Disciplines() (queue.Discipline, queue.Discipline) {
 }
 
 // Reset implements switchsim.CIOQPolicy.
-func (n *NaiveFIFO) Reset(cfg switchsim.Config) { n.cfg = cfg }
+func (n *NaiveFIFO) Reset(cfg switchsim.Config) {
+	n.cfg = cfg
+	if len(n.avail) != bitset.Words(cfg.Outputs) {
+		n.avail = bitset.New(cfg.Outputs)
+	}
+	n.transfers = n.transfers[:0]
+}
 
 // Admit implements switchsim.CIOQPolicy.
 func (n *NaiveFIFO) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
@@ -35,31 +44,33 @@ func (n *NaiveFIFO) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAc
 
 // Schedule implements switchsim.CIOQPolicy: row-major first-fit matching.
 func (n *NaiveFIFO) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
-	usedOut := make([]bool, n.cfg.Outputs)
-	var out []switchsim.Transfer
+	n.transfers = n.transfers[:0]
+	avail := n.avail
+	avail.Copy(sw.OutFree)
 	for i := 0; i < n.cfg.Inputs; i++ {
-		for j := 0; j < n.cfg.Outputs; j++ {
-			if usedOut[j] || sw.IQ[i][j].Empty() || sw.OQ[j].Full() {
-				continue
-			}
-			usedOut[j] = true
-			out = append(out, switchsim.Transfer{In: i, Out: j})
-			break
+		if j := sw.VOQ.Row(i).FirstAnd(avail); j >= 0 {
+			avail.Clear(j)
+			n.transfers = append(n.transfers, switchsim.Transfer{In: i, Out: j})
 		}
 	}
-	return out
+	return n.transfers
 }
 
 // RoundRobin is an iSLIP-inspired practical baseline for the unit-value
 // CIOQ case: a single grant/accept iteration with per-output grant
 // pointers and per-input accept pointers that advance past served ports,
 // desynchronizing over time. It represents what production crossbar
-// schedulers actually deploy, with O(N²) work per cycle but trivial
-// constants and no sorting.
+// schedulers actually deploy; the bitset index brings the per-cycle work
+// down from O(N²) pointer walks to a find-first-set per port.
 type RoundRobin struct {
 	cfg    switchsim.Config
 	grant  []int // per-output pointer over inputs
 	accept []int // per-input pointer over outputs
+	// grants.Row(i) is the scratch mask of outputs that granted input i
+	// this cycle; grantOf[j] mirrors it for cleanup.
+	grants    bitset.Matrix
+	grantOf   []int
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CIOQPolicy.
@@ -75,6 +86,9 @@ func (r *RoundRobin) Reset(cfg switchsim.Config) {
 	r.cfg = cfg
 	r.grant = make([]int, cfg.Outputs)
 	r.accept = make([]int, cfg.Inputs)
+	r.grants = bitset.NewMatrix(cfg.Inputs, cfg.Outputs)
+	r.grantOf = make([]int, cfg.Outputs)
+	r.transfers = r.transfers[:0]
 }
 
 // Admit implements switchsim.CIOQPolicy.
@@ -91,52 +105,41 @@ func (r *RoundRobin) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.T
 	// Request: input i requests output j if Q_ij non-empty and Q_j open.
 	// Grant: each output grants the first requesting input at or after
 	// its grant pointer.
-	granted := make([]int, n) // granted[i] = output granting i, else -1
-	for i := range granted {
-		granted[i] = -1
-	}
-	grantOf := make([]int, m)
-	for j := range grantOf {
-		grantOf[j] = -1
-	}
 	for j := 0; j < m; j++ {
-		if sw.OQ[j].Full() {
+		r.grantOf[j] = -1
+		if !sw.OutFree.Test(j) {
 			continue
 		}
-		for di := 0; di < n; di++ {
-			i := (r.grant[j] + di) % n
-			if !sw.IQ[i][j].Empty() {
-				grantOf[j] = i
-				break
-			}
+		if i := sw.VOQByOut.Row(j).FirstFrom(r.grant[j]); i >= 0 {
+			r.grantOf[j] = i
+			r.grants.Row(i).Set(j)
 		}
 	}
 	// Accept: each input accepts the first granting output at or after
 	// its accept pointer; pointers advance only on acceptance (the iSLIP
 	// desynchronization rule).
-	var out []switchsim.Transfer
+	r.transfers = r.transfers[:0]
 	for i := 0; i < n; i++ {
-		chosen := -1
-		for dj := 0; dj < m; dj++ {
-			j := (r.accept[i] + dj) % m
-			if grantOf[j] == i {
-				chosen = j
-				break
-			}
-		}
-		if chosen >= 0 {
-			out = append(out, switchsim.Transfer{In: i, Out: chosen})
+		if chosen := r.grants.Row(i).FirstFrom(r.accept[i]); chosen >= 0 {
+			r.transfers = append(r.transfers, switchsim.Transfer{In: i, Out: chosen})
 			r.accept[i] = (chosen + 1) % m
 			r.grant[chosen] = (i + 1) % n
 		}
 	}
-	return out
+	// Clear the scratch grant masks for the next cycle.
+	for j := 0; j < m; j++ {
+		if i := r.grantOf[j]; i >= 0 {
+			r.grants.Row(i).Clear(j)
+		}
+	}
+	return r.transfers
 }
 
 // CrossbarNaive is the weak crossbar baseline mirroring NaiveFIFO:
 // first-fit, non-preemptive, value-blind subphases.
 type CrossbarNaive struct {
-	cfg switchsim.Config
+	cfg       switchsim.Config
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CrossbarPolicy.
@@ -148,7 +151,10 @@ func (c *CrossbarNaive) Disciplines() (queue.Discipline, queue.Discipline, queue
 }
 
 // Reset implements switchsim.CrossbarPolicy.
-func (c *CrossbarNaive) Reset(cfg switchsim.Config) { c.cfg = cfg }
+func (c *CrossbarNaive) Reset(cfg switchsim.Config) {
+	c.cfg = cfg
+	c.transfers = c.transfers[:0]
+}
 
 // Admit implements switchsim.CrossbarPolicy.
 func (c *CrossbarNaive) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim.AdmitAction {
@@ -160,31 +166,25 @@ func (c *CrossbarNaive) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim
 
 // InputSubphase implements switchsim.CrossbarPolicy.
 func (c *CrossbarNaive) InputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
-	var out []switchsim.Transfer
+	c.transfers = c.transfers[:0]
 	for i := 0; i < c.cfg.Inputs; i++ {
-		for j := 0; j < c.cfg.Outputs; j++ {
-			if !sw.IQ[i][j].Empty() && !sw.XQ[i][j].Full() {
-				out = append(out, switchsim.Transfer{In: i, Out: j})
-				break
-			}
+		if j := sw.VOQ.Row(i).FirstAnd(sw.XFree.Row(i)); j >= 0 {
+			c.transfers = append(c.transfers, switchsim.Transfer{In: i, Out: j})
 		}
 	}
-	return out
+	return c.transfers
 }
 
 // OutputSubphase implements switchsim.CrossbarPolicy.
 func (c *CrossbarNaive) OutputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
-	var out []switchsim.Transfer
+	c.transfers = c.transfers[:0]
 	for j := 0; j < c.cfg.Outputs; j++ {
-		if sw.OQ[j].Full() {
+		if !sw.OutFree.Test(j) {
 			continue
 		}
-		for i := 0; i < c.cfg.Inputs; i++ {
-			if !sw.XQ[i][j].Empty() {
-				out = append(out, switchsim.Transfer{In: i, Out: j})
-				break
-			}
+		if i := sw.XBusyByOut.Row(j).First(); i >= 0 {
+			c.transfers = append(c.transfers, switchsim.Transfer{In: i, Out: j})
 		}
 	}
-	return out
+	return c.transfers
 }

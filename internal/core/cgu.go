@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
 	"qswitch/internal/switchsim"
@@ -22,8 +24,9 @@ type CGU struct {
 	// strictly arbitrary reading of the paper).
 	RotatePick bool
 
-	cfg   switchsim.Config
-	ticks int
+	cfg       switchsim.Config
+	ticks     int
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CrossbarPolicy.
@@ -43,6 +46,7 @@ func (c *CGU) Disciplines() (queue.Discipline, queue.Discipline, queue.Disciplin
 func (c *CGU) Reset(cfg switchsim.Config) {
 	c.cfg = cfg
 	c.ticks = 0
+	c.transfers = c.transfers[:0]
 }
 
 // Admit implements switchsim.CrossbarPolicy: accept iff Q_ij is not full.
@@ -54,47 +58,41 @@ func (c *CGU) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim.AdmitActi
 }
 
 // InputSubphase implements switchsim.CrossbarPolicy: per input port, pick
-// the first j with Q_ij non-empty and C_ij not full.
+// the first j with Q_ij non-empty and C_ij not full — a single
+// find-first-set over the AND of the input's non-empty-VOQ mask and its
+// crosspoint-free mask.
 func (c *CGU) InputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
 	n, m := c.cfg.Inputs, c.cfg.Outputs
 	start := 0
 	if c.RotatePick {
-		start = c.ticks
+		start = c.ticks % m
 	}
-	var out []switchsim.Transfer
+	c.transfers = c.transfers[:0]
 	for i := 0; i < n; i++ {
-		for dj := 0; dj < m; dj++ {
-			j := (start + dj) % m
-			if !sw.IQ[i][j].Empty() && !sw.XQ[i][j].Full() {
-				out = append(out, switchsim.Transfer{In: i, Out: j})
-				break
-			}
+		if j := sw.VOQ.Row(i).FirstAndFrom(sw.XFree.Row(i), start); j >= 0 {
+			c.transfers = append(c.transfers, switchsim.Transfer{In: i, Out: j})
 		}
 	}
-	return out
+	return c.transfers
 }
 
 // OutputSubphase implements switchsim.CrossbarPolicy: per output port, pick
 // the first i with C_ij non-empty, provided Q_j has room.
 func (c *CGU) OutputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
-	n, m := c.cfg.Inputs, c.cfg.Outputs
 	start := 0
 	if c.RotatePick {
-		start = c.ticks
+		start = c.ticks % c.cfg.Inputs
 	}
 	c.ticks++
-	var out []switchsim.Transfer
-	for j := 0; j < m; j++ {
-		if sw.OQ[j].Full() {
-			continue
-		}
-		for di := 0; di < n; di++ {
-			i := (start + di) % n
-			if !sw.XQ[i][j].Empty() {
-				out = append(out, switchsim.Transfer{In: i, Out: j})
-				break
+	c.transfers = c.transfers[:0]
+	for w, word := range sw.OutFree {
+		for word != 0 {
+			j := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i := sw.XBusyByOut.Row(j).FirstFrom(start); i >= 0 {
+				c.transfers = append(c.transfers, switchsim.Transfer{In: i, Out: j})
 			}
 		}
 	}
-	return out
+	return c.transfers
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
@@ -31,9 +32,10 @@ type CPG struct {
 	// Alpha is the output preemption threshold; DefaultAlphaCPG() if 0.
 	Alpha float64
 
-	cfg   switchsim.Config
-	beta  float64
-	alpha float64
+	cfg       switchsim.Config
+	beta      float64
+	alpha     float64
+	transfers []switchsim.Transfer
 }
 
 // CPGEqualParams returns the β=α parameterization of CPG — the algorithm
@@ -67,6 +69,7 @@ func (c *CPG) Reset(cfg switchsim.Config) {
 	c.cfg = cfg
 	c.beta = betaOrDefault(c.Beta, DefaultBetaCPG())
 	c.alpha = betaOrDefault(c.Alpha, DefaultAlphaCPG())
+	c.transfers = c.transfers[:0]
 }
 
 // Admit implements switchsim.CrossbarPolicy: greedy preemptive admission.
@@ -74,46 +77,51 @@ func (c *CPG) Admit(_ *switchsim.Crossbar, _ packet.Packet) switchsim.AdmitActio
 	return switchsim.AcceptPreempt
 }
 
-// InputSubphase implements switchsim.CrossbarPolicy.
+// InputSubphase implements switchsim.CrossbarPolicy. Candidates are
+// enumerated from the non-empty-VOQ bitmask; crosspoints with room
+// (XFree bit set) skip the β-threshold value comparison.
 func (c *CPG) InputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
-	n, m := c.cfg.Inputs, c.cfg.Outputs
-	var out []switchsim.Transfer
+	n := c.cfg.Inputs
+	c.transfers = c.transfers[:0]
 	for i := 0; i < n; i++ {
 		bestJ := -1
 		var best packet.Packet
-		for j := 0; j < m; j++ {
-			head, ok := sw.IQ[i][j].Head()
-			if !ok {
-				continue
-			}
-			if !eligibleOutput(sw.XQ[i][j], head.Value, c.beta) {
-				continue
-			}
-			if bestJ < 0 || packet.Less(head, best) {
-				bestJ, best = j, head
+		row := sw.VOQ.Row(i)
+		xfree := sw.XFree.Row(i)
+		for w, word := range row {
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				head, _ := sw.IQ[i][j].Head()
+				if xfree.Test(j) || eligibleOutput(sw.XQ[i][j], head.Value, c.beta) {
+					if bestJ < 0 || packet.Less(head, best) {
+						bestJ, best = j, head
+					}
+				}
 			}
 		}
 		if bestJ >= 0 {
-			out = append(out, switchsim.Transfer{In: i, Out: bestJ, PreemptIfFull: true})
+			c.transfers = append(c.transfers, switchsim.Transfer{In: i, Out: bestJ, PreemptIfFull: true})
 		}
 	}
-	return out
+	return c.transfers
 }
 
 // OutputSubphase implements switchsim.CrossbarPolicy.
 func (c *CPG) OutputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
-	n, m := c.cfg.Inputs, c.cfg.Outputs
-	var out []switchsim.Transfer
+	m := c.cfg.Outputs
+	c.transfers = c.transfers[:0]
 	for j := 0; j < m; j++ {
 		bestI := -1
 		var best packet.Packet
-		for i := 0; i < n; i++ {
-			head, ok := sw.XQ[i][j].Head()
-			if !ok {
-				continue
-			}
-			if bestI < 0 || packet.Less(head, best) {
-				bestI, best = i, head
+		for w, word := range sw.XBusyByOut.Row(j) {
+			for word != 0 {
+				i := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				head, _ := sw.XQ[i][j].Head()
+				if bestI < 0 || packet.Less(head, best) {
+					bestI, best = i, head
+				}
 			}
 		}
 		if bestI < 0 {
@@ -122,9 +130,9 @@ func (c *CPG) OutputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsi
 		// The choice of crosspoint queue ignores the output queue's
 		// state; the transfer condition is evaluated afterwards, per
 		// the paper's two-step formulation.
-		if eligibleOutput(sw.OQ[j], best.Value, c.alpha) {
-			out = append(out, switchsim.Transfer{In: bestI, Out: j, PreemptIfFull: true})
+		if sw.OutFree.Test(j) || eligibleOutput(sw.OQ[j], best.Value, c.alpha) {
+			c.transfers = append(c.transfers, switchsim.Transfer{In: bestI, Out: j, PreemptIfFull: true})
 		}
 	}
-	return out
+	return c.transfers
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"qswitch/internal/matching"
@@ -22,9 +23,11 @@ type RandomizedGM struct {
 	// Seed makes runs reproducible; 1 if zero.
 	Seed int64
 
-	cfg   switchsim.Config
-	rng   *rand.Rand
-	edges []matching.Edge
+	cfg       switchsim.Config
+	rng       *rand.Rand
+	edges     []matching.Edge
+	mt        matching.Matcher
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CIOQPolicy.
@@ -44,6 +47,7 @@ func (g *RandomizedGM) Reset(cfg switchsim.Config) {
 	}
 	g.rng = rand.New(rand.NewSource(seed))
 	g.edges = g.edges[:0]
+	g.transfers = g.transfers[:0]
 }
 
 // Admit implements switchsim.CIOQPolicy.
@@ -55,13 +59,19 @@ func (g *RandomizedGM) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.Admi
 }
 
 // Schedule implements switchsim.CIOQPolicy: greedy maximal matching over
-// a uniformly shuffled edge order.
+// a uniformly shuffled edge order. The eligible edge list is gathered
+// from the bitset index in row-major order (matching the pre-index
+// implementation bit for bit, so the shuffle consumes the RNG
+// identically).
 func (g *RandomizedGM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
 	g.edges = g.edges[:0]
 	n, m := g.cfg.Inputs, g.cfg.Outputs
 	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			if !sw.IQ[i][j].Empty() && !sw.OQ[j].Full() {
+		for w, word := range sw.VOQ.Row(i) {
+			word &= sw.OutFree[w]
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
 				g.edges = append(g.edges, matching.Edge{U: i, V: j})
 			}
 		}
@@ -69,7 +79,8 @@ func (g *RandomizedGM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim
 	g.rng.Shuffle(len(g.edges), func(a, b int) {
 		g.edges[a], g.edges[b] = g.edges[b], g.edges[a]
 	})
-	return edgesToTransfers(matching.GreedyMaximal(n, m, g.edges), false)
+	g.transfers = appendTransfers(g.transfers[:0], g.mt.GreedyMaximal(n, m, g.edges), false)
+	return g.transfers
 }
 
 // ARFIFO is a FIFO-queue CIOQ scheduler in the spirit of Azar–Richter's
@@ -85,10 +96,11 @@ type ARFIFO struct {
 	// Beta is the preemption factor; 2 if zero (the classical choice).
 	Beta float64
 
-	cfg   switchsim.Config
-	beta  float64
-	edges []matching.Edge
-	sched matching.WeightedScheduler
+	cfg       switchsim.Config
+	beta      float64
+	edges     []matching.Edge
+	sched     matching.WeightedScheduler
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CIOQPolicy.
@@ -104,6 +116,7 @@ func (a *ARFIFO) Reset(cfg switchsim.Config) {
 	a.cfg = cfg
 	a.beta = betaOrDefault(a.Beta, 2)
 	a.edges = a.edges[:0]
+	a.transfers = a.transfers[:0]
 }
 
 // Admit implements switchsim.CIOQPolicy: accept when there is room, or
@@ -126,29 +139,28 @@ func (a *ARFIFO) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Trans
 	a.edges = a.edges[:0]
 	n, m := a.cfg.Inputs, a.cfg.Outputs
 	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			head, ok := sw.IQ[i][j].Head()
-			if !ok {
-				continue
-			}
-			oq := sw.OQ[j]
-			eligible := !oq.Full()
-			if !eligible {
-				if min, has := oq.MinValue(); has && float64(head.Value) > a.beta*float64(min.Value) {
-					eligible = true
+		for w, word := range sw.VOQ.Row(i) {
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				head, _ := sw.IQ[i][j].Head()
+				eligible := sw.OutFree.Test(j)
+				if !eligible {
+					if min, has := sw.OQ[j].MinValue(); has && float64(head.Value) > a.beta*float64(min.Value) {
+						eligible = true
+					}
 				}
-			}
-			if eligible {
-				a.edges = append(a.edges, matching.Edge{U: i, V: j, W: head.Value})
+				if eligible {
+					a.edges = append(a.edges, matching.Edge{U: i, V: j, W: head.Value})
+				}
 			}
 		}
 	}
-	ms := a.sched.GreedyMaximalWeighted(n, m, a.edges)
-	out := make([]switchsim.Transfer, len(ms))
-	for k, e := range ms {
-		out[k] = switchsim.Transfer{In: e.U, Out: e.V, PreemptMinIfFull: true}
+	a.transfers = a.transfers[:0]
+	for _, e := range a.sched.GreedyMaximalWeighted(n, m, a.edges) {
+		a.transfers = append(a.transfers, switchsim.Transfer{In: e.U, Out: e.V, PreemptMinIfFull: true})
 	}
-	return out
+	return a.transfers
 }
 
 // Describe returns a short human-readable description of any policy the

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
+	"qswitch/internal/bitset"
 	"qswitch/internal/matching"
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
@@ -50,14 +52,22 @@ func (o EdgeOrder) String() string {
 // maximal matching over edges {(i,j) : Q_ij non-empty and Q_j not full}
 // each scheduling cycle, and transmit the head of every non-empty output
 // queue. GM is 3-competitive at any speedup (Theorem 1).
+//
+// The eligibility graph is never materialized for the unweighted orders:
+// each input's candidate set is the word-wise AND of the switch's
+// non-empty-VOQ mask with the still-unmatched free-output mask, and the
+// greedy pick is a single find-first-set, so a cycle costs O(occupied)
+// rather than O(Inputs·Outputs) and allocates nothing.
 type GM struct {
 	// Order is the greedy scan order; RowMajor if unset.
 	Order EdgeOrder
 
-	cfg   switchsim.Config
-	edges []matching.Edge // scratch
-	sched matching.WeightedScheduler
-	ticks int
+	cfg       switchsim.Config
+	edges     []matching.Edge // scratch (LongestFirst only)
+	sched     matching.WeightedScheduler
+	transfers []switchsim.Transfer // scratch returned from Schedule
+	avail     bitset.Mask          // scratch: unmatched eligible ports
+	ticks     int
 }
 
 // Name implements switchsim.CIOQPolicy.
@@ -78,6 +88,14 @@ func (g *GM) Disciplines() (queue.Discipline, queue.Discipline) {
 func (g *GM) Reset(cfg switchsim.Config) {
 	g.cfg = cfg
 	g.edges = g.edges[:0]
+	g.transfers = g.transfers[:0]
+	n := cfg.Outputs
+	if g.Order == ColMajor {
+		n = cfg.Inputs
+	}
+	if len(g.avail) != bitset.Words(n) {
+		g.avail = bitset.New(n)
+	}
 	g.ticks = 0
 }
 
@@ -92,47 +110,62 @@ func (g *GM) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
 // Schedule implements switchsim.CIOQPolicy: greedy maximal matching on the
 // eligibility graph in the configured scan order.
 func (g *GM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
-	g.edges = g.edges[:0]
+	g.transfers = g.transfers[:0]
 	n, m := g.cfg.Inputs, g.cfg.Outputs
-	appendEdge := func(i, j int) {
-		if !sw.IQ[i][j].Empty() && !sw.OQ[j].Full() {
-			g.edges = append(g.edges, matching.Edge{U: i, V: j})
-		}
-	}
 	switch g.Order {
 	case ColMajor:
+		// availIn: inputs not yet matched this cycle.
+		availIn := g.avail
+		availIn.Fill(n)
 		for j := 0; j < m; j++ {
-			for i := 0; i < n; i++ {
-				appendEdge(i, j)
+			if !sw.OutFree.Test(j) {
+				continue
+			}
+			if i := sw.VOQByOut.Row(j).FirstAnd(availIn); i >= 0 {
+				availIn.Clear(i)
+				g.transfers = append(g.transfers, switchsim.Transfer{In: i, Out: j})
 			}
 		}
 	case Rotating:
 		oi, oj := g.ticks%n, g.ticks%m
+		availOut := g.avail
+		availOut.Copy(sw.OutFree)
 		for di := 0; di < n; di++ {
-			for dj := 0; dj < m; dj++ {
-				appendEdge((oi+di)%n, (oj+dj)%m)
+			i := (oi + di) % n
+			if j := sw.VOQ.Row(i).FirstAndFrom(availOut, oj); j >= 0 {
+				availOut.Clear(j)
+				g.transfers = append(g.transfers, switchsim.Transfer{In: i, Out: j})
 			}
 		}
 	case LongestFirst:
+		g.edges = g.edges[:0]
 		for i := 0; i < n; i++ {
-			for j := 0; j < m; j++ {
-				if !sw.IQ[i][j].Empty() && !sw.OQ[j].Full() {
+			row := sw.VOQ.Row(i)
+			for w, word := range row {
+				word &= sw.OutFree[w]
+				for word != 0 {
+					j := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
 					g.edges = append(g.edges, matching.Edge{U: i, V: j, W: int64(sw.IQ[i][j].Len())})
 				}
 			}
 		}
 		// Reuse the weighted greedy: weight = queue length.
 		g.ticks++
-		return edgesToTransfers(g.sched.GreedyMaximalWeighted(n, m, g.edges), false)
+		g.transfers = appendTransfers(g.transfers, g.sched.GreedyMaximalWeighted(n, m, g.edges), false)
+		return g.transfers
 	default: // RowMajor
+		availOut := g.avail
+		availOut.Copy(sw.OutFree)
 		for i := 0; i < n; i++ {
-			for j := 0; j < m; j++ {
-				appendEdge(i, j)
+			if j := sw.VOQ.Row(i).FirstAnd(availOut); j >= 0 {
+				availOut.Clear(j)
+				g.transfers = append(g.transfers, switchsim.Transfer{In: i, Out: j})
 			}
 		}
 	}
 	g.ticks++
-	return edgesToTransfers(matching.GreedyMaximal(n, m, g.edges), false)
+	return g.transfers
 }
 
 // KRMM is the maximum-matching baseline for the unit-value CIOQ case: the
@@ -141,8 +174,10 @@ func (g *GM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer 
 // Kesselman–Rosén line of work. Also 3-competitive, but asymptotically
 // slower per cycle — the comparison GM exists to win.
 type KRMM struct {
-	cfg switchsim.Config
-	adj [][]int
+	cfg       switchsim.Config
+	adj       [][]int
+	hk        matching.HKMatcher
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CIOQPolicy.
@@ -157,6 +192,7 @@ func (k *KRMM) Disciplines() (queue.Discipline, queue.Discipline) {
 func (k *KRMM) Reset(cfg switchsim.Config) {
 	k.cfg = cfg
 	k.adj = make([][]int, cfg.Inputs)
+	k.transfers = k.transfers[:0]
 }
 
 // Admit implements switchsim.CIOQPolicy.
@@ -169,29 +205,34 @@ func (k *KRMM) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction 
 
 // Schedule implements switchsim.CIOQPolicy via Hopcroft–Karp.
 func (k *KRMM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
-	n, m := k.cfg.Inputs, k.cfg.Outputs
+	n := k.cfg.Inputs
 	for i := 0; i < n; i++ {
 		k.adj[i] = k.adj[i][:0]
-		for j := 0; j < m; j++ {
-			if !sw.IQ[i][j].Empty() && !sw.OQ[j].Full() {
+		row := sw.VOQ.Row(i)
+		for w, word := range row {
+			word &= sw.OutFree[w]
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
 				k.adj[i] = append(k.adj[i], j)
 			}
 		}
 	}
-	matchU, _ := matching.HopcroftKarp(n, m, k.adj)
-	var out []switchsim.Transfer
+	matchU, _ := k.hk.MaxMatching(n, k.cfg.Outputs, k.adj)
+	k.transfers = k.transfers[:0]
 	for i, j := range matchU {
 		if j >= 0 {
-			out = append(out, switchsim.Transfer{In: i, Out: j})
+			k.transfers = append(k.transfers, switchsim.Transfer{In: i, Out: j})
 		}
 	}
-	return out
+	return k.transfers
 }
 
-func edgesToTransfers(es []matching.Edge, preempt bool) []switchsim.Transfer {
-	out := make([]switchsim.Transfer, len(es))
-	for k, e := range es {
-		out[k] = switchsim.Transfer{In: e.U, Out: e.V, PreemptIfFull: preempt}
+// appendTransfers converts matched edges into transfers, appending into
+// the caller's scratch buffer.
+func appendTransfers(dst []switchsim.Transfer, es []matching.Edge, preempt bool) []switchsim.Transfer {
+	for _, e := range es {
+		dst = append(dst, switchsim.Transfer{In: e.U, Out: e.V, PreemptIfFull: preempt})
 	}
-	return out
+	return dst
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
 	"qswitch/internal/switchsim"
@@ -20,8 +22,9 @@ type KKSFIFO struct {
 	// Beta is the preemption factor; 2 if zero.
 	Beta float64
 
-	cfg  switchsim.Config
-	beta float64
+	cfg       switchsim.Config
+	beta      float64
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CrossbarPolicy.
@@ -36,6 +39,7 @@ func (k *KKSFIFO) Disciplines() (queue.Discipline, queue.Discipline, queue.Disci
 func (k *KKSFIFO) Reset(cfg switchsim.Config) {
 	k.cfg = cfg
 	k.beta = betaOrDefault(k.Beta, 2)
+	k.transfers = k.transfers[:0]
 }
 
 // Admit implements switchsim.CrossbarPolicy.
@@ -51,57 +55,60 @@ func (k *KKSFIFO) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim.Admit
 }
 
 // InputSubphase implements switchsim.CrossbarPolicy: per input port, move
-// the most valuable FIFO head among eligible queues.
+// the most valuable FIFO head among eligible queues (candidates from the
+// non-empty-VOQ bitmask; crosspoints with room skip the value check).
 func (k *KKSFIFO) InputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
-	n, m := k.cfg.Inputs, k.cfg.Outputs
-	var out []switchsim.Transfer
+	n := k.cfg.Inputs
+	k.transfers = k.transfers[:0]
 	for i := 0; i < n; i++ {
 		bestJ := -1
 		var best packet.Packet
-		for j := 0; j < m; j++ {
-			head, ok := sw.IQ[i][j].Head()
-			if !ok {
-				continue
-			}
-			if !k.eligible(sw.XQ[i][j], head.Value) {
-				continue
-			}
-			if bestJ < 0 || packet.Less(head, best) {
-				bestJ, best = j, head
+		xfree := sw.XFree.Row(i)
+		for w, word := range sw.VOQ.Row(i) {
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				head, _ := sw.IQ[i][j].Head()
+				if xfree.Test(j) || k.eligible(sw.XQ[i][j], head.Value) {
+					if bestJ < 0 || packet.Less(head, best) {
+						bestJ, best = j, head
+					}
+				}
 			}
 		}
 		if bestJ >= 0 {
-			out = append(out, switchsim.Transfer{In: i, Out: bestJ, PreemptMinIfFull: true})
+			k.transfers = append(k.transfers, switchsim.Transfer{In: i, Out: bestJ, PreemptMinIfFull: true})
 		}
 	}
-	return out
+	return k.transfers
 }
 
 // OutputSubphase implements switchsim.CrossbarPolicy: per output port,
 // pull the most valuable crosspoint FIFO head, beta-gated at the output.
 func (k *KKSFIFO) OutputSubphase(sw *switchsim.Crossbar, slot, cycle int) []switchsim.Transfer {
-	n, m := k.cfg.Inputs, k.cfg.Outputs
-	var out []switchsim.Transfer
+	m := k.cfg.Outputs
+	k.transfers = k.transfers[:0]
 	for j := 0; j < m; j++ {
 		bestI := -1
 		var best packet.Packet
-		for i := 0; i < n; i++ {
-			head, ok := sw.XQ[i][j].Head()
-			if !ok {
-				continue
-			}
-			if bestI < 0 || packet.Less(head, best) {
-				bestI, best = i, head
+		for w, word := range sw.XBusyByOut.Row(j) {
+			for word != 0 {
+				i := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				head, _ := sw.XQ[i][j].Head()
+				if bestI < 0 || packet.Less(head, best) {
+					bestI, best = i, head
+				}
 			}
 		}
 		if bestI < 0 {
 			continue
 		}
-		if k.eligible(sw.OQ[j], best.Value) {
-			out = append(out, switchsim.Transfer{In: bestI, Out: j, PreemptMinIfFull: true})
+		if sw.OutFree.Test(j) || k.eligible(sw.OQ[j], best.Value) {
+			k.transfers = append(k.transfers, switchsim.Transfer{In: bestI, Out: j, PreemptMinIfFull: true})
 		}
 	}
-	return out
+	return k.transfers
 }
 
 // eligible reports whether a packet of value v may enter queue q: room,

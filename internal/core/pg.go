@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"qswitch/internal/matching"
 	"qswitch/internal/packet"
@@ -29,10 +30,11 @@ type PG struct {
 	// Beta is the preemption threshold β ≥ 1; DefaultBetaPG() if zero.
 	Beta float64
 
-	cfg   switchsim.Config
-	beta  float64
-	edges []matching.Edge
-	sched matching.WeightedScheduler
+	cfg       switchsim.Config
+	beta      float64
+	edges     []matching.Edge
+	sched     matching.WeightedScheduler
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CIOQPolicy.
@@ -60,6 +62,7 @@ func (g *PG) Reset(cfg switchsim.Config) {
 		g.beta = 1
 	}
 	g.edges = g.edges[:0]
+	g.transfers = g.transfers[:0]
 }
 
 // Admit implements switchsim.CIOQPolicy: greedy preemptive admission.
@@ -70,22 +73,28 @@ func (g *PG) Admit(_ *switchsim.CIOQ, _ packet.Packet) switchsim.AdmitAction {
 }
 
 // Schedule implements switchsim.CIOQPolicy: greedy maximal weighted
-// matching over the β-eligibility graph.
+// matching over the β-eligibility graph. Candidate edges are enumerated
+// from the switch's non-empty-VOQ bitmasks; an output that is not full
+// (OutFree bit set) is eligible without touching its queue, and only
+// full outputs pay the β-threshold value comparison.
 func (g *PG) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
 	g.edges = g.edges[:0]
 	n, m := g.cfg.Inputs, g.cfg.Outputs
 	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			head, ok := sw.IQ[i][j].Head()
-			if !ok {
-				continue
-			}
-			if eligibleOutput(sw.OQ[j], head.Value, g.beta) {
-				g.edges = append(g.edges, matching.Edge{U: i, V: j, W: head.Value})
+		row := sw.VOQ.Row(i)
+		for w, word := range row {
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				head, _ := sw.IQ[i][j].Head()
+				if sw.OutFree.Test(j) || eligibleOutput(sw.OQ[j], head.Value, g.beta) {
+					g.edges = append(g.edges, matching.Edge{U: i, V: j, W: head.Value})
+				}
 			}
 		}
 	}
-	return edgesToTransfers(g.sched.GreedyMaximalWeighted(n, m, g.edges), true)
+	g.transfers = appendTransfers(g.transfers[:0], g.sched.GreedyMaximalWeighted(n, m, g.edges), true)
+	return g.transfers
 }
 
 // eligibleOutput reports the paper's eligibility condition for moving a
@@ -108,9 +117,10 @@ type KRMWM struct {
 	// Beta defaults to 2, the parameter of the 6-competitive analysis.
 	Beta float64
 
-	cfg   switchsim.Config
-	beta  float64
-	edges []matching.Edge
+	cfg       switchsim.Config
+	beta      float64
+	edges     []matching.Edge
+	transfers []switchsim.Transfer
 }
 
 // Name implements switchsim.CIOQPolicy.
@@ -141,17 +151,20 @@ func (k *KRMWM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transf
 	k.edges = k.edges[:0]
 	n, m := k.cfg.Inputs, k.cfg.Outputs
 	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			head, ok := sw.IQ[i][j].Head()
-			if !ok {
-				continue
-			}
-			if eligibleOutput(sw.OQ[j], head.Value, k.beta) {
-				k.edges = append(k.edges, matching.Edge{U: i, V: j, W: head.Value})
+		row := sw.VOQ.Row(i)
+		for w, word := range row {
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				head, _ := sw.IQ[i][j].Head()
+				if sw.OutFree.Test(j) || eligibleOutput(sw.OQ[j], head.Value, k.beta) {
+					k.edges = append(k.edges, matching.Edge{U: i, V: j, W: head.Value})
+				}
 			}
 		}
 	}
-	return edgesToTransfers(matching.MaxWeightMatching(n, m, k.edges), true)
+	k.transfers = appendTransfers(k.transfers[:0], matching.MaxWeightMatching(n, m, k.edges), true)
+	return k.transfers
 }
 
 // betaOrDefault resolves a possibly-zero β parameter.

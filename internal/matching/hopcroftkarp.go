@@ -10,66 +10,91 @@ package matching
 // every scheduling cycle, which the paper replaces with the much cheaper
 // greedy maximal matching at no loss in competitiveness.
 func HopcroftKarp(nU, nV int, adj [][]int) (matchU []int, size int) {
-	const inf = int(^uint(0) >> 1)
-	matchU = make([]int, nU)
-	matchV := make([]int, nV)
-	for i := range matchU {
-		matchU[i] = -1
-	}
-	for i := range matchV {
-		matchV[i] = -1
-	}
-	dist := make([]int, nU)
-	queue := make([]int, 0, nU)
+	var h HKMatcher
+	return h.MaxMatching(nU, nV, adj)
+}
 
-	bfs := func() bool {
-		queue = queue[:0]
+// HKMatcher is a reusable Hopcroft–Karp engine: its vertex arrays and
+// BFS queue survive across scheduling cycles, so repeated calls allocate
+// nothing after warm-up. The zero value is ready to use. The returned
+// matchU slice is scratch, valid until the next call.
+type HKMatcher struct {
+	matchU, matchV []int
+	dist, queue    []int
+	adj            [][]int
+}
+
+const hkInf = int(^uint(0) >> 1)
+
+// MaxMatching computes a maximum-cardinality matching of adj as
+// HopcroftKarp does.
+func (h *HKMatcher) MaxMatching(nU, nV int, adj [][]int) (matchU []int, size int) {
+	if cap(h.matchU) < nU {
+		h.matchU = make([]int, nU)
+		h.dist = make([]int, nU)
+		h.queue = make([]int, 0, nU)
+	}
+	if cap(h.matchV) < nV {
+		h.matchV = make([]int, nV)
+	}
+	h.matchU = h.matchU[:nU]
+	h.matchV = h.matchV[:nV]
+	h.dist = h.dist[:nU]
+	h.adj = adj
+	for i := range h.matchU {
+		h.matchU[i] = -1
+	}
+	for i := range h.matchV {
+		h.matchV[i] = -1
+	}
+	for h.bfs() {
 		for u := 0; u < nU; u++ {
-			if matchU[u] == -1 {
-				dist[u] = 0
-				queue = append(queue, u)
-			} else {
-				dist[u] = inf
-			}
-		}
-		found := false
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			for _, v := range adj[u] {
-				w := matchV[v]
-				if w == -1 {
-					found = true
-				} else if dist[w] == inf {
-					dist[w] = dist[u] + 1
-					queue = append(queue, w)
-				}
-			}
-		}
-		return found
-	}
-
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		for _, v := range adj[u] {
-			w := matchV[v]
-			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
-				matchU[u] = v
-				matchV[v] = u
-				return true
-			}
-		}
-		dist[u] = inf
-		return false
-	}
-
-	for bfs() {
-		for u := 0; u < nU; u++ {
-			if matchU[u] == -1 && dfs(u) {
+			if h.matchU[u] == -1 && h.dfs(u) {
 				size++
 			}
 		}
 	}
-	return matchU, size
+	h.adj = nil
+	return h.matchU, size
+}
+
+func (h *HKMatcher) bfs() bool {
+	h.queue = h.queue[:0]
+	for u := range h.matchU {
+		if h.matchU[u] == -1 {
+			h.dist[u] = 0
+			h.queue = append(h.queue, u)
+		} else {
+			h.dist[u] = hkInf
+		}
+	}
+	found := false
+	for head := 0; head < len(h.queue); head++ {
+		u := h.queue[head]
+		for _, v := range h.adj[u] {
+			w := h.matchV[v]
+			if w == -1 {
+				found = true
+			} else if h.dist[w] == hkInf {
+				h.dist[w] = h.dist[u] + 1
+				h.queue = append(h.queue, w)
+			}
+		}
+	}
+	return found
+}
+
+func (h *HKMatcher) dfs(u int) bool {
+	for _, v := range h.adj[u] {
+		w := h.matchV[v]
+		if w == -1 || (h.dist[w] == h.dist[u]+1 && h.dfs(w)) {
+			h.matchU[u] = v
+			h.matchV[v] = u
+			return true
+		}
+	}
+	h.dist[u] = hkInf
+	return false
 }
 
 // Kuhn computes a maximum-cardinality matching with the simple O(V*E)

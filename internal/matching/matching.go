@@ -14,6 +14,16 @@
 //     cross-check,
 //   - BruteForceMax / BruteForceMaxWeight — exponential verifiers for
 //     property tests on small graphs.
+//
+// The scheduling policies in internal/core no longer hand this package a
+// full Inputs×Outputs edge scan: they enumerate candidate edges from the
+// switch's bitset occupancy index (see internal/switchsim and
+// internal/bitset), so the edge lists arriving here are proportional to
+// the number of occupied queues. On the engine side, Matcher and
+// WeightedScheduler are the reusable (scratch-carrying, zero-allocation
+// after warm-up) counterparts of GreedyMaximal and
+// GreedyMaximalWeighted; the one-shot functions remain for tests and
+// offline callers.
 package matching
 
 import (
@@ -45,6 +55,39 @@ func GreedyMaximal(nU, nV int, edges []Edge) []Edge {
 	return out
 }
 
+// Matcher is a reusable greedy-maximal matcher. It keeps epoch-stamped
+// vertex marks and the output buffer alive across scheduling cycles, so
+// the per-cycle cost is a pure O(E) pass with no allocation after
+// warm-up. The zero value is ready to use.
+type Matcher struct {
+	markU, markV []int
+	epoch        int
+	out          []Edge
+}
+
+// GreedyMaximal computes the same matching as the package-level
+// GreedyMaximal. The returned slice is scratch, valid until the next call.
+func (mt *Matcher) GreedyMaximal(nU, nV int, edges []Edge) []Edge {
+	if len(mt.markU) < nU || len(mt.markV) < nV {
+		// Grow both sides together: a fresh zeroed array next to a
+		// surviving one with stale stamps would collide with the
+		// restarted epoch counter.
+		mt.markU = make([]int, nU)
+		mt.markV = make([]int, nV)
+		mt.epoch = 0
+	}
+	mt.epoch++
+	mt.out = mt.out[:0]
+	for _, e := range edges {
+		if mt.markU[e.U] != mt.epoch && mt.markV[e.V] != mt.epoch {
+			mt.markU[e.U] = mt.epoch
+			mt.markV[e.V] = mt.epoch
+			mt.out = append(mt.out, e)
+		}
+	}
+	return mt.out
+}
+
 // GreedyMaximalWeighted sorts the edges by weight descending (ties: smaller
 // U, then smaller V first — a fixed, deterministic order) and then greedily
 // adds non-conflicting edges. This is the engine of the paper's PG
@@ -68,17 +111,79 @@ func GreedyMaximalWeighted(nU, nV int, edges []Edge) []Edge {
 type WeightedScheduler struct {
 	keys, tmp []uint64
 	sorted    []Edge
+	counts    []int32
+	mt        Matcher
 }
 
 // GreedyMaximalWeighted computes the greedy maximal matching by
-// descending weight. The returned slice is valid until the next call.
+// descending weight. The returned slice is scratch, valid until the next
+// call.
 func (s *WeightedScheduler) GreedyMaximalWeighted(nU, nV int, edges []Edge) []Edge {
+	if sorted, ok := s.countingSortEdges(edges); ok {
+		return s.mt.GreedyMaximal(nU, nV, sorted)
+	}
 	if sorted, ok := s.radixSortEdges(edges); ok {
-		return GreedyMaximal(nU, nV, sorted)
+		return s.mt.GreedyMaximal(nU, nV, sorted)
 	}
 	s.sorted = append(s.sorted[:0], edges...)
 	sort.Sort(edgesByWeight(s.sorted))
-	return GreedyMaximal(nU, nV, s.sorted)
+	return s.mt.GreedyMaximal(nU, nV, s.sorted)
+}
+
+// countingMaxWeight bounds the weight range of the counting-sort fast
+// path; the count array is reused scratch of this size at most.
+const countingMaxWeight = 2048
+
+// countingSortEdges is the fastest sorting path: when the caller already
+// enumerates edges in (U, V) ascending order — as every policy driven by
+// the bitset occupancy index does — and weights are small non-negative
+// integers, a single stable counting pass by weight descending yields
+// exactly the contract order (weight desc, ties U asc then V asc).
+func (s *WeightedScheduler) countingSortEdges(edges []Edge) ([]Edge, bool) {
+	n := len(edges)
+	if n == 0 {
+		return edges, true
+	}
+	maxW := int64(0)
+	for i, e := range edges {
+		if e.W < 0 || e.W > countingMaxWeight {
+			return nil, false
+		}
+		if i > 0 {
+			if p := edges[i-1]; p.U > e.U || (p.U == e.U && p.V >= e.V) {
+				return nil, false
+			}
+		}
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	if cap(s.counts) < int(maxW)+1 {
+		s.counts = make([]int32, maxW+1)
+	}
+	cnt := s.counts[:maxW+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, e := range edges {
+		cnt[e.W]++
+	}
+	// Prefix offsets with heavier weights first.
+	total := int32(0)
+	for w := maxW; w >= 0; w-- {
+		c := cnt[w]
+		cnt[w] = total
+		total += c
+	}
+	if cap(s.sorted) < n {
+		s.sorted = make([]Edge, n)
+	}
+	out := s.sorted[:n]
+	for _, e := range edges {
+		out[cnt[e.W]] = e
+		cnt[e.W]++
+	}
+	return out, true
 }
 
 // Key layout for the radix path: 40 bits of weight, then 12 bits of

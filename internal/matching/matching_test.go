@@ -245,3 +245,30 @@ func TestWeight(t *testing.T) {
 		t.Error("Weight(nil) != 0")
 	}
 }
+
+// TestMatcherReuseAcrossGraphSizes guards the scratch-growth path: when a
+// reused Matcher sees a graph that grows on one side only, the freshly
+// zeroed mark array must not collide with stale epoch stamps on the
+// surviving side (a bug caught in review: edges were silently dropped).
+func TestMatcherReuseAcrossGraphSizes(t *testing.T) {
+	var mt Matcher
+	small := []Edge{{U: 0, V: 0}, {U: 1, V: 1}}
+	for k := 0; k < 3; k++ {
+		if got := mt.GreedyMaximal(4, 4, small); len(got) != 2 {
+			t.Fatalf("warm-up %d: got %d edges, want 2", k, len(got))
+		}
+	}
+	// Grow U only; V keeps its old array with stamps from the warm-ups.
+	big := []Edge{{U: 5, V: 0}, {U: 6, V: 1}}
+	if got := mt.GreedyMaximal(8, 4, big); len(got) != 2 {
+		t.Fatalf("after one-sided growth: got %d edges, want 2 (stale epoch stamps)", len(got))
+	}
+	// And shrink again — results must match the one-shot function.
+	for k := 0; k < 3; k++ {
+		got := mt.GreedyMaximal(4, 4, small)
+		want := GreedyMaximal(4, 4, small)
+		if len(got) != len(want) {
+			t.Fatalf("after shrink, round %d: got %d edges, want %d", k, len(got), len(want))
+		}
+	}
+}

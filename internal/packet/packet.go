@@ -104,6 +104,30 @@ func (s Sequence) Horizon() int {
 // grouping (they can never be admitted within the simulated horizon).
 func (s Sequence) BySlot(slots int) [][]Packet {
 	out := make([][]Packet, slots)
+	// A well-formed sequence is sorted by (Arrival, ID), so each slot's
+	// packets are a contiguous run and the per-slot views can alias the
+	// sequence with no copying. Callers must not mutate the views.
+	for k := 0; k < len(s); {
+		a := s[k].Arrival
+		start := k
+		for k < len(s) && s[k].Arrival == a {
+			k++
+		}
+		if a < 0 || a >= slots {
+			continue
+		}
+		if out[a] != nil {
+			// Unsorted input (never produced by generators, but BySlot
+			// historically tolerated it): fall back to copying.
+			return s.bySlotUnsorted(slots)
+		}
+		out[a] = s[start:k:k]
+	}
+	return out
+}
+
+func (s Sequence) bySlotUnsorted(slots int) [][]Packet {
+	out := make([][]Packet, slots)
 	for _, p := range s {
 		if p.Arrival >= 0 && p.Arrival < slots {
 			out[p.Arrival] = append(out[p.Arrival], p)

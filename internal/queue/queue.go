@@ -10,6 +10,12 @@
 // head (greatest value) and the tail (least value). A FIFO discipline is
 // also provided for the unit-value algorithms, where arrival order is the
 // natural (and equivalent) choice.
+//
+// Storage is a power-of-two ring buffer indexed from a moving head, so the
+// simulator's hot operations — PopHead in the transfer and transmission
+// phases, Push/PopTail at the extremes — are O(1) with no data movement,
+// and a priority insertion shifts whichever side of the ring is shorter.
+// Queues never allocate after reaching their high-water occupancy.
 package queue
 
 import (
@@ -49,7 +55,9 @@ var ErrFull = errors.New("queue: full")
 type Queue struct {
 	capacity int
 	disc     Discipline
-	items    []packet.Packet
+	buf      []packet.Packet // ring storage; len(buf) is a power of two
+	head     int             // ring index of queue position 0
+	n        int             // packets stored
 }
 
 // New returns an empty queue with the given capacity and discipline.
@@ -58,45 +66,69 @@ func New(capacity int, d Discipline) *Queue {
 	if capacity < 1 {
 		panic(fmt.Sprintf("queue: capacity must be >= 1, got %d", capacity))
 	}
-	return &Queue{capacity: capacity, disc: d, items: make([]packet.Packet, 0, min(capacity, 64))}
+	return &Queue{capacity: capacity, disc: d, buf: make([]packet.Packet, ceilPow2(min(capacity, 64)))}
+}
+
+// NewBatch returns k independent queues of the given capacity and
+// discipline whose headers and ring storage share two allocations. The
+// switch simulators use it to build their Inputs×Outputs queue grids
+// without thousands of small allocations; a queue that later outgrows
+// its ring slice (capacity > 64 only) detaches onto its own storage.
+func NewBatch(k, capacity int, d Discipline) []Queue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("queue: capacity must be >= 1, got %d", capacity))
+	}
+	ring := ceilPow2(min(capacity, 64))
+	backing := make([]packet.Packet, k*ring)
+	qs := make([]Queue, k)
+	for i := range qs {
+		qs[i] = Queue{capacity: capacity, disc: d, buf: backing[i*ring : (i+1)*ring : (i+1)*ring]}
+	}
+	return qs
 }
 
 // Cap returns the queue capacity B(Q).
 func (q *Queue) Cap() int { return q.capacity }
 
 // Len returns the number of packets currently stored.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.n }
 
 // Empty reports whether the queue holds no packets.
-func (q *Queue) Empty() bool { return len(q.items) == 0 }
+func (q *Queue) Empty() bool { return q.n == 0 }
 
 // Full reports whether the queue is at capacity.
-func (q *Queue) Full() bool { return len(q.items) >= q.capacity }
+func (q *Queue) Full() bool { return q.n >= q.capacity }
 
 // Discipline returns the queue's ordering discipline.
 func (q *Queue) Discipline() Discipline { return q.disc }
 
+// idx maps queue position k (0 = head) to a ring index.
+func (q *Queue) idx(k int) int { return (q.head + k) & (len(q.buf) - 1) }
+
 // Head returns the packet at the queue's head without removing it:
 // the oldest packet under FIFO, the most valuable under ByValue.
 func (q *Queue) Head() (packet.Packet, bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return packet.Packet{}, false
 	}
-	return q.items[0], true
+	return q.buf[q.head], true
 }
 
 // Tail returns the packet at the queue's tail without removing it:
 // the newest packet under FIFO, the least valuable under ByValue.
 func (q *Queue) Tail() (packet.Packet, bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return packet.Packet{}, false
 	}
-	return q.items[len(q.items)-1], true
+	return q.buf[q.idx(q.n-1)], true
 }
 
 // At returns the packet at position k (0-based; position 0 is the head).
 func (q *Queue) At(k int) packet.Packet {
-	return q.items[k]
+	if k < 0 || k >= q.n {
+		panic(fmt.Sprintf("queue: At(%d) out of range [0,%d)", k, q.n))
+	}
+	return q.buf[q.idx(k)]
 }
 
 // Push inserts p, returning ErrFull if there is no room. Under ByValue the
@@ -121,13 +153,13 @@ func (q *Queue) PushPreempt(p packet.Packet) (preempted packet.Packet, didPreemp
 		q.insert(p)
 		return packet.Packet{}, false, true
 	}
-	tail := q.items[len(q.items)-1]
+	tail := q.buf[q.idx(q.n-1)]
 	// Strict value comparison per the paper: equal-value packets do not
 	// preempt each other.
 	if tail.Value >= p.Value {
 		return packet.Packet{}, false, false
 	}
-	q.items = q.items[:len(q.items)-1]
+	q.n--
 	q.insert(p)
 	return tail, true, true
 }
@@ -136,19 +168,19 @@ func (q *Queue) PushPreempt(p packet.Packet) (preempted packet.Packet, didPreemp
 // highest ID, i.e. the one the canonical order ranks last). Under ByValue
 // this is the tail in O(1); under FIFO it scans.
 func (q *Queue) MinValue() (packet.Packet, bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return packet.Packet{}, false
 	}
 	if q.disc == ByValue {
-		return q.items[len(q.items)-1], true
+		return q.buf[q.idx(q.n-1)], true
 	}
-	best := 0
-	for k := 1; k < len(q.items); k++ {
-		if packet.Less(q.items[best], q.items[k]) {
-			best = k
+	best := q.buf[q.head]
+	for k := 1; k < q.n; k++ {
+		if p := q.buf[q.idx(k)]; packet.Less(best, p) {
+			best = p
 		}
 	}
-	return q.items[best], true
+	return best, true
 }
 
 // PushPreemptMin inserts p, preempting the queue's LEAST-VALUABLE packet
@@ -167,10 +199,9 @@ func (q *Queue) PushPreemptMin(p packet.Packet) (preempted packet.Packet, didPre
 		return packet.Packet{}, false, false
 	}
 	// Remove the minimum, preserving order of the rest.
-	for k := range q.items {
-		if q.items[k].ID == min.ID {
-			copy(q.items[k:], q.items[k+1:])
-			q.items = q.items[:len(q.items)-1]
+	for k := 0; k < q.n; k++ {
+		if q.buf[q.idx(k)].ID == min.ID {
+			q.removeAt(k)
 			break
 		}
 	}
@@ -180,30 +211,30 @@ func (q *Queue) PushPreemptMin(p packet.Packet) (preempted packet.Packet, didPre
 
 // PopHead removes and returns the head packet.
 func (q *Queue) PopHead() (packet.Packet, bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return packet.Packet{}, false
 	}
-	p := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
+	p := q.buf[q.head]
+	q.head = q.idx(1)
+	q.n--
 	return p, true
 }
 
 // PopTail removes and returns the tail packet (used for preemption).
 func (q *Queue) PopTail() (packet.Packet, bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return packet.Packet{}, false
 	}
-	p := q.items[len(q.items)-1]
-	q.items = q.items[:len(q.items)-1]
+	p := q.buf[q.idx(q.n-1)]
+	q.n--
 	return p, true
 }
 
 // TotalValue returns the sum of values of all stored packets.
 func (q *Queue) TotalValue() int64 {
 	var t int64
-	for _, p := range q.items {
-		t += p.Value
+	for k := 0; k < q.n; k++ {
+		t += q.buf[q.idx(k)].Value
 	}
 	return t
 }
@@ -211,50 +242,107 @@ func (q *Queue) TotalValue() int64 {
 // Snapshot returns a copy of the queue contents in queue order
 // (head first). It is intended for tests and invariant checking.
 func (q *Queue) Snapshot() []packet.Packet {
-	out := make([]packet.Packet, len(q.items))
-	copy(out, q.items)
+	out := make([]packet.Packet, q.n)
+	for k := range out {
+		out[k] = q.buf[q.idx(k)]
+	}
 	return out
 }
 
 // Reset empties the queue.
-func (q *Queue) Reset() { q.items = q.items[:0] }
+func (q *Queue) Reset() { q.head, q.n = 0, 0 }
 
 // CheckInvariants verifies internal consistency: length within capacity
 // and, under ByValue, correct priority ordering. It returns a descriptive
 // error on violation and is called by the simulator's validation mode.
 func (q *Queue) CheckInvariants() error {
-	if len(q.items) > q.capacity {
-		return fmt.Errorf("queue: length %d exceeds capacity %d", len(q.items), q.capacity)
+	if q.n > q.capacity {
+		return fmt.Errorf("queue: length %d exceeds capacity %d", q.n, q.capacity)
+	}
+	if len(q.buf)&(len(q.buf)-1) != 0 || q.n > len(q.buf) {
+		return fmt.Errorf("queue: bad ring geometry len=%d n=%d", len(q.buf), q.n)
 	}
 	if q.disc == ByValue {
-		for k := 1; k < len(q.items); k++ {
-			if !packet.Less(q.items[k-1], q.items[k]) {
-				return fmt.Errorf("queue: order violation at %d: %v before %v", k, q.items[k-1], q.items[k])
+		for k := 1; k < q.n; k++ {
+			a, b := q.buf[q.idx(k-1)], q.buf[q.idx(k)]
+			if !packet.Less(a, b) {
+				return fmt.Errorf("queue: order violation at %d: %v before %v", k, a, b)
 			}
 		}
 	}
 	return nil
 }
 
-// insert places p according to the discipline. The caller guarantees room.
+// insert places p according to the discipline. The caller guarantees room
+// with respect to capacity; the ring grows if the backing array is full.
 func (q *Queue) insert(p packet.Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
 	if q.disc == FIFO {
-		q.items = append(q.items, p)
+		q.buf[q.idx(q.n)] = p
+		q.n++
 		return
 	}
 	// Binary search for the insertion point in (value desc, ID asc) order.
-	lo, hi := 0, len(q.items)
+	lo, hi := 0, q.n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if packet.Less(q.items[mid], p) {
+		if packet.Less(q.buf[q.idx(mid)], p) {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	q.items = append(q.items, packet.Packet{})
-	copy(q.items[lo+1:], q.items[lo:])
-	q.items[lo] = p
+	// Open position lo by shifting the shorter side of the ring.
+	if lo <= q.n-lo {
+		// Shift the head segment [0, lo) one slot toward the new head.
+		q.head = (q.head - 1) & (len(q.buf) - 1)
+		for k := 0; k < lo; k++ {
+			q.buf[q.idx(k)] = q.buf[q.idx(k+1)]
+		}
+	} else {
+		// Shift the tail segment [lo, n) one slot away from the head.
+		for k := q.n; k > lo; k-- {
+			q.buf[q.idx(k)] = q.buf[q.idx(k-1)]
+		}
+	}
+	q.buf[q.idx(lo)] = p
+	q.n++
+}
+
+// removeAt deletes the packet at queue position k, preserving the order of
+// the rest by closing the gap from the shorter side.
+func (q *Queue) removeAt(k int) {
+	if k <= q.n-1-k {
+		// Shift the head segment [0, k) one slot toward the tail.
+		for j := k; j > 0; j-- {
+			q.buf[q.idx(j)] = q.buf[q.idx(j-1)]
+		}
+		q.head = q.idx(1)
+	} else {
+		// Shift the tail segment (k, n) one slot toward the head.
+		for j := k; j < q.n-1; j++ {
+			q.buf[q.idx(j)] = q.buf[q.idx(j+1)]
+		}
+	}
+	q.n--
+}
+
+// grow doubles the ring, unwrapping the contents to index 0.
+func (q *Queue) grow() {
+	nb := make([]packet.Packet, len(q.buf)*2)
+	k := copy(nb, q.buf[q.head:])
+	copy(nb[k:], q.buf[:q.head])
+	q.buf, q.head = nb, 0
+}
+
+func ceilPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
 }
 
 func min(a, b int) int {

@@ -2,7 +2,9 @@ package switchsim
 
 import (
 	"fmt"
+	"math/bits"
 
+	"qswitch/internal/bitset"
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
 )
@@ -26,11 +28,19 @@ type CIOQPolicy interface {
 	// Schedule returns the set of transfers for scheduling cycle
 	// `cycle` (0-based) of slot `slot`. The set must form a matching:
 	// at most one transfer out of each input port and at most one into
-	// each output port.
+	// each output port. The engine consumes the slice before the next
+	// policy call, so policies may return a reusable scratch buffer.
 	Schedule(sw *CIOQ, slot, cycle int) []Transfer
 }
 
 // CIOQ is the state of a combined input/output queued switch.
+//
+// Alongside the queues it maintains an incrementally-updated occupancy
+// index — bitmasks over ports, kept exact by the engine on every push,
+// pop and preemption — that lets policies enumerate the eligible edges
+// {(i,j) : Q_ij non-empty, Q_j not full} in time proportional to the
+// number of occupied queues instead of scanning all Inputs×Outputs pairs.
+// Policies must treat the index as read-only.
 type CIOQ struct {
 	Cfg Config
 	// IQ[i][j] is the input queue at port i holding packets for output j.
@@ -38,40 +48,57 @@ type CIOQ struct {
 	// OQ[j] is the queue at output port j.
 	OQ []*queue.Queue
 	M  Metrics
+
+	// VOQ.Row(i) is the mask over outputs j with IQ[i][j] non-empty.
+	VOQ bitset.Matrix
+	// VOQByOut.Row(j) is the transpose: inputs i with IQ[i][j] non-empty.
+	VOQByOut bitset.Matrix
+	// OutFree is the mask over outputs j with OQ[j] not full.
+	OutFree bitset.Mask
+	// OutBusy is the mask over outputs j with OQ[j] non-empty.
+	OutBusy bitset.Mask
+
+	inCount  int64 // packets across all input queues
+	outCount int64 // packets across all output queues
+
+	// Matching-validation scratch: epoch-stamped marks avoid clearing
+	// per cycle.
+	usedIn, usedOut []int
+	epoch           int
 }
 
 // NewCIOQ builds an empty switch with the queue disciplines requested by
 // the policy.
 func NewCIOQ(cfg Config, inDisc, outDisc queue.Discipline) *CIOQ {
 	sw := &CIOQ{Cfg: cfg}
-	sw.IQ = make([][]*queue.Queue, cfg.Inputs)
+	n, m := cfg.Inputs, cfg.Outputs
+	iqs := queue.NewBatch(n*m, cfg.InputBuf, inDisc)
+	iqPtrs := make([]*queue.Queue, n*m)
+	for x := range iqPtrs {
+		iqPtrs[x] = &iqs[x]
+	}
+	sw.IQ = make([][]*queue.Queue, n)
 	for i := range sw.IQ {
-		sw.IQ[i] = make([]*queue.Queue, cfg.Outputs)
-		for j := range sw.IQ[i] {
-			sw.IQ[i][j] = queue.New(cfg.InputBuf, inDisc)
-		}
+		sw.IQ[i] = iqPtrs[i*m : (i+1)*m : (i+1)*m]
 	}
-	sw.OQ = make([]*queue.Queue, cfg.Outputs)
+	oqs := queue.NewBatch(m, cfg.OutputBuf, outDisc)
+	sw.OQ = make([]*queue.Queue, m)
 	for j := range sw.OQ {
-		sw.OQ[j] = queue.New(cfg.OutputBuf, outDisc)
+		sw.OQ[j] = &oqs[j]
 	}
+	sw.VOQ = bitset.NewMatrix(cfg.Inputs, cfg.Outputs)
+	sw.VOQByOut = bitset.NewMatrix(cfg.Outputs, cfg.Inputs)
+	sw.OutFree = bitset.New(cfg.Outputs)
+	sw.OutFree.Fill(cfg.Outputs)
+	sw.OutBusy = bitset.New(cfg.Outputs)
+	sw.usedIn = make([]int, cfg.Inputs)
+	sw.usedOut = make([]int, cfg.Outputs)
 	return sw
 }
 
 // QueuedPackets returns the number of packets currently stored anywhere in
 // the switch.
-func (sw *CIOQ) QueuedPackets() int64 {
-	var n int64
-	for i := range sw.IQ {
-		for j := range sw.IQ[i] {
-			n += int64(sw.IQ[i][j].Len())
-		}
-	}
-	for j := range sw.OQ {
-		n += int64(sw.OQ[j].Len())
-	}
-	return n
-}
+func (sw *CIOQ) QueuedPackets() int64 { return sw.inCount + sw.outCount }
 
 func (sw *CIOQ) checkInvariants() error {
 	for i := range sw.IQ {
@@ -86,10 +113,40 @@ func (sw *CIOQ) checkInvariants() error {
 			return fmt.Errorf("OQ[%d]: %w", j, err)
 		}
 	}
+	return sw.checkIndex()
+}
+
+// checkIndex verifies that the occupancy bitmasks and counters agree with
+// the actual queue contents (full rescan; validation mode only).
+func (sw *CIOQ) checkIndex() error {
+	var in, out int64
+	for i := range sw.IQ {
+		for j := range sw.IQ[i] {
+			in += int64(sw.IQ[i][j].Len())
+			if got, want := sw.VOQ.Row(i).Test(j), !sw.IQ[i][j].Empty(); got != want {
+				return fmt.Errorf("index: VOQ[%d] bit %d = %v, queue empty=%v", i, j, got, !want)
+			}
+			if got, want := sw.VOQByOut.Row(j).Test(i), !sw.IQ[i][j].Empty(); got != want {
+				return fmt.Errorf("index: VOQByOut[%d] bit %d = %v, queue empty=%v", j, i, got, !want)
+			}
+		}
+	}
+	for j := range sw.OQ {
+		out += int64(sw.OQ[j].Len())
+		if got, want := sw.OutFree.Test(j), !sw.OQ[j].Full(); got != want {
+			return fmt.Errorf("index: OutFree bit %d = %v, queue full=%v", j, got, !want)
+		}
+		if got, want := sw.OutBusy.Test(j), !sw.OQ[j].Empty(); got != want {
+			return fmt.Errorf("index: OutBusy bit %d = %v, queue empty=%v", j, got, !want)
+		}
+	}
+	if in != sw.inCount || out != sw.outCount {
+		return fmt.Errorf("index: counters (in=%d,out=%d) but queues hold (%d,%d)", sw.inCount, sw.outCount, in, out)
+	}
 	return nil
 }
 
-// admit executes an admission decision, updating metrics.
+// admit executes an admission decision, updating metrics and the index.
 func (sw *CIOQ) admit(p packet.Packet, action AdmitAction) error {
 	sw.M.Arrived++
 	sw.M.ArrivedValue += p.Value
@@ -103,6 +160,7 @@ func (sw *CIOQ) admit(p packet.Packet, action AdmitAction) error {
 		if err := q.Push(p); err != nil {
 			return fmt.Errorf("switchsim: policy accepted %v into full IQ[%d][%d]", p, p.In, p.Out)
 		}
+		sw.noteIQPush(p.In, p.Out)
 		sw.M.Accepted++
 		sw.M.AcceptedValue += p.Value
 		return nil
@@ -122,8 +180,11 @@ func (sw *CIOQ) admit(p packet.Packet, action AdmitAction) error {
 		sw.M.Accepted++
 		sw.M.AcceptedValue += p.Value
 		if preempted {
+			// One packet replaced another: occupancy unchanged.
 			sw.M.PreemptedInput++
 			sw.M.PreemptedInputValue += victim.Value
+		} else {
+			sw.noteIQPush(p.In, p.Out)
 		}
 		return nil
 	default:
@@ -131,22 +192,37 @@ func (sw *CIOQ) admit(p packet.Packet, action AdmitAction) error {
 	}
 }
 
+// noteIQPush records a net insertion into IQ[i][j].
+func (sw *CIOQ) noteIQPush(i, j int) {
+	sw.VOQ.Row(i).Set(j)
+	sw.VOQByOut.Row(j).Set(i)
+	sw.inCount++
+}
+
+// noteIQPop records a removal from IQ[i][j].
+func (sw *CIOQ) noteIQPop(i, j int) {
+	if sw.IQ[i][j].Empty() {
+		sw.VOQ.Row(i).Clear(j)
+		sw.VOQByOut.Row(j).Clear(i)
+	}
+	sw.inCount--
+}
+
 // executeTransfers applies one scheduling cycle's matching, enforcing the
 // matching property and capacities.
 func (sw *CIOQ) executeTransfers(ts []Transfer) error {
-	usedIn := make([]bool, sw.Cfg.Inputs)
-	usedOut := make([]bool, sw.Cfg.Outputs)
+	sw.epoch++
 	for _, t := range ts {
 		if t.In < 0 || t.In >= sw.Cfg.Inputs || t.Out < 0 || t.Out >= sw.Cfg.Outputs {
 			return fmt.Errorf("switchsim: transfer (%d->%d) out of range", t.In, t.Out)
 		}
-		if usedIn[t.In] {
+		if sw.usedIn[t.In] == sw.epoch {
 			return fmt.Errorf("switchsim: matching violation: two transfers from input %d", t.In)
 		}
-		if usedOut[t.Out] {
+		if sw.usedOut[t.Out] == sw.epoch {
 			return fmt.Errorf("switchsim: matching violation: two transfers to output %d", t.Out)
 		}
-		usedIn[t.In], usedOut[t.Out] = true, true
+		sw.usedIn[t.In], sw.usedOut[t.Out] = sw.epoch, sw.epoch
 	}
 	for _, t := range ts {
 		src := sw.IQ[t.In][t.Out]
@@ -155,6 +231,7 @@ func (sw *CIOQ) executeTransfers(ts []Transfer) error {
 		if !ok {
 			return fmt.Errorf("switchsim: transfer from empty IQ[%d][%d]", t.In, t.Out)
 		}
+		sw.noteIQPop(t.In, t.Out)
 		if (t.PreemptIfFull || t.PreemptMinIfFull) && dst.Full() {
 			var victim packet.Packet
 			var preempted, accepted bool
@@ -167,21 +244,37 @@ func (sw *CIOQ) executeTransfers(ts []Transfer) error {
 				return fmt.Errorf("switchsim: transfer of %v into OQ[%d] rejected (victim %v not worse)", p, t.Out, victim)
 			}
 			if preempted {
+				// Replacement: the queue stays full and non-empty.
 				sw.M.PreemptedOutput++
 				sw.M.PreemptedOutputValue += victim.Value
 			}
 		} else if err := dst.Push(p); err != nil {
 			return fmt.Errorf("switchsim: transfer of %v into full OQ[%d]", p, t.Out)
+		} else {
+			sw.OutBusy.Set(t.Out)
+			if dst.Full() {
+				sw.OutFree.Clear(t.Out)
+			}
+			sw.outCount++
 		}
 		sw.M.Transferred++
 	}
 	return nil
 }
 
-// transmit performs the transmission phase of slot `slot`.
+// transmit performs the transmission phase of slot `slot`, visiting only
+// the non-empty output queues via the occupancy mask.
 func (sw *CIOQ) transmit(slot int) {
-	for j := range sw.OQ {
-		if p, ok := sw.OQ[j].PopHead(); ok {
+	for w, word := range sw.OutBusy {
+		for word != 0 {
+			j := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			p, _ := sw.OQ[j].PopHead()
+			sw.outCount--
+			sw.OutFree.Set(j)
+			if sw.OQ[j].Empty() {
+				sw.OutBusy.Clear(j)
+			}
 			sw.M.Sent++
 			sw.M.Benefit += p.Value
 			if sw.Cfg.RecordLatency {
@@ -195,17 +288,8 @@ func (sw *CIOQ) transmit(slot int) {
 }
 
 func (sw *CIOQ) sampleOccupancy() {
-	var in, out int64
-	for i := range sw.IQ {
-		for j := range sw.IQ[i] {
-			in += int64(sw.IQ[i][j].Len())
-		}
-	}
-	for j := range sw.OQ {
-		out += int64(sw.OQ[j].Len())
-	}
-	sw.M.InputOccupSum += in
-	sw.M.OutputOccupSum += out
+	sw.M.InputOccupSum += sw.inCount
+	sw.M.OutputOccupSum += sw.outCount
 	sw.M.slotsSampled++
 }
 

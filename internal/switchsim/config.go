@@ -12,6 +12,26 @@
 // the engine owns the queues, enforces the physical constraints (matching
 // property, buffer capacities, phase ordering) and collects metrics, so a
 // buggy policy produces an error instead of silently cheating.
+//
+// # The occupancy index
+//
+// Every switch maintains bitmask summaries of its queue state (package
+// internal/bitset) that the engine updates in O(1) at each push, pop and
+// preemption: per-input masks of non-empty virtual output queues (and
+// their transpose), masks of non-full and non-empty output queues, and —
+// on the buffered crossbar — per-input masks of non-full crosspoint
+// queues plus per-output masks of occupied crosspoints. Policies derive
+// their eligibility graphs from word-wise ANDs of these masks (e.g.
+// VOQ.Row(i) & OutFree enumerates GM's edges for input i), so a
+// scheduling cycle costs time proportional to the number of occupied
+// queues rather than Inputs×Outputs, and the transmission phase visits
+// only non-empty outputs. In validation mode the engine re-derives the
+// index from the queues each slot and fails loudly on any divergence.
+//
+// The engine never retains a policy's []Transfer slice across calls, so
+// policies return reusable scratch buffers; together with the
+// epoch-stamped matching-validation marks this keeps the steady-state
+// scheduling path allocation-free.
 package switchsim
 
 import (

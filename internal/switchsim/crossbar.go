@@ -2,7 +2,9 @@ package switchsim
 
 import (
 	"fmt"
+	"math/bits"
 
+	"qswitch/internal/bitset"
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
 )
@@ -23,7 +25,9 @@ type CrossbarPolicy interface {
 	// Admit decides the fate of an arriving packet.
 	Admit(sw *Crossbar, p packet.Packet) AdmitAction
 	// InputSubphase returns transfers Q_{In,Out} -> C_{In,Out}; at most
-	// one per input port (Out may repeat across different inputs).
+	// one per input port (Out may repeat across different inputs). The
+	// engine consumes the slice before the next policy call, so a
+	// reusable scratch buffer may be returned.
 	InputSubphase(sw *Crossbar, slot, cycle int) []Transfer
 	// OutputSubphase returns transfers C_{In,Out} -> Q_Out; at most one
 	// per output port.
@@ -31,6 +35,10 @@ type CrossbarPolicy interface {
 }
 
 // Crossbar is the state of a buffered crossbar switch.
+//
+// Like CIOQ it maintains an incrementally-updated occupancy index over
+// its three queue layers, so subphase policies touch only occupied
+// queues. Policies must treat the index as read-only.
 type Crossbar struct {
 	Cfg Config
 	// IQ[i][j]: input queue at port i for output j.
@@ -40,41 +48,65 @@ type Crossbar struct {
 	// OQ[j]: output queue at port j.
 	OQ []*queue.Queue
 	M  Metrics
+
+	// VOQ.Row(i) is the mask over outputs j with IQ[i][j] non-empty.
+	VOQ bitset.Matrix
+	// XFree.Row(i) is the mask over outputs j with XQ[i][j] not full.
+	XFree bitset.Matrix
+	// XBusyByOut.Row(j) is the mask over inputs i with XQ[i][j] non-empty.
+	XBusyByOut bitset.Matrix
+	// OutFree is the mask over outputs j with OQ[j] not full.
+	OutFree bitset.Mask
+	// OutBusy is the mask over outputs j with OQ[j] non-empty.
+	OutBusy bitset.Mask
+
+	inCount    int64 // packets across all input queues
+	crossCount int64 // packets across all crosspoint queues
+	outCount   int64 // packets across all output queues
+
+	usedIn, usedOut []int
+	epochIn         int
+	epochOut        int
 }
 
 // NewCrossbar builds an empty buffered crossbar switch.
 func NewCrossbar(cfg Config, inDisc, crossDisc, outDisc queue.Discipline) *Crossbar {
 	sw := &Crossbar{Cfg: cfg}
-	sw.IQ = make([][]*queue.Queue, cfg.Inputs)
-	sw.XQ = make([][]*queue.Queue, cfg.Inputs)
-	for i := 0; i < cfg.Inputs; i++ {
-		sw.IQ[i] = make([]*queue.Queue, cfg.Outputs)
-		sw.XQ[i] = make([]*queue.Queue, cfg.Outputs)
-		for j := 0; j < cfg.Outputs; j++ {
-			sw.IQ[i][j] = queue.New(cfg.InputBuf, inDisc)
-			sw.XQ[i][j] = queue.New(cfg.CrossBuf, crossDisc)
-		}
+	n, m := cfg.Inputs, cfg.Outputs
+	iqs := queue.NewBatch(n*m, cfg.InputBuf, inDisc)
+	xqs := queue.NewBatch(n*m, cfg.CrossBuf, crossDisc)
+	ptrs := make([]*queue.Queue, 2*n*m)
+	for x := 0; x < n*m; x++ {
+		ptrs[x] = &iqs[x]
+		ptrs[n*m+x] = &xqs[x]
 	}
-	sw.OQ = make([]*queue.Queue, cfg.Outputs)
+	sw.IQ = make([][]*queue.Queue, n)
+	sw.XQ = make([][]*queue.Queue, n)
+	for i := 0; i < n; i++ {
+		sw.IQ[i] = ptrs[i*m : (i+1)*m : (i+1)*m]
+		sw.XQ[i] = ptrs[n*m+i*m : n*m+(i+1)*m : n*m+(i+1)*m]
+	}
+	oqs := queue.NewBatch(m, cfg.OutputBuf, outDisc)
+	sw.OQ = make([]*queue.Queue, m)
 	for j := range sw.OQ {
-		sw.OQ[j] = queue.New(cfg.OutputBuf, outDisc)
+		sw.OQ[j] = &oqs[j]
 	}
+	sw.VOQ = bitset.NewMatrix(cfg.Inputs, cfg.Outputs)
+	sw.XFree = bitset.NewMatrix(cfg.Inputs, cfg.Outputs)
+	for i := 0; i < cfg.Inputs; i++ {
+		sw.XFree.Row(i).Fill(cfg.Outputs)
+	}
+	sw.XBusyByOut = bitset.NewMatrix(cfg.Outputs, cfg.Inputs)
+	sw.OutFree = bitset.New(cfg.Outputs)
+	sw.OutFree.Fill(cfg.Outputs)
+	sw.OutBusy = bitset.New(cfg.Outputs)
+	sw.usedIn = make([]int, cfg.Inputs)
+	sw.usedOut = make([]int, cfg.Outputs)
 	return sw
 }
 
 // QueuedPackets returns the number of packets currently stored anywhere.
-func (sw *Crossbar) QueuedPackets() int64 {
-	var n int64
-	for i := range sw.IQ {
-		for j := range sw.IQ[i] {
-			n += int64(sw.IQ[i][j].Len() + sw.XQ[i][j].Len())
-		}
-	}
-	for j := range sw.OQ {
-		n += int64(sw.OQ[j].Len())
-	}
-	return n
-}
+func (sw *Crossbar) QueuedPackets() int64 { return sw.inCount + sw.crossCount + sw.outCount }
 
 func (sw *Crossbar) checkInvariants() error {
 	for i := range sw.IQ {
@@ -92,6 +124,41 @@ func (sw *Crossbar) checkInvariants() error {
 			return fmt.Errorf("OQ[%d]: %w", j, err)
 		}
 	}
+	return sw.checkIndex()
+}
+
+// checkIndex verifies the occupancy bitmasks and counters against the
+// actual queue contents (full rescan; validation mode only).
+func (sw *Crossbar) checkIndex() error {
+	var in, cross, out int64
+	for i := range sw.IQ {
+		for j := range sw.IQ[i] {
+			in += int64(sw.IQ[i][j].Len())
+			cross += int64(sw.XQ[i][j].Len())
+			if got, want := sw.VOQ.Row(i).Test(j), !sw.IQ[i][j].Empty(); got != want {
+				return fmt.Errorf("index: VOQ[%d] bit %d = %v, queue empty=%v", i, j, got, !want)
+			}
+			if got, want := sw.XFree.Row(i).Test(j), !sw.XQ[i][j].Full(); got != want {
+				return fmt.Errorf("index: XFree[%d] bit %d = %v, queue full=%v", i, j, got, !want)
+			}
+			if got, want := sw.XBusyByOut.Row(j).Test(i), !sw.XQ[i][j].Empty(); got != want {
+				return fmt.Errorf("index: XBusyByOut[%d] bit %d = %v, queue empty=%v", j, i, got, !want)
+			}
+		}
+	}
+	for j := range sw.OQ {
+		out += int64(sw.OQ[j].Len())
+		if got, want := sw.OutFree.Test(j), !sw.OQ[j].Full(); got != want {
+			return fmt.Errorf("index: OutFree bit %d = %v, queue full=%v", j, got, !want)
+		}
+		if got, want := sw.OutBusy.Test(j), !sw.OQ[j].Empty(); got != want {
+			return fmt.Errorf("index: OutBusy bit %d = %v, queue empty=%v", j, got, !want)
+		}
+	}
+	if in != sw.inCount || cross != sw.crossCount || out != sw.outCount {
+		return fmt.Errorf("index: counters (in=%d,cross=%d,out=%d) but queues hold (%d,%d,%d)",
+			sw.inCount, sw.crossCount, sw.outCount, in, cross, out)
+	}
 	return nil
 }
 
@@ -108,6 +175,8 @@ func (sw *Crossbar) admit(p packet.Packet, action AdmitAction) error {
 		if err := q.Push(p); err != nil {
 			return fmt.Errorf("switchsim: policy accepted %v into full IQ[%d][%d]", p, p.In, p.Out)
 		}
+		sw.VOQ.Row(p.In).Set(p.Out)
+		sw.inCount++
 		sw.M.Accepted++
 		sw.M.AcceptedValue += p.Value
 		return nil
@@ -127,8 +196,12 @@ func (sw *Crossbar) admit(p packet.Packet, action AdmitAction) error {
 		sw.M.Accepted++
 		sw.M.AcceptedValue += p.Value
 		if preempted {
+			// Replacement: occupancy unchanged.
 			sw.M.PreemptedInput++
 			sw.M.PreemptedInputValue += victim.Value
+		} else {
+			sw.VOQ.Row(p.In).Set(p.Out)
+			sw.inCount++
 		}
 		return nil
 	default:
@@ -139,15 +212,15 @@ func (sw *Crossbar) admit(p packet.Packet, action AdmitAction) error {
 // executeInputSubphase moves head packets Q_ij -> C_ij with at most one
 // transfer per input port.
 func (sw *Crossbar) executeInputSubphase(ts []Transfer) error {
-	usedIn := make([]bool, sw.Cfg.Inputs)
+	sw.epochIn++
 	for _, t := range ts {
 		if t.In < 0 || t.In >= sw.Cfg.Inputs || t.Out < 0 || t.Out >= sw.Cfg.Outputs {
 			return fmt.Errorf("switchsim: input-subphase transfer (%d->%d) out of range", t.In, t.Out)
 		}
-		if usedIn[t.In] {
+		if sw.usedIn[t.In] == sw.epochIn {
 			return fmt.Errorf("switchsim: two input-subphase transfers from input %d", t.In)
 		}
-		usedIn[t.In] = true
+		sw.usedIn[t.In] = sw.epochIn
 	}
 	for _, t := range ts {
 		src := sw.IQ[t.In][t.Out]
@@ -156,6 +229,10 @@ func (sw *Crossbar) executeInputSubphase(ts []Transfer) error {
 		if !ok {
 			return fmt.Errorf("switchsim: input-subphase transfer from empty IQ[%d][%d]", t.In, t.Out)
 		}
+		if src.Empty() {
+			sw.VOQ.Row(t.In).Clear(t.Out)
+		}
+		sw.inCount--
 		if (t.PreemptIfFull || t.PreemptMinIfFull) && dst.Full() {
 			var victim packet.Packet
 			var preempted, accepted bool
@@ -168,11 +245,18 @@ func (sw *Crossbar) executeInputSubphase(ts []Transfer) error {
 				return fmt.Errorf("switchsim: transfer of %v into C[%d][%d] rejected", p, t.In, t.Out)
 			}
 			if preempted {
+				// Replacement: the crosspoint stays full and non-empty.
 				sw.M.PreemptedCross++
 				sw.M.PreemptedCrossValue += victim.Value
 			}
 		} else if err := dst.Push(p); err != nil {
 			return fmt.Errorf("switchsim: transfer of %v into full C[%d][%d]", p, t.In, t.Out)
+		} else {
+			sw.XBusyByOut.Row(t.Out).Set(t.In)
+			if dst.Full() {
+				sw.XFree.Row(t.In).Clear(t.Out)
+			}
+			sw.crossCount++
 		}
 		sw.M.Transferred++
 	}
@@ -182,15 +266,15 @@ func (sw *Crossbar) executeInputSubphase(ts []Transfer) error {
 // executeOutputSubphase moves head packets C_ij -> Q_j with at most one
 // transfer per output port.
 func (sw *Crossbar) executeOutputSubphase(ts []Transfer) error {
-	usedOut := make([]bool, sw.Cfg.Outputs)
+	sw.epochOut++
 	for _, t := range ts {
 		if t.In < 0 || t.In >= sw.Cfg.Inputs || t.Out < 0 || t.Out >= sw.Cfg.Outputs {
 			return fmt.Errorf("switchsim: output-subphase transfer (%d->%d) out of range", t.In, t.Out)
 		}
-		if usedOut[t.Out] {
+		if sw.usedOut[t.Out] == sw.epochOut {
 			return fmt.Errorf("switchsim: two output-subphase transfers to output %d", t.Out)
 		}
-		usedOut[t.Out] = true
+		sw.usedOut[t.Out] = sw.epochOut
 	}
 	for _, t := range ts {
 		src := sw.XQ[t.In][t.Out]
@@ -199,6 +283,11 @@ func (sw *Crossbar) executeOutputSubphase(ts []Transfer) error {
 		if !ok {
 			return fmt.Errorf("switchsim: output-subphase transfer from empty C[%d][%d]", t.In, t.Out)
 		}
+		if src.Empty() {
+			sw.XBusyByOut.Row(t.Out).Clear(t.In)
+		}
+		sw.XFree.Row(t.In).Set(t.Out)
+		sw.crossCount--
 		if (t.PreemptIfFull || t.PreemptMinIfFull) && dst.Full() {
 			var victim packet.Packet
 			var preempted, accepted bool
@@ -216,6 +305,12 @@ func (sw *Crossbar) executeOutputSubphase(ts []Transfer) error {
 			}
 		} else if err := dst.Push(p); err != nil {
 			return fmt.Errorf("switchsim: transfer of %v into full OQ[%d]", p, t.Out)
+		} else {
+			sw.OutBusy.Set(t.Out)
+			if dst.Full() {
+				sw.OutFree.Clear(t.Out)
+			}
+			sw.outCount++
 		}
 		sw.M.TransferredCross++
 	}
@@ -223,8 +318,16 @@ func (sw *Crossbar) executeOutputSubphase(ts []Transfer) error {
 }
 
 func (sw *Crossbar) transmit(slot int) {
-	for j := range sw.OQ {
-		if p, ok := sw.OQ[j].PopHead(); ok {
+	for w, word := range sw.OutBusy {
+		for word != 0 {
+			j := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			p, _ := sw.OQ[j].PopHead()
+			sw.outCount--
+			sw.OutFree.Set(j)
+			if sw.OQ[j].Empty() {
+				sw.OutBusy.Clear(j)
+			}
 			sw.M.Sent++
 			sw.M.Benefit += p.Value
 			if sw.Cfg.RecordLatency {
@@ -238,19 +341,9 @@ func (sw *Crossbar) transmit(slot int) {
 }
 
 func (sw *Crossbar) sampleOccupancy() {
-	var in, cross, out int64
-	for i := range sw.IQ {
-		for j := range sw.IQ[i] {
-			in += int64(sw.IQ[i][j].Len())
-			cross += int64(sw.XQ[i][j].Len())
-		}
-	}
-	for j := range sw.OQ {
-		out += int64(sw.OQ[j].Len())
-	}
-	sw.M.InputOccupSum += in
-	sw.M.CrossOccupSum += cross
-	sw.M.OutputOccupSum += out
+	sw.M.InputOccupSum += sw.inCount
+	sw.M.CrossOccupSum += sw.crossCount
+	sw.M.OutputOccupSum += sw.outCount
 	sw.M.slotsSampled++
 }
 
