@@ -3,6 +3,7 @@ package qswitch
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"testing"
 
 	"qswitch/internal/core"
@@ -248,4 +249,84 @@ func BenchmarkTraceEncodeDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-trace benchmarks: long-horizon, low-load workloads where most
+// slots are idle — the regime the event-driven fast path targets. The
+// same benchmark names measure both engines: set QSWITCH_EVENTDRIVEN=1
+// to opt in (BENCH_2.json holds the dense baseline, BENCH_2_post.json
+// the event-driven run).
+// ---------------------------------------------------------------------------
+
+func sparseBenchEventDriven() bool { return os.Getenv("QSWITCH_EVENTDRIVEN") != "" }
+
+const sparseBenchSlots = 1_000_000
+
+// sparseBenchSeq caches one 10^6-slot bursty trace per geometry: ~0.003
+// offered load per input (bursts of ~6 packets every ~2000 slots), so
+// the switch sits empty for the overwhelming majority of slots.
+var sparseBenchSeqs = map[int]packet.Sequence{}
+
+func sparseBenchSeq(n int) packet.Sequence {
+	if seq, ok := sparseBenchSeqs[n]; ok {
+		return seq
+	}
+	rng := rand.New(rand.NewSource(1))
+	seq := packet.PoissonBurst{OffMean: 2000, BurstMean: 6}.Generate(rng, n, n, sparseBenchSlots)
+	sparseBenchSeqs[n] = seq
+	return seq
+}
+
+func benchSparseCIOQ(b *testing.B, n int, mk func() switchsim.CIOQPolicy) {
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4,
+		Speedup: 1, Slots: sparseBenchSlots,
+		EventDriven: sparseBenchEventDriven(),
+	}
+	seq := sparseBenchSeq(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsim.RunCIOQ(cfg, mk(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sparseBenchSlots), "ns/slot")
+}
+
+func benchSparseCrossbar(b *testing.B, n int, mk func() switchsim.CrossbarPolicy) {
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, CrossBuf: 2,
+		Speedup: 1, Slots: sparseBenchSlots,
+		EventDriven: sparseBenchEventDriven(),
+	}
+	seq := sparseBenchSeq(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsim.RunCrossbar(cfg, mk(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sparseBenchSlots), "ns/slot")
+}
+
+func BenchmarkSparseCIOQGM16(b *testing.B) {
+	benchSparseCIOQ(b, 16, func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkSparseCIOQGMRotating16(b *testing.B) {
+	benchSparseCIOQ(b, 16, func() switchsim.CIOQPolicy { return &core.GM{Order: core.Rotating} })
+}
+func BenchmarkSparseCIOQPG16(b *testing.B) {
+	benchSparseCIOQ(b, 16, func() switchsim.CIOQPolicy { return &core.PG{} })
+}
+func BenchmarkSparseCIOQRoundRobin16(b *testing.B) {
+	benchSparseCIOQ(b, 16, func() switchsim.CIOQPolicy { return &core.RoundRobin{} })
+}
+func BenchmarkSparseCrossbarCGU16(b *testing.B) {
+	benchSparseCrossbar(b, 16, func() switchsim.CrossbarPolicy { return &core.CGU{} })
+}
+func BenchmarkSparseCrossbarCPG16(b *testing.B) {
+	benchSparseCrossbar(b, 16, func() switchsim.CrossbarPolicy { return &core.CPG{} })
 }

@@ -31,9 +31,10 @@ func main() {
 		speedup = flag.Int("speedup", 1, "scheduling cycles per slot")
 		slots   = flag.Int("slots", 1000, "arrival slots to generate")
 		horizon = flag.Int("horizon", 0, "simulation horizon (0 = drain fully)")
-		traffic = flag.String("traffic", "uniform", "traffic: uniform, bursty, hotspot, diagonal, permutation")
+		traffic = flag.String("traffic", "uniform", "traffic: uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail")
 		values  = flag.String("values", "unit", "values: unit, two, uniform, zipf, geometric")
 		load    = flag.Float64("load", 0.9, "offered load per input per slot")
+		event   = flag.Bool("eventdriven", false, "event-driven engine: jump over idle stretches (bit-identical metrics, much faster on sparse traces)")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		trace   = flag.String("trace", "", "binary trace file to replay instead of generating")
 		ub      = flag.Bool("ub", false, "also compute the offline upper bound")
@@ -49,6 +50,7 @@ func main() {
 		InputBuf: *bin, OutputBuf: *bout, CrossBuf: *bx,
 		Speedup: *speedup, Slots: *horizon,
 		RecordLatency: *lat,
+		EventDriven:   *event,
 	}
 
 	var seq qswitch.Sequence
@@ -163,36 +165,10 @@ func comparePolicies(model string, cfg qswitch.Config, seq qswitch.Sequence, wit
 	}
 }
 
+// buildGenerator resolves the shared traffic/value names; the mapping
+// lives in internal/packet so switchsim and tracegen always agree.
 func buildGenerator(traffic, values string, load float64) (qswitch.Generator, error) {
-	var vd packet.ValueDist
-	switch values {
-	case "unit":
-		vd = packet.UnitValues{}
-	case "two":
-		vd = packet.TwoValued{Alpha: 50, PHigh: 0.2}
-	case "uniform":
-		vd = packet.UniformValues{Hi: 100}
-	case "zipf":
-		vd = packet.ZipfValues{Hi: 1000, S: 1.2}
-	case "geometric":
-		vd = packet.GeometricValues{P: 0.25, Hi: 256}
-	default:
-		return nil, fmt.Errorf("unknown value distribution %q", values)
-	}
-	switch traffic {
-	case "uniform":
-		return packet.Bernoulli{Load: load, Values: vd}, nil
-	case "bursty":
-		return packet.Bursty{OnLoad: load, POnOff: 0.2, POffOn: 0.2, Values: vd}, nil
-	case "hotspot":
-		return packet.Hotspot{Load: load, HotFrac: 0.5, Values: vd}, nil
-	case "diagonal":
-		return packet.Diagonal{Load: load, OffFrac: 0.1, Values: vd}, nil
-	case "permutation":
-		return packet.Permutation{Load: load, Values: vd}, nil
-	default:
-		return nil, fmt.Errorf("unknown traffic pattern %q", traffic)
-	}
+	return packet.GeneratorByName(traffic, values, load)
 }
 
 func fatal(format string, args ...interface{}) {

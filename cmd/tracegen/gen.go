@@ -1,7 +1,6 @@
 package main
 
 import (
-	"fmt"
 	"math/rand"
 
 	"qswitch/internal/packet"
@@ -9,34 +8,8 @@ import (
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
+// buildGenerator resolves the shared traffic/value names; the mapping
+// lives in internal/packet so tracegen and switchsim always agree.
 func buildGenerator(traffic, values string, load float64) (packet.Generator, error) {
-	var vd packet.ValueDist
-	switch values {
-	case "unit":
-		vd = packet.UnitValues{}
-	case "two":
-		vd = packet.TwoValued{Alpha: 50, PHigh: 0.2}
-	case "uniform":
-		vd = packet.UniformValues{Hi: 100}
-	case "zipf":
-		vd = packet.ZipfValues{Hi: 1000, S: 1.2}
-	case "geometric":
-		vd = packet.GeometricValues{P: 0.25, Hi: 256}
-	default:
-		return nil, fmt.Errorf("unknown value distribution %q", values)
-	}
-	switch traffic {
-	case "uniform":
-		return packet.Bernoulli{Load: load, Values: vd}, nil
-	case "bursty":
-		return packet.Bursty{OnLoad: load, POnOff: 0.2, POffOn: 0.2, Values: vd}, nil
-	case "hotspot":
-		return packet.Hotspot{Load: load, HotFrac: 0.5, Values: vd}, nil
-	case "diagonal":
-		return packet.Diagonal{Load: load, OffFrac: 0.1, Values: vd}, nil
-	case "permutation":
-		return packet.Permutation{Load: load, Values: vd}, nil
-	default:
-		return nil, fmt.Errorf("unknown traffic pattern %q", traffic)
-	}
+	return packet.GeneratorByName(traffic, values, load)
 }

@@ -5,6 +5,18 @@
 //	tracegen -o burst.qsw -n 8 -slots 1000 -traffic bursty -values zipf
 //	tracegen -inspect burst.qsw
 //	tracegen -convert burst.qsw -json burst.json
+//
+// Sparse workloads (long idle gaps, for the event-driven simulator):
+//
+//	tracegen -o sparse.qsw -n 16 -slots 1000000 -traffic poissonburst -load 0.01
+//	tracegen -o night.qsw  -n 8  -slots 100000  -traffic diurnal -load 0.05
+//	tracegen -o tail.qsw   -n 8  -slots 100000  -traffic heavytail -load 0.02
+//
+// poissonburst emits ~4-packet line-rate bursts separated by geometric
+// idle gaps; diurnal modulates Bernoulli traffic through a sinusoidal
+// day/night cycle whose troughs go silent; heavytail draws Pareto(1.5)
+// interarrival gaps. For all three, -load sets the mean per-input
+// offered load.
 package main
 
 import (
@@ -24,7 +36,7 @@ func main() {
 		n       = flag.Int("n", 8, "input ports")
 		m       = flag.Int("m", 0, "output ports (defaults to -n)")
 		slots   = flag.Int("slots", 1000, "arrival slots")
-		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation")
+		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail")
 		values  = flag.String("values", "unit", "unit, two, uniform, zipf, geometric")
 		load    = flag.Float64("load", 0.9, "offered load")
 		seed    = flag.Int64("seed", 1, "RNG seed")

@@ -141,3 +141,82 @@ func TestKKSFIFOSteadyStateZeroAllocs(t *testing.T) {
 		t.Errorf("KKSFIFO: %v allocs/slot in steady state, want 0", allocs)
 	}
 }
+
+// TestIdleJumpZeroAllocs asserts the event-driven idle-jump path itself
+// stays allocation-free in steady state: once the switch has drained, a
+// StepIdle jump of any width performs no allocations on either stepper.
+func TestIdleJumpZeroAllocs(t *testing.T) {
+	const n = 32
+	cioqCfg := switchsim.Config{Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, Speedup: 2}
+	cst, err := switchsim.NewCIOQStepper(cioqCfg, &GM{Order: Rotating})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xbarCfg := switchsim.Config{Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, CrossBuf: 2, Speedup: 2}
+	xst, err := switchsim.NewCrossbarStepper(xbarCfg, &CGU{RotatePick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: push a burst through so queue rings and policy scratch
+	// reach their high-water sizes, then drain completely.
+	pat := arrivalPattern(n, 16, 44, 1)
+	for _, arr := range pat {
+		if err := cst.StepSlot(arr); err != nil {
+			t.Fatal(err)
+		}
+		if err := xst.StepSlot(arr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cst.Switch().QueuedPackets() > 0 {
+		if err := cst.StepSlot(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for xst.Switch().QueuedPackets() > 0 {
+		if err := xst.StepSlot(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := cst.StepIdle(64); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("CIOQ StepIdle: %v allocs/jump, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := xst.StepIdle(64); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Crossbar StepIdle: %v allocs/jump, want 0", allocs)
+	}
+}
+
+// TestNextArrivalZeroAllocs pins the no-allocation contract of the
+// next-arrival lookup the event-driven engines depend on.
+func TestNextArrivalZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seq := packet.PoissonBurst{OffMean: 40, BurstMean: 4}.Generate(rng, 8, 8, 4000)
+	if len(seq) == 0 {
+		t.Fatal("empty sequence")
+	}
+	from := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		next := seq.NextArrival(from)
+		if next < 0 {
+			from = 0
+		} else {
+			from = next + 1
+		}
+	}); allocs != 0 {
+		t.Errorf("Sequence.NextArrival: %v allocs/call, want 0", allocs)
+	}
+}
+
+func TestKRMWMSteadyStateZeroAllocs(t *testing.T) {
+	if allocs := measureCIOQSlotAllocs(t, &KRMWM{}, 100); allocs != 0 {
+		t.Errorf("KRMWM: %v allocs/slot in steady state, want 0", allocs)
+	}
+}

@@ -34,6 +34,10 @@ func (n *NaiveFIFO) Reset(cfg switchsim.Config) {
 	n.transfers = n.transfers[:0]
 }
 
+// IdleAdvance implements switchsim.IdleAdvancer: first-fit keeps no
+// cross-cycle state.
+func (n *NaiveFIFO) IdleAdvance(int) {}
+
 // Admit implements switchsim.CIOQPolicy.
 func (n *NaiveFIFO) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
 	if sw.IQ[p.In][p.Out].Full() {
@@ -90,6 +94,12 @@ func (r *RoundRobin) Reset(cfg switchsim.Config) {
 	r.grantOf = make([]int, cfg.Outputs)
 	r.transfers = r.transfers[:0]
 }
+
+// IdleAdvance implements switchsim.IdleAdvancer: grant and accept
+// pointers move only when a transfer is accepted (the iSLIP
+// desynchronization rule), so cycles on an empty switch leave them
+// untouched.
+func (r *RoundRobin) IdleAdvance(int) {}
 
 // Admit implements switchsim.CIOQPolicy.
 func (r *RoundRobin) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
@@ -155,6 +165,10 @@ func (c *CrossbarNaive) Reset(cfg switchsim.Config) {
 	c.cfg = cfg
 	c.transfers = c.transfers[:0]
 }
+
+// IdleAdvance implements switchsim.IdleAdvancer: first-fit keeps no
+// cross-cycle state.
+func (c *CrossbarNaive) IdleAdvance(int) {}
 
 // Admit implements switchsim.CrossbarPolicy.
 func (c *CrossbarNaive) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim.AdmitAction {

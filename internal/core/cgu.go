@@ -49,6 +49,13 @@ func (c *CGU) Reset(cfg switchsim.Config) {
 	c.transfers = c.transfers[:0]
 }
 
+// IdleAdvance implements switchsim.IdleAdvancer: the rotating pick offset
+// is driven by a tick counter that gains one per scheduling cycle
+// regardless of occupancy.
+func (c *CGU) IdleAdvance(idleSlots int) {
+	c.ticks += idleSlots * c.cfg.Speedup
+}
+
 // Admit implements switchsim.CrossbarPolicy: accept iff Q_ij is not full.
 func (c *CGU) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim.AdmitAction {
 	if sw.IQ[p.In][p.Out].Full() {

@@ -72,6 +72,10 @@ func (c *CPG) Reset(cfg switchsim.Config) {
 	c.transfers = c.transfers[:0]
 }
 
+// IdleAdvance implements switchsim.IdleAdvancer: both subphases derive
+// their picks purely from live queue state, so idle cycles are no-ops.
+func (c *CPG) IdleAdvance(int) {}
+
 // Admit implements switchsim.CrossbarPolicy: greedy preemptive admission.
 func (c *CPG) Admit(_ *switchsim.Crossbar, _ packet.Packet) switchsim.AdmitAction {
 	return switchsim.AcceptPreempt

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// Differential tests for the event-driven fast path: every shipped policy
+// on both switch architectures, driven over sparse and bursty workloads,
+// must produce Metrics bit-identical to a dense (slot-by-slot) run of the
+// same sequence. This extends the reference_test.go pattern — there the
+// oracle is the retained full-scan implementation, here it is the dense
+// engine itself.
+
+// sparseWorkloads are generators whose traces contain long idle
+// stretches, so event-driven runs actually take idle jumps (a dense-only
+// equivalence would be vacuous on saturating traffic).
+func sparseWorkloads() []packet.Generator {
+	return []packet.Generator{
+		packet.PoissonBurst{OffMean: 60, BurstMean: 3, Values: packet.UniformValues{Hi: 30}},
+		packet.PoissonBurst{OffMean: 200, BurstMean: 6},
+		packet.Diurnal{Load: 0.15, Period: 64, Amplitude: 1.5, Values: packet.TwoValued{Alpha: 50, PHigh: 0.2}},
+		packet.HeavyTail{Alpha: 1.3, MinGap: 8, Values: packet.ZipfValues{Hi: 100, S: 1.2}},
+		packet.Bursty{OnLoad: 0.8, POnOff: 0.5, POffOn: 0.01, Values: packet.UniformValues{Hi: 10}},
+	}
+}
+
+type edConfig struct {
+	name string
+	cfg  switchsim.Config
+}
+
+func eventDrivenConfigs() []edConfig {
+	return []edConfig{
+		{"4x4", switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2, CrossBuf: 1, Speedup: 1, Validate: true}},
+		{"4x4-speedup2-latency", switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 3, OutputBuf: 2, CrossBuf: 2, Speedup: 2, Validate: true, RecordLatency: true}},
+		{"8x3-series", switchsim.Config{Inputs: 8, Outputs: 3, InputBuf: 2, OutputBuf: 4, CrossBuf: 1, Speedup: 3, Validate: true, RecordSeries: true}},
+	}
+}
+
+func eventDrivenCIOQPolicies() map[string]func() switchsim.CIOQPolicy {
+	return map[string]func() switchsim.CIOQPolicy{
+		"gm":              func() switchsim.CIOQPolicy { return &GM{} },
+		"gm-colmajor":     func() switchsim.CIOQPolicy { return &GM{Order: ColMajor} },
+		"gm-rotating":     func() switchsim.CIOQPolicy { return &GM{Order: Rotating} },
+		"gm-longestfirst": func() switchsim.CIOQPolicy { return &GM{Order: LongestFirst} },
+		"krmm":            func() switchsim.CIOQPolicy { return &KRMM{} },
+		"pg":              func() switchsim.CIOQPolicy { return &PG{} },
+		"krmwm":           func() switchsim.CIOQPolicy { return &KRMWM{} },
+		"gm-random":       func() switchsim.CIOQPolicy { return &RandomizedGM{Seed: 5} },
+		"ar-fifo":         func() switchsim.CIOQPolicy { return &ARFIFO{} },
+		"naive-fifo":      func() switchsim.CIOQPolicy { return &NaiveFIFO{} },
+		"roundrobin":      func() switchsim.CIOQPolicy { return &RoundRobin{} },
+	}
+}
+
+func eventDrivenCrossbarPolicies() map[string]func() switchsim.CrossbarPolicy {
+	return map[string]func() switchsim.CrossbarPolicy{
+		"cgu":            func() switchsim.CrossbarPolicy { return &CGU{} },
+		"cgu-rotating":   func() switchsim.CrossbarPolicy { return &CGU{RotatePick: true} },
+		"cpg":            func() switchsim.CrossbarPolicy { return &CPG{} },
+		"cpg-equal":      func() switchsim.CrossbarPolicy { return CPGEqualParams() },
+		"kks-fifo":       func() switchsim.CrossbarPolicy { return &KKSFIFO{} },
+		"crossbar-naive": func() switchsim.CrossbarPolicy { return &CrossbarNaive{} },
+	}
+}
+
+// sparseSeq draws a seeded sparse workload with enough horizon for real
+// idle gaps between bursts.
+func sparseSeq(cfg switchsim.Config, gen packet.Generator, seed int64) packet.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.Generate(rng, cfg.Inputs, cfg.Outputs, 1500)
+}
+
+func TestEventDrivenCIOQMatchesDense(t *testing.T) {
+	for name, mk := range eventDrivenCIOQPolicies() {
+		for _, rc := range eventDrivenConfigs() {
+			for gi, gen := range sparseWorkloads() {
+				for seed := int64(1); seed <= 3; seed++ {
+					seq := sparseSeq(rc.cfg, gen, seed*31+int64(gi))
+					dense, err := switchsim.RunCIOQ(rc.cfg, mk(), seq)
+					if err != nil {
+						t.Fatalf("%s/%s/%s seed %d dense: %v", name, rc.name, gen.Name(), seed, err)
+					}
+					evCfg := rc.cfg
+					evCfg.EventDriven = true
+					fast, err := switchsim.RunCIOQ(evCfg, mk(), seq)
+					if err != nil {
+						t.Fatalf("%s/%s/%s seed %d event-driven: %v", name, rc.name, gen.Name(), seed, err)
+					}
+					if !reflect.DeepEqual(dense.M, fast.M) {
+						t.Errorf("%s/%s/%s seed %d: event-driven diverged from dense:\ndense: %+v\nevent: %+v",
+							name, rc.name, gen.Name(), seed, dense.M, fast.M)
+					}
+					if fast.Slots != dense.Slots {
+						t.Errorf("%s/%s/%s seed %d: horizon mismatch %d vs %d",
+							name, rc.name, gen.Name(), seed, fast.Slots, dense.Slots)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEventDrivenCrossbarMatchesDense(t *testing.T) {
+	for name, mk := range eventDrivenCrossbarPolicies() {
+		for _, rc := range eventDrivenConfigs() {
+			for gi, gen := range sparseWorkloads() {
+				for seed := int64(1); seed <= 3; seed++ {
+					seq := sparseSeq(rc.cfg, gen, seed*17+int64(gi))
+					dense, err := switchsim.RunCrossbar(rc.cfg, mk(), seq)
+					if err != nil {
+						t.Fatalf("%s/%s/%s seed %d dense: %v", name, rc.name, gen.Name(), seed, err)
+					}
+					evCfg := rc.cfg
+					evCfg.EventDriven = true
+					fast, err := switchsim.RunCrossbar(evCfg, mk(), seq)
+					if err != nil {
+						t.Fatalf("%s/%s/%s seed %d event-driven: %v", name, rc.name, gen.Name(), seed, err)
+					}
+					if !reflect.DeepEqual(dense.M, fast.M) {
+						t.Errorf("%s/%s/%s seed %d: event-driven diverged from dense:\ndense: %+v\nevent: %+v",
+							name, rc.name, gen.Name(), seed, dense.M, fast.M)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEventDrivenStepperIdleJump drives the interactive steppers through
+// a burst / long-idle / burst pattern with StepIdle and checks the final
+// result against dense RunCIOQ/RunCrossbar on the equivalent sequence.
+func TestEventDrivenStepperIdleJump(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 3, Outputs: 3, InputBuf: 2, OutputBuf: 2, CrossBuf: 1, Speedup: 1, Validate: true}
+	burst := []packet.Packet{
+		{In: 0, Out: 1, Value: 5}, {In: 1, Out: 1, Value: 3}, {In: 2, Out: 0, Value: 9},
+	}
+	const gap = 500
+
+	// The same workload as a flat sequence for the dense oracle: one
+	// burst at slot 0 and one at slot gap.
+	var seq packet.Sequence
+	var id int64
+	for _, b := range []int{0, gap} {
+		for _, p := range burst {
+			p.Arrival = b
+			p.ID = id
+			id++
+			seq = append(seq, p)
+		}
+	}
+	seq = seq.Normalize()
+	cfgRun := cfg
+	cfgRun.Slots = gap + 50
+	dense, err := switchsim.RunCIOQ(cfgRun, &GM{Order: Rotating}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := switchsim.NewCIOQStepper(cfg, &GM{Order: Rotating})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.StepSlot(burst); err != nil {
+		t.Fatal(err)
+	}
+	// StepIdle right after the burst: it must drain the backlog slot by
+	// slot and then jump the remaining idle stretch in one step.
+	if err := st.StepIdle(gap - st.Slot()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Slot() != gap {
+		t.Fatalf("stepper at slot %d after idle jump, want %d", st.Slot(), gap)
+	}
+	if err := st.StepSlot(burst); err != nil {
+		t.Fatal(err)
+	}
+	for st.Slot() < cfgRun.Slots {
+		if err := st.StepSlot(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := st.Finish(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dense.M, res.M) {
+		t.Errorf("stepper with StepIdle diverged from dense run:\ndense:   %+v\nstepper: %+v", dense.M, res.M)
+	}
+
+	// Crossbar stepper: StepIdle with a non-advancing stretch must equal
+	// per-slot stepping.
+	mkRun := func(useJump bool) *switchsim.Result {
+		st, err := switchsim.NewCrossbarStepper(cfg, &CGU{RotatePick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.StepSlot(burst); err != nil {
+			t.Fatal(err)
+		}
+		for st.Switch().QueuedPackets() > 0 {
+			if err := st.StepSlot(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if useJump {
+			if err := st.StepIdle(300); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for k := 0; k < 300; k++ {
+				if err := st.StepSlot(nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := st.StepSlot(burst); err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Finish(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	jumped, stepped := mkRun(true), mkRun(false)
+	if !reflect.DeepEqual(jumped.M, stepped.M) || jumped.Slots != stepped.Slots {
+		t.Errorf("crossbar StepIdle diverged from per-slot stepping:\nstepped: %+v (%d slots)\njumped:  %+v (%d slots)",
+			stepped.M, stepped.Slots, jumped.M, jumped.Slots)
+	}
+}
+
+// fuzzSequence decodes raw fuzz bytes into a well-formed sparse arrival
+// sequence: each 4-byte group contributes one packet after a 0..255-slot
+// gap, so generated traces mix dense bursts with long silences.
+func fuzzSequence(raw []byte, inputs, outputs int) packet.Sequence {
+	var seq packet.Sequence
+	slot := 0
+	var id int64
+	for k := 0; k+3 < len(raw); k += 4 {
+		slot += int(raw[k])
+		seq = append(seq, packet.Packet{
+			ID:      id,
+			Arrival: slot,
+			In:      int(raw[k+1]) % inputs,
+			Out:     int(raw[k+2]) % outputs,
+			Value:   int64(raw[k+3]%100) + 1,
+		})
+		id++
+	}
+	return seq
+}
+
+// FuzzEventDrivenEquivalence feeds random sparse arrival sequences
+// through representative policies on both engines with Validate on (so
+// the occupancy index and queues are cross-checked after every idle
+// jump) and asserts event-driven == dense bit for bit.
+func FuzzEventDrivenEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0}, uint8(2), uint8(2), uint8(1))
+	f.Add([]byte{255, 1, 2, 90, 200, 0, 1, 3, 0, 1, 1, 60}, uint8(3), uint8(2), uint8(2))
+	f.Add([]byte{10, 0, 0, 1, 250, 1, 1, 99, 250, 2, 2, 5, 3, 0, 1, 7}, uint8(4), uint8(4), uint8(1))
+	f.Add([]byte{100, 1, 0, 50, 100, 0, 1, 50, 100, 1, 1, 50}, uint8(2), uint8(3), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, nIn, nOut, speedup uint8) {
+		inputs := int(nIn)%4 + 1
+		outputs := int(nOut)%4 + 1
+		cfg := switchsim.Config{
+			Inputs: inputs, Outputs: outputs,
+			InputBuf: 2, OutputBuf: 2, CrossBuf: 1,
+			Speedup:  int(speedup)%3 + 1,
+			Validate: true,
+		}
+		seq := fuzzSequence(raw, inputs, outputs)
+		if err := seq.Validate(inputs, outputs); err != nil {
+			t.Fatalf("fuzzSequence built an invalid sequence: %v", err)
+		}
+		for name, mk := range map[string]func() switchsim.CIOQPolicy{
+			"gm-rotating": func() switchsim.CIOQPolicy { return &GM{Order: Rotating} },
+			"pg":          func() switchsim.CIOQPolicy { return &PG{} },
+			"roundrobin":  func() switchsim.CIOQPolicy { return &RoundRobin{} },
+		} {
+			dense, err := switchsim.RunCIOQ(cfg, mk(), seq)
+			if err != nil {
+				t.Fatalf("%s dense: %v", name, err)
+			}
+			evCfg := cfg
+			evCfg.EventDriven = true
+			fast, err := switchsim.RunCIOQ(evCfg, mk(), seq)
+			if err != nil {
+				t.Fatalf("%s event-driven: %v", name, err)
+			}
+			if !reflect.DeepEqual(dense.M, fast.M) {
+				t.Errorf("%s: event-driven diverged:\ndense: %+v\nevent: %+v", name, dense.M, fast.M)
+			}
+		}
+		for name, mk := range map[string]func() switchsim.CrossbarPolicy{
+			"cgu-rotating": func() switchsim.CrossbarPolicy { return &CGU{RotatePick: true} },
+			"cpg":          func() switchsim.CrossbarPolicy { return &CPG{} },
+		} {
+			dense, err := switchsim.RunCrossbar(cfg, mk(), seq)
+			if err != nil {
+				t.Fatalf("%s dense: %v", name, err)
+			}
+			evCfg := cfg
+			evCfg.EventDriven = true
+			fast, err := switchsim.RunCrossbar(evCfg, mk(), seq)
+			if err != nil {
+				t.Fatalf("%s event-driven: %v", name, err)
+			}
+			if !reflect.DeepEqual(dense.M, fast.M) {
+				t.Errorf("%s: event-driven diverged:\ndense: %+v\nevent: %+v", name, dense.M, fast.M)
+			}
+		}
+	})
+}

@@ -50,6 +50,11 @@ func (g *RandomizedGM) Reset(cfg switchsim.Config) {
 	g.transfers = g.transfers[:0]
 }
 
+// IdleAdvance implements switchsim.IdleAdvancer: rand.Shuffle over an
+// empty edge list draws nothing from the RNG, so idle cycles leave the
+// random stream — the policy's only cross-cycle state — untouched.
+func (g *RandomizedGM) IdleAdvance(int) {}
+
 // Admit implements switchsim.CIOQPolicy.
 func (g *RandomizedGM) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
 	if sw.IQ[p.In][p.Out].Full() {
@@ -118,6 +123,10 @@ func (a *ARFIFO) Reset(cfg switchsim.Config) {
 	a.edges = a.edges[:0]
 	a.transfers = a.transfers[:0]
 }
+
+// IdleAdvance implements switchsim.IdleAdvancer: ARFIFO is memoryless
+// across cycles.
+func (a *ARFIFO) IdleAdvance(int) {}
 
 // Admit implements switchsim.CIOQPolicy: accept when there is room, or
 // when the arrival beats the queue's minimum by the factor Beta.

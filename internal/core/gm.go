@@ -99,6 +99,13 @@ func (g *GM) Reset(cfg switchsim.Config) {
 	g.ticks = 0
 }
 
+// IdleAdvance implements switchsim.IdleAdvancer: the only free-running
+// state is the tick counter behind the Rotating scan offset, which gains
+// one per scheduling cycle whether or not any queue is occupied.
+func (g *GM) IdleAdvance(idleSlots int) {
+	g.ticks += idleSlots * g.cfg.Speedup
+}
+
 // Admit implements switchsim.CIOQPolicy: accept iff Q_ij is not full.
 func (g *GM) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {
 	if sw.IQ[p.In][p.Out].Full() {
@@ -194,6 +201,11 @@ func (k *KRMM) Reset(cfg switchsim.Config) {
 	k.adj = make([][]int, cfg.Inputs)
 	k.transfers = k.transfers[:0]
 }
+
+// IdleAdvance implements switchsim.IdleAdvancer: Hopcroft–Karp on an
+// empty eligibility graph neither produces transfers nor mutates any
+// state that outlives the cycle.
+func (k *KRMM) IdleAdvance(int) {}
 
 // Admit implements switchsim.CIOQPolicy.
 func (k *KRMM) Admit(sw *switchsim.CIOQ, p packet.Packet) switchsim.AdmitAction {

@@ -42,6 +42,10 @@ func (k *KKSFIFO) Reset(cfg switchsim.Config) {
 	k.transfers = k.transfers[:0]
 }
 
+// IdleAdvance implements switchsim.IdleAdvancer: KKSFIFO keeps no state
+// between cycles beyond its scratch buffers.
+func (k *KKSFIFO) IdleAdvance(int) {}
+
 // Admit implements switchsim.CrossbarPolicy.
 func (k *KKSFIFO) Admit(sw *switchsim.Crossbar, p packet.Packet) switchsim.AdmitAction {
 	q := sw.IQ[p.In][p.Out]

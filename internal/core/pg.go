@@ -65,6 +65,11 @@ func (g *PG) Reset(cfg switchsim.Config) {
 	g.transfers = g.transfers[:0]
 }
 
+// IdleAdvance implements switchsim.IdleAdvancer: PG's only per-cycle
+// work is rebuilding the eligibility graph from live queue state; an
+// empty switch yields an empty graph and no retained state.
+func (g *PG) IdleAdvance(int) {}
+
 // Admit implements switchsim.CIOQPolicy: greedy preemptive admission.
 func (g *PG) Admit(_ *switchsim.CIOQ, _ packet.Packet) switchsim.AdmitAction {
 	// The queue's PushPreempt implements exactly the paper's rule
@@ -120,6 +125,7 @@ type KRMWM struct {
 	cfg       switchsim.Config
 	beta      float64
 	edges     []matching.Edge
+	hung      matching.HungarianSolver
 	transfers []switchsim.Transfer
 }
 
@@ -140,6 +146,10 @@ func (k *KRMWM) Reset(cfg switchsim.Config) {
 	}
 	k.edges = k.edges[:0]
 }
+
+// IdleAdvance implements switchsim.IdleAdvancer: like PG, KRMWM is
+// memoryless across cycles.
+func (k *KRMWM) IdleAdvance(int) {}
 
 // Admit implements switchsim.CIOQPolicy.
 func (k *KRMWM) Admit(_ *switchsim.CIOQ, _ packet.Packet) switchsim.AdmitAction {
@@ -163,7 +173,7 @@ func (k *KRMWM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transf
 			}
 		}
 	}
-	k.transfers = appendTransfers(k.transfers[:0], matching.MaxWeightMatching(n, m, k.edges), true)
+	k.transfers = appendTransfers(k.transfers[:0], k.hung.MaxWeightMatching(n, m, k.edges), true)
 	return k.transfers
 }
 

@@ -27,6 +27,16 @@ type Options struct {
 	// Seed is the base RNG seed; all experiments are deterministic
 	// given a seed.
 	Seed int64
+	// EventDriven opts every simulation into the event-driven engine
+	// fast path (switchsim.Config.EventDriven). Results are bit-identical
+	// either way; it is purely a wall-clock lever for sparse workloads.
+	EventDriven bool
+}
+
+// cfg applies the experiment-wide simulation options to a config.
+func (o Options) cfg(c switchsim.Config) switchsim.Config {
+	c.EventDriven = o.EventDriven
+	return c
 }
 
 // pick returns quick or full depending on the mode.
@@ -96,12 +106,12 @@ func ByID(id string) (Experiment, bool) {
 }
 
 // microCfg is the shared geometry for exact-optimum experiments.
-func microCfg(slots int) switchsim.Config {
-	return switchsim.Config{
+func microCfg(o Options, slots int) switchsim.Config {
+	return o.cfg(switchsim.Config{
 		Inputs: 2, Outputs: 2,
 		InputBuf: 2, OutputBuf: 2, CrossBuf: 1,
 		Speedup: 1, Slots: slots,
-	}
+	})
 }
 
 func boolMark(ok bool) string {

@@ -102,10 +102,10 @@ func E6Speedup(opts Options) ([]*stats.Table, error) {
 	}
 	for gi, gen := range gens {
 		for speedup := 1; speedup <= 4; speedup++ {
-			cfg := switchsim.Config{
+			cfg := opts.cfg(switchsim.Config{
 				Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, CrossBuf: 2,
 				Speedup: speedup, Slots: slots,
-			}
+			})
 			rng := rand.New(rand.NewSource(opts.Seed + int64(gi)))
 			seq := gen.Generate(rng, n, n, slots*3/4)
 			for _, pol := range []switchsim.CIOQPolicy{&core.GM{}, &core.PG{}} {
@@ -143,10 +143,10 @@ func E7Buffers(opts Options) ([]*stats.Table, error) {
 		"buffer", "policy", "model", "throughput", "loss_pct", "mean_latency")
 	gen := packet.Bursty{OnLoad: 1.0, POnOff: 0.25, POffOn: 0.25, Values: packet.UniformValues{Hi: 20}}
 	for _, b := range bufs {
-		cfg := switchsim.Config{
+		cfg := opts.cfg(switchsim.Config{
 			Inputs: n, Outputs: n, InputBuf: b, OutputBuf: b, CrossBuf: b,
 			Speedup: 1, Slots: slots, RecordLatency: true,
-		}
+		})
 		rng := rand.New(rand.NewSource(opts.Seed))
 		seq := gen.Generate(rng, n, n, slots*3/4)
 		for _, pol := range []switchsim.CIOQPolicy{&core.GM{}, &core.PG{}} {
@@ -182,10 +182,10 @@ func E9CIOQvsCrossbar(opts Options) ([]*stats.Table, error) {
 		"N", "policy", "model", "benefit", "throughput", "sim_ns_per_slot")
 	gen := packet.Hotspot{Load: 1.0, HotFrac: 0.4, Values: packet.UniformValues{Hi: 20}}
 	for _, n := range sizes {
-		cfg := switchsim.Config{
+		cfg := opts.cfg(switchsim.Config{
 			Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, CrossBuf: 2,
 			Speedup: 1, Slots: slots,
-		}
+		})
 		rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
 		seq := gen.Generate(rng, n, n, slots*3/4)
 		type runner struct {

@@ -272,3 +272,52 @@ func TestMatcherReuseAcrossGraphSizes(t *testing.T) {
 		}
 	}
 }
+
+// TestHungarianSolverReuseMatchesOneShot drives one solver across many
+// random graphs of varying geometry and checks every result against a
+// fresh one-shot solve: reused scratch must never leak state between
+// calls.
+func TestHungarianSolverReuseMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var h HungarianSolver
+	for k := 0; k < 200; k++ {
+		nU := rng.Intn(6) + 1
+		nV := rng.Intn(6) + 1
+		edges := randGraph(rng, nU, nV, nU*nV, 40)
+		got := h.MaxWeightMatching(nU, nV, edges)
+		want := MaxWeightMatching(nU, nV, edges)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d (%dx%d): reused solver found %d edges, one-shot %d", k, nU, nV, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d (%dx%d): edge %d mismatch: %+v vs %+v", k, nU, nV, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHungarianSolverSteadyStateZeroAllocs pins the reusable-scratch
+// contract: once warm, maximum-weight solves allocate nothing.
+func TestHungarianSolverSteadyStateZeroAllocs(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(5))
+	graphs := make([][]Edge, 8)
+	for g := range graphs {
+		graphs[g] = randGraph(rng, n, n, n*n/2, 100)
+		if len(graphs[g]) == 0 {
+			graphs[g] = []Edge{{U: 0, V: 0, W: 1}}
+		}
+	}
+	var h HungarianSolver
+	for _, g := range graphs { // warm-up to high-water scratch sizes
+		h.MaxWeightMatching(n, n, g)
+	}
+	k := 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.MaxWeightMatching(n, n, graphs[k%len(graphs)])
+		k++
+	}); allocs != 0 {
+		t.Errorf("HungarianSolver: %v allocs/solve in steady state, want 0", allocs)
+	}
+}

@@ -99,6 +99,27 @@ func (s Sequence) Horizon() int {
 	return h
 }
 
+// NextArrival returns the earliest arrival slot >= from, or -1 when no
+// packet arrives at or after that slot. The sequence is sorted by
+// arrival, so this is a binary search; callers that advance through the
+// sequence monotonically (the event-driven simulators) instead keep a
+// cursor and read the next packet's Arrival in O(1). It never allocates.
+func (s Sequence) NextArrival(from int) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].Arrival < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(s) {
+		return -1
+	}
+	return s[lo].Arrival
+}
+
 // BySlot splits the sequence into per-slot arrival groups covering slots
 // [0, slots). Packets arriving at or beyond `slots` are dropped from the
 // grouping (they can never be admitted within the simulated horizon).

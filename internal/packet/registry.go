@@ -1,0 +1,73 @@
+package packet
+
+import "fmt"
+
+// ValueDistByName resolves the CLI value-distribution names shared by
+// switchsim and tracegen.
+func ValueDistByName(name string) (ValueDist, error) {
+	switch name {
+	case "unit":
+		return UnitValues{}, nil
+	case "two":
+		return TwoValued{Alpha: 50, PHigh: 0.2}, nil
+	case "uniform":
+		return UniformValues{Hi: 100}, nil
+	case "zipf":
+		return ZipfValues{Hi: 1000, S: 1.2}, nil
+	case "geometric":
+		return GeometricValues{P: 0.25, Hi: 256}, nil
+	default:
+		return nil, fmt.Errorf("unknown value distribution %q", name)
+	}
+}
+
+// GeneratorByName resolves the CLI traffic-pattern names shared by
+// switchsim and tracegen, interpreting `load` as the mean per-input
+// offered load (for diurnal it is the load at the cycle midpoint:
+// truncating the silent troughs pushes the realized mean a few percent
+// higher). It is the single source of truth for the name-to-generator
+// mapping, so traces written by tracegen always match what switchsim
+// generates for the same flags.
+func GeneratorByName(traffic, values string, load float64) (Generator, error) {
+	vd, err := ValueDistByName(values)
+	if err != nil {
+		return nil, err
+	}
+	switch traffic {
+	case "uniform":
+		return Bernoulli{Load: load, Values: vd}, nil
+	case "bursty":
+		return Bursty{OnLoad: load, POnOff: 0.2, POffOn: 0.2, Values: vd}, nil
+	case "hotspot":
+		return Hotspot{Load: load, HotFrac: 0.5, Values: vd}, nil
+	case "diagonal":
+		return Diagonal{Load: load, OffFrac: 0.1, Values: vd}, nil
+	case "permutation":
+		return Permutation{Load: load, Values: vd}, nil
+	case "poissonburst":
+		// Bursts of ~4 packets separated by idle gaps sized to hit the
+		// requested load. With the minimum gap of one slot the pattern
+		// tops out at load 4/5; beyond that it is not sparse traffic, so
+		// reject rather than silently under-deliver.
+		const burst = 4.0
+		if load <= 0 || load >= burst/(burst+1) {
+			return nil, fmt.Errorf("poissonburst needs 0 < load < %.2f (got %g); use uniform or bursty for dense traffic", burst/(burst+1), load)
+		}
+		return PoissonBurst{OffMean: burst * (1 - load) / load, BurstMean: burst, Values: vd}, nil
+	case "diurnal":
+		if load <= 0 {
+			return nil, fmt.Errorf("diurnal needs load > 0 (got %g)", load)
+		}
+		return Diurnal{Load: load, Period: 1000, Amplitude: 1.2, Values: vd}, nil
+	case "heavytail":
+		// Pareto(1.5) gaps with mean 1/load slots per input. The minimum
+		// gap of one slot caps the pattern at load 1/3; reject rather
+		// than silently under-deliver.
+		if load <= 0 || load >= 1.0/3 {
+			return nil, fmt.Errorf("heavytail needs 0 < load < 0.33 (got %g); use uniform or bursty for dense traffic", load)
+		}
+		return HeavyTail{Alpha: 1.5, MinGap: 1 / (3 * load), Values: vd}, nil
+	default:
+		return nil, fmt.Errorf("unknown traffic pattern %q", traffic)
+	}
+}

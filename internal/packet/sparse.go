@@ -1,0 +1,202 @@
+package packet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sparse workload generators. The Bernoulli-family generators above model
+// heavy sustained traffic; the generators in this file model the opposite
+// regime — long idle stretches punctuated by activity — which is the
+// natural shape of adversarial sequences (the paper's lower-bound
+// constructions inject short bursts separated by draining gaps) and the
+// regime the event-driven simulator fast path is built for.
+
+// PoissonBurst is an on/off renewal process per input port: idle gaps with
+// geometrically distributed length (mean OffMean slots) alternate with
+// bursts whose size is Poisson-distributed around BurstMean (minimum 1).
+// A burst delivers one packet per slot, all to a single per-burst
+// destination, modeling a flow's packet train arriving at line rate after
+// a long silence. The per-input offered load is roughly
+// BurstMean/(OffMean+BurstMean), so large OffMean values give arbitrarily
+// sparse traces.
+type PoissonBurst struct {
+	OffMean   float64 // mean idle gap in slots (>= 1)
+	BurstMean float64 // mean burst size in packets
+	Values    ValueDist
+}
+
+// Name implements Generator.
+func (g PoissonBurst) Name() string {
+	return fmt.Sprintf("poissonburst(off=%.0f,burst=%.1f,%s)", g.OffMean, g.BurstMean, vname(g.Values))
+}
+
+// Generate implements Generator.
+func (g PoissonBurst) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
+	vd := orUnit(g.Values)
+	off := math.Max(g.OffMean, 1)
+	var seq Sequence
+	var id int64
+	for i := 0; i < inputs; i++ {
+		t := geometricGap(rng, off, slots)
+		for t < slots {
+			n := poisson(rng, g.BurstMean)
+			if n < 1 {
+				n = 1
+			}
+			dest := rng.Intn(outputs)
+			for k := 0; k < n && t < slots; k++ {
+				seq = append(seq, Packet{ID: id, Arrival: t, In: i, Out: dest, Value: vd.Sample(rng)})
+				id++
+				t++
+			}
+			t += geometricGap(rng, off, slots)
+		}
+	}
+	return seq.Normalize()
+}
+
+// Diurnal is Bernoulli traffic whose offered load follows a sinusoidal
+// day/night cycle: load(t) = Load·max(0, 1 + Amplitude·sin(2πt/Period)).
+// With Amplitude >= 1 the troughs go fully silent, producing the
+// quiet-hours gaps of real ingress traffic at a configurable duty cycle.
+type Diurnal struct {
+	Load      float64 // mean per-input load at the cycle midpoint
+	Period    int     // cycle length in slots (>= 2)
+	Amplitude float64 // modulation depth; >= 1 silences the troughs
+	Values    ValueDist
+}
+
+// Name implements Generator.
+func (g Diurnal) Name() string {
+	return fmt.Sprintf("diurnal(load=%.3f,period=%d,amp=%.2f,%s)", g.Load, g.Period, g.Amplitude, vname(g.Values))
+}
+
+// Generate implements Generator.
+func (g Diurnal) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
+	vd := orUnit(g.Values)
+	period := g.Period
+	if period < 2 {
+		period = 2
+	}
+	var seq Sequence
+	var id int64
+	for t := 0; t < slots; t++ {
+		load := g.Load * (1 + g.Amplitude*math.Sin(2*math.Pi*float64(t%period)/float64(period)))
+		if load <= 0 {
+			continue
+		}
+		for i := 0; i < inputs; i++ {
+			n := wholeArrivals(rng, load)
+			for k := 0; k < n; k++ {
+				seq = append(seq, Packet{
+					ID: id, Arrival: t, In: i,
+					Out:   rng.Intn(outputs),
+					Value: vd.Sample(rng),
+				})
+				id++
+			}
+		}
+	}
+	return seq.Normalize()
+}
+
+// HeavyTail draws per-input interarrival gaps from a discretized Pareto
+// distribution with shape Alpha and minimum gap MinGap: most gaps are
+// short, but the tail produces occasional very long silences — the
+// self-similar traffic profile classical Poisson models miss. Alpha in
+// (1,2] gives finite mean but wildly variable gaps.
+type HeavyTail struct {
+	Alpha  float64 // Pareto shape (> 0); smaller = heavier tail
+	MinGap float64 // minimum interarrival gap in slots (>= 1)
+	Values ValueDist
+}
+
+// Name implements Generator.
+func (g HeavyTail) Name() string {
+	return fmt.Sprintf("heavytail(alpha=%.2f,min=%.0f,%s)", g.Alpha, g.MinGap, vname(g.Values))
+}
+
+// Generate implements Generator.
+func (g HeavyTail) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
+	vd := orUnit(g.Values)
+	alpha := g.Alpha
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	minGap := math.Max(g.MinGap, 1)
+	var seq Sequence
+	var id int64
+	for i := 0; i < inputs; i++ {
+		t := paretoGap(rng, alpha, minGap) - 1 // first arrival may be early
+		for t < slots {
+			seq = append(seq, Packet{ID: id, Arrival: t, In: i, Out: rng.Intn(outputs), Value: vd.Sample(rng)})
+			id++
+			t += paretoGap(rng, alpha, minGap)
+		}
+	}
+	return seq.Normalize()
+}
+
+// geometricGap draws an integer gap >= 1 with the given mean: one plus
+// the number of failures before the first success of a Bernoulli(1/mean)
+// trial, sampled by inverse transform in O(1) regardless of the mean.
+// Draws are capped at max+1 (beyond any caller's horizon), which also
+// covers degenerate means (+Inf, NaN) where the success probability
+// rounds to zero or NaN.
+func geometricGap(rng *rand.Rand, mean float64, max int) int {
+	p := 1 / mean
+	if p >= 1 {
+		return 1
+	}
+	u := rng.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	g := 1 + math.Log(u)/math.Log(1-p)
+	// Beyond the horizon, or degenerate p (0 gives -Inf, NaN propagates):
+	// either way the gap outlives any caller's horizon.
+	if !(g >= 1 && g < float64(max)+1) {
+		return max + 1
+	}
+	return int(g)
+}
+
+// poisson draws a Poisson(lambda) variate: Knuth's product method for
+// small means, and a rounded normal approximation for large ones (the
+// product method's exp(-lambda) limit underflows to zero near
+// lambda ≈ 746, silently clamping results there).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		k := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	limit := math.Exp(-lambda)
+	k, prod := 0, rng.Float64()
+	for prod > limit {
+		k++
+		prod *= rng.Float64()
+	}
+	return k
+}
+
+// paretoGap draws a discretized Pareto(alpha, xmin) gap, >= ceil(xmin).
+func paretoGap(rng *rand.Rand, alpha, xmin float64) int {
+	u := rng.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	g := xmin * math.Pow(u, -1/alpha)
+	// Cap pathological tail draws so one sample cannot swallow the horizon.
+	if g > 1e9 {
+		g = 1e9
+	}
+	return int(math.Ceil(g))
+}

@@ -1,0 +1,158 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sparseGens instantiates the sparse-workload generator family with
+// seed-dependent parameters for property tests.
+func sparseGens(rng *rand.Rand) []Generator {
+	return []Generator{
+		PoissonBurst{OffMean: 20 + rng.Float64()*300, BurstMean: 1 + rng.Float64()*6, Values: UniformValues{Hi: 1 << 20}},
+		Diurnal{Load: 0.05 + rng.Float64()*0.3, Period: 16 + rng.Intn(200), Amplitude: 0.5 + rng.Float64(), Values: ZipfValues{Hi: 1000, S: 1.2}},
+		HeavyTail{Alpha: 1.1 + rng.Float64(), MinGap: 1 + rng.Float64()*20, Values: GeometricValues{P: 0.25, Hi: 256}},
+	}
+}
+
+func TestSparseGeneratorsProduceValidSparseSequences(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, gen := range sparseGens(rng) {
+			seq := gen.Generate(rand.New(rand.NewSource(seed)), 4, 4, 2000)
+			if err := seq.Validate(4, 4); err != nil {
+				t.Fatalf("%s seed %d: invalid sequence: %v", gen.Name(), seed, err)
+			}
+			// Determinism: same seed, same sequence.
+			again := gen.Generate(rand.New(rand.NewSource(seed)), 4, 4, 2000)
+			if len(again) != len(seq) {
+				t.Fatalf("%s seed %d: nondeterministic length %d vs %d", gen.Name(), seed, len(again), len(seq))
+			}
+			for i := range seq {
+				if seq[i] != again[i] {
+					t.Fatalf("%s seed %d: nondeterministic packet %d", gen.Name(), seed, i)
+				}
+			}
+			// Sparsity: these parameterizations must leave most slots idle,
+			// otherwise the event-driven differential tests exercise nothing.
+			occupied := map[int]bool{}
+			for _, p := range seq {
+				occupied[p.Arrival] = true
+			}
+			if len(occupied) > 1600 {
+				t.Errorf("%s seed %d: %d of 2000 slots busy — not sparse", gen.Name(), seed, len(occupied))
+			}
+		}
+	}
+}
+
+// TestNextArrivalMatchesLinearScan checks the binary search against the
+// obvious linear definition on sparse traces, including the cursor-style
+// monotone walk the simulators perform.
+func TestNextArrivalMatchesLinearScan(t *testing.T) {
+	linear := func(s Sequence, from int) int {
+		for _, p := range s {
+			if p.Arrival >= from {
+				return p.Arrival
+			}
+		}
+		return -1
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, gen := range sparseGens(rng) {
+			seq := gen.Generate(rand.New(rand.NewSource(seed)), 3, 3, 800)
+			horizon := seq.MaxSlot() + 3
+			for from := 0; from <= horizon; from++ {
+				if got, want := seq.NextArrival(from), linear(seq, from); got != want {
+					t.Fatalf("%s seed %d: NextArrival(%d) = %d, want %d", gen.Name(), seed, from, got, want)
+				}
+			}
+		}
+	}
+	if got := (Sequence{}).NextArrival(0); got != -1 {
+		t.Errorf("empty sequence: NextArrival(0) = %d, want -1", got)
+	}
+	tr := &Trace{Inputs: 2, Outputs: 2, Packets: Sequence{{ID: 0, Arrival: 7, In: 0, Out: 1, Value: 1}}}
+	if got := tr.NextArrival(3); got != 7 {
+		t.Errorf("Trace.NextArrival(3) = %d, want 7", got)
+	}
+}
+
+// TestSparseTraceRoundTripProperty drives the binary and JSON codecs with
+// random sparse traces from the new generators: encode/decode must be
+// exact, and any single-byte corruption or truncation of the binary form
+// must be rejected (CRC64 trailer).
+func TestSparseTraceRoundTripProperty(t *testing.T) {
+	f := func(seed int64, pick uint8, corruptAt uint16, cutAt uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gens := sparseGens(rng)
+		gen := gens[int(pick)%len(gens)]
+		seq := gen.Generate(rng, 3, 5, 400)
+		tr := &Trace{Inputs: 3, Outputs: 5, Packets: seq}
+
+		var bin bytes.Buffer
+		if err := tr.WriteBinary(&bin); err != nil {
+			t.Logf("write binary: %v", err)
+			return false
+		}
+		got, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Logf("read binary: %v", err)
+			return false
+		}
+		if got.Inputs != tr.Inputs || got.Outputs != tr.Outputs || len(got.Packets) != len(tr.Packets) {
+			return false
+		}
+		for i := range got.Packets {
+			if got.Packets[i] != tr.Packets[i] {
+				return false
+			}
+		}
+
+		var js bytes.Buffer
+		if err := tr.WriteJSON(&js); err != nil {
+			t.Logf("write json: %v", err)
+			return false
+		}
+		gotJSON, err := ReadJSON(bytes.NewReader(js.Bytes()))
+		if err != nil {
+			t.Logf("read json: %v", err)
+			return false
+		}
+		if len(gotJSON.Packets) != len(tr.Packets) {
+			return false
+		}
+		for i := range gotJSON.Packets {
+			if gotJSON.Packets[i] != tr.Packets[i] {
+				return false
+			}
+		}
+
+		// Single-byte corruption anywhere must be detected: the CRC covers
+		// everything before the trailer, and a damaged trailer no longer
+		// matches the recomputed sum.
+		raw := bin.Bytes()
+		mut := make([]byte, len(raw))
+		copy(mut, raw)
+		pos := int(corruptAt) % len(mut)
+		mut[pos] ^= 0x40
+		if _, err := ReadBinary(bytes.NewReader(mut)); err == nil {
+			t.Logf("corruption at byte %d/%d not detected", pos, len(mut))
+			return false
+		}
+
+		// Any strict prefix must be rejected too.
+		cut := int(cutAt) % len(raw)
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Logf("truncation to %d/%d bytes not detected", cut, len(raw))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

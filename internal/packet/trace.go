@@ -36,6 +36,10 @@ type Trace struct {
 	Packets Sequence `json:"packets"`
 }
 
+// NextArrival returns the earliest arrival slot >= from in the trace, or
+// -1 when none exists; see Sequence.NextArrival.
+func (tr *Trace) NextArrival(from int) int { return tr.Packets.NextArrival(from) }
+
 // WriteBinary serializes the trace in the binary format described above.
 func (tr *Trace) WriteBinary(w io.Writer) error {
 	if err := tr.Packets.Validate(tr.Inputs, tr.Outputs); err != nil {
@@ -101,7 +105,14 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if count > 1<<40 {
 		return nil, fmt.Errorf("trace: implausible packet count %d", count)
 	}
-	tr := &Trace{Inputs: int(inputs), Outputs: int(outputs), Packets: make(Sequence, 0, count)}
+	// The count is untrusted until the CRC trailer verifies, so cap the
+	// preallocation: a corrupted header must fail on a short read, not
+	// OOM the process. append grows honest large traces as needed.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	tr := &Trace{Inputs: int(inputs), Outputs: int(outputs), Packets: make(Sequence, 0, capHint)}
 	var rec [32]byte
 	for k := uint64(0); k < count; k++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {

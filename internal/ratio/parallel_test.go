@@ -80,3 +80,43 @@ func TestSweepComparableAcrossPoints(t *testing.T) {
 		_ = bound
 	}
 }
+
+// TestRunParallelEventDrivenMatchesDense checks the Config.EventDriven
+// plumbing end to end through the ratio harness: per-seed measurements,
+// and therefore the aggregate Estimate, are bit-identical with the
+// event-driven engine on sparse workloads.
+func TestRunParallelEventDrivenMatchesDense(t *testing.T) {
+	cfg := microCfg()
+	cfg.Slots = 12
+	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{Order: core.Rotating} })
+	gen := packet.PoissonBurst{OffMean: 8, BurstMean: 2}
+	dense, err := RunParallel(cfg, alg, ExactUnitCIOQ, gen, 5, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evCfg := cfg
+	evCfg.EventDriven = true
+	fast, err := RunParallel(evCfg, alg, ExactUnitCIOQ, gen, 5, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Max != fast.Max || dense.Mean != fast.Mean || dense.Runs != fast.Runs ||
+		dense.Skipped != fast.Skipped || dense.WorstSeed != fast.WorstSeed {
+		t.Errorf("event-driven ratio estimate diverged:\ndense: %+v\nevent: %+v", dense, fast)
+	}
+	algs := map[string]Alg{"gm": alg,
+		"rr": CIOQAlg(func() switchsim.CIOQPolicy { return &core.RoundRobin{} })}
+	sw1, err := Sweep(cfg, algs, ExactUnitCIOQ, gen, 5, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2, err := Sweep(evCfg, algs, ExactUnitCIOQ, gen, 5, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range algs {
+		if sw1[name].Max != sw2[name].Max || sw1[name].Mean != sw2[name].Mean {
+			t.Errorf("sweep %q diverged: dense %+v vs event %+v", name, sw1[name], sw2[name])
+		}
+	}
+}

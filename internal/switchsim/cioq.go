@@ -293,6 +293,19 @@ func (sw *CIOQ) sampleOccupancy() {
 	sw.M.slotsSampled++
 }
 
+// idleJump returns how many upcoming slots the event-driven engine may
+// skip after finishing `slot` on an empty switch: the number of slots
+// strictly between `slot` and the earlier of the next arrival (seq[next],
+// the first not-yet-admitted packet) and the horizon. The sequence is
+// sorted, so this is the O(1) next-arrival lookup.
+func idleJump(seq packet.Sequence, next, slot, slots int) int {
+	to := slots
+	if next < len(seq) && seq[next].Arrival < slots {
+		to = seq[next].Arrival
+	}
+	return to - (slot + 1)
+}
+
 // RunCIOQ simulates the policy on the sequence and returns the result.
 // The sequence must be valid for the configured geometry.
 func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
@@ -309,9 +322,19 @@ func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
 		sw.M.SlotBenefit = make([]int64, slots)
 	}
 	pol.Reset(cfg)
-	arrivals := seq.BySlot(slots)
+	// Idle jumps require the policy's cooperation; without it every slot
+	// is simulated densely even under cfg.EventDriven.
+	var idle IdleAdvancer
+	if cfg.EventDriven {
+		idle, _ = pol.(IdleAdvancer)
+	}
+	// The sequence is sorted by (Arrival, ID), so a cursor yields each
+	// slot's arrivals in admission order with no per-slot grouping.
+	next := 0
 	for slot := 0; slot < slots; slot++ {
-		for _, p := range arrivals[slot] {
+		for next < len(seq) && seq[next].Arrival == slot {
+			p := seq[next]
+			next++
 			if err := sw.admit(p, pol.Admit(sw, p)); err != nil {
 				return nil, err
 			}
@@ -326,6 +349,18 @@ func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
 		if cfg.Validate {
 			if err := sw.checkInvariants(); err != nil {
 				return nil, fmt.Errorf("switchsim: slot %d: %w", slot, err)
+			}
+		}
+		if idle != nil && sw.QueuedPackets() == 0 {
+			if jump := idleJump(seq, next, slot, slots); jump > 0 {
+				idle.IdleAdvance(jump)
+				sw.M.noteIdleSlots(jump)
+				slot += jump
+				if cfg.Validate {
+					if err := sw.checkInvariants(); err != nil {
+						return nil, fmt.Errorf("switchsim: after idle jump to slot %d: %w", slot, err)
+					}
+				}
 			}
 		}
 	}

@@ -32,6 +32,20 @@
 // policies return reusable scratch buffers; together with the
 // epoch-stamped matching-validation marks this keeps the steady-state
 // scheduling path allocation-free.
+//
+// # Event-driven simulation
+//
+// With Config.EventDriven set, the engines exploit the occupancy index's
+// global counters: whenever the switch holds no packets at the end of a
+// slot, the remaining slots until the next arrival (the input sequence is
+// sorted, so the lookup is O(1)) are skipped in a single jump instead of
+// being simulated one by one. Slot-dependent policy state is advanced in
+// closed form through the IdleAdvancer hook; policies that do not
+// implement it are simulated densely, so results are bit-identical to a
+// dense run either way — the differential and fuzz suites in
+// internal/core assert this for every shipped policy. Sparse and bursty
+// traces (the natural shape of adversarial sequences) simulate orders of
+// magnitude faster this way.
 package switchsim
 
 import (
@@ -66,6 +80,15 @@ type Config struct {
 	// capacities, conservation at the end). Simulations are ~2x slower
 	// with it on; tests enable it everywhere.
 	Validate bool
+
+	// EventDriven enables the sparse-trace fast path: whenever the switch
+	// is completely empty and the next arrival is known, the engine jumps
+	// directly to the next arrival slot instead of simulating the idle
+	// slots one by one. The jump is taken only for policies that implement
+	// IdleAdvancer (so slot-dependent policy state advances in closed
+	// form); other policies fall back to per-slot simulation, so metrics
+	// are bit-identical to a dense run in every case.
+	EventDriven bool
 
 	// RecordSeries collects the per-slot transmitted value (for figures).
 	RecordSeries bool
@@ -104,6 +127,24 @@ func (c Config) HorizonFor(seq packet.Sequence) int {
 		return c.Slots
 	}
 	return seq.Horizon()
+}
+
+// IdleAdvancer is the opt-in capability that lets the event-driven engine
+// jump over runs of idle slots (empty switch, no arrivals due). A policy
+// implementing it promises that IdleAdvance(k) leaves it in exactly the
+// state it would reach after k further slots — each consisting of
+// Config.Speedup scheduling cycles — on a completely empty switch, during
+// which none of its Schedule/subphase calls would return a transfer.
+//
+// Policies whose per-cycle state changes only when packets move (pointer
+// updates on acceptance, value comparisons, matchings over occupied
+// queues) implement it as a no-op; policies with free-running per-cycle
+// state (rotating scan offsets) advance it in closed form. Policies that
+// cannot express their idle evolution in closed form simply do not
+// implement the interface and are simulated slot by slot even under
+// Config.EventDriven.
+type IdleAdvancer interface {
+	IdleAdvance(idleSlots int)
 }
 
 // AdmitAction is a policy's decision for an arriving packet.

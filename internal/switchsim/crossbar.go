@@ -362,9 +362,15 @@ func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, 
 		sw.M.SlotBenefit = make([]int64, slots)
 	}
 	pol.Reset(cfg)
-	arrivals := seq.BySlot(slots)
+	var idle IdleAdvancer
+	if cfg.EventDriven {
+		idle, _ = pol.(IdleAdvancer)
+	}
+	next := 0
 	for slot := 0; slot < slots; slot++ {
-		for _, p := range arrivals[slot] {
+		for next < len(seq) && seq[next].Arrival == slot {
+			p := seq[next]
+			next++
 			if err := sw.admit(p, pol.Admit(sw, p)); err != nil {
 				return nil, err
 			}
@@ -382,6 +388,18 @@ func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, 
 		if cfg.Validate {
 			if err := sw.checkInvariants(); err != nil {
 				return nil, fmt.Errorf("switchsim: slot %d: %w", slot, err)
+			}
+		}
+		if idle != nil && sw.QueuedPackets() == 0 {
+			if jump := idleJump(seq, next, slot, slots); jump > 0 {
+				idle.IdleAdvance(jump)
+				sw.M.noteIdleSlots(jump)
+				slot += jump
+				if cfg.Validate {
+					if err := sw.checkInvariants(); err != nil {
+						return nil, fmt.Errorf("switchsim: after idle jump to slot %d: %w", slot, err)
+					}
+				}
 			}
 		}
 	}

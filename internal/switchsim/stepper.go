@@ -83,6 +83,39 @@ func (st *CIOQStepper) StepSlot(arrivals []packet.Packet) error {
 	return nil
 }
 
+// StepIdle advances the simulation across idleSlots slots with no
+// arrivals — the stepper-side event-driven fast path, used by adaptive
+// adversaries and trace replayers whose arrival streams have long quiet
+// gaps. Slots are simulated one by one while a backlog remains
+// (transfers and transmissions still happen); as soon as the switch is
+// empty, a policy implementing IdleAdvancer has the remaining stretch
+// jumped in O(1). Metrics are bit-identical to per-slot stepping either
+// way.
+func (st *CIOQStepper) StepIdle(idleSlots int) error {
+	if st.done {
+		return fmt.Errorf("switchsim: stepper already finished")
+	}
+	idle, canJump := st.pol.(IdleAdvancer)
+	for idleSlots > 0 {
+		if canJump && st.sw.QueuedPackets() == 0 {
+			idle.IdleAdvance(idleSlots)
+			st.sw.M.noteIdleSlots(idleSlots)
+			st.slot += idleSlots
+			if st.cfg.Validate {
+				if err := st.sw.checkInvariants(); err != nil {
+					return fmt.Errorf("switchsim: after idle jump to slot %d: %w", st.slot, err)
+				}
+			}
+			return nil
+		}
+		if err := st.StepSlot(nil); err != nil {
+			return err
+		}
+		idleSlots--
+	}
+	return nil
+}
+
 // Finish runs empty slots until the switch drains (or maxDrain slots have
 // passed) and returns the final result. The stepper cannot be used
 // afterwards.

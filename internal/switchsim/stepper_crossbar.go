@@ -80,6 +80,35 @@ func (st *CrossbarStepper) StepSlot(arrivals []packet.Packet) error {
 	return nil
 }
 
+// StepIdle advances the simulation across idleSlots slots with no
+// arrivals: per-slot while a backlog remains, then one O(1) jump for
+// the rest once the switch is empty (IdleAdvancer policies only); see
+// CIOQStepper.StepIdle.
+func (st *CrossbarStepper) StepIdle(idleSlots int) error {
+	if st.done {
+		return fmt.Errorf("switchsim: stepper already finished")
+	}
+	idle, canJump := st.pol.(IdleAdvancer)
+	for idleSlots > 0 {
+		if canJump && st.sw.QueuedPackets() == 0 {
+			idle.IdleAdvance(idleSlots)
+			st.sw.M.noteIdleSlots(idleSlots)
+			st.slot += idleSlots
+			if st.cfg.Validate {
+				if err := st.sw.checkInvariants(); err != nil {
+					return fmt.Errorf("switchsim: after idle jump to slot %d: %w", st.slot, err)
+				}
+			}
+			return nil
+		}
+		if err := st.StepSlot(nil); err != nil {
+			return err
+		}
+		idleSlots--
+	}
+	return nil
+}
+
 // Finish drains the backlog (bounded by maxDrain slots) and returns the
 // final result.
 func (st *CrossbarStepper) Finish(maxDrain int) (*Result, error) {

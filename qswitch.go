@@ -67,6 +67,9 @@ type (
 	CIOQPolicy = switchsim.CIOQPolicy
 	// CrossbarPolicy is the scheduling interface for buffered crossbars.
 	CrossbarPolicy = switchsim.CrossbarPolicy
+	// IdleAdvancer is the opt-in hook that lets Config.EventDriven jump
+	// idle stretches for a custom policy.
+	IdleAdvancer = switchsim.IdleAdvancer
 	// RatioEstimate aggregates competitive-ratio measurements.
 	RatioEstimate = ratio.Estimate
 )
@@ -214,6 +217,26 @@ func BurstyTraffic(onLoad, pOnOff, pOffOn float64, dist ValueDist) Generator {
 // HotspotTraffic sends fraction hotFrac of all packets to output hotOut.
 func HotspotTraffic(load float64, hotOut int, hotFrac float64, dist ValueDist) Generator {
 	return packet.Hotspot{Load: load, HotOut: hotOut, HotFrac: hotFrac, Values: dist}
+}
+
+// PoissonBurstTraffic is sparse on/off traffic: line-rate bursts of
+// Poisson-distributed size (mean burstMean) separated by geometric idle
+// gaps (mean offMean slots). Set Config.EventDriven to simulate its long
+// silences in O(1) per gap.
+func PoissonBurstTraffic(offMean, burstMean float64, dist ValueDist) Generator {
+	return packet.PoissonBurst{OffMean: offMean, BurstMean: burstMean, Values: dist}
+}
+
+// DiurnalTraffic is Bernoulli traffic modulated by a sinusoidal
+// day/night cycle; amplitude >= 1 silences the troughs entirely.
+func DiurnalTraffic(load float64, period int, amplitude float64, dist ValueDist) Generator {
+	return packet.Diurnal{Load: load, Period: period, Amplitude: amplitude, Values: dist}
+}
+
+// HeavyTailTraffic draws per-input Pareto(alpha, minGap) interarrival
+// gaps: self-similar traffic with occasional very long silences.
+func HeavyTailTraffic(alpha, minGap float64, dist ValueDist) Generator {
+	return packet.HeavyTail{Alpha: alpha, MinGap: minGap, Values: dist}
 }
 
 // OfflineUpperBound computes a proven upper bound on the benefit of ANY
