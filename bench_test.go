@@ -6,12 +6,14 @@ import (
 	"os"
 	"testing"
 
+	"qswitch/internal/adversary"
 	"qswitch/internal/core"
 	"qswitch/internal/experiments"
 	"qswitch/internal/matching"
 	"qswitch/internal/offline"
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
+	"qswitch/internal/ratio"
 	"qswitch/internal/switchsim"
 )
 
@@ -254,12 +256,13 @@ func BenchmarkTraceEncodeDecode(b *testing.B) {
 // ---------------------------------------------------------------------------
 // Sparse-trace benchmarks: long-horizon, low-load workloads where most
 // slots are idle — the regime the event-driven fast path targets. The
-// same benchmark names measure both engines: set QSWITCH_EVENTDRIVEN=1
-// to opt in (BENCH_2.json holds the dense baseline, BENCH_2_post.json
-// the event-driven run).
+// same benchmark names measure both engines: the fast path is the
+// default, set QSWITCH_DENSE=1 to measure the dense baseline
+// (BENCH_2.json / BENCH_3.json hold dense baselines, the _post files the
+// event-driven runs).
 // ---------------------------------------------------------------------------
 
-func sparseBenchEventDriven() bool { return os.Getenv("QSWITCH_EVENTDRIVEN") != "" }
+func benchDense() bool { return os.Getenv("QSWITCH_DENSE") != "" }
 
 const sparseBenchSlots = 1_000_000
 
@@ -282,7 +285,7 @@ func benchSparseCIOQ(b *testing.B, n int, mk func() switchsim.CIOQPolicy) {
 	cfg := switchsim.Config{
 		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4,
 		Speedup: 1, Slots: sparseBenchSlots,
-		EventDriven: sparseBenchEventDriven(),
+		Dense: benchDense(),
 	}
 	seq := sparseBenchSeq(n)
 	b.ReportAllocs()
@@ -299,7 +302,7 @@ func benchSparseCrossbar(b *testing.B, n int, mk func() switchsim.CrossbarPolicy
 	cfg := switchsim.Config{
 		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, CrossBuf: 2,
 		Speedup: 1, Slots: sparseBenchSlots,
-		EventDriven: sparseBenchEventDriven(),
+		Dense: benchDense(),
 	}
 	seq := sparseBenchSeq(n)
 	b.ReportAllocs()
@@ -329,4 +332,150 @@ func BenchmarkSparseCrossbarCGU16(b *testing.B) {
 }
 func BenchmarkSparseCrossbarCPG16(b *testing.B) {
 	benchSparseCrossbar(b, 16, func() switchsim.CrossbarPolicy { return &core.CPG{} })
+}
+
+// ---------------------------------------------------------------------------
+// Quiescent/adversarial-trace benchmarks: converging bursts at speedup 2
+// park deep backlogs in the output queues, so most non-idle slots are
+// backlogged-but-quiescent — the regime the quiescent drain jump targets
+// (the pre-PR fast path only skipped fully-empty stretches). The same
+// names measure both engines: set QSWITCH_DENSE=1 for the dense baseline
+// (BENCH_3.json), default for the fast path (BENCH_3_post.json).
+// ---------------------------------------------------------------------------
+
+const quiescentBenchSlots = 1_000_000
+
+// quiescentBenchSeq caches one 10^6-slot converging-burst trace per
+// geometry: every ~2000 slots all n inputs send an 8-packet line-rate
+// train into one hot output. At speedup 2 each event leaves a ~64-slot
+// drain-only backlog in the hot output queue before the switch empties.
+var quiescentBenchSeqs = map[int]packet.Sequence{}
+
+func quiescentBenchSeq(n int) packet.Sequence {
+	if seq, ok := quiescentBenchSeqs[n]; ok {
+		return seq
+	}
+	rng := rand.New(rand.NewSource(2))
+	seq := packet.BurstyBlocking{OffMean: 2000, Burst: 8, Values: packet.UniformValues{Hi: 20}}.
+		Generate(rng, n, n, quiescentBenchSlots)
+	quiescentBenchSeqs[n] = seq
+	return seq
+}
+
+// adversarialBenchSeq caches a classical adversarial construction at
+// benchmark scale: HotspotBursts slams every input's burst into output 0
+// once per period, then leaves the switch to drain — the burst/drain/idle
+// shape of the paper's lower-bound families.
+var adversarialBenchSeqs = map[int]packet.Sequence{}
+
+func adversarialBenchSeq(n int) packet.Sequence {
+	if seq, ok := adversarialBenchSeqs[n]; ok {
+		return seq
+	}
+	const period = 2048
+	seq := adversary.HotspotBursts(n, 6, period, quiescentBenchSlots/period, packet.UniformValues{Hi: 20})
+	adversarialBenchSeqs[n] = seq
+	return seq
+}
+
+// quiescentBenchCfg is the CIOQ geometry for the drain-heavy traces:
+// speedup 2 converts input backlog into output backlog twice as fast as
+// it drains, and the deep output buffer holds it.
+func quiescentBenchCfg(n int) switchsim.Config {
+	return switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 8, OutputBuf: 128, CrossBuf: 2,
+		Speedup: 2, Slots: quiescentBenchSlots,
+		Dense: benchDense(),
+	}
+}
+
+func benchQuiescentCIOQ(b *testing.B, seq packet.Sequence, n int, mk func() switchsim.CIOQPolicy) {
+	cfg := quiescentBenchCfg(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsim.RunCIOQ(cfg, mk(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*quiescentBenchSlots), "ns/slot")
+}
+
+func benchQuiescentCrossbar(b *testing.B, seq packet.Sequence, n int, mk func() switchsim.CrossbarPolicy) {
+	cfg := quiescentBenchCfg(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsim.RunCrossbar(cfg, mk(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*quiescentBenchSlots), "ns/slot")
+}
+
+func BenchmarkQuiescentCIOQGM16(b *testing.B) {
+	benchQuiescentCIOQ(b, quiescentBenchSeq(16), 16, func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkQuiescentCIOQGMRotating16(b *testing.B) {
+	benchQuiescentCIOQ(b, quiescentBenchSeq(16), 16, func() switchsim.CIOQPolicy { return &core.GM{Order: core.Rotating} })
+}
+func BenchmarkQuiescentCIOQPG16(b *testing.B) {
+	benchQuiescentCIOQ(b, quiescentBenchSeq(16), 16, func() switchsim.CIOQPolicy { return &core.PG{} })
+}
+func BenchmarkQuiescentCIOQRoundRobin16(b *testing.B) {
+	benchQuiescentCIOQ(b, quiescentBenchSeq(16), 16, func() switchsim.CIOQPolicy { return &core.RoundRobin{} })
+}
+func BenchmarkQuiescentCrossbarCGU16(b *testing.B) {
+	benchQuiescentCrossbar(b, quiescentBenchSeq(16), 16, func() switchsim.CrossbarPolicy { return &core.CGU{} })
+}
+func BenchmarkQuiescentCrossbarCPG16(b *testing.B) {
+	benchQuiescentCrossbar(b, quiescentBenchSeq(16), 16, func() switchsim.CrossbarPolicy { return &core.CPG{} })
+}
+func BenchmarkAdversarialCIOQGM16(b *testing.B) {
+	benchQuiescentCIOQ(b, adversarialBenchSeq(16), 16, func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkAdversarialCIOQPG16(b *testing.B) {
+	benchQuiescentCIOQ(b, adversarialBenchSeq(16), 16, func() switchsim.CIOQPolicy { return &core.PG{} })
+}
+
+// BenchmarkAdversaryAdaptiveGM64 times the fully adaptive anti-greedy
+// loop (stepper-driven, observing the policy's queues every slot): its
+// per-phase drain and catch-up stretch now rides the quiescent StepIdle
+// jump. QSWITCH_DENSE=1 disables stepper jumps for the baseline.
+func BenchmarkAdversaryAdaptiveGM64(b *testing.B) {
+	cfg := adversary.IQLowerBoundCfg(64)
+	cfg.Dense = benchDense()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := adversary.AdaptiveAntiGreedy(cfg, &core.GM{}, 48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdversarySearchGM times the local-search fuzzer hunting
+// high-ratio instances against GM on long sparse horizons, judged by the
+// exact unit-value optimum — the E8 workload at search scale. The policy
+// side of every candidate evaluation rides the fast path.
+func BenchmarkAdversarySearchGM(b *testing.B) {
+	cfg := switchsim.Config{
+		Inputs: 2, Outputs: 2, InputBuf: 1, OutputBuf: 4, CrossBuf: 1,
+		Speedup: 2, Dense: benchDense(),
+	}
+	eval := func(seq packet.Sequence) (float64, bool) {
+		r, ok, err := ratio.Single(cfg,
+			ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} }),
+			ratio.ExactUnitCIOQ, seq)
+		if err != nil {
+			return 0, false
+		}
+		return r, ok
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		adversary.Search(adversary.SearchOptions{
+			Inputs: 2, Outputs: 2, MaxSlots: 600, MaxPackets: 24,
+			MaxValue: 1, Iterations: 120, Seed: int64(i + 1), Restarts: 1,
+		}, eval)
+	}
 }

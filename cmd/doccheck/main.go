@@ -1,0 +1,153 @@
+// Command doccheck fails when an exported identifier lacks a doc comment.
+// It is the documentation gate of the CI docs job: run over the whole
+// repository it keeps the godoc layer complete as the API grows.
+//
+// Usage:
+//
+//	doccheck [dir ...]    # default: .
+//
+// For every non-test .go file under the given directories (recursively,
+// skipping testdata), each exported top-level identifier — functions,
+// methods on exported types, and the specs of type/const/var declarations
+// — must carry a doc comment. A comment on a grouped declaration counts
+// for all of its specs (the const-block convention). Exit status is 1 if
+// any identifier is undocumented, with one "file:line: name" diagnostic
+// per finding.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	fset := token.NewFileSet()
+	bad := 0
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, miss := range check(f) {
+			pos := fset.Position(miss.pos)
+			fmt.Printf("%s:%d: exported %s %s has no doc comment\n", path, pos.Line, miss.kind, miss.name)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// missing is one undocumented exported identifier.
+type missing struct {
+	name string
+	kind string
+	pos  token.Pos
+}
+
+// check returns the undocumented exported identifiers of one file.
+func check(f *ast.File) []missing {
+	var out []missing
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				out = append(out, missing{d.Name.Name, kind, d.Pos()})
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				continue // a group comment covers every spec
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+						out = append(out, missing{s.Name.Name, "type", s.Pos()})
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							out = append(out, missing{name.Name, kindOf(d.Tok), name.Pos()})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedReceiver reports whether a function is package-level or a method
+// on an exported type; methods on unexported types are not API surface.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// kindOf names a value declaration's token for diagnostics.
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -29,7 +29,7 @@ func main() {
 		run   = flag.String("run", "", "comma-separated experiment ids to run (e.g. e1,e5)")
 		all   = flag.Bool("all", false, "run every experiment")
 		quick = flag.Bool("quick", false, "reduced workloads (seconds instead of minutes)")
-		event = flag.Bool("eventdriven", false, "use the event-driven simulator fast path (bit-identical results)")
+		dense = flag.Bool("dense", false, "opt out of the event-driven simulator fast path and simulate every slot (bit-identical results, slower)")
 		seed  = flag.Int64("seed", 1, "base RNG seed")
 		csv   = flag.String("csv", "", "directory to write per-table CSV files into")
 		figs  = flag.Bool("figures", true, "render ASCII charts for figure-type experiments")
@@ -64,7 +64,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, EventDriven: *event}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Dense: *dense}
 	// Each experiment renders into its own buffer so concurrent runs
 	// still print in the requested order.
 	type report struct {

@@ -31,10 +31,10 @@ func main() {
 		speedup = flag.Int("speedup", 1, "scheduling cycles per slot")
 		slots   = flag.Int("slots", 1000, "arrival slots to generate")
 		horizon = flag.Int("horizon", 0, "simulation horizon (0 = drain fully)")
-		traffic = flag.String("traffic", "uniform", "traffic: uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail")
+		traffic = flag.String("traffic", "uniform", "traffic: uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock")
 		values  = flag.String("values", "unit", "values: unit, two, uniform, zipf, geometric")
 		load    = flag.Float64("load", 0.9, "offered load per input per slot")
-		event   = flag.Bool("eventdriven", false, "event-driven engine: jump over idle stretches (bit-identical metrics, much faster on sparse traces)")
+		dense   = flag.Bool("dense", false, "opt out of the event-driven engine and simulate every slot (bit-identical metrics, much slower on sparse traces)")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		trace   = flag.String("trace", "", "binary trace file to replay instead of generating")
 		ub      = flag.Bool("ub", false, "also compute the offline upper bound")
@@ -50,7 +50,7 @@ func main() {
 		InputBuf: *bin, OutputBuf: *bout, CrossBuf: *bx,
 		Speedup: *speedup, Slots: *horizon,
 		RecordLatency: *lat,
-		EventDriven:   *event,
+		Dense:         *dense,
 	}
 
 	var seq qswitch.Sequence

@@ -15,8 +15,10 @@
 // poissonburst emits ~4-packet line-rate bursts separated by geometric
 // idle gaps; diurnal modulates Bernoulli traffic through a sinusoidal
 // day/night cycle whose troughs go silent; heavytail draws Pareto(1.5)
-// interarrival gaps. For all three, -load sets the mean per-input
-// offered load.
+// interarrival gaps; burstblock converges 16-packet bursts from every
+// input onto one hot output (the backlogged-but-quiescent shape for the
+// quiescent drain fast path). For all four, -load sets the mean
+// per-input offered load.
 package main
 
 import (
@@ -36,7 +38,7 @@ func main() {
 		n       = flag.Int("n", 8, "input ports")
 		m       = flag.Int("m", 0, "output ports (defaults to -n)")
 		slots   = flag.Int("slots", 1000, "arrival slots")
-		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail")
+		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock")
 		values  = flag.String("values", "unit", "unit, two, uniform, zipf, geometric")
 		load    = flag.Float64("load", 0.9, "offered load")
 		seed    = flag.Int64("seed", 1, "RNG seed")

@@ -81,21 +81,23 @@ func main() {
 	// family — PoissonBurst (line-rate packet trains between long
 	// geometric silences), Diurnal (sinusoidal day/night load whose
 	// troughs go quiet) and HeavyTail (Pareto interarrival gaps) — leaves
-	// most slots empty, and Config.EventDriven makes the simulator jump
-	// those stretches while producing bit-identical metrics.
+	// most slots empty or quiescent, and the simulator (event-driven by
+	// default) jumps those stretches while producing bit-identical
+	// metrics; Config.Dense opts out for comparison.
 	sparse := packet.PoissonBurst{OffMean: 500, BurstMean: 5, Values: packet.UniformValues{Hi: 50}}
 	longSeq := qswitch.GenerateTraffic(sparse, cfg, 200000, 7)
 	sparseCfg := cfg
 	sparseCfg.Slots = 200000
 
+	denseCfg := sparseCfg
+	denseCfg.Dense = true
 	t0 := time.Now()
-	dense, err := qswitch.SimulateCIOQ(sparseCfg, "gm-rotating", longSeq)
+	dense, err := qswitch.SimulateCIOQ(denseCfg, "gm-rotating", longSeq)
 	if err != nil {
 		log.Fatal(err)
 	}
 	denseT := time.Since(t0)
 
-	sparseCfg.EventDriven = true
 	t0 = time.Now()
 	fast, err := qswitch.SimulateCIOQ(sparseCfg, "gm-rotating", longSeq)
 	if err != nil {

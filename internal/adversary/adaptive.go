@@ -74,15 +74,18 @@ func AdaptiveAntiGreedy(cfg switchsim.Config, pol switchsim.CIOQPolicy, phases i
 			}
 		}
 		// Idle slots: let any schedule drain before the next phase.
-		for st.Switch().QueuedPackets() > 0 {
+		// Slot-by-slot only while the policy still holds input-side
+		// packets (its scheduler may still move them); the remaining
+		// output-queue drain plus the m catch-up slots are one quiescent
+		// stretch that StepIdle advances in closed form for IdleAdvancer
+		// policies — and slot-by-slot, bit-identically, for the rest.
+		for st.Switch().InputQueued() > 0 {
 			if err := st.StepSlot(nil); err != nil {
 				return nil, 0, err
 			}
 		}
-		for k := 0; k < m; k++ {
-			if err := st.StepSlot(nil); err != nil {
-				return nil, 0, err
-			}
+		if err := st.StepIdle(st.Switch().OutputBacklog() + m); err != nil {
+			return nil, 0, err
 		}
 	}
 	res, err := st.Finish(2 * m * phases)

@@ -1,8 +1,3 @@
-// Package adversary builds worst-case arrival sequences. It contains
-// hand-crafted lower-bound constructions from the literature the paper
-// cites (Section 1.2/4: all IQ-model lower bounds carry over to CIOQ and
-// buffered crossbar switches) and a local-search fuzzer that actively
-// hunts for high-ratio instances against any policy.
 package adversary
 
 import (

@@ -1,16 +1,3 @@
-// Package bitset provides the fixed-width bitmasks that back the
-// simulator's occupancy index. A Mask is a set over [0, n) stored as
-// packed uint64 words; the switch engines maintain one mask per port
-// (non-empty virtual output queues, non-full output queues, occupied
-// crosspoints) and update single bits in O(1) on every push, pop and
-// preemption. Schedulers then enumerate eligible (input, output) pairs
-// with bits.TrailingZeros64 over word-wise ANDs of these masks, making
-// the per-cycle cost proportional to the number of *occupied* queues
-// instead of the full port-count product.
-//
-// All operations rely on the invariant that bits at positions >= n are
-// zero; Set panics outside the width only via the natural slice bounds
-// check, and Fill keeps the trailing partial word clean.
 package bitset
 
 import "math/bits"

@@ -194,6 +194,89 @@ func TestIdleJumpZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestQuiescentJumpZeroAllocs asserts the quiescent drain jump is
+// allocation-free in steady state: a full burst / dense-drain / quiescent
+// StepIdle cycle — including the closed-form pop-and-account drain of a
+// deep output backlog — performs no allocations once queue rings and
+// policy scratch are warm.
+func TestQuiescentJumpZeroAllocs(t *testing.T) {
+	const n = 16
+	cioqCfg := switchsim.Config{Inputs: n, Outputs: n, InputBuf: 8, OutputBuf: 128, Speedup: 2}
+	cst, err := switchsim.NewCIOQStepper(cioqCfg, &GM{Order: Rotating})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xbarCfg := switchsim.Config{Inputs: n, Outputs: n, InputBuf: 8, OutputBuf: 128, CrossBuf: 2, Speedup: 2}
+	xst, err := switchsim.NewCrossbarStepper(xbarCfg, &CGU{RotatePick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One packet per input, all converging on output 0: at speedup 2 the
+	// output queue accumulates a backlog that outlives the input side.
+	burst := make([]packet.Packet, n)
+	for i := range burst {
+		burst[i] = packet.Packet{In: i, Out: 0, Value: 1}
+	}
+	cioqCycle := func() {
+		for k := 0; k < 8; k++ {
+			if err := cst.StepSlot(burst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for cst.Switch().InputQueued() > 0 {
+			if err := cst.StepSlot(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cst.StepIdle(256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xbarCycle := func() {
+		for k := 0; k < 8; k++ {
+			if err := xst.StepSlot(burst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for xst.Switch().InputQueued() > 0 || xst.Switch().CrossQueued() > 0 {
+			if err := xst.StepSlot(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := xst.StepIdle(256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up, and a sanity check that the cycle really enters the
+	// quiescent regime (a backlog confined to the output queues).
+	for w := 0; w < 4; w++ {
+		cioqCycle()
+		xbarCycle()
+	}
+	for k := 0; k < 8; k++ {
+		if err := cst.StepSlot(burst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cst.Switch().InputQueued() > 0 {
+		if err := cst.StepSlot(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cst.Switch().OutputBacklog() < 2 {
+		t.Fatalf("warm-up built no quiescent backlog (max output queue %d)", cst.Switch().OutputBacklog())
+	}
+	if err := cst.StepIdle(256); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, cioqCycle); allocs != 0 {
+		t.Errorf("CIOQ quiescent cycle: %v allocs, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, xbarCycle); allocs != 0 {
+		t.Errorf("Crossbar quiescent cycle: %v allocs, want 0", allocs)
+	}
+}
+
 // TestNextArrivalZeroAllocs pins the no-allocation contract of the
 // next-arrival lookup the event-driven engines depend on.
 func TestNextArrivalZeroAllocs(t *testing.T) {

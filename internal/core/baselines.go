@@ -97,8 +97,8 @@ func (r *RoundRobin) Reset(cfg switchsim.Config) {
 
 // IdleAdvance implements switchsim.IdleAdvancer: grant and accept
 // pointers move only when a transfer is accepted (the iSLIP
-// desynchronization rule), so cycles on an empty switch leave them
-// untouched.
+// desynchronization rule), so cycles with no occupied input queue — empty
+// switch or drain-only quiescence — leave them untouched.
 func (r *RoundRobin) IdleAdvance(int) {}
 
 // Admit implements switchsim.CIOQPolicy.

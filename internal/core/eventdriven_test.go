@@ -16,9 +16,12 @@ import (
 // oracle is the retained full-scan implementation, here it is the dense
 // engine itself.
 
-// sparseWorkloads are generators whose traces contain long idle
-// stretches, so event-driven runs actually take idle jumps (a dense-only
-// equivalence would be vacuous on saturating traffic).
+// sparseWorkloads are generators whose traces contain long idle or
+// quiescent stretches, so event-driven runs actually take jumps (a
+// dense-only equivalence would be vacuous on saturating traffic). The
+// BurstyBlocking entries converge bursts on a single output: on the
+// speedup >= 2 configs below they park a backlog in the output queues
+// with an empty input side — the quiescent drain shape.
 func sparseWorkloads() []packet.Generator {
 	return []packet.Generator{
 		packet.PoissonBurst{OffMean: 60, BurstMean: 3, Values: packet.UniformValues{Hi: 30}},
@@ -26,6 +29,8 @@ func sparseWorkloads() []packet.Generator {
 		packet.Diurnal{Load: 0.15, Period: 64, Amplitude: 1.5, Values: packet.TwoValued{Alpha: 50, PHigh: 0.2}},
 		packet.HeavyTail{Alpha: 1.3, MinGap: 8, Values: packet.ZipfValues{Hi: 100, S: 1.2}},
 		packet.Bursty{OnLoad: 0.8, POnOff: 0.5, POffOn: 0.01, Values: packet.UniformValues{Hi: 10}},
+		packet.BurstyBlocking{OffMean: 120, Burst: 6, Values: packet.UniformValues{Hi: 20}},
+		packet.BurstyBlocking{OffMean: 250, Burst: 10, Fanin: 2, Values: packet.ZipfValues{Hi: 50, S: 1.3}},
 	}
 }
 
@@ -39,6 +44,10 @@ func eventDrivenConfigs() []edConfig {
 		{"4x4", switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2, CrossBuf: 1, Speedup: 1, Validate: true}},
 		{"4x4-speedup2-latency", switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 3, OutputBuf: 2, CrossBuf: 2, Speedup: 2, Validate: true, RecordLatency: true}},
 		{"8x3-series", switchsim.Config{Inputs: 8, Outputs: 3, InputBuf: 2, OutputBuf: 4, CrossBuf: 1, Speedup: 3, Validate: true, RecordSeries: true}},
+		// Deep output buffers at speedup 4: converging bursts park long
+		// backlogs in the output queues, so most non-idle skipped slots
+		// are quiescent drains rather than empty stretches.
+		{"6x6-speedup4-drain", switchsim.Config{Inputs: 6, Outputs: 6, InputBuf: 4, OutputBuf: 32, CrossBuf: 2, Speedup: 4, Validate: true, RecordLatency: true, RecordSeries: true}},
 	}
 }
 
@@ -82,13 +91,13 @@ func TestEventDrivenCIOQMatchesDense(t *testing.T) {
 			for gi, gen := range sparseWorkloads() {
 				for seed := int64(1); seed <= 3; seed++ {
 					seq := sparseSeq(rc.cfg, gen, seed*31+int64(gi))
-					dense, err := switchsim.RunCIOQ(rc.cfg, mk(), seq)
+					denseCfg := rc.cfg
+					denseCfg.Dense = true
+					dense, err := switchsim.RunCIOQ(denseCfg, mk(), seq)
 					if err != nil {
 						t.Fatalf("%s/%s/%s seed %d dense: %v", name, rc.name, gen.Name(), seed, err)
 					}
-					evCfg := rc.cfg
-					evCfg.EventDriven = true
-					fast, err := switchsim.RunCIOQ(evCfg, mk(), seq)
+					fast, err := switchsim.RunCIOQ(rc.cfg, mk(), seq)
 					if err != nil {
 						t.Fatalf("%s/%s/%s seed %d event-driven: %v", name, rc.name, gen.Name(), seed, err)
 					}
@@ -112,13 +121,13 @@ func TestEventDrivenCrossbarMatchesDense(t *testing.T) {
 			for gi, gen := range sparseWorkloads() {
 				for seed := int64(1); seed <= 3; seed++ {
 					seq := sparseSeq(rc.cfg, gen, seed*17+int64(gi))
-					dense, err := switchsim.RunCrossbar(rc.cfg, mk(), seq)
+					denseCfg := rc.cfg
+					denseCfg.Dense = true
+					dense, err := switchsim.RunCrossbar(denseCfg, mk(), seq)
 					if err != nil {
 						t.Fatalf("%s/%s/%s seed %d dense: %v", name, rc.name, gen.Name(), seed, err)
 					}
-					evCfg := rc.cfg
-					evCfg.EventDriven = true
-					fast, err := switchsim.RunCrossbar(evCfg, mk(), seq)
+					fast, err := switchsim.RunCrossbar(rc.cfg, mk(), seq)
 					if err != nil {
 						t.Fatalf("%s/%s/%s seed %d event-driven: %v", name, rc.name, gen.Name(), seed, err)
 					}
@@ -157,6 +166,7 @@ func TestEventDrivenStepperIdleJump(t *testing.T) {
 	seq = seq.Normalize()
 	cfgRun := cfg
 	cfgRun.Slots = gap + 50
+	cfgRun.Dense = true
 	dense, err := switchsim.RunCIOQ(cfgRun, &GM{Order: Rotating}, seq)
 	if err != nil {
 		t.Fatal(err)
@@ -235,6 +245,109 @@ func TestEventDrivenStepperIdleJump(t *testing.T) {
 	}
 }
 
+// countingGM wraps GM (keeping its IdleAdvancer implementation through
+// embedding) and counts Schedule invocations, distinguishing "the fast
+// path matched dense results" from "the fast path actually skipped the
+// scheduling work".
+type countingGM struct {
+	GM
+	scheduleCalls int
+}
+
+func (c *countingGM) Schedule(sw *switchsim.CIOQ, slot, cycle int) []switchsim.Transfer {
+	c.scheduleCalls++
+	return c.GM.Schedule(sw, slot, cycle)
+}
+
+// TestQuiescentJumpSkipsScheduling runs a burst-and-drain workload whose
+// slots are mostly backlogged-but-quiescent or idle, and asserts that the
+// event-driven engine (a) reproduces the dense metrics bit for bit and
+// (b) invokes the scheduler only for the few slots where input-side
+// packets exist — the quiescent drain and the idle tail are advanced
+// without a single Schedule call.
+func TestQuiescentJumpSkipsScheduling(t *testing.T) {
+	cfg := switchsim.Config{
+		Inputs: 8, Outputs: 8, InputBuf: 8, OutputBuf: 64,
+		Speedup: 2, Slots: 3000, Validate: true, RecordLatency: true,
+	}
+	gen := packet.BurstyBlocking{OffMean: 300, Burst: 8, Values: packet.UniformValues{Hi: 5}}
+	seq := gen.Generate(rand.New(rand.NewSource(7)), cfg.Inputs, cfg.Outputs, cfg.Slots)
+	if len(seq) == 0 {
+		t.Fatal("empty workload")
+	}
+
+	denseCfg := cfg
+	denseCfg.Dense = true
+	densePol := &countingGM{}
+	dense, err := switchsim.RunCIOQ(denseCfg, densePol, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastPol := &countingGM{}
+	fast, err := switchsim.RunCIOQ(cfg, fastPol, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dense.M, fast.M) {
+		t.Errorf("quiescent fast path diverged from dense:\ndense: %+v\nfast:  %+v", dense.M, fast.M)
+	}
+	if densePol.scheduleCalls != cfg.Slots*cfg.Speedup {
+		t.Fatalf("dense run made %d Schedule calls, want %d", densePol.scheduleCalls, cfg.Slots*cfg.Speedup)
+	}
+	// The workload spends the large majority of its slots quiescent or
+	// idle; requiring a 3x reduction leaves headroom for unlucky burst
+	// placement while still failing if only fully-empty stretches (the
+	// pre-quiescent behavior) were jumped... those are covered below.
+	if fastPol.scheduleCalls*3 > densePol.scheduleCalls {
+		t.Errorf("fast path made %d of %d Schedule calls — quiescent slots were not skipped",
+			fastPol.scheduleCalls, densePol.scheduleCalls)
+	}
+
+	// Tighter still: on a single burst followed by quiet, the scheduler
+	// must never be consulted after the input side empties, even though
+	// the output queue drains for dozens more slots. Dense-run the prefix
+	// to find when the input side empties, then bound the fast run's
+	// calls by that point.
+	burst := seq[:8*cfg.Inputs]
+	one := burst.Clone().Normalize()
+	oneCfg := cfg
+	oneCfg.Slots = 600
+	probe := &countingGM{}
+	st, err := switchsim.NewCIOQStepper(oneCfg, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for st.Switch().QueuedPackets() > 0 || st.Slot() == 0 || next < len(one) {
+		var arr []packet.Packet
+		for next < len(one) && one[next].Arrival == st.Slot() {
+			arr = append(arr, packet.Packet{In: one[next].In, Out: one[next].Out, Value: one[next].Value})
+			next++
+		}
+		if err := st.StepSlot(arr); err != nil {
+			t.Fatal(err)
+		}
+		if st.Switch().InputQueued() == 0 && next == len(one) {
+			break
+		}
+	}
+	backlog := st.Switch().OutputBacklog()
+	if backlog < 8 {
+		t.Fatalf("expected a deep quiescent backlog after the burst, got %d", backlog)
+	}
+	calls := probe.scheduleCalls
+	if err := st.StepIdle(backlog + 100); err != nil {
+		t.Fatal(err)
+	}
+	if probe.scheduleCalls != calls {
+		t.Errorf("StepIdle over a quiescent backlog made %d Schedule calls, want 0",
+			probe.scheduleCalls-calls)
+	}
+	if got := st.Switch().QueuedPackets(); got != 0 {
+		t.Errorf("switch still holds %d packets after quiescent drain", got)
+	}
+}
+
 // fuzzSequence decodes raw fuzz bytes into a well-formed sparse arrival
 // sequence: each 4-byte group contributes one packet after a 0..255-slot
 // gap, so generated traces mix dense bursts with long silences.
@@ -258,19 +371,26 @@ func fuzzSequence(raw []byte, inputs, outputs int) packet.Sequence {
 
 // FuzzEventDrivenEquivalence feeds random sparse arrival sequences
 // through representative policies on both engines with Validate on (so
-// the occupancy index and queues are cross-checked after every idle
-// jump) and asserts event-driven == dense bit for bit.
+// the occupancy index and queues are cross-checked after every idle or
+// quiescent jump) and asserts event-driven == dense bit for bit. The
+// output buffer depth is fuzzed alongside the geometry and speedup:
+// speedup > 1 with a deep output buffer is the regime where converging
+// bursts leave backlogged-but-quiescent drain stretches for the fast
+// path to advance in closed form.
 func FuzzEventDrivenEquivalence(f *testing.F) {
-	f.Add([]byte{0, 0, 0, 0}, uint8(2), uint8(2), uint8(1))
-	f.Add([]byte{255, 1, 2, 90, 200, 0, 1, 3, 0, 1, 1, 60}, uint8(3), uint8(2), uint8(2))
-	f.Add([]byte{10, 0, 0, 1, 250, 1, 1, 99, 250, 2, 2, 5, 3, 0, 1, 7}, uint8(4), uint8(4), uint8(1))
-	f.Add([]byte{100, 1, 0, 50, 100, 0, 1, 50, 100, 1, 1, 50}, uint8(2), uint8(3), uint8(3))
-	f.Fuzz(func(t *testing.T, raw []byte, nIn, nOut, speedup uint8) {
+	f.Add([]byte{0, 0, 0, 0}, uint8(2), uint8(2), uint8(1), uint8(1))
+	f.Add([]byte{255, 1, 2, 90, 200, 0, 1, 3, 0, 1, 1, 60}, uint8(3), uint8(2), uint8(2), uint8(3))
+	f.Add([]byte{10, 0, 0, 1, 250, 1, 1, 99, 250, 2, 2, 5, 3, 0, 1, 7}, uint8(4), uint8(4), uint8(1), uint8(7))
+	f.Add([]byte{100, 1, 0, 50, 100, 0, 1, 50, 100, 1, 1, 50}, uint8(2), uint8(3), uint8(3), uint8(15))
+	// A converging burst then silence: quiescent drain at speedup 3.
+	f.Add([]byte{5, 0, 0, 9, 0, 1, 0, 9, 0, 2, 0, 9, 0, 3, 0, 9, 1, 0, 0, 9, 0, 1, 0, 9, 0, 2, 0, 9, 0, 3, 0, 9},
+		uint8(4), uint8(1), uint8(3), uint8(12))
+	f.Fuzz(func(t *testing.T, raw []byte, nIn, nOut, speedup, outBuf uint8) {
 		inputs := int(nIn)%4 + 1
 		outputs := int(nOut)%4 + 1
 		cfg := switchsim.Config{
 			Inputs: inputs, Outputs: outputs,
-			InputBuf: 2, OutputBuf: 2, CrossBuf: 1,
+			InputBuf: 2, OutputBuf: int(outBuf)%16 + 1, CrossBuf: 1,
 			Speedup:  int(speedup)%3 + 1,
 			Validate: true,
 		}
@@ -278,18 +398,18 @@ func FuzzEventDrivenEquivalence(f *testing.F) {
 		if err := seq.Validate(inputs, outputs); err != nil {
 			t.Fatalf("fuzzSequence built an invalid sequence: %v", err)
 		}
+		denseCfg := cfg
+		denseCfg.Dense = true
 		for name, mk := range map[string]func() switchsim.CIOQPolicy{
 			"gm-rotating": func() switchsim.CIOQPolicy { return &GM{Order: Rotating} },
 			"pg":          func() switchsim.CIOQPolicy { return &PG{} },
 			"roundrobin":  func() switchsim.CIOQPolicy { return &RoundRobin{} },
 		} {
-			dense, err := switchsim.RunCIOQ(cfg, mk(), seq)
+			dense, err := switchsim.RunCIOQ(denseCfg, mk(), seq)
 			if err != nil {
 				t.Fatalf("%s dense: %v", name, err)
 			}
-			evCfg := cfg
-			evCfg.EventDriven = true
-			fast, err := switchsim.RunCIOQ(evCfg, mk(), seq)
+			fast, err := switchsim.RunCIOQ(cfg, mk(), seq)
 			if err != nil {
 				t.Fatalf("%s event-driven: %v", name, err)
 			}
@@ -301,13 +421,11 @@ func FuzzEventDrivenEquivalence(f *testing.F) {
 			"cgu-rotating": func() switchsim.CrossbarPolicy { return &CGU{RotatePick: true} },
 			"cpg":          func() switchsim.CrossbarPolicy { return &CPG{} },
 		} {
-			dense, err := switchsim.RunCrossbar(cfg, mk(), seq)
+			dense, err := switchsim.RunCrossbar(denseCfg, mk(), seq)
 			if err != nil {
 				t.Fatalf("%s dense: %v", name, err)
 			}
-			evCfg := cfg
-			evCfg.EventDriven = true
-			fast, err := switchsim.RunCrossbar(evCfg, mk(), seq)
+			fast, err := switchsim.RunCrossbar(cfg, mk(), seq)
 			if err != nil {
 				t.Fatalf("%s event-driven: %v", name, err)
 			}

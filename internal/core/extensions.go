@@ -50,9 +50,10 @@ func (g *RandomizedGM) Reset(cfg switchsim.Config) {
 	g.transfers = g.transfers[:0]
 }
 
-// IdleAdvance implements switchsim.IdleAdvancer: rand.Shuffle over an
-// empty edge list draws nothing from the RNG, so idle cycles leave the
-// random stream — the policy's only cross-cycle state — untouched.
+// IdleAdvance implements switchsim.IdleAdvancer: with no occupied input
+// queue the edge list is empty and rand.Shuffle over it draws nothing
+// from the RNG, so idle and quiescent cycles leave the random stream —
+// the policy's only cross-cycle state — untouched.
 func (g *RandomizedGM) IdleAdvance(int) {}
 
 // Admit implements switchsim.CIOQPolicy.

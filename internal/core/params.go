@@ -1,9 +1,3 @@
-// Package core implements the paper's four online scheduling algorithms —
-// GM and PG for CIOQ switches, CGU and CPG for buffered crossbar switches —
-// together with the baseline policies they are compared against: the
-// maximum-matching schedulers of prior work (Kesselman–Rosén style), the
-// β=α parameterization of CPG (Kesselman et al.), a naive non-preemptive
-// FIFO policy, an iSLIP-like round-robin matcher, and longest-queue-first.
 package core
 
 import "math"

@@ -66,8 +66,9 @@ func (g *PG) Reset(cfg switchsim.Config) {
 }
 
 // IdleAdvance implements switchsim.IdleAdvancer: PG's only per-cycle
-// work is rebuilding the eligibility graph from live queue state; an
-// empty switch yields an empty graph and no retained state.
+// work is rebuilding the eligibility graph from live queue state; with
+// every input queue empty the graph is empty — whatever the output
+// queues hold — and no state is retained.
 func (g *PG) IdleAdvance(int) {}
 
 // Admit implements switchsim.CIOQPolicy: greedy preemptive admission.

@@ -27,15 +27,18 @@ type Options struct {
 	// Seed is the base RNG seed; all experiments are deterministic
 	// given a seed.
 	Seed int64
-	// EventDriven opts every simulation into the event-driven engine
-	// fast path (switchsim.Config.EventDriven). Results are bit-identical
-	// either way; it is purely a wall-clock lever for sparse workloads.
-	EventDriven bool
+	// Dense opts every simulation OUT of the event-driven engine fast
+	// path (switchsim.Config.Dense); by default experiments run
+	// event-driven, which matters for the adversarial workloads (E8, E14)
+	// whose burst/drain/idle shape is exactly what the quiescent jump
+	// accelerates. Results are bit-identical either way; it is purely a
+	// wall-clock lever.
+	Dense bool
 }
 
 // cfg applies the experiment-wide simulation options to a config.
 func (o Options) cfg(c switchsim.Config) switchsim.Config {
-	c.EventDriven = o.EventDriven
+	c.Dense = o.Dense
 	return c
 }
 

@@ -1,29 +1,3 @@
-// Package matching provides the bipartite matching engines that drive the
-// scheduling phase of the simulated switches.
-//
-// The paper's central efficiency claim is that *greedy maximal* matchings
-// (constructed by scanning edges once) achieve the same competitive ratios
-// as the *maximum* matchings used in prior work while being far cheaper to
-// compute. This package implements both families so the claim can be
-// benchmarked head-to-head:
-//
-//   - GreedyMaximal / GreedyMaximalWeighted — the paper's engines,
-//   - HopcroftKarp — maximum-cardinality matching (Kesselman–Rosén style),
-//   - Hungarian — maximum-weight matching (for the 6-competitive baseline),
-//   - Kuhn — a simple augmenting-path maximum matching used as a test
-//     cross-check,
-//   - BruteForceMax / BruteForceMaxWeight — exponential verifiers for
-//     property tests on small graphs.
-//
-// The scheduling policies in internal/core no longer hand this package a
-// full Inputs×Outputs edge scan: they enumerate candidate edges from the
-// switch's bitset occupancy index (see internal/switchsim and
-// internal/bitset), so the edge lists arriving here are proportional to
-// the number of occupied queues. On the engine side, Matcher and
-// WeightedScheduler are the reusable (scratch-carrying, zero-allocation
-// after warm-up) counterparts of GreedyMaximal and
-// GreedyMaximalWeighted; the one-shot functions remain for tests and
-// offline callers.
 package matching
 
 import (

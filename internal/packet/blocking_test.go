@@ -1,0 +1,65 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBurstyBlockingShape pins the structural properties that make the
+// generator's traces backlogged-but-quiescent on a speedup >= 2 switch:
+// bursts converge on a single hot output, each participating input sends
+// at line rate (at most one packet per slot), and the fan-in bound holds.
+func TestBurstyBlockingShape(t *testing.T) {
+	const inputs, outputs, slots = 6, 5, 4000
+	for seed := int64(1); seed <= 15; seed++ {
+		fanin := 1 + int(seed)%inputs
+		gen := BurstyBlocking{OffMean: 80, Burst: 5, Fanin: fanin, Values: UniformValues{Hi: 9}}
+		seq := gen.Generate(rand.New(rand.NewSource(seed)), inputs, outputs, slots)
+		if err := seq.Validate(inputs, outputs); err != nil {
+			t.Fatalf("seed %d: invalid sequence: %v", seed, err)
+		}
+		if len(seq) == 0 {
+			t.Fatalf("seed %d: empty sequence", seed)
+		}
+		destOf := map[int]int{}   // arrival slot -> hot output
+		seen := map[[2]int]bool{} // (input, slot) -> line-rate check
+		inputsAt := map[int]map[int]bool{}
+		for _, p := range seq {
+			if d, ok := destOf[p.Arrival]; ok && d != p.Out {
+				t.Fatalf("seed %d: slot %d targets outputs %d and %d — bursts must converge", seed, p.Arrival, d, p.Out)
+			}
+			destOf[p.Arrival] = p.Out
+			key := [2]int{p.In, p.Arrival}
+			if seen[key] {
+				t.Fatalf("seed %d: input %d sends twice in slot %d — beyond line rate", seed, p.In, p.Arrival)
+			}
+			seen[key] = true
+			if inputsAt[p.Arrival] == nil {
+				inputsAt[p.Arrival] = map[int]bool{}
+			}
+			inputsAt[p.Arrival][p.In] = true
+		}
+		for slot, ins := range inputsAt {
+			if len(ins) > fanin {
+				t.Fatalf("seed %d: slot %d has %d senders, fanin is %d", seed, slot, len(ins), fanin)
+			}
+		}
+	}
+}
+
+// TestBurstyBlockingDefaults checks the <=0 / out-of-range parameter
+// clamps: Fanin 0 means every input participates, Burst 0 means 1.
+func TestBurstyBlockingDefaults(t *testing.T) {
+	gen := BurstyBlocking{OffMean: 10, Burst: 0, Fanin: 0}
+	seq := gen.Generate(rand.New(rand.NewSource(3)), 3, 3, 2000)
+	if err := seq.Validate(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	senders := map[int]bool{}
+	for _, p := range seq {
+		senders[p.In] = true
+	}
+	if len(senders) != 3 {
+		t.Errorf("fanin 0 should use all 3 inputs, saw %d", len(senders))
+	}
+}

@@ -1,0 +1,31 @@
+// Package packet defines the packet model shared by all switch simulators,
+// together with synthetic traffic generators, value distributions and trace
+// serialization.
+//
+// Time is discrete: packets carry the index of the time slot in which they
+// arrive at the switch. Values are positive integers so that offline optima
+// computed with integral min-cost flows are exact and all simulations are
+// bit-for-bit deterministic.
+//
+// # Invariants
+//
+//   - A Sequence is sorted by (Arrival, ID) with IDs unique and ascending;
+//     Normalize establishes this and every generator returns normalized
+//     output, so the engines consume arrivals with a single cursor and
+//     resolve the next arrival after any slot in O(1) (NextArrival).
+//   - Generators are pure functions of (rng, geometry, horizon): the same
+//     seed always yields the same trace, on any platform.
+//   - Trace serialization round-trips exactly; the binary format carries a
+//     CRC64 trailer, so any corruption or truncation is rejected rather
+//     than replayed.
+//
+// Two generator families cover the two traffic regimes: the Bernoulli
+// family (Bernoulli, Bursty, Hotspot, Diagonal, Permutation) models heavy
+// sustained load, while the sparse family (PoissonBurst, Diurnal,
+// HeavyTail, BurstyBlocking) models long quiet or drain-only stretches —
+// the regime the event-driven simulator fast path exploits, and the shape
+// of adversarial lower-bound constructions. BurstyBlocking specifically
+// produces backlogged-but-quiescent states: bursts converging on one hot
+// output that, at speedup >= 2, leave a deep output-queue backlog
+// draining long after the input side has emptied.
+package packet

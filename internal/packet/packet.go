@@ -1,11 +1,3 @@
-// Package packet defines the packet model shared by all switch simulators,
-// together with synthetic traffic generators, value distributions and trace
-// serialization.
-//
-// Time is discrete: packets carry the index of the time slot in which they
-// arrive at the switch. Values are positive integers so that offline optima
-// computed with integral min-cost flows are exact and all simulations are
-// bit-for-bit deterministic.
 package packet
 
 import (

@@ -59,6 +59,19 @@ func GeneratorByName(traffic, values string, load float64) (Generator, error) {
 			return nil, fmt.Errorf("diurnal needs load > 0 (got %g)", load)
 		}
 		return Diurnal{Load: load, Period: 1000, Amplitude: 1.2, Values: vd}, nil
+	case "burstblock":
+		// Converging line-rate bursts of 16 packets per input into a
+		// single hot output, separated by idle gaps sized to hit the
+		// requested per-input load — the backlogged-but-quiescent shape
+		// that exercises the engines' quiescent drain fast path at
+		// speedup >= 2. The 16-packet train caps the load at 16/17, so
+		// the CLIs' default -load 0.9 still resolves (unlike the sparser
+		// poissonburst/heavytail mappings, which reject dense loads).
+		const bb = 16.0
+		if load <= 0 || load >= bb/(bb+1) {
+			return nil, fmt.Errorf("burstblock needs 0 < load < %.2f (got %g); use uniform or bursty for dense traffic", bb/(bb+1), load)
+		}
+		return BurstyBlocking{OffMean: bb * (1 - load) / load, Burst: int(bb), Values: vd}, nil
 	case "heavytail":
 		// Pareto(1.5) gaps with mean 1/load slots per input. The minimum
 		// gap of one slot caps the pattern at load 1/3; reject rather

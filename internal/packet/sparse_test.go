@@ -14,6 +14,7 @@ func sparseGens(rng *rand.Rand) []Generator {
 		PoissonBurst{OffMean: 20 + rng.Float64()*300, BurstMean: 1 + rng.Float64()*6, Values: UniformValues{Hi: 1 << 20}},
 		Diurnal{Load: 0.05 + rng.Float64()*0.3, Period: 16 + rng.Intn(200), Amplitude: 0.5 + rng.Float64(), Values: ZipfValues{Hi: 1000, S: 1.2}},
 		HeavyTail{Alpha: 1.1 + rng.Float64(), MinGap: 1 + rng.Float64()*20, Values: GeometricValues{P: 0.25, Hi: 256}},
+		BurstyBlocking{OffMean: 50 + rng.Float64()*300, Burst: 2 + rng.Intn(8), Fanin: 1 + rng.Intn(4), Values: UniformValues{Hi: 100}},
 	}
 }
 

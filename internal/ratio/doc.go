@@ -1,0 +1,22 @@
+// Package ratio estimates empirical competitive ratios: it runs a policy
+// and an offline optimum (exact solver where tractable, upper bound
+// otherwise) over many seeded workloads and aggregates max/mean ratios.
+// This is the measurement core behind experiments E1–E4 and E8.
+//
+// # Invariants
+//
+//   - Measurements are deterministic functions of (config, generator,
+//     base seed): seed k's sequence is drawn from its own rand source, so
+//     RunParallel distributes seeds over workers and still produces an
+//     Estimate bit-identical to the sequential Run.
+//   - Policy instances are created per evaluation through the Alg
+//     factory, never shared, so concurrent or repeated evaluations cannot
+//     leak mutable policy state.
+//   - The simulation engine is whatever the caller's switchsim.Config
+//     selects — event-driven by default, dense via Config.Dense — and the
+//     measured ratios are identical either way; only wall-clock changes.
+//   - A zero optimum skips the sample (the ratio is vacuous); a zero
+//     policy benefit against a positive optimum is an error, not an
+//     infinite sample, since none of the paper's algorithms can score
+//     zero against a positive optimum.
+package ratio

@@ -81,21 +81,21 @@ func TestSweepComparableAcrossPoints(t *testing.T) {
 	}
 }
 
-// TestRunParallelEventDrivenMatchesDense checks the Config.EventDriven
+// TestRunParallelEventDrivenMatchesDense checks the Config.Dense
 // plumbing end to end through the ratio harness: per-seed measurements,
-// and therefore the aggregate Estimate, are bit-identical with the
-// event-driven engine on sparse workloads.
+// and therefore the aggregate Estimate, are bit-identical between the
+// default event-driven engine and the dense opt-out on sparse workloads.
 func TestRunParallelEventDrivenMatchesDense(t *testing.T) {
-	cfg := microCfg()
-	cfg.Slots = 12
+	evCfg := microCfg()
+	evCfg.Slots = 12
 	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{Order: core.Rotating} })
 	gen := packet.PoissonBurst{OffMean: 8, BurstMean: 2}
+	cfg := evCfg
+	cfg.Dense = true
 	dense, err := RunParallel(cfg, alg, ExactUnitCIOQ, gen, 5, 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	evCfg := cfg
-	evCfg.EventDriven = true
 	fast, err := RunParallel(evCfg, alg, ExactUnitCIOQ, gen, 5, 16, 4)
 	if err != nil {
 		t.Fatal(err)

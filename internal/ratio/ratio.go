@@ -1,7 +1,3 @@
-// Package ratio estimates empirical competitive ratios: it runs a policy
-// and an offline optimum (exact solver where tractable, upper bound
-// otherwise) over many seeded workloads and aggregates max/mean ratios.
-// This is the measurement core behind experiments E1–E4 and E8.
 package ratio
 
 import (

@@ -100,6 +100,25 @@ func NewCIOQ(cfg Config, inDisc, outDisc queue.Discipline) *CIOQ {
 // the switch.
 func (sw *CIOQ) QueuedPackets() int64 { return sw.inCount + sw.outCount }
 
+// InputQueued returns the number of packets currently stored in the input
+// virtual output queues. Zero means the switch is quiescent: no scheduling
+// decision can move a packet, and any remaining backlog sits in the output
+// queues draining policy-independently.
+func (sw *CIOQ) InputQueued() int64 { return sw.inCount }
+
+// OutputBacklog returns the length of the longest output queue — the
+// number of drain-only slots needed to empty the switch once InputQueued
+// reaches zero and no further arrivals occur.
+func (sw *CIOQ) OutputBacklog() int {
+	max := 0
+	for _, q := range sw.OQ {
+		if q.Len() > max {
+			max = q.Len()
+		}
+	}
+	return max
+}
+
 func (sw *CIOQ) checkInvariants() error {
 	for i := range sw.IQ {
 		for j := range sw.IQ[i] {
@@ -293,11 +312,57 @@ func (sw *CIOQ) sampleOccupancy() {
 	sw.M.slotsSampled++
 }
 
+// quiesce advances the switch across k arrival-free slots during which no
+// scheduling transfer is possible (inCount == 0), in closed form: each
+// non-empty output queue transmits one head packet per slot until it
+// empties, and nothing else moves. The caller has just finished `slot`, so
+// the skipped transmissions happen at slots slot+1 .. slot+k. Per-slot
+// metrics (transmission counts, latency, series, occupancy integrals) are
+// accumulated exactly as k dense iterations would have recorded them:
+// after the x-th skipped slot an output that held L packets holds
+// max(0, L-x), so its occupancy contribution is Σ_{x=1..min(k,L)} (L-x).
+//
+// Every output queue is non-full here — the slot just finished transmitted
+// from each non-empty queue — so OutFree is already correct and only
+// OutBusy needs clearing as queues empty. The switch is left in exactly
+// the state a dense simulation of those k slots would produce.
+func (sw *CIOQ) quiesce(slot, k int) {
+	for w, word := range sw.OutBusy {
+		for word != 0 {
+			j := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			q := sw.OQ[j]
+			l := q.Len()
+			d := l
+			if k < l {
+				d = k
+			}
+			for x := 1; x <= d; x++ {
+				p, _ := q.PopHead()
+				sw.M.Sent++
+				sw.M.Benefit += p.Value
+				if sw.Cfg.RecordLatency {
+					sw.M.recordLatency(slot + x - p.Arrival)
+				}
+				if sw.Cfg.RecordSeries {
+					sw.M.SlotBenefit[slot+x] += p.Value
+				}
+			}
+			sw.outCount -= int64(d)
+			sw.M.OutputOccupSum += int64(d)*int64(l) - int64(d)*int64(d+1)/2
+			if q.Empty() {
+				sw.OutBusy.Clear(j)
+			}
+		}
+	}
+	sw.M.slotsSampled += int64(k)
+}
+
 // idleJump returns how many upcoming slots the event-driven engine may
-// skip after finishing `slot` on an empty switch: the number of slots
-// strictly between `slot` and the earlier of the next arrival (seq[next],
-// the first not-yet-admitted packet) and the horizon. The sequence is
-// sorted, so this is the O(1) next-arrival lookup.
+// skip after finishing `slot` on an empty or quiescent switch: the number
+// of slots strictly between `slot` and the earlier of the next arrival
+// (seq[next], the first not-yet-admitted packet) and the horizon. The
+// sequence is sorted, so this is the O(1) next-arrival lookup.
 func idleJump(seq packet.Sequence, next, slot, slots int) int {
 	to := slots
 	if next < len(seq) && seq[next].Arrival < slots {
@@ -322,10 +387,10 @@ func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
 		sw.M.SlotBenefit = make([]int64, slots)
 	}
 	pol.Reset(cfg)
-	// Idle jumps require the policy's cooperation; without it every slot
-	// is simulated densely even under cfg.EventDriven.
+	// Idle and quiescent jumps require the policy's cooperation; without
+	// it every slot is simulated densely even with cfg.Dense unset.
 	var idle IdleAdvancer
-	if cfg.EventDriven {
+	if !cfg.Dense {
 		idle, _ = pol.(IdleAdvancer)
 	}
 	// The sequence is sorted by (Arrival, ID), so a cursor yields each
@@ -351,14 +416,18 @@ func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
 				return nil, fmt.Errorf("switchsim: slot %d: %w", slot, err)
 			}
 		}
-		if idle != nil && sw.QueuedPackets() == 0 {
+		// Quiescent fast path: with no input-side packets no scheduling
+		// cycle can produce a transfer, so the stretch until the next
+		// arrival is pure output drain (possibly zero-length, i.e. a fully
+		// idle gap) and is advanced in closed form.
+		if idle != nil && sw.inCount == 0 {
 			if jump := idleJump(seq, next, slot, slots); jump > 0 {
+				sw.quiesce(slot, jump)
 				idle.IdleAdvance(jump)
-				sw.M.noteIdleSlots(jump)
 				slot += jump
 				if cfg.Validate {
 					if err := sw.checkInvariants(); err != nil {
-						return nil, fmt.Errorf("switchsim: after idle jump to slot %d: %w", slot, err)
+						return nil, fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", slot, err)
 					}
 				}
 			}

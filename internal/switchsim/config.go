@@ -1,51 +1,3 @@
-// Package switchsim implements slot- and phase-accurate simulators for the
-// three switch architectures the paper discusses:
-//
-//   - CIOQ switches (input virtual-output queues + output queues),
-//   - buffered crossbar switches (additional per-crosspoint queues), and
-//   - an ideal output-queued (OQ) switch used as a reference point.
-//
-// Each time slot consists of an arrival phase, ŝ scheduling cycles
-// (ŝ = speedup; each cycle transfers a *matching* of packets), and a
-// transmission phase that sends at most one packet per output port.
-// Scheduling decisions are delegated to policies (package internal/core);
-// the engine owns the queues, enforces the physical constraints (matching
-// property, buffer capacities, phase ordering) and collects metrics, so a
-// buggy policy produces an error instead of silently cheating.
-//
-// # The occupancy index
-//
-// Every switch maintains bitmask summaries of its queue state (package
-// internal/bitset) that the engine updates in O(1) at each push, pop and
-// preemption: per-input masks of non-empty virtual output queues (and
-// their transpose), masks of non-full and non-empty output queues, and —
-// on the buffered crossbar — per-input masks of non-full crosspoint
-// queues plus per-output masks of occupied crosspoints. Policies derive
-// their eligibility graphs from word-wise ANDs of these masks (e.g.
-// VOQ.Row(i) & OutFree enumerates GM's edges for input i), so a
-// scheduling cycle costs time proportional to the number of occupied
-// queues rather than Inputs×Outputs, and the transmission phase visits
-// only non-empty outputs. In validation mode the engine re-derives the
-// index from the queues each slot and fails loudly on any divergence.
-//
-// The engine never retains a policy's []Transfer slice across calls, so
-// policies return reusable scratch buffers; together with the
-// epoch-stamped matching-validation marks this keeps the steady-state
-// scheduling path allocation-free.
-//
-// # Event-driven simulation
-//
-// With Config.EventDriven set, the engines exploit the occupancy index's
-// global counters: whenever the switch holds no packets at the end of a
-// slot, the remaining slots until the next arrival (the input sequence is
-// sorted, so the lookup is O(1)) are skipped in a single jump instead of
-// being simulated one by one. Slot-dependent policy state is advanced in
-// closed form through the IdleAdvancer hook; policies that do not
-// implement it are simulated densely, so results are bit-identical to a
-// dense run either way — the differential and fuzz suites in
-// internal/core assert this for every shipped policy. Sparse and bursty
-// traces (the natural shape of adversarial sequences) simulate orders of
-// magnitude faster this way.
 package switchsim
 
 import (
@@ -81,14 +33,18 @@ type Config struct {
 	// with it on; tests enable it everywhere.
 	Validate bool
 
-	// EventDriven enables the sparse-trace fast path: whenever the switch
-	// is completely empty and the next arrival is known, the engine jumps
-	// directly to the next arrival slot instead of simulating the idle
-	// slots one by one. The jump is taken only for policies that implement
-	// IdleAdvancer (so slot-dependent policy state advances in closed
-	// form); other policies fall back to per-slot simulation, so metrics
-	// are bit-identical to a dense run in every case.
-	EventDriven bool
+	// Dense opts OUT of the event-driven fast path and simulates every
+	// slot one by one. By default (Dense == false) the engine jumps over
+	// stretches it can resolve in closed form: fully idle gaps (empty
+	// switch, next arrival known) and quiescent gaps (a backlog confined
+	// to the output queues, which drains policy-independently — see the
+	// package documentation). Jumps are taken only for policies that
+	// implement IdleAdvancer (so slot-dependent policy state advances in
+	// closed form); other policies are simulated densely regardless, so
+	// metrics are bit-identical to a dense run in every case. Dense exists
+	// as the differential-testing oracle and as an escape hatch for
+	// profiling the per-slot path.
+	Dense bool
 
 	// RecordSeries collects the per-slot transmitted value (for figures).
 	RecordSeries bool
@@ -130,19 +86,26 @@ func (c Config) HorizonFor(seq packet.Sequence) int {
 }
 
 // IdleAdvancer is the opt-in capability that lets the event-driven engine
-// jump over runs of idle slots (empty switch, no arrivals due). A policy
-// implementing it promises that IdleAdvance(k) leaves it in exactly the
-// state it would reach after k further slots — each consisting of
-// Config.Speedup scheduling cycles — on a completely empty switch, during
-// which none of its Schedule/subphase calls would return a transfer.
+// jump over runs of slots in which scheduling is provably a no-op: idle
+// stretches (empty switch, no arrivals due) and quiescent stretches (a
+// backlog confined to the output queues, draining one packet per output
+// per slot with no eligible scheduling edges). A policy implementing it
+// promises that IdleAdvance(k) leaves it in exactly the state it would
+// reach after k further slots — each consisting of Config.Speedup
+// scheduling cycles — during which the switch holds no input-side (and,
+// on a crossbar, no crosspoint) packets and receives no arrivals, so none
+// of its Schedule/subphase calls would return a transfer. Busy output
+// queues may still be draining during those slots; a conforming policy's
+// per-cycle state evolution must not depend on output-queue occupancy
+// when it has no transfer to offer.
 //
 // Policies whose per-cycle state changes only when packets move (pointer
 // updates on acceptance, value comparisons, matchings over occupied
 // queues) implement it as a no-op; policies with free-running per-cycle
 // state (rotating scan offsets) advance it in closed form. Policies that
 // cannot express their idle evolution in closed form simply do not
-// implement the interface and are simulated slot by slot even under
-// Config.EventDriven.
+// implement the interface and are simulated slot by slot even with
+// Config.Dense unset.
 type IdleAdvancer interface {
 	IdleAdvance(idleSlots int)
 }

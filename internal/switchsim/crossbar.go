@@ -108,6 +108,30 @@ func NewCrossbar(cfg Config, inDisc, crossDisc, outDisc queue.Discipline) *Cross
 // QueuedPackets returns the number of packets currently stored anywhere.
 func (sw *Crossbar) QueuedPackets() int64 { return sw.inCount + sw.crossCount + sw.outCount }
 
+// InputQueued returns the number of packets currently stored in the input
+// virtual output queues.
+func (sw *Crossbar) InputQueued() int64 { return sw.inCount }
+
+// CrossQueued returns the number of packets currently stored in the
+// crosspoint queues. The crossbar is quiescent — no subphase can move a
+// packet — exactly when both InputQueued and CrossQueued are zero; while
+// crosspoints hold packets the output subphase still makes policy-specific
+// choices, so those slots are always simulated densely.
+func (sw *Crossbar) CrossQueued() int64 { return sw.crossCount }
+
+// OutputBacklog returns the length of the longest output queue — the
+// number of drain-only slots needed to empty the switch once the input
+// and crosspoint layers are empty and no further arrivals occur.
+func (sw *Crossbar) OutputBacklog() int {
+	max := 0
+	for _, q := range sw.OQ {
+		if q.Len() > max {
+			max = q.Len()
+		}
+	}
+	return max
+}
+
 func (sw *Crossbar) checkInvariants() error {
 	for i := range sw.IQ {
 		for j := range sw.IQ[i] {
@@ -347,6 +371,44 @@ func (sw *Crossbar) sampleOccupancy() {
 	sw.M.slotsSampled++
 }
 
+// quiesce advances the crossbar across k arrival-free slots during which
+// neither subphase can produce a transfer (inCount == crossCount == 0), in
+// closed form; see (*CIOQ).quiesce for the accounting. Crosspoint slots
+// with a backlog are never jumped: which crosspoint an output pulls from
+// is a policy decision, so those slots run densely until the crosspoint
+// layer empties.
+func (sw *Crossbar) quiesce(slot, k int) {
+	for w, word := range sw.OutBusy {
+		for word != 0 {
+			j := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			q := sw.OQ[j]
+			l := q.Len()
+			d := l
+			if k < l {
+				d = k
+			}
+			for x := 1; x <= d; x++ {
+				p, _ := q.PopHead()
+				sw.M.Sent++
+				sw.M.Benefit += p.Value
+				if sw.Cfg.RecordLatency {
+					sw.M.recordLatency(slot + x - p.Arrival)
+				}
+				if sw.Cfg.RecordSeries {
+					sw.M.SlotBenefit[slot+x] += p.Value
+				}
+			}
+			sw.outCount -= int64(d)
+			sw.M.OutputOccupSum += int64(d)*int64(l) - int64(d)*int64(d+1)/2
+			if q.Empty() {
+				sw.OutBusy.Clear(j)
+			}
+		}
+	}
+	sw.M.slotsSampled += int64(k)
+}
+
 // RunCrossbar simulates a crossbar policy on the sequence.
 func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, error) {
 	if err := cfg.Check(true); err != nil {
@@ -363,7 +425,7 @@ func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, 
 	}
 	pol.Reset(cfg)
 	var idle IdleAdvancer
-	if cfg.EventDriven {
+	if !cfg.Dense {
 		idle, _ = pol.(IdleAdvancer)
 	}
 	next := 0
@@ -390,14 +452,18 @@ func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, 
 				return nil, fmt.Errorf("switchsim: slot %d: %w", slot, err)
 			}
 		}
-		if idle != nil && sw.QueuedPackets() == 0 {
+		// Quiescent fast path: with the input and crosspoint layers empty
+		// no subphase can produce a transfer, so the stretch until the
+		// next arrival is pure output drain (or fully idle) and is
+		// advanced in closed form.
+		if idle != nil && sw.inCount == 0 && sw.crossCount == 0 {
 			if jump := idleJump(seq, next, slot, slots); jump > 0 {
+				sw.quiesce(slot, jump)
 				idle.IdleAdvance(jump)
-				sw.M.noteIdleSlots(jump)
 				slot += jump
 				if cfg.Validate {
 					if err := sw.checkInvariants(); err != nil {
-						return nil, fmt.Errorf("switchsim: after idle jump to slot %d: %w", slot, err)
+						return nil, fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", slot, err)
 					}
 				}
 			}

@@ -1,0 +1,69 @@
+// Package switchsim implements slot- and phase-accurate simulators for the
+// three switch architectures the paper discusses:
+//
+//   - CIOQ switches (input virtual-output queues + output queues),
+//   - buffered crossbar switches (additional per-crosspoint queues), and
+//   - an ideal output-queued (OQ) switch used as a reference point.
+//
+// Each time slot consists of an arrival phase, ŝ scheduling cycles
+// (ŝ = speedup; each cycle transfers a *matching* of packets), and a
+// transmission phase that sends at most one packet per output port.
+// Scheduling decisions are delegated to policies (package internal/core);
+// the engine owns the queues, enforces the physical constraints (matching
+// property, buffer capacities, phase ordering) and collects metrics, so a
+// buggy policy produces an error instead of silently cheating.
+//
+// # The occupancy index
+//
+// Every switch maintains bitmask summaries of its queue state (package
+// internal/bitset) that the engine updates in O(1) at each push, pop and
+// preemption: per-input masks of non-empty virtual output queues (and
+// their transpose), masks of non-full and non-empty output queues, and —
+// on the buffered crossbar — per-input masks of non-full crosspoint
+// queues plus per-output masks of occupied crosspoints. Policies derive
+// their eligibility graphs from word-wise ANDs of these masks (e.g.
+// VOQ.Row(i) & OutFree enumerates GM's edges for input i), so a
+// scheduling cycle costs time proportional to the number of occupied
+// queues rather than Inputs×Outputs, and the transmission phase visits
+// only non-empty outputs. In validation mode the engine re-derives the
+// index from the queues each slot and fails loudly on any divergence.
+//
+// The engine never retains a policy's []Transfer slice across calls, so
+// policies return reusable scratch buffers; together with the
+// epoch-stamped matching-validation marks this keeps the steady-state
+// scheduling path allocation-free.
+//
+// # Event-driven simulation and the quiescent fast path
+//
+// By default the engines exploit the occupancy index's global counters to
+// skip slots whose outcome is already determined; Config.Dense opts out
+// and simulates every slot. Two shapes are recognized, both detected in
+// O(1) from the incrementally-maintained packet counters:
+//
+//   - Empty: the switch holds no packets at the end of a slot. The
+//     remaining slots until the next arrival (the input sequence is
+//     sorted, so the lookup is O(1)) are skipped in a single jump.
+//
+//   - Quiescent: the switch still holds a backlog, but no scheduling
+//     decision can move a packet — on a CIOQ switch all input-side
+//     virtual output queues are empty, on a buffered crossbar the
+//     crosspoint queues are empty as well. (These are the only
+//     *persistent* no-eligible-edge states: a non-empty VOQ blocked on a
+//     full output or crosspoint unblocks within one slot, because every
+//     non-empty output transmits — and therefore un-fills — each slot.)
+//     What remains is pure drain dynamics: each non-empty output queue
+//     transmits one head packet per slot, independent of the policy. The
+//     engine advances that drain in closed form — popping each departing
+//     packet once and accumulating transmission, latency, series and
+//     occupancy-integral metrics arithmetically — and jumps to the next
+//     arrival without invoking the scheduler at all.
+//
+// Slot-dependent policy state is advanced across either jump through the
+// IdleAdvancer hook; policies that do not implement it are simulated
+// densely, so results are bit-identical to a dense run either way — the
+// differential and fuzz suites in internal/core assert this for every
+// shipped policy on both idle-heavy and backlogged-but-quiescent
+// workloads. Sparse and bursty traces (the natural shape of adversarial
+// sequences, whose lower-bound constructions alternate bursts with long
+// draining gaps) simulate orders of magnitude faster this way.
+package switchsim

@@ -54,14 +54,6 @@ type Metrics struct {
 
 const latencyBuckets = 256
 
-// noteIdleSlots accounts for k slots skipped by the event-driven fast
-// path. An idle slot on an empty switch contributes nothing but its
-// occupancy sample (zero queued packets), so only the sample counter
-// moves — exactly what k dense iterations would have recorded.
-func (m *Metrics) noteIdleSlots(k int) {
-	m.slotsSampled += int64(k)
-}
-
 func (m *Metrics) recordLatency(delay int) {
 	m.LatencySum += int64(delay)
 	if delay > m.LatencyMax {

@@ -86,24 +86,29 @@ func (st *CIOQStepper) StepSlot(arrivals []packet.Packet) error {
 // StepIdle advances the simulation across idleSlots slots with no
 // arrivals — the stepper-side event-driven fast path, used by adaptive
 // adversaries and trace replayers whose arrival streams have long quiet
-// gaps. Slots are simulated one by one while a backlog remains
-// (transfers and transmissions still happen); as soon as the switch is
-// empty, a policy implementing IdleAdvancer has the remaining stretch
-// jumped in O(1). Metrics are bit-identical to per-slot stepping either
-// way.
+// gaps. Slots are simulated one by one while input-side packets remain
+// (transfers still happen); as soon as the switch is quiescent — any
+// remaining backlog confined to the output queues — a policy implementing
+// IdleAdvancer has the whole remaining stretch advanced in closed form
+// (the drain is policy-independent; see (*CIOQ).quiesce). Config.Dense
+// disables the jump and steps every slot. Metrics are bit-identical to
+// per-slot stepping either way.
 func (st *CIOQStepper) StepIdle(idleSlots int) error {
 	if st.done {
 		return fmt.Errorf("switchsim: stepper already finished")
 	}
 	idle, canJump := st.pol.(IdleAdvancer)
+	canJump = canJump && !st.cfg.Dense
 	for idleSlots > 0 {
-		if canJump && st.sw.QueuedPackets() == 0 {
+		if canJump && st.sw.inCount == 0 {
+			// st.slot is the next slot to simulate, so the skipped
+			// transmissions land at st.slot .. st.slot+idleSlots-1.
+			st.sw.quiesce(st.slot-1, idleSlots)
 			idle.IdleAdvance(idleSlots)
-			st.sw.M.noteIdleSlots(idleSlots)
 			st.slot += idleSlots
 			if st.cfg.Validate {
 				if err := st.sw.checkInvariants(); err != nil {
-					return fmt.Errorf("switchsim: after idle jump to slot %d: %w", st.slot, err)
+					return fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", st.slot, err)
 				}
 			}
 			return nil
@@ -117,16 +122,31 @@ func (st *CIOQStepper) StepIdle(idleSlots int) error {
 }
 
 // Finish runs empty slots until the switch drains (or maxDrain slots have
-// passed) and returns the final result. The stepper cannot be used
-// afterwards.
+// passed) and returns the final result. Draining uses the same quiescent
+// fast path as StepIdle once the input side is empty. The stepper cannot
+// be used afterwards.
 func (st *CIOQStepper) Finish(maxDrain int) (*Result, error) {
 	if st.done {
 		return nil, fmt.Errorf("switchsim: stepper already finished")
 	}
-	for d := 0; d < maxDrain && st.sw.QueuedPackets() > 0; d++ {
+	_, canJump := st.pol.(IdleAdvancer)
+	canJump = canJump && !st.cfg.Dense
+	for d := 0; d < maxDrain && st.sw.QueuedPackets() > 0; {
+		if canJump && st.sw.inCount == 0 {
+			k := st.sw.OutputBacklog()
+			if k > maxDrain-d {
+				k = maxDrain - d
+			}
+			if err := st.StepIdle(k); err != nil {
+				return nil, err
+			}
+			d += k
+			continue
+		}
 		if err := st.StepSlot(nil); err != nil {
 			return nil, err
 		}
+		d++
 	}
 	st.done = true
 	if st.cfg.Validate {

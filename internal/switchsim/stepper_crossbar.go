@@ -81,22 +81,24 @@ func (st *CrossbarStepper) StepSlot(arrivals []packet.Packet) error {
 }
 
 // StepIdle advances the simulation across idleSlots slots with no
-// arrivals: per-slot while a backlog remains, then one O(1) jump for
-// the rest once the switch is empty (IdleAdvancer policies only); see
-// CIOQStepper.StepIdle.
+// arrivals: per-slot while input or crosspoint packets remain, then one
+// closed-form jump for the rest once the switch is quiescent — any
+// remaining backlog confined to the output queues (IdleAdvancer policies
+// only); see CIOQStepper.StepIdle.
 func (st *CrossbarStepper) StepIdle(idleSlots int) error {
 	if st.done {
 		return fmt.Errorf("switchsim: stepper already finished")
 	}
 	idle, canJump := st.pol.(IdleAdvancer)
+	canJump = canJump && !st.cfg.Dense
 	for idleSlots > 0 {
-		if canJump && st.sw.QueuedPackets() == 0 {
+		if canJump && st.sw.inCount == 0 && st.sw.crossCount == 0 {
+			st.sw.quiesce(st.slot-1, idleSlots)
 			idle.IdleAdvance(idleSlots)
-			st.sw.M.noteIdleSlots(idleSlots)
 			st.slot += idleSlots
 			if st.cfg.Validate {
 				if err := st.sw.checkInvariants(); err != nil {
-					return fmt.Errorf("switchsim: after idle jump to slot %d: %w", st.slot, err)
+					return fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", st.slot, err)
 				}
 			}
 			return nil
@@ -110,15 +112,30 @@ func (st *CrossbarStepper) StepIdle(idleSlots int) error {
 }
 
 // Finish drains the backlog (bounded by maxDrain slots) and returns the
-// final result.
+// final result, using the quiescent fast path once only output queues
+// hold packets.
 func (st *CrossbarStepper) Finish(maxDrain int) (*Result, error) {
 	if st.done {
 		return nil, fmt.Errorf("switchsim: stepper already finished")
 	}
-	for d := 0; d < maxDrain && st.sw.QueuedPackets() > 0; d++ {
+	_, canJump := st.pol.(IdleAdvancer)
+	canJump = canJump && !st.cfg.Dense
+	for d := 0; d < maxDrain && st.sw.QueuedPackets() > 0; {
+		if canJump && st.sw.inCount == 0 && st.sw.crossCount == 0 {
+			k := st.sw.OutputBacklog()
+			if k > maxDrain-d {
+				k = maxDrain - d
+			}
+			if err := st.StepIdle(k); err != nil {
+				return nil, err
+			}
+			d += k
+			continue
+		}
 		if err := st.StepSlot(nil); err != nil {
 			return nil, err
 		}
+		d++
 	}
 	st.done = true
 	if st.cfg.Validate {

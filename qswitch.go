@@ -15,7 +15,9 @@
 //     work and practical baselines (iSLIP-style round-robin, FIFO);
 //   - a slot/phase-accurate switch simulator that enforces the model's
 //     physical constraints (matching property, buffer capacities,
-//     speedup cycles);
+//     speedup cycles) and is event-driven by default: idle and
+//     drain-only stretches are jumped in closed form with bit-identical
+//     metrics (Config.Dense opts out);
 //   - synthetic traffic generators (uniform, bursty, hotspot, diagonal,
 //     permutation; unit, two-valued, Zipf, geometric value models) and
 //     trace serialization;
@@ -67,8 +69,9 @@ type (
 	CIOQPolicy = switchsim.CIOQPolicy
 	// CrossbarPolicy is the scheduling interface for buffered crossbars.
 	CrossbarPolicy = switchsim.CrossbarPolicy
-	// IdleAdvancer is the opt-in hook that lets Config.EventDriven jump
-	// idle stretches for a custom policy.
+	// IdleAdvancer is the opt-in hook that lets the (default) event-driven
+	// engine jump idle and quiescent stretches for a custom policy; see
+	// switchsim.IdleAdvancer for the contract.
 	IdleAdvancer = switchsim.IdleAdvancer
 	// RatioEstimate aggregates competitive-ratio measurements.
 	RatioEstimate = ratio.Estimate
@@ -221,8 +224,8 @@ func HotspotTraffic(load float64, hotOut int, hotFrac float64, dist ValueDist) G
 
 // PoissonBurstTraffic is sparse on/off traffic: line-rate bursts of
 // Poisson-distributed size (mean burstMean) separated by geometric idle
-// gaps (mean offMean slots). Set Config.EventDriven to simulate its long
-// silences in O(1) per gap.
+// gaps (mean offMean slots). The default event-driven engine simulates
+// its long silences in O(1) per gap.
 func PoissonBurstTraffic(offMean, burstMean float64, dist ValueDist) Generator {
 	return packet.PoissonBurst{OffMean: offMean, BurstMean: burstMean, Values: dist}
 }
@@ -237,6 +240,15 @@ func DiurnalTraffic(load float64, period int, amplitude float64, dist ValueDist)
 // gaps: self-similar traffic with occasional very long silences.
 func HeavyTailTraffic(alpha, minGap float64, dist ValueDist) Generator {
 	return packet.HeavyTail{Alpha: alpha, MinGap: minGap, Values: dist}
+}
+
+// BurstyBlockingTraffic converges line-rate bursts (burst packets from
+// each of fanin inputs; fanin <= 0 means all) onto a single hot output,
+// separated by geometric quiet gaps of mean offMean slots. At speedup >= 2
+// it produces long backlogged-but-quiescent drain stretches — the shape
+// the default event-driven engine advances in closed form.
+func BurstyBlockingTraffic(offMean float64, burst, fanin int, dist ValueDist) Generator {
+	return packet.BurstyBlocking{OffMean: offMean, Burst: burst, Fanin: fanin, Values: dist}
 }
 
 // OfflineUpperBound computes a proven upper bound on the benefit of ANY
