@@ -9,6 +9,7 @@ import (
 	"qswitch/internal/adversary"
 	"qswitch/internal/core"
 	"qswitch/internal/experiments"
+	"qswitch/internal/fleet"
 	"qswitch/internal/matching"
 	"qswitch/internal/offline"
 	"qswitch/internal/packet"
@@ -436,6 +437,158 @@ func BenchmarkAdversarialCIOQGM16(b *testing.B) {
 }
 func BenchmarkAdversarialCIOQPG16(b *testing.B) {
 	benchQuiescentCIOQ(b, adversarialBenchSeq(16), 16, func() switchsim.CIOQPolicy { return &core.PG{} })
+}
+
+// ---------------------------------------------------------------------------
+// Fleet benchmarks: Monte-Carlo batches of B independent seeded instances
+// of one small switch, the ratio-harness regime. The same names measure
+// both backends: the columnar batched engine (internal/fleet) by default,
+// or a loop of per-instance scalar runs with QSWITCH_NOFLEET=1
+// (BENCH_4.json holds the looped-scalar baseline, BENCH_4_post.json the
+// fleet runs). ns/slot is aggregate: elapsed / (B × slots).
+// ---------------------------------------------------------------------------
+
+func fleetLoopedScalar() bool { return os.Getenv("QSWITCH_NOFLEET") != "" }
+
+func fleetBenchSeqs(batch, n, slots int) []packet.Sequence {
+	seqs := make([]packet.Sequence, batch)
+	for k := range seqs {
+		rng := rand.New(rand.NewSource(int64(k + 1)))
+		seqs[k] = packet.Bernoulli{Load: 1.5}.Generate(rng, n, n, slots)
+	}
+	return seqs
+}
+
+// fleetBenchSlots is the per-instance horizon: short seeded runs are the
+// Monte-Carlo regime the fleet engine exists for (ratio estimations run
+// 16-80-slot instances), and the looped-scalar baseline pays its per-run
+// switch construction at the same amortization the ratio harness does.
+const fleetBenchSlots = 16
+
+func benchFleetCIOQ(b *testing.B, batch int, mk func() switchsim.CIOQPolicy) {
+	const n, slots = 16, fleetBenchSlots
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 2, OutputBuf: 2,
+		Speedup: 2, Slots: slots,
+	}
+	seqs := fleetBenchSeqs(batch, n, slots)
+	b.ReportAllocs()
+	if fleetLoopedScalar() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, seq := range seqs {
+				if _, err := switchsim.RunCIOQ(cfg, mk(), seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	} else {
+		// The fleet's storage amortizes across batches (the ratio harness
+		// shape): construct once, Reset per batch.
+		fl, err := fleet.NewCIOQFleet(cfg, mk, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fl.Reset(seqs); err != nil {
+				b.Fatal(err)
+			}
+			for fl.Step() {
+			}
+			if _, err := fl.Results(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch*slots), "ns/slot")
+}
+
+func benchFleetCrossbar(b *testing.B, batch int, mk func() switchsim.CrossbarPolicy) {
+	const n, slots = 16, fleetBenchSlots
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 2, OutputBuf: 2, CrossBuf: 1,
+		Speedup: 2, Slots: slots,
+	}
+	seqs := fleetBenchSeqs(batch, n, slots)
+	b.ReportAllocs()
+	if fleetLoopedScalar() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, seq := range seqs {
+				if _, err := switchsim.RunCrossbar(cfg, mk(), seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	} else {
+		fl, err := fleet.NewCrossbarFleet(cfg, mk, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fl.Reset(seqs); err != nil {
+				b.Fatal(err)
+			}
+			for fl.Step() {
+			}
+			if _, err := fl.Results(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch*slots), "ns/slot")
+}
+
+func BenchmarkFleetCIOQGM16B16(b *testing.B) {
+	benchFleetCIOQ(b, 16, func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkFleetCIOQGM16B64(b *testing.B) {
+	benchFleetCIOQ(b, 64, func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkFleetCIOQGM16B256(b *testing.B) {
+	benchFleetCIOQ(b, 256, func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkFleetCIOQGMRotating16B256(b *testing.B) {
+	benchFleetCIOQ(b, 256, func() switchsim.CIOQPolicy { return &core.GM{Order: core.Rotating} })
+}
+func BenchmarkFleetCIOQRoundRobin16B256(b *testing.B) {
+	benchFleetCIOQ(b, 256, func() switchsim.CIOQPolicy { return &core.RoundRobin{} })
+}
+func BenchmarkFleetCrossbarCGU16B16(b *testing.B) {
+	benchFleetCrossbar(b, 16, func() switchsim.CrossbarPolicy { return &core.CGU{} })
+}
+func BenchmarkFleetCrossbarCGU16B64(b *testing.B) {
+	benchFleetCrossbar(b, 64, func() switchsim.CrossbarPolicy { return &core.CGU{} })
+}
+func BenchmarkFleetCrossbarCGU16B256(b *testing.B) {
+	benchFleetCrossbar(b, 256, func() switchsim.CrossbarPolicy { return &core.CGU{} })
+}
+
+// BenchmarkFleetRatioGM16B256 times the wired path end to end: RunFleet
+// vs RunParallel(workers=1) on the same seeded ratio estimation, upper
+// bound judged (the exact DP would dominate). QSWITCH_NOFLEET=1 selects
+// the scalar backend.
+func BenchmarkFleetRatioGM16B256(b *testing.B) {
+	cfg := switchsim.Config{
+		Inputs: 16, Outputs: 16, InputBuf: 2, OutputBuf: 2,
+		Speedup: 1, Slots: 64,
+	}
+	gen := packet.Bernoulli{Load: 1.2}
+	factory := func() switchsim.CIOQPolicy { return &core.GM{} }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if fleetLoopedScalar() {
+			_, err = ratio.RunParallel(cfg, ratio.CIOQAlg(factory), ratio.UpperBoundCIOQ, gen, 1, 256, 1)
+		} else {
+			_, err = ratio.RunFleet(cfg, ratio.CIOQFleetAlg(factory), ratio.UpperBoundCIOQ, gen, 1, 256, 1, 256)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAdversaryAdaptiveGM64 times the fully adaptive anti-greedy

@@ -30,6 +30,7 @@ func main() {
 		all   = flag.Bool("all", false, "run every experiment")
 		quick = flag.Bool("quick", false, "reduced workloads (seconds instead of minutes)")
 		dense = flag.Bool("dense", false, "opt out of the event-driven simulator fast path and simulate every slot (bit-identical results, slower)")
+		fleet = flag.Bool("fleet", false, "route Monte-Carlo ratio estimations through the columnar batched fleet engine (byte-identical results)")
 		seed  = flag.Int64("seed", 1, "base RNG seed")
 		csv   = flag.String("csv", "", "directory to write per-table CSV files into")
 		figs  = flag.Bool("figures", true, "render ASCII charts for figure-type experiments")
@@ -64,7 +65,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Dense: *dense}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Dense: *dense, Fleet: *fleet}
 	// Each experiment renders into its own buffer so concurrent runs
 	// still print in the requested order.
 	type report struct {
@@ -72,7 +73,7 @@ func main() {
 		err error
 	}
 	reports := make([]*report, len(ids))
-	sem := make(chan struct{}, maxInt(1, *par))
+	sem := make(chan struct{}, max(1, *par))
 	var wg sync.WaitGroup
 	for k, rawID := range ids {
 		k := k
@@ -127,13 +128,6 @@ func main() {
 		}
 		os.Stdout.Write(r.out.Bytes())
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func writeCSV(dir, id string, idx int, tb *stats.Table) error {

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 
+	"qswitch/internal/packet"
+	"qswitch/internal/ratio"
 	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
 )
@@ -34,6 +36,36 @@ type Options struct {
 	// accelerates. Results are bit-identical either way; it is purely a
 	// wall-clock lever.
 	Dense bool
+	// Fleet routes the Monte-Carlo ratio estimations (E1-E4) through the
+	// columnar batched engine (ratio.RunFleet over internal/fleet):
+	// batchable policy families amortize one policy loop across a whole
+	// batch of seeded instances, everything else falls back to scalar
+	// runs. Estimates are byte-identical either way; like Dense, it is
+	// purely a wall-clock lever.
+	Fleet bool
+}
+
+// fleetBatch is the batch size Options.Fleet hands to ratio.RunFleet.
+const fleetBatch = 64
+
+// ratioCIOQ measures OPT/ALG for a CIOQ policy family over seeded
+// workloads, honoring Options.Fleet. Results are byte-identical across
+// backends.
+func (o Options) ratioCIOQ(cfg switchsim.Config, factory func() switchsim.CIOQPolicy,
+	opt ratio.Opt, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
+	if o.Fleet {
+		return ratio.RunFleet(cfg, ratio.CIOQFleetAlg(factory), opt, gen, seed, runs, 1, fleetBatch)
+	}
+	return ratio.Run(cfg, ratio.CIOQAlg(factory), opt, gen, seed, runs)
+}
+
+// ratioCrossbar is ratioCIOQ for crossbar policy families.
+func (o Options) ratioCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy,
+	opt ratio.Opt, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
+	if o.Fleet {
+		return ratio.RunFleet(cfg, ratio.CrossbarFleetAlg(factory), opt, gen, seed, runs, 1, fleetBatch)
+	}
+	return ratio.Run(cfg, ratio.CrossbarAlg(factory), opt, gen, seed, runs)
 }
 
 // cfg applies the experiment-wide simulation options to a config.

@@ -101,3 +101,33 @@ func TestExperimentsDeterministic(t *testing.T) {
 		t.Error("e1 not deterministic across runs with the same seed")
 	}
 }
+
+// TestFleetOptionBitIdentical renders the ratio experiments with and
+// without Options.Fleet and requires byte-identical tables: the columnar
+// batched backend must change wall-clock only, never a number.
+func TestFleetOptionBitIdentical(t *testing.T) {
+	for _, id := range []string{"e1", "e2", "e3", "e4"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		scalar, err := e.Run(Options{Quick: true, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s scalar: %v", id, err)
+		}
+		fleet, err := e.Run(Options{Quick: true, Seed: 5, Fleet: true})
+		if err != nil {
+			t.Fatalf("%s fleet: %v", id, err)
+		}
+		var bs, bf bytes.Buffer
+		for _, tb := range scalar {
+			tb.RenderCSV(&bs)
+		}
+		for _, tb := range fleet {
+			tb.RenderCSV(&bf)
+		}
+		if bs.String() != bf.String() {
+			t.Errorf("%s: Fleet option changed results:\nscalar:\n%s\nfleet:\n%s", id, bs.String(), bf.String())
+		}
+	}
+}

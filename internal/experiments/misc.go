@@ -250,9 +250,9 @@ func E11Rect(opts Options) ([]*stats.Table, error) {
 			return nil, fmt.Errorf("e11: %w", err)
 		}
 		tb.AddRow(fmt.Sprintf("%dx%d", n, m), "pg", "cioq", cioq.M.Benefit, ub,
-			float64(cioq.M.Benefit)/float64(maxI64(ub, 1)))
+			float64(cioq.M.Benefit)/float64(max(ub, 1)))
 		tb.AddRow(fmt.Sprintf("%dx%d", n, m), "cpg", "crossbar", xbar.M.Benefit, ubX,
-			float64(xbar.M.Benefit)/float64(maxI64(ubX, 1)))
+			float64(xbar.M.Benefit)/float64(max(ubX, 1)))
 	}
 	return []*stats.Table{tb}, nil
 }
@@ -300,8 +300,8 @@ func E12MaximalVsMaximum(opts Options) ([]*stats.Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("e12: %w", err)
 			}
-			accGM.Add(float64(gm.M.Benefit) / float64(maxI64(krm.M.Benefit, 1)))
-			accPG.Add(float64(pg.M.Benefit) / float64(maxI64(mwm.M.Benefit, 1)))
+			accGM.Add(float64(gm.M.Benefit) / float64(max(krm.M.Benefit, 1)))
+			accPG.Add(float64(pg.M.Benefit) / float64(max(mwm.M.Benefit, 1)))
 		}
 		tb.AddRow(gen.Name(), seeds, accGM.Mean(), accPG.Mean())
 	}

@@ -53,8 +53,8 @@ func E5MatchingCost(opts Options) ([]*stats.Table, error) {
 		}
 		hu := timeIt(hungReps, func() { matching.Hungarian(w) })
 		tb.AddRow(n, len(edges), g, gw, hk, hu,
-			fmt.Sprintf("%.1fx", float64(hk)/float64(maxI64(g, 1))),
-			fmt.Sprintf("%.1fx", float64(hu)/float64(maxI64(gw, 1))))
+			fmt.Sprintf("%.1fx", float64(hk)/float64(max(g, 1))),
+			fmt.Sprintf("%.1fx", float64(hu)/float64(max(gw, 1))))
 	}
 	return []*stats.Table{tb}, nil
 }
@@ -77,13 +77,6 @@ func timeIt(reps int, f func()) int64 {
 		f()
 	}
 	return time.Since(start).Nanoseconds() / int64(reps)
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // E6Speedup sweeps the speedup s = 1..4 for all four paper algorithms

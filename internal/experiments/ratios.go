@@ -26,7 +26,7 @@ func E1GMRatio(opts Options) ([]*stats.Table, error) {
 		packet.Hotspot{Load: 1.5, HotFrac: 0.8},
 		packet.Bursty{OnLoad: 1.0, POnOff: 0.4, POffOn: 0.4},
 	}
-	alg := ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
+	alg := func() switchsim.CIOQPolicy { return &core.GM{} }
 	cfgs := []switchsim.Config{microCfg(opts, slots)}
 	{
 		c := microCfg(opts, slots)
@@ -38,7 +38,7 @@ func E1GMRatio(opts Options) ([]*stats.Table, error) {
 	}
 	for ci, cfg := range cfgs {
 		for gi, gen := range gens {
-			est, err := ratio.Run(cfg, alg, ratio.ExactUnitCIOQ, gen,
+			est, err := opts.ratioCIOQ(cfg, alg, ratio.ExactUnitCIOQ, gen,
 				opts.Seed+int64(1000*ci+100*gi), runs)
 			if err != nil {
 				return nil, fmt.Errorf("e1: %w", err)
@@ -68,9 +68,9 @@ func E2PGRatio(opts Options) ([]*stats.Table, error) {
 		packet.Bursty{OnLoad: 0.8, POnOff: 0.3, POffOn: 0.3, Values: packet.ZipfValues{Hi: 100, S: 1.2}},
 	}
 	cfg := microCfg(opts, slots)
-	alg := ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.PG{} })
+	alg := func() switchsim.CIOQPolicy { return &core.PG{} }
 	for gi, gen := range gens {
-		est, err := ratio.Run(cfg, alg, ratio.ExactWeightedCIOQ, gen,
+		est, err := opts.ratioCIOQ(cfg, alg, ratio.ExactWeightedCIOQ, gen,
 			opts.Seed+int64(100*gi), runs)
 		if err != nil {
 			return nil, fmt.Errorf("e2a: %w", err)
@@ -92,8 +92,8 @@ func E2PGRatio(opts Options) ([]*stats.Table, error) {
 	gen := packet.Hotspot{Load: 1.2, HotFrac: 0.8, Values: packet.GeometricValues{P: 0.35, Hi: 64}}
 	for _, beta := range betas {
 		b := beta
-		algB := ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.PG{Beta: b} })
-		est, err := ratio.Run(cfgB, algB, ratio.ExactWeightedCIOQ, gen, opts.Seed+7, runs)
+		est, err := opts.ratioCIOQ(cfgB, func() switchsim.CIOQPolicy { return &core.PG{Beta: b} },
+			ratio.ExactWeightedCIOQ, gen, opts.Seed+7, runs)
 		if err != nil {
 			return nil, fmt.Errorf("e2b beta=%v: %w", beta, err)
 		}
@@ -120,7 +120,7 @@ func E3CGURatio(opts Options) ([]*stats.Table, error) {
 		packet.Hotspot{Load: 1.5, HotFrac: 0.8},
 		packet.Bursty{OnLoad: 1.0, POnOff: 0.4, POffOn: 0.4},
 	}
-	alg := ratio.CrossbarAlg(func() switchsim.CrossbarPolicy { return &core.CGU{} })
+	alg := func() switchsim.CrossbarPolicy { return &core.CGU{} }
 	cfgs := []switchsim.Config{microCfg(opts, slots)}
 	{
 		c := microCfg(opts, slots)
@@ -129,7 +129,7 @@ func E3CGURatio(opts Options) ([]*stats.Table, error) {
 	}
 	for ci, cfg := range cfgs {
 		for gi, gen := range gens {
-			est, err := ratio.Run(cfg, alg, ratio.ExactUnitCrossbar, gen,
+			est, err := opts.ratioCrossbar(cfg, alg, ratio.ExactUnitCrossbar, gen,
 				opts.Seed+int64(1000*ci+100*gi), runs)
 			if err != nil {
 				return nil, fmt.Errorf("e3: %w", err)
@@ -181,7 +181,7 @@ func E4CPGParams(opts Options) ([]*stats.Table, error) {
 		{"cpg (beta=alpha)", func() switchsim.CrossbarPolicy { return core.CPGEqualParams() }, rEq},
 	}
 	for vi, v := range variants {
-		est, err := ratio.Run(cfg, ratio.CrossbarAlg(v.factory), ratio.ExactWeightedCrossbar,
+		est, err := opts.ratioCrossbar(cfg, v.factory, ratio.ExactWeightedCrossbar,
 			gen, opts.Seed+int64(100*vi), runs)
 		if err != nil {
 			return nil, fmt.Errorf("e4c: %w", err)

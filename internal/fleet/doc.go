@@ -1,0 +1,62 @@
+// Package fleet batch-simulates fleets of independent small switches.
+//
+// The competitive-ratio harness (internal/ratio) and the adversary
+// restarts validate the paper's claims by Monte-Carlo estimation: many
+// seeded runs of *small* switches under the same configuration and policy
+// family. Throughput there is governed by aggregate switch-slot updates
+// per second across the fleet, not by single-switch latency — exactly the
+// regime a batched engine wins.
+//
+// # Columnar layout
+//
+// A fleet holds B instances of one geometry (Inputs, Outputs ≤ 64) in
+// struct-of-arrays form: every piece of per-switch state becomes a flat
+// lane indexed by instance. Occupancy masks are single uint64 words
+// (voq[k*n+i] is instance k's non-empty-VOQ mask for input i), queue
+// contents are flat power-of-two rings of (value, arrival) pairs, and the
+// per-slot metric accumulators (sent, benefit, occupancy integrals, ...)
+// are []int64 lanes. The per-slot loop therefore touches dense arrays with
+// no pointer chasing, no interface dispatch per queue operation, and no
+// allocation — the zero-allocs-per-batched-slot invariant is pinned by
+// alloc_test.go.
+//
+// # Lockstep windows and the active list
+//
+// All live instances advance through the same global slot clock in
+// bounded windows: each Step visits every instance on the dense active
+// list once and simulates its share of the window slot by slot —
+// admissions from the instance's own arrival sequence, Speedup scheduling
+// cycles of the batched policy kernel, transmission, and the end-of-slot
+// occupancy sample — so an instance's working set is pulled into cache
+// once per window instead of once per slot. An instance whose input side
+// empties is quiescent — its remaining backlog drains
+// policy-independently — so its drain is accumulated in closed form
+// (mirroring the scalar engines' quiesce), and if the stretch crosses the
+// window boundary it leaves the active list via a swap-remove and sleeps
+// on a wake heap until its next arrival, rejoining the dense set then.
+// When every instance sleeps the clock jumps straight to the earliest
+// wake slot. Instances retire as they reach their own horizon; Step
+// returns false once the fleet drains. Results are independent of the
+// window length — instances never read each other's state.
+//
+// # Kernels and bit-identical semantics
+//
+// A kernel is the batched counterpart of a scalar policy. The ported
+// family is the unit-value policies whose admission rule is "accept iff
+// the input queue has room" and whose quiescent-state evolution is either
+// frozen (RoundRobin pointers, NaiveFIFO) or derivable from the slot
+// clock (GM and CGU rotating-scan ticks): GM in all four edge orders,
+// RoundRobin, NaiveFIFO, and the crossbar CGU (plain and rotating).
+// Every kernel reproduces its scalar policy's decisions exactly —
+// eligibility is read from the same pre-cycle state the scalar engine
+// exposes to policies — so fleet Metrics are reflect.DeepEqual to
+// per-instance switchsim runs, including latency histograms and per-slot
+// series. The differential suite, a fuzz target over batch size and
+// sequence shape, and the ratio-backend determinism tests gate this the
+// same way reference_test.go and eventdriven_test.go gated PR 1–3.
+//
+// Policies without a kernel (the weighted family, randomized GM, ...)
+// and geometries beyond 64 ports fall back to per-instance scalar runs
+// behind the same RunCIOQ/RunCrossbar entry points, so callers need not
+// special-case batchability.
+package fleet

@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// ErrUnsupported marks a policy family or geometry the columnar engine
+// cannot batch; RunCIOQ and RunCrossbar fall back to per-instance scalar
+// runs instead of surfacing it.
+var ErrUnsupported = errors.New("fleet: not batchable")
+
+// maxPorts is the columnar engine's port limit: occupancy rows are single
+// uint64 words.
+const maxPorts = 64
+
+// BatchableCIOQ reports whether the policy produced by factory rides the
+// columnar engine for this configuration (it has a batched kernel and the
+// geometry fits in single-word masks).
+func BatchableCIOQ(cfg switchsim.Config, factory func() switchsim.CIOQPolicy) bool {
+	return cioqKernelFor(factory()) != nil && cfg.Inputs <= maxPorts && cfg.Outputs <= maxPorts
+}
+
+// BatchableCrossbar is BatchableCIOQ for crossbar policies.
+func BatchableCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy) bool {
+	return crossbarKernelFor(factory()) != nil && cfg.Inputs <= maxPorts && cfg.Outputs <= maxPorts
+}
+
+// RunCIOQ simulates the policy family produced by factory on every
+// sequence and returns one Result per sequence, in order. Batchable
+// policies run on the columnar engine (one construction and one policy
+// loop amortized across the whole batch); everything else falls back to
+// per-instance switchsim.RunCIOQ with a fresh policy per run. Results are
+// bit-identical between the two paths.
+func RunCIOQ(cfg switchsim.Config, factory func() switchsim.CIOQPolicy, seqs []packet.Sequence) ([]*switchsim.Result, error) {
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	if !BatchableCIOQ(cfg, factory) {
+		out := make([]*switchsim.Result, len(seqs))
+		for k, seq := range seqs {
+			r, err := switchsim.RunCIOQ(cfg, factory(), seq)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = r
+		}
+		return out, nil
+	}
+	f, err := NewCIOQFleet(cfg, factory, len(seqs))
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Reset(seqs); err != nil {
+		return nil, err
+	}
+	for f.Step() {
+	}
+	return f.Results()
+}
+
+// RunCrossbar is RunCIOQ for buffered-crossbar policies.
+func RunCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy, seqs []packet.Sequence) ([]*switchsim.Result, error) {
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	if !BatchableCrossbar(cfg, factory) {
+		out := make([]*switchsim.Result, len(seqs))
+		for k, seq := range seqs {
+			r, err := switchsim.RunCrossbar(cfg, factory(), seq)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = r
+		}
+		return out, nil
+	}
+	f, err := NewCrossbarFleet(cfg, factory, len(seqs))
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Reset(seqs); err != nil {
+		return nil, err
+	}
+	for f.Step() {
+	}
+	return f.Results()
+}
+
+// checkResidual detects malformed sequences at retirement: once an
+// instance reaches its horizon, every unconsumed packet must be due at or
+// beyond it — a remaining packet due earlier means the sequence was not
+// sorted by arrival (the cursor skipped it), which the streaming
+// admission loop cannot see up front without a separate validation pass.
+func checkResidual(k int, seq packet.Sequence, next, horizon int) error {
+	for x := next; x < len(seq); x++ {
+		if seq[x].Arrival < horizon {
+			return fmt.Errorf("fleet: instance %d: packet %d due at slot %d was never admitted: sequence not sorted by arrival", k, x, seq[x].Arrival)
+		}
+	}
+	return nil
+}
+
+// sleeper is one quiescent instance waiting for its next arrival slot.
+type sleeper struct {
+	wake int
+	k    int32
+}
+
+// sleepPush adds s to the min-heap (ordered by wake slot) in place.
+func sleepPush(h []sleeper, s sleeper) []sleeper {
+	h = append(h, s)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].wake <= h[i].wake {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+// sleepPop removes and returns the earliest-waking sleeper.
+func sleepPop(h []sleeper) ([]sleeper, sleeper) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && h[l].wake < h[s].wake {
+			s = l
+		}
+		if r < len(h) && h[r].wake < h[s].wake {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return h, top
+}
+
+// firstFrom returns the smallest set bit of w in rotated order starting
+// at `start` (the smallest bit >= start if any, else the smallest bit
+// overall), or -1 when w is zero. It is bitset.Mask.FirstFrom specialized
+// to the fleet's single-word masks; start must be in [0, 64).
+func firstFrom(w uint64, start int) int {
+	lowMask := uint64(1)<<uint(start) - 1
+	if x := w &^ lowMask; x != 0 {
+		return bits.TrailingZeros64(x)
+	}
+	if x := w & lowMask; x != 0 {
+		return bits.TrailingZeros64(x)
+	}
+	return -1
+}
+
+// allOnes returns the mask with bits [0, n) set; n in [1, 64].
+func allOnes(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// ceilPow2 returns the smallest power of two >= v.
+func ceilPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"math/bits"
+
+	"qswitch/internal/core"
+	"qswitch/internal/matching"
+	"qswitch/internal/switchsim"
+)
+
+// cioqKernel is the batched counterpart of a scalar CIOQ policy's
+// Schedule method. One cycle call computes the policy's matching for the
+// bound instance from the columnar occupancy index and executes each
+// transfer inline via view.transfer. A kernel must reproduce the scalar
+// policy's decisions exactly: eligibility is read from the state the
+// scalar engine would expose to the policy at the start of the cycle
+// (snapshot words where interleaved execution could otherwise leak into
+// later picks), and any slot-dependent state must be derivable from
+// (slot, cycle) so quiescent jumps need no per-policy hook.
+type cioqKernel interface {
+	reset(f *CIOQFleet)
+	cycle(v *cioqView, slot, cycle int)
+	// wantsVOQByOut reports whether the kernel reads the transposed
+	// occupancy rows; when false (and Validate is off) the engine skips
+	// maintaining them, saving two index updates per packet move.
+	wantsVOQByOut() bool
+}
+
+// crossbarKernel is the batched counterpart of a scalar crossbar policy's
+// two subphases, under the same exactness contract as cioqKernel.
+type crossbarKernel interface {
+	cycle(v *crossbarView, slot, cycle int)
+}
+
+// cioqKernelFor maps a scalar policy to its batched kernel, or nil when
+// the policy has none (the caller then falls back to the scalar engine).
+// Matching is by concrete type, so wrappers and subclasses safely miss.
+func cioqKernelFor(pol switchsim.CIOQPolicy) cioqKernel {
+	switch p := pol.(type) {
+	case *core.GM:
+		return &gmKernel{order: p.Order}
+	case *core.NaiveFIFO:
+		// NaiveFIFO's first-fit matching is exactly GM's row-major scan.
+		return &gmKernel{order: core.RowMajor}
+	case *core.RoundRobin:
+		return &rrKernel{}
+	}
+	return nil
+}
+
+// crossbarKernelFor is cioqKernelFor for crossbar policies.
+func crossbarKernelFor(pol switchsim.CrossbarPolicy) crossbarKernel {
+	switch p := pol.(type) {
+	case *core.CGU:
+		return &cguKernel{rotate: p.RotatePick}
+	}
+	return nil
+}
+
+// gmKernel is the batched GM (and NaiveFIFO) scheduler: a greedy maximal
+// matching over the eligibility words {voq row ∧ free outputs} in the
+// configured scan order. The Rotating order's tick counter is derived
+// from the clock — the scalar policy gains one tick per scheduling cycle
+// whether or not any queue is occupied, so ticks == slot*Speedup + cycle.
+type gmKernel struct {
+	order core.EdgeOrder
+}
+
+func (g *gmKernel) reset(f *CIOQFleet) {
+	if g.order == core.LongestFirst && cap(f.edges) < f.nm {
+		f.edges = make([]matching.Edge, 0, f.nm)
+	}
+}
+
+func (g *gmKernel) wantsVOQByOut() bool { return g.order == core.ColMajor }
+
+func (g *gmKernel) cycle(v *cioqView, slot, cycle int) {
+	n, m := v.n, v.m
+	switch g.order {
+	case core.ColMajor:
+		availIn := v.allIn
+		of := v.st.outFree
+		for j := 0; j < m; j++ {
+			if of&(1<<uint(j)) == 0 {
+				continue
+			}
+			if w := v.voqByOut[j] & availIn; w != 0 {
+				i := bits.TrailingZeros64(w)
+				availIn &^= 1 << uint(i)
+				v.transfer(i, j)
+			}
+		}
+	case core.Rotating:
+		ticks := slot*v.speedup + cycle
+		oi, oj := ticks%n, ticks%m
+		avail := v.st.outFree
+		for di := 0; di < n; di++ {
+			i := (oi + di) % n
+			if j := firstFrom(v.voq[i]&avail, oj); j >= 0 {
+				avail &^= 1 << uint(j)
+				v.transfer(i, j)
+			}
+		}
+	case core.LongestFirst:
+		f := v.f
+		f.edges = f.edges[:0]
+		of := v.st.outFree
+		for i := 0; i < n; i++ {
+			w := v.voq[i] & of
+			for w != 0 {
+				j := bits.TrailingZeros64(w)
+				w &= w - 1
+				f.edges = append(f.edges, matching.Edge{U: i, V: j, W: int64(v.iqHdr[i*m+j].n)})
+			}
+		}
+		for _, e := range f.sched.GreedyMaximalWeighted(n, m, f.edges) {
+			v.transfer(e.U, e.V)
+		}
+	default: // core.RowMajor
+		avail := v.st.outFree
+		for i := 0; i < n; i++ {
+			if w := v.voq[i] & avail; w != 0 {
+				j := bits.TrailingZeros64(w)
+				avail &^= 1 << uint(j)
+				v.transfer(i, j)
+			}
+		}
+	}
+}
+
+// rrKernel is the batched iSLIP-style RoundRobin scheduler: one
+// grant/accept round with per-output grant and per-input accept pointers
+// that advance only on acceptance, so quiescent stretches leave them
+// untouched and no idle hook is needed.
+type rrKernel struct{}
+
+func (rrKernel) wantsVOQByOut() bool { return true }
+
+func (rrKernel) reset(f *CIOQFleet) {
+	if len(f.rrGrant) != f.batch*f.m {
+		f.rrGrant = make([]int32, f.batch*f.m)
+		f.rrAccept = make([]int32, f.batch*f.n)
+		f.grants = make([]uint64, f.n)
+	}
+	clear(f.rrGrant)
+	clear(f.rrAccept)
+}
+
+func (rrKernel) cycle(v *cioqView, slot, cycle int) {
+	n, m := v.n, v.m
+	grants := v.f.grants[:n]
+	for i := range grants {
+		grants[i] = 0
+	}
+	// Grant: each open output grants the first requesting input at or
+	// after its grant pointer.
+	of := v.st.outFree
+	for j := 0; j < m; j++ {
+		if of&(1<<uint(j)) == 0 {
+			continue
+		}
+		if i := firstFrom(v.voqByOut[j], int(v.rrG[j])); i >= 0 {
+			grants[i] |= 1 << uint(j)
+		}
+	}
+	// Accept: each input accepts the first granting output at or after
+	// its accept pointer; pointers advance only on acceptance.
+	for i := 0; i < n; i++ {
+		if ch := firstFrom(grants[i], int(v.rrA[i])); ch >= 0 {
+			v.transfer(i, ch)
+			v.rrA[i] = int32((ch + 1) % m)
+			v.rrG[ch] = int32((i + 1) % n)
+		}
+	}
+}
+
+// cguKernel is the batched CGU scheduler: per input, move the head of the
+// first non-empty VOQ whose crosspoint has room; per open output, pull
+// from the first non-empty crosspoint. The rotating variant's tick
+// counter is clock-derived exactly as GM's.
+type cguKernel struct {
+	rotate bool
+}
+
+func (c *cguKernel) cycle(v *crossbarView, slot, cycle int) {
+	n := v.n
+	ticks := slot*v.speedup + cycle
+	startJ, startI := 0, 0
+	if c.rotate {
+		startJ, startI = ticks%v.m, ticks%n
+	}
+	for i := 0; i < n; i++ {
+		if j := firstFrom(v.voq[i]&v.xFree[i], startJ); j >= 0 {
+			v.inputTransfer(i, j)
+		}
+	}
+	ofw := v.st.outFree
+	for ofw != 0 {
+		j := bits.TrailingZeros64(ofw)
+		ofw &= ofw - 1
+		if i := firstFrom(v.xBusyByOut[j], startI); i >= 0 {
+			v.outputTransfer(i, j)
+		}
+	}
+}

@@ -344,10 +344,3 @@ func ceilPow2(v int) int {
 	}
 	return p
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

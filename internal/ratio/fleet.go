@@ -1,0 +1,179 @@
+package ratio
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"qswitch/internal/fleet"
+	"qswitch/internal/packet"
+	"qswitch/internal/stats"
+	"qswitch/internal/switchsim"
+)
+
+// FleetAlg evaluates a policy family over a whole batch of sequences at
+// once, returning one benefit per sequence in order. It is the batched
+// counterpart of Alg: the columnar fleet engine amortizes one policy loop
+// (and one switch construction) across the batch, and is bit-identical to
+// the scalar engines, so estimates built on it are byte-identical to
+// Run/RunParallel's.
+type FleetAlg func(cfg switchsim.Config, seqs []packet.Sequence) ([]int64, error)
+
+// CIOQFleetAlg adapts a CIOQ policy factory to the FleetAlg signature via
+// fleet.RunCIOQ (columnar when the family is batchable, per-instance
+// scalar otherwise — either way bit-identical to CIOQAlg).
+func CIOQFleetAlg(factory func() switchsim.CIOQPolicy) FleetAlg {
+	return func(cfg switchsim.Config, seqs []packet.Sequence) ([]int64, error) {
+		rs, err := fleet.RunCIOQ(cfg, factory, seqs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(rs))
+		for k, r := range rs {
+			out[k] = r.M.Benefit
+		}
+		return out, nil
+	}
+}
+
+// CrossbarFleetAlg adapts a crossbar policy factory to the FleetAlg
+// signature via fleet.RunCrossbar.
+func CrossbarFleetAlg(factory func() switchsim.CrossbarPolicy) FleetAlg {
+	return func(cfg switchsim.Config, seqs []packet.Sequence) ([]int64, error) {
+		rs, err := fleet.RunCrossbar(cfg, factory, seqs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(rs))
+		for k, r := range rs {
+			out[k] = r.M.Benefit
+		}
+		return out, nil
+	}
+}
+
+// RunFleet is RunParallel with the policy side of the measurements routed
+// through a batched FleetAlg: seeds are dealt into contiguous batches of
+// `batch` sequences (<= 0 selects 64), each batch's offline optima are
+// solved per-sequence, the policy runs once over the batch's eligible
+// sequences, and batches fan out over `workers` goroutines (<= 0 selects
+// GOMAXPROCS). Results are merged deterministically in seed order, so the
+// output is byte-identical to Run and RunParallel for the same inputs,
+// regardless of workers or batch size.
+func RunFleet(cfg switchsim.Config, alg FleetAlg, opt Opt, gen packet.Generator,
+	baseSeed int64, runs, workers, batch int) (Estimate, error) {
+	var est Estimate
+	if runs <= 0 {
+		return est, nil
+	}
+	if batch <= 0 {
+		batch = 64
+	}
+	if batch > runs {
+		batch = runs
+	}
+	nChunks := (runs + batch - 1) / batch
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nChunks {
+		workers = nChunks
+	}
+
+	type outcome struct {
+		ratio   float64
+		skipped bool
+		err     error
+	}
+	results := make([]outcome, runs)
+	process := func(c int) {
+		k0 := c * batch
+		k1 := min(runs, k0+batch)
+		optVals := make([]int64, k1-k0)
+		eligible := make([]packet.Sequence, 0, k1-k0)
+		eligIdx := make([]int, 0, k1-k0)
+		for k := k0; k < k1; k++ {
+			rng := rand.New(rand.NewSource(baseSeed + int64(k)))
+			seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
+			optVal, err := opt(cfg, seq)
+			if err != nil {
+				results[k] = outcome{err: fmt.Errorf("offline optimum: %w", err)}
+				continue
+			}
+			optVals[k-k0] = optVal
+			if optVal == 0 {
+				results[k] = outcome{skipped: true}
+				continue
+			}
+			eligible = append(eligible, seq)
+			eligIdx = append(eligIdx, k)
+		}
+		if len(eligible) == 0 {
+			return
+		}
+		benefits, err := alg(cfg, eligible)
+		if err == nil && len(benefits) != len(eligible) {
+			err = fmt.Errorf("fleet alg returned %d benefits for %d sequences", len(benefits), len(eligible))
+		}
+		if err != nil {
+			// Deterministic attribution: the first eligible seed in the
+			// batch carries the error.
+			results[eligIdx[0]] = outcome{err: fmt.Errorf("policy run: %w", err)}
+			return
+		}
+		for x, k := range eligIdx {
+			optVal := optVals[k-k0]
+			if benefits[x] == 0 {
+				results[k] = outcome{err: fmt.Errorf("ratio: policy scored 0 against optimum %d", optVal)}
+				continue
+			}
+			results[k] = outcome{ratio: float64(optVal) / float64(benefits[x])}
+		}
+	}
+
+	if workers <= 1 {
+		for c := 0; c < nChunks; c++ {
+			process(c)
+		}
+	} else {
+		chunkCh := make(chan int, nChunks)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range chunkCh {
+					process(c)
+				}
+			}()
+		}
+		for c := 0; c < nChunks; c++ {
+			chunkCh <- c
+		}
+		close(chunkCh)
+		wg.Wait()
+	}
+
+	var acc stats.Acc
+	for k, o := range results {
+		seed := baseSeed + int64(k)
+		if o.err != nil {
+			return est, fmt.Errorf("ratio: seed %d: %w", seed, o.err)
+		}
+		if o.skipped {
+			est.Skipped++
+			continue
+		}
+		acc.Add(o.ratio)
+		est.Samples = append(est.Samples, o.ratio)
+		if o.ratio > est.Max {
+			est.Max = o.ratio
+			est.WorstSeed = seed
+		}
+		est.Runs++
+	}
+	est.Mean = acc.Mean()
+	est.CI95 = acc.CI95()
+	return est, nil
+}

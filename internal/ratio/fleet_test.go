@@ -1,0 +1,96 @@
+package ratio
+
+import (
+	"reflect"
+	"testing"
+
+	"qswitch/internal/core"
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// Determinism across backends: for the same config, generator and seeds,
+// the sequential Run, RunParallel at any worker count, and RunFleet at
+// any (workers, batch) combination must produce byte-identical Estimates
+// — the batched columnar engine is bit-identical to the scalar engines,
+// and all three merge in seed order.
+
+func backendCfg() switchsim.Config {
+	return switchsim.Config{
+		Inputs: 2, Outputs: 2, InputBuf: 2, OutputBuf: 2, CrossBuf: 1,
+		Speedup: 1, Slots: 7,
+	}
+}
+
+func assertSameEstimate(t *testing.T, label string, want, got Estimate) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: estimate diverged:\nwant %+v\ngot  %+v", label, want, got)
+	}
+}
+
+func TestRunFleetMatchesScalarBackends(t *testing.T) {
+	cfg := backendCfg()
+	gen := packet.Bernoulli{Load: 1.2}
+	factory := func() switchsim.CIOQPolicy { return &core.GM{} }
+	const runs = 24
+
+	want, err := Run(cfg, CIOQAlg(factory), ExactUnitCIOQ, gen, 11, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		par, err := RunParallel(cfg, CIOQAlg(factory), ExactUnitCIOQ, gen, 11, runs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameEstimate(t, "RunParallel", want, par)
+		for _, batch := range []int{1, 5, 24, 100} {
+			fl, err := RunFleet(cfg, CIOQFleetAlg(factory), ExactUnitCIOQ, gen, 11, runs, workers, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameEstimate(t, "RunFleet", want, fl)
+		}
+	}
+}
+
+func TestRunFleetCrossbarMatchesScalarBackends(t *testing.T) {
+	cfg := backendCfg()
+	gen := packet.Hotspot{Load: 1.5, HotFrac: 0.8}
+	factory := func() switchsim.CrossbarPolicy { return &core.CGU{RotatePick: true} }
+	const runs = 16
+
+	want, err := Run(cfg, CrossbarAlg(factory), ExactUnitCrossbar, gen, 5, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, 64} {
+		fl, err := RunFleet(cfg, CrossbarFleetAlg(factory), ExactUnitCrossbar, gen, 5, runs, 2, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameEstimate(t, "RunFleet crossbar", want, fl)
+	}
+}
+
+// TestRunFleetFallbackPolicy drives RunFleet with a weighted (unported)
+// policy family: the fleet layer falls back to per-instance scalar runs
+// and the estimate must still match the scalar backends byte for byte.
+func TestRunFleetFallbackPolicy(t *testing.T) {
+	cfg := backendCfg()
+	cfg.Slots = 4
+	gen := packet.Bernoulli{Load: 0.8, Values: packet.UniformValues{Hi: 20}}
+	factory := func() switchsim.CIOQPolicy { return &core.PG{} }
+	const runs = 10
+
+	want, err := Run(cfg, CIOQAlg(factory), ExactWeightedCIOQ, gen, 3, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := RunFleet(cfg, CIOQFleetAlg(factory), ExactWeightedCIOQ, gen, 3, runs, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameEstimate(t, "RunFleet fallback", want, fl)
+}

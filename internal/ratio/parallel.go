@@ -35,7 +35,6 @@ func RunParallel(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator,
 	type outcome struct {
 		seed    int64
 		ratio   float64
-		ok      bool
 		err     error
 		skipped bool
 	}
@@ -51,7 +50,7 @@ func RunParallel(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator,
 				rng := rand.New(rand.NewSource(seed))
 				seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
 				r, ok, err := Single(cfg, alg, opt, seq)
-				results[k] = outcome{seed: seed, ratio: r, ok: ok, err: err, skipped: !ok && err == nil}
+				results[k] = outcome{seed: seed, ratio: r, err: err, skipped: !ok && err == nil}
 			}
 		}()
 	}
@@ -88,6 +87,12 @@ func RunParallel(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator,
 // workloads in parallel, one Estimate per parameter point. It is the
 // engine behind parameter-sweep figures (e.g. ratio vs beta): all points
 // see identical sequences, so curves are directly comparable.
+//
+// The caller's worker budget bounds the total per-seed concurrency: up to
+// `workers` parameter points run at once, and each point's RunParallel
+// spreads its seeds over the share of the budget the point concurrency
+// leaves free, so a sweep of few points over many seeds parallelizes just
+// as well as one of many points.
 func Sweep(cfg switchsim.Config, algs map[string]Alg, opt Opt, gen packet.Generator,
 	baseSeed int64, runs, workers int) (map[string]Estimate, error) {
 	names := make([]string, 0, len(algs))
@@ -95,11 +100,14 @@ func Sweep(cfg switchsim.Config, algs map[string]Alg, opt Opt, gen packet.Genera
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	workers = max(1, workers)
+	points := min(workers, max(1, len(names)))
+	perPoint := max(1, workers/points)
 	out := make(map[string]Estimate, len(algs))
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(1, workers))
+	sem := make(chan struct{}, points)
 	for _, name := range names {
 		name := name
 		wg.Add(1)
@@ -107,7 +115,7 @@ func Sweep(cfg switchsim.Config, algs map[string]Alg, opt Opt, gen packet.Genera
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			est, err := RunParallel(cfg, algs[name], opt, gen, baseSeed, runs, 1)
+			est, err := RunParallel(cfg, algs[name], opt, gen, baseSeed, runs, perPoint)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
@@ -122,11 +130,4 @@ func Sweep(cfg switchsim.Config, algs map[string]Alg, opt Opt, gen packet.Genera
 		return nil, firstErr
 	}
 	return out, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -110,13 +110,11 @@ func (sw *CIOQ) InputQueued() int64 { return sw.inCount }
 // number of drain-only slots needed to empty the switch once InputQueued
 // reaches zero and no further arrivals occur.
 func (sw *CIOQ) OutputBacklog() int {
-	max := 0
+	backlog := 0
 	for _, q := range sw.OQ {
-		if q.Len() > max {
-			max = q.Len()
-		}
+		backlog = max(backlog, q.Len())
 	}
-	return max
+	return backlog
 }
 
 func (sw *CIOQ) checkInvariants() error {

@@ -123,13 +123,11 @@ func (sw *Crossbar) CrossQueued() int64 { return sw.crossCount }
 // number of drain-only slots needed to empty the switch once the input
 // and crosspoint layers are empty and no further arrivals occur.
 func (sw *Crossbar) OutputBacklog() int {
-	max := 0
+	backlog := 0
 	for _, q := range sw.OQ {
-		if q.Len() > max {
-			max = q.Len()
-		}
+		backlog = max(backlog, q.Len())
 	}
-	return max
+	return backlog
 }
 
 func (sw *Crossbar) checkInvariants() error {

@@ -69,6 +69,19 @@ func (m *Metrics) recordLatency(delay int) {
 	m.LatencyHist[delay]++
 }
 
+// RecordLatency records one transmission delay (slots between arrival and
+// transmission), updating the sum, maximum and histogram exactly as the
+// in-package engines do. It exists for external engines (internal/fleet)
+// that must produce Metrics bit-identical to RunCIOQ/RunCrossbar.
+func (m *Metrics) RecordLatency(delay int) { m.recordLatency(delay) }
+
+// AddSlotSamples records k end-of-slot occupancy samples. The occupancy
+// integrals (InputOccupSum etc.) are divided by this sample count to form
+// time-averages; external engines accumulating the integrals themselves
+// must add one sample per simulated slot, exactly as sampleOccupancy and
+// quiesce do.
+func (m *Metrics) AddSlotSamples(k int64) { m.slotsSampled += k }
+
 // MeanLatency returns the average transmission delay in slots, or 0 when
 // nothing was recorded.
 func (m *Metrics) MeanLatency() float64 {
