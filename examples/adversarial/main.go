@@ -49,7 +49,7 @@ func main() {
 				p, _ := qswitch.NewCIOQPolicy("gm")
 				return p
 			}),
-			ratio.ExactUnitCIOQ, seq)
+			ratio.ExactUnitCIOQ(), seq)
 		if err != nil {
 			return 0, false
 		}

@@ -130,7 +130,7 @@ func TestSearchFindsBadInstancesButRespectsBound(t *testing.T) {
 		CrossBuf: 1, Speedup: 1, Validate: true}
 	alg := ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
 	eval := func(seq packet.Sequence) (float64, bool) {
-		r, ok, err := ratio.Single(cfg, alg, ratio.ExactUnitCIOQ, seq)
+		r, ok, err := ratio.Single(cfg, alg, ratio.ExactUnitCIOQ(), seq)
 		if err != nil {
 			return 0, false
 		}
@@ -158,7 +158,7 @@ func TestSearchWeighted(t *testing.T) {
 		CrossBuf: 1, Speedup: 1, Validate: true}
 	alg := ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.PG{} })
 	eval := func(seq packet.Sequence) (float64, bool) {
-		r, ok, err := ratio.Single(cfg, alg, ratio.ExactWeightedCIOQ, seq)
+		r, ok, err := ratio.Single(cfg, alg, ratio.ExactWeightedCIOQ(), seq)
 		if err != nil {
 			return 0, false
 		}

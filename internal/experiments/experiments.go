@@ -52,20 +52,20 @@ const fleetBatch = 64
 // workloads, honoring Options.Fleet. Results are byte-identical across
 // backends.
 func (o Options) ratioCIOQ(cfg switchsim.Config, factory func() switchsim.CIOQPolicy,
-	opt ratio.Opt, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
+	judge ratio.JudgeFactory, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
 	if o.Fleet {
-		return ratio.RunFleet(cfg, ratio.CIOQFleetAlg(factory), opt, gen, seed, runs, 1, fleetBatch)
+		return ratio.RunFleet(cfg, ratio.CIOQFleetAlg(factory), judge, gen, seed, runs, 1, fleetBatch)
 	}
-	return ratio.Run(cfg, ratio.CIOQAlg(factory), opt, gen, seed, runs)
+	return ratio.Run(cfg, ratio.CIOQAlg(factory), judge, gen, seed, runs)
 }
 
 // ratioCrossbar is ratioCIOQ for crossbar policy families.
 func (o Options) ratioCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy,
-	opt ratio.Opt, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
+	judge ratio.JudgeFactory, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
 	if o.Fleet {
-		return ratio.RunFleet(cfg, ratio.CrossbarFleetAlg(factory), opt, gen, seed, runs, 1, fleetBatch)
+		return ratio.RunFleet(cfg, ratio.CrossbarFleetAlg(factory), judge, gen, seed, runs, 1, fleetBatch)
 	}
-	return ratio.Run(cfg, ratio.CrossbarAlg(factory), opt, gen, seed, runs)
+	return ratio.Run(cfg, ratio.CrossbarAlg(factory), judge, gen, seed, runs)
 }
 
 // cfg applies the experiment-wide simulation options to a config.

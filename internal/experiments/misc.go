@@ -56,10 +56,11 @@ func E8Adversarial(opts Options) ([]*stats.Table, error) {
 	iters := opts.pick(60, 1500)
 	cfg := opts.cfg(switchsim.Config{Inputs: 2, Outputs: 2, InputBuf: 1, OutputBuf: 1,
 		CrossBuf: 1, Speedup: 1})
+	gmJudge := ratio.ExactUnitCIOQ()
 	gmEval := func(seq packet.Sequence) (float64, bool) {
 		r, ok, err := ratio.Single(cfg,
 			ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} }),
-			ratio.ExactUnitCIOQ, seq)
+			gmJudge, seq)
 		if err != nil {
 			return 0, false
 		}
@@ -72,10 +73,11 @@ func E8Adversarial(opts Options) ([]*stats.Table, error) {
 	tbB.AddRow("gm (unit)", "exact OPT", resGM.Tried, resGM.Ratio, 3.0,
 		boolMark(resGM.Ratio <= 3.0+1e-9))
 
+	pgJudge := ratio.ExactWeightedCIOQ()
 	pgEval := func(seq packet.Sequence) (float64, bool) {
 		r, ok, err := ratio.Single(cfg,
 			ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.PG{} }),
-			ratio.ExactWeightedCIOQ, seq)
+			pgJudge, seq)
 		if err != nil {
 			return 0, false
 		}
@@ -103,7 +105,7 @@ func E8Adversarial(opts Options) ([]*stats.Table, error) {
 		seq := adversary.PreemptionChains(2, core.DefaultBetaPG(), 3, 2)
 		r, ok, err := ratio.Single(cfgW,
 			ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.PG{} }),
-			ratio.ExactWeightedCIOQ, seq)
+			ratio.ExactWeightedCIOQ(), seq)
 		if err != nil {
 			return nil, fmt.Errorf("e8c chains: %w", err)
 		}
@@ -117,9 +119,10 @@ func E8Adversarial(opts Options) ([]*stats.Table, error) {
 		cfgF := opts.cfg(switchsim.Config{Inputs: n, Outputs: n, InputBuf: 2, OutputBuf: 2,
 			CrossBuf: 1, Speedup: 1})
 		seq := adversary.DiagonalFlip(n, 6, opts.pick(3, 8))
+		ubJudge := ratio.UpperBoundCIOQ()
 		r, ok, err := ratio.Single(cfgF,
 			ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.RoundRobin{} }),
-			ratio.UpperBoundCIOQ, seq)
+			ubJudge, seq)
 		if err != nil {
 			return nil, fmt.Errorf("e8c flip: %w", err)
 		}
@@ -128,7 +131,7 @@ func E8Adversarial(opts Options) ([]*stats.Table, error) {
 		}
 		r2, ok2, err := ratio.Single(cfgF,
 			ratio.CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} }),
-			ratio.UpperBoundCIOQ, seq)
+			ubJudge, seq)
 		if err != nil {
 			return nil, fmt.Errorf("e8c flip gm: %w", err)
 		}

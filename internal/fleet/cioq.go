@@ -64,7 +64,8 @@ type CIOQFleet struct {
 	cfg    switchsim.Config
 	policy string
 	kern   cioqKernel
-	batch  int
+	batch  int // storage capacity (construction batch size)
+	cur    int // instances loaded by the last Reset
 	n, m   int
 	nm     int
 	icap   int // input-queue ring size (power of two)
@@ -190,7 +191,7 @@ func NewCIOQFleet(cfg switchsim.Config, factory func() switchsim.CIOQPolicy, bat
 	}
 	n, m := cfg.Inputs, cfg.Outputs
 	f := &CIOQFleet{
-		cfg: cfg, policy: pol.Name(), kern: kern, batch: batch,
+		cfg: cfg, policy: pol.Name(), kern: kern, batch: batch, cur: batch,
 		n: n, m: m, nm: n * m,
 		icap: ceilPow2(cfg.InputBuf), ocap: ceilPow2(cfg.OutputBuf),
 		inBuf: int32(cfg.InputBuf), outBuf: int32(cfg.OutputBuf),
@@ -230,8 +231,9 @@ func NewCIOQFleet(cfg switchsim.Config, factory func() switchsim.CIOQPolicy, bat
 func (f *CIOQFleet) Policy() string { return f.policy }
 
 // Reset loads a new batch of arrival sequences (one per instance; the
-// slice length must equal the construction batch size) and rewinds every
-// instance to slot 0. Switch storage is reused.
+// slice length may be anything up to the construction batch size, so one
+// fleet serves a chunk stream whose final chunk runs short) and rewinds
+// every loaded instance to slot 0. Switch storage is reused.
 //
 // Sequences are validated lazily rather than with an up-front pass: port
 // and value violations surface as errors when the packet is admitted, and
@@ -240,9 +242,10 @@ func (f *CIOQFleet) Policy() string { return f.policy }
 // never observes — is the caller's responsibility, as with every
 // generator-produced sequence.
 func (f *CIOQFleet) Reset(seqs []packet.Sequence) error {
-	if len(seqs) != f.batch {
+	if len(seqs) < 1 || len(seqs) > f.batch {
 		return fmt.Errorf("fleet: got %d sequences for a batch of %d", len(seqs), f.batch)
 	}
+	f.cur = len(seqs)
 	clear(f.voq)
 	clear(f.voqByOut)
 	clear(f.iqHdr)
@@ -255,10 +258,10 @@ func (f *CIOQFleet) Reset(seqs []packet.Sequence) error {
 	f.active = f.active[:0]
 	f.sleep = f.sleep[:0]
 	f.slot = 0
-	f.live = f.batch
+	f.live = f.cur
 	f.err = nil
 	f.view.direct = 0
-	for k := 0; k < f.batch; k++ {
+	for k := 0; k < f.cur; k++ {
 		f.ms[k] = switchsim.Metrics{}
 		f.results[k] = nil
 		f.next[k] = 0
@@ -270,6 +273,14 @@ func (f *CIOQFleet) Reset(seqs []packet.Sequence) error {
 			f.series[k] = nil
 		}
 		f.active = append(f.active, int32(k))
+	}
+	// Drop any tail a previous larger batch left behind, so a runner
+	// idling on a short final chunk does not pin old Results and their
+	// latency/series storage.
+	for k := f.cur; k < f.batch; k++ {
+		f.ms[k] = switchsim.Metrics{}
+		f.results[k] = nil
+		f.series[k] = nil
 	}
 	f.kern.reset(f)
 	return nil
@@ -613,9 +624,10 @@ func (f *CIOQFleet) validate(k, T int) error {
 	return nil
 }
 
-// Results returns one Result per instance (in input order) once every
-// instance has retired. It errors if the fleet is still running or a
-// stepping error is pending.
+// Results returns one Result per loaded instance (in input order) once
+// every instance has retired. It errors if the fleet is still running or a
+// stepping error is pending. The backing array is reused by the next
+// Reset, so callers keeping Results across batches must copy.
 func (f *CIOQFleet) Results() ([]*switchsim.Result, error) {
 	if f.err != nil {
 		return nil, f.err
@@ -623,5 +635,5 @@ func (f *CIOQFleet) Results() ([]*switchsim.Result, error) {
 	if f.live > 0 {
 		return nil, fmt.Errorf("fleet: %d instances still live", f.live)
 	}
-	return f.results, nil
+	return f.results[:f.cur], nil
 }

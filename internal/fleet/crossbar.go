@@ -18,7 +18,8 @@ type CrossbarFleet struct {
 	cfg      switchsim.Config
 	policy   string
 	kern     crossbarKernel
-	batch    int
+	batch    int // storage capacity (construction batch size)
+	cur      int // instances loaded by the last Reset
 	n, m     int
 	nm       int
 	icap     int
@@ -132,7 +133,7 @@ func NewCrossbarFleet(cfg switchsim.Config, factory func() switchsim.CrossbarPol
 	}
 	n, m := cfg.Inputs, cfg.Outputs
 	f := &CrossbarFleet{
-		cfg: cfg, policy: pol.Name(), kern: kern, batch: batch,
+		cfg: cfg, policy: pol.Name(), kern: kern, batch: batch, cur: batch,
 		n: n, m: m, nm: n * m,
 		icap: ceilPow2(cfg.InputBuf), xcap: ceilPow2(cfg.CrossBuf), ocap: ceilPow2(cfg.OutputBuf),
 		inBuf: int32(cfg.InputBuf), crossBuf: int32(cfg.CrossBuf), outBuf: int32(cfg.OutputBuf),
@@ -170,13 +171,14 @@ func NewCrossbarFleet(cfg switchsim.Config, factory func() switchsim.CrossbarPol
 // Policy returns the name of the batched policy family.
 func (f *CrossbarFleet) Policy() string { return f.policy }
 
-// Reset loads a new batch of arrival sequences and rewinds every instance
-// to slot 0, reusing the fleet's storage. Sequences are validated lazily;
-// see (*CIOQFleet).Reset.
+// Reset loads a new batch of arrival sequences (up to the construction
+// batch size) and rewinds every loaded instance to slot 0, reusing the
+// fleet's storage. Sequences are validated lazily; see (*CIOQFleet).Reset.
 func (f *CrossbarFleet) Reset(seqs []packet.Sequence) error {
-	if len(seqs) != f.batch {
+	if len(seqs) < 1 || len(seqs) > f.batch {
 		return fmt.Errorf("fleet: got %d sequences for a batch of %d", len(seqs), f.batch)
 	}
+	f.cur = len(seqs)
 	clear(f.voq)
 	clear(f.xBusyByOut)
 	clear(f.iqHdr)
@@ -194,10 +196,10 @@ func (f *CrossbarFleet) Reset(seqs []packet.Sequence) error {
 	f.active = f.active[:0]
 	f.sleep = f.sleep[:0]
 	f.slot = 0
-	f.live = f.batch
+	f.live = f.cur
 	f.err = nil
 	f.view.direct = 0
-	for k := 0; k < f.batch; k++ {
+	for k := 0; k < f.cur; k++ {
 		f.ms[k] = switchsim.Metrics{}
 		f.results[k] = nil
 		f.next[k] = 0
@@ -209,6 +211,13 @@ func (f *CrossbarFleet) Reset(seqs []packet.Sequence) error {
 			f.series[k] = nil
 		}
 		f.active = append(f.active, int32(k))
+	}
+	// Drop any tail a previous larger batch left behind; see
+	// (*CIOQFleet).Reset.
+	for k := f.cur; k < f.batch; k++ {
+		f.ms[k] = switchsim.Metrics{}
+		f.results[k] = nil
+		f.series[k] = nil
 	}
 	return nil
 }
@@ -539,7 +548,9 @@ func (f *CrossbarFleet) validate(k, T int) error {
 	return nil
 }
 
-// Results returns one Result per instance once every instance retired.
+// Results returns one Result per loaded instance once every instance
+// retired. The backing array is reused by the next Reset; see
+// (*CIOQFleet).Results.
 func (f *CrossbarFleet) Results() ([]*switchsim.Result, error) {
 	if f.err != nil {
 		return nil, f.err
@@ -547,5 +558,5 @@ func (f *CrossbarFleet) Results() ([]*switchsim.Result, error) {
 	if f.live > 0 {
 		return nil, fmt.Errorf("fleet: %d instances still live", f.live)
 	}
-	return f.results, nil
+	return f.results[:f.cur], nil
 }

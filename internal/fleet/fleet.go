@@ -35,60 +35,113 @@ func BatchableCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPo
 // policies run on the columnar engine (one construction and one policy
 // loop amortized across the whole batch); everything else falls back to
 // per-instance switchsim.RunCIOQ with a fresh policy per run. Results are
-// bit-identical between the two paths.
+// bit-identical between the two paths. Callers with a stream of batches
+// should hold a CIOQRunner instead, which reuses one fleet across calls.
 func RunCIOQ(cfg switchsim.Config, factory func() switchsim.CIOQPolicy, seqs []packet.Sequence) ([]*switchsim.Result, error) {
-	if len(seqs) == 0 {
-		return nil, nil
-	}
-	if !BatchableCIOQ(cfg, factory) {
-		out := make([]*switchsim.Result, len(seqs))
-		for k, seq := range seqs {
-			r, err := switchsim.RunCIOQ(cfg, factory(), seq)
-			if err != nil {
-				return nil, err
-			}
-			out[k] = r
-		}
-		return out, nil
-	}
-	f, err := NewCIOQFleet(cfg, factory, len(seqs))
-	if err != nil {
-		return nil, err
-	}
-	if err := f.Reset(seqs); err != nil {
-		return nil, err
-	}
-	for f.Step() {
-	}
-	return f.Results()
+	return NewCIOQRunner(factory).Run(cfg, seqs)
 }
 
 // RunCrossbar is RunCIOQ for buffered-crossbar policies.
 func RunCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy, seqs []packet.Sequence) ([]*switchsim.Result, error) {
+	return NewCrossbarRunner(factory).Run(cfg, seqs)
+}
+
+// CIOQRunner runs batch after batch of one CIOQ policy family, reusing a
+// single columnar fleet across calls — the ratio-harness chunk-stream
+// shape, where constructing a fleet per chunk wastes the construction.
+// The fleet is (re)built only when the configuration changes or a batch
+// outgrows the current storage; shrinking batches (a chunk stream's short
+// final chunk) reuse it. Runners are not safe for concurrent use; results
+// are bit-identical to RunCIOQ.
+type CIOQRunner struct {
+	factory func() switchsim.CIOQPolicy
+	cfg     switchsim.Config
+	f       *CIOQFleet
+}
+
+// NewCIOQRunner creates a runner for the policy family produced by
+// factory. No storage is sized until the first batchable Run.
+func NewCIOQRunner(factory func() switchsim.CIOQPolicy) *CIOQRunner {
+	return &CIOQRunner{factory: factory}
+}
+
+// Run simulates every sequence under cfg and returns one Result per
+// sequence, in order, exactly as RunCIOQ. The returned slice and Results
+// are valid until the next Run.
+func (r *CIOQRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*switchsim.Result, error) {
 	if len(seqs) == 0 {
 		return nil, nil
 	}
-	if !BatchableCrossbar(cfg, factory) {
+	if !BatchableCIOQ(cfg, r.factory) {
 		out := make([]*switchsim.Result, len(seqs))
 		for k, seq := range seqs {
-			r, err := switchsim.RunCrossbar(cfg, factory(), seq)
+			res, err := switchsim.RunCIOQ(cfg, r.factory(), seq)
 			if err != nil {
 				return nil, err
 			}
-			out[k] = r
+			out[k] = res
 		}
 		return out, nil
 	}
-	f, err := NewCrossbarFleet(cfg, factory, len(seqs))
-	if err != nil {
+	if r.f == nil || r.cfg != cfg || r.f.batch < len(seqs) {
+		f, err := NewCIOQFleet(cfg, r.factory, len(seqs))
+		if err != nil {
+			return nil, err
+		}
+		r.f, r.cfg = f, cfg
+	}
+	if err := r.f.Reset(seqs); err != nil {
 		return nil, err
 	}
-	if err := f.Reset(seqs); err != nil {
+	for r.f.Step() {
+	}
+	return r.f.Results()
+}
+
+// CrossbarRunner is CIOQRunner for buffered-crossbar policy families.
+type CrossbarRunner struct {
+	factory func() switchsim.CrossbarPolicy
+	cfg     switchsim.Config
+	f       *CrossbarFleet
+}
+
+// NewCrossbarRunner creates a runner for the policy family produced by
+// factory.
+func NewCrossbarRunner(factory func() switchsim.CrossbarPolicy) *CrossbarRunner {
+	return &CrossbarRunner{factory: factory}
+}
+
+// Run simulates every sequence under cfg and returns one Result per
+// sequence, in order, exactly as RunCrossbar. The returned slice and
+// Results are valid until the next Run.
+func (r *CrossbarRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*switchsim.Result, error) {
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	if !BatchableCrossbar(cfg, r.factory) {
+		out := make([]*switchsim.Result, len(seqs))
+		for k, seq := range seqs {
+			res, err := switchsim.RunCrossbar(cfg, r.factory(), seq)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = res
+		}
+		return out, nil
+	}
+	if r.f == nil || r.cfg != cfg || r.f.batch < len(seqs) {
+		f, err := NewCrossbarFleet(cfg, r.factory, len(seqs))
+		if err != nil {
+			return nil, err
+		}
+		r.f, r.cfg = f, cfg
+	}
+	if err := r.f.Reset(seqs); err != nil {
 		return nil, err
 	}
-	for f.Step() {
+	for r.f.Step() {
 	}
-	return f.Results()
+	return r.f.Results()
 }
 
 // checkResidual detects malformed sequences at retirement: once an

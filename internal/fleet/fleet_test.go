@@ -274,6 +274,85 @@ func TestFleetReuseAcrossResets(t *testing.T) {
 	}
 }
 
+// TestRunnerReusesFleetAcrossShrinkingBatches drives one CIOQRunner
+// through a chunk stream whose final chunk runs short — the ratio-harness
+// shape — and checks every result matches a per-batch scalar run, that
+// the fleet object is constructed exactly once, and that partial-batch
+// Resets leave no residue for the next full batch.
+func TestRunnerReusesFleetAcrossShrinkingBatches(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 4, Speedup: 2, Validate: true, RecordLatency: true}
+	mk := func() switchsim.CIOQPolicy { return &core.GM{} }
+	gen := packet.PoissonBurst{OffMean: 30, BurstMean: 4}
+	seqs := fleetSeqs(cfg, gen, 31, 14, 300)
+	r := NewCIOQRunner(mk)
+	var firstFleet *CIOQFleet
+	for _, chunk := range [][]packet.Sequence{seqs[:6], seqs[6:12], seqs[12:14], seqs[:6]} {
+		rs, err := r.Run(cfg, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if firstFleet == nil {
+			firstFleet = r.f
+		} else if r.f != firstFleet {
+			t.Fatal("runner rebuilt its fleet for a batch that fit")
+		}
+		if len(rs) != len(chunk) {
+			t.Fatalf("got %d results for %d sequences", len(rs), len(chunk))
+		}
+		for k, seq := range chunk {
+			scalar, err := switchsim.RunCIOQ(cfg, mk(), seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(scalar.M, rs[k].M) {
+				t.Errorf("chunk instance %d: runner diverged from scalar:\nscalar: %+v\nrunner: %+v", k, scalar.M, rs[k].M)
+			}
+		}
+	}
+	// A larger batch forces one regrow, after which results still match.
+	rs, err := r.Run(cfg, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.f == firstFleet {
+		t.Fatal("runner kept an undersized fleet for a larger batch")
+	}
+	for k, seq := range seqs {
+		scalar, err := switchsim.RunCIOQ(cfg, mk(), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(scalar.M, rs[k].M) {
+			t.Errorf("regrown instance %d diverged from scalar", k)
+		}
+	}
+}
+
+// TestCrossbarRunnerReuse is the crossbar analogue of the runner reuse
+// check, over a shrinking chunk stream.
+func TestCrossbarRunnerReuse(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2, CrossBuf: 1, Speedup: 2, Validate: true}
+	mk := func() switchsim.CrossbarPolicy { return &core.CGU{} }
+	gen := packet.Hotspot{Load: 1.4, HotFrac: 0.7}
+	seqs := fleetSeqs(cfg, gen, 13, 10, 120)
+	r := NewCrossbarRunner(mk)
+	for _, chunk := range [][]packet.Sequence{seqs[:7], seqs[7:10], seqs[:7]} {
+		rs, err := r.Run(cfg, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, seq := range chunk {
+			scalar, err := switchsim.RunCrossbar(cfg, mk(), seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(scalar.M, rs[k].M) {
+				t.Errorf("crossbar chunk instance %d: runner diverged from scalar", k)
+			}
+		}
+	}
+}
+
 // TestFleetBatchSizeInvariance: the same sequence must produce the same
 // metrics whatever batch it is embedded in.
 func TestFleetBatchSizeInvariance(t *testing.T) {

@@ -1,15 +1,17 @@
-// Package flow implements the network-flow solvers backing the offline
-// optimum bounds: Dinic's maximum-flow algorithm and a successive-
-// shortest-path min-cost max-flow with Johnson potentials. Both operate on
-// integer capacities and costs, so the offline benchmarks are exact.
 package flow
 
-import "fmt"
+import (
+	"fmt"
 
-// Dinic is a max-flow solver over an explicitly built graph. Nodes are
-// dense integers 0..n-1; edges are added with AddEdge and residual state is
-// kept inline.
-type Dinic struct {
+	"qswitch/internal/scratch"
+)
+
+// DinicSolver is a reusable max-flow engine over an explicitly built
+// graph. Nodes are dense integers 0..n-1; edges are added with AddEdge and
+// residual state is kept inline. The zero value is ready: Reset prepares a
+// fresh graph reusing all internal storage, so repeated build-solve cycles
+// allocate nothing once the arrays are warm.
+type DinicSolver struct {
 	n     int
 	head  []int32 // head[v] = first edge index of v, -1 terminated chains
 	next  []int32
@@ -17,21 +19,33 @@ type Dinic struct {
 	cap   []int64
 	level []int32
 	iter  []int32
+	queue []int32
 }
 
-// NewDinic creates a solver with n nodes.
-func NewDinic(n int) *Dinic {
-	d := &Dinic{n: n, head: make([]int32, n)}
+// NewDinic creates a solver with n nodes, ready for AddEdge.
+func NewDinic(n int) *DinicSolver {
+	d := &DinicSolver{}
+	d.Reset(n)
+	return d
+}
+
+// Reset discards the current graph and prepares the solver for a new one
+// with n nodes, keeping all internal storage.
+func (d *DinicSolver) Reset(n int) {
+	d.n = n
+	d.head = scratch.Grow(d.head, n)
 	for i := range d.head {
 		d.head[i] = -1
 	}
-	return d
+	d.next = d.next[:0]
+	d.to = d.to[:0]
+	d.cap = d.cap[:0]
 }
 
 // AddEdge adds a directed edge u->v with the given capacity and its
 // residual reverse edge. It returns the edge index, which can be used with
 // Flow to query how much flow the edge carries after MaxFlow.
-func (d *Dinic) AddEdge(u, v int, capacity int64) int {
+func (d *DinicSolver) AddEdge(u, v int, capacity int64) int {
 	if u < 0 || u >= d.n || v < 0 || v >= d.n {
 		panic(fmt.Sprintf("flow: edge (%d,%d) out of range n=%d", u, v, d.n))
 	}
@@ -50,31 +64,31 @@ func (d *Dinic) AddEdge(u, v int, capacity int64) int {
 
 // Flow returns the flow currently carried by edge id (its reverse
 // residual capacity).
-func (d *Dinic) Flow(id int) int64 { return d.cap[id^1] }
+func (d *DinicSolver) Flow(id int) int64 { return d.cap[id^1] }
 
 // MaxFlow computes the maximum s-t flow.
-func (d *Dinic) MaxFlow(s, t int) int64 {
+func (d *DinicSolver) MaxFlow(s, t int) int64 {
 	if s == t {
 		return 0
 	}
 	var total int64
-	d.level = make([]int32, d.n)
-	d.iter = make([]int32, d.n)
-	queue := make([]int32, 0, d.n)
+	d.level = scratch.Grow(d.level, d.n)
+	d.iter = scratch.Grow(d.iter, d.n)
+	d.queue = d.queue[:0]
 	for {
 		// BFS to build level graph.
 		for i := range d.level {
 			d.level[i] = -1
 		}
-		queue = queue[:0]
-		queue = append(queue, int32(s))
+		d.queue = d.queue[:0]
+		d.queue = append(d.queue, int32(s))
 		d.level[s] = 0
-		for h := 0; h < len(queue); h++ {
-			v := queue[h]
+		for h := 0; h < len(d.queue); h++ {
+			v := d.queue[h]
 			for e := d.head[v]; e != -1; e = d.next[e] {
 				if d.cap[e] > 0 && d.level[d.to[e]] < 0 {
 					d.level[d.to[e]] = d.level[v] + 1
-					queue = append(queue, d.to[e])
+					d.queue = append(d.queue, d.to[e])
 				}
 			}
 		}
@@ -92,7 +106,7 @@ func (d *Dinic) MaxFlow(s, t int) int64 {
 	}
 }
 
-func (d *Dinic) dfs(v, t int, f int64) int64 {
+func (d *DinicSolver) dfs(v, t int, f int64) int64 {
 	if v == t {
 		return f
 	}
@@ -116,8 +130,9 @@ func (d *Dinic) dfs(v, t int, f int64) int64 {
 }
 
 // MinCut returns the set of nodes reachable from s in the residual graph
-// after MaxFlow has run; (reachable, complement) is a minimum cut.
-func (d *Dinic) MinCut(s int) []bool {
+// after MaxFlow has run; (reachable, complement) is a minimum cut. The
+// returned slice is freshly allocated.
+func (d *DinicSolver) MinCut(s int) []bool {
 	seen := make([]bool, d.n)
 	stack := []int{s}
 	seen[s] = true

@@ -1,0 +1,13 @@
+// Package flow implements the network-flow solvers backing the offline
+// optimum bounds: Dinic's maximum-flow algorithm and a successive-
+// shortest-path min-cost max-flow with Johnson potentials. Both operate on
+// integer capacities and costs, so the offline benchmarks are exact.
+//
+// Both engines are solver objects in the style of matching.HKMatcher and
+// matching.HungarianSolver: the zero value is ready to use, Reset rewinds
+// the graph while keeping every internal array, and the solve scratch
+// (levels, potentials, the Dijkstra heap) survives across solves. A judge
+// that rebuilds and solves a similarly-sized graph per sequence therefore
+// allocates nothing in steady state; NewDinic and NewMCMF remain as
+// one-shot constructors for callers that build a single graph.
+package flow

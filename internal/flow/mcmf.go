@@ -1,19 +1,30 @@
 package flow
 
 import (
-	"container/heap"
 	"fmt"
+
+	"qswitch/internal/scratch"
 )
 
-// MCMF is a min-cost max-flow solver using successive shortest augmenting
-// paths with Johnson potentials (Bellman–Ford once to initialize when
-// negative costs are present, Dijkstra afterwards).
+// MCMFSolver is a reusable min-cost max-flow engine using successive
+// shortest augmenting paths with Johnson potentials (Bellman–Ford once to
+// initialize when negative costs are present, Dijkstra afterwards).
 //
 // The offline optimum bounds use it in "max benefit" mode: packet-selection
 // edges carry negative costs (-value), and MaxBenefit augments only while
 // the shortest path has negative reduced cost, i.e. while admitting another
 // packet still increases total delivered value.
-type MCMF struct {
+//
+// The zero value is ready: Reset prepares a fresh graph reusing the edge
+// arrays, and the solve scratch (potentials, distances, the Dijkstra heap)
+// is reused across solves, so repeated build-solve cycles over
+// similarly-sized graphs allocate nothing once warm.
+//
+// Negative costs must not form a negative-cost cycle (the Bellman–Ford
+// potential pass would not terminate). The offline bounds satisfy this by
+// construction: negative costs appear only on source-adjacent selection
+// edges of otherwise zero/positive-cost DAG-like gadgets.
+type MCMFSolver struct {
 	n        int
 	head     []int32
 	next     []int32
@@ -21,20 +32,41 @@ type MCMF struct {
 	capacity []int64
 	cost     []int64
 	hasNeg   bool
+
+	// Solve scratch, reused across runs.
+	pot      []int64
+	dist     []int64
+	prevEdge []int32
+	pq       []nodeDist
+	bfQueue  []int32
+	bfInq    []bool
 }
 
-// NewMCMF creates a solver with n nodes.
-func NewMCMF(n int) *MCMF {
-	m := &MCMF{n: n, head: make([]int32, n)}
+// NewMCMF creates a solver with n nodes, ready for AddEdge.
+func NewMCMF(n int) *MCMFSolver {
+	m := &MCMFSolver{}
+	m.Reset(n)
+	return m
+}
+
+// Reset discards the current graph and prepares the solver for a new one
+// with n nodes, keeping all internal storage.
+func (m *MCMFSolver) Reset(n int) {
+	m.n = n
+	m.head = scratch.Grow(m.head, n)
 	for i := range m.head {
 		m.head[i] = -1
 	}
-	return m
+	m.next = m.next[:0]
+	m.to = m.to[:0]
+	m.capacity = m.capacity[:0]
+	m.cost = m.cost[:0]
+	m.hasNeg = false
 }
 
 // AddEdge adds a directed edge u->v with capacity and per-unit cost,
 // plus its zero-capacity reverse edge. Returns the edge index.
-func (m *MCMF) AddEdge(u, v int, capacity, cost int64) int {
+func (m *MCMFSolver) AddEdge(u, v int, capacity, cost int64) int {
 	if u < 0 || u >= m.n || v < 0 || v >= m.n {
 		panic(fmt.Sprintf("flow: edge (%d,%d) out of range n=%d", u, v, m.n))
 	}
@@ -56,7 +88,7 @@ func (m *MCMF) AddEdge(u, v int, capacity, cost int64) int {
 }
 
 // Flow returns the flow on edge id after a solve.
-func (m *MCMF) Flow(id int) int64 { return m.capacity[id^1] }
+func (m *MCMFSolver) Flow(id int) int64 { return m.capacity[id^1] }
 
 const infCost = int64(1) << 62
 
@@ -64,24 +96,30 @@ const infCost = int64(1) << 62
 // while the path cost is strictly negative, returning (flow, benefit) where
 // benefit = -total cost. This computes max_{flows f} (-cost(f)) because
 // with convex (linear) costs the marginal path cost is non-decreasing.
-func (m *MCMF) MaxBenefit(s, t int) (flow, benefit int64) {
+func (m *MCMFSolver) MaxBenefit(s, t int) (flow, benefit int64) {
 	return m.run(s, t, true)
 }
 
 // MinCostMaxFlow augments to the maximum flow value regardless of sign and
 // returns (flow, cost).
-func (m *MCMF) MinCostMaxFlow(s, t int) (flow, cost int64) {
+func (m *MCMFSolver) MinCostMaxFlow(s, t int) (flow, cost int64) {
 	f, b := m.run(s, t, false)
 	return f, -b
 }
 
-func (m *MCMF) run(s, t int, stopWhenNonNegative bool) (flow, benefit int64) {
-	pot := make([]int64, m.n)
-	if m.hasNeg {
-		m.bellmanFord(s, pot)
+func (m *MCMFSolver) run(s, t int, stopWhenNonNegative bool) (flow, benefit int64) {
+	m.pot = scratch.Grow(m.pot, m.n)
+	for i := range m.pot {
+		m.pot[i] = 0
 	}
-	dist := make([]int64, m.n)
-	prevEdge := make([]int32, m.n)
+	if m.hasNeg {
+		m.bellmanFord(s, m.pot)
+	}
+	pot := m.pot
+	m.dist = scratch.Grow(m.dist, m.n)
+	m.prevEdge = scratch.Grow(m.prevEdge, m.n)
+	dist := m.dist
+	prevEdge := m.prevEdge
 	for {
 		// Dijkstra with potentials.
 		for i := range dist {
@@ -89,10 +127,10 @@ func (m *MCMF) run(s, t int, stopWhenNonNegative bool) (flow, benefit int64) {
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		pq := &nodeHeap{}
-		heap.Push(pq, nodeDist{node: int32(s), dist: 0})
-		for pq.Len() > 0 {
-			nd := heap.Pop(pq).(nodeDist)
+		m.pq = m.pq[:0]
+		m.pqPush(nodeDist{node: int32(s), dist: 0})
+		for len(m.pq) > 0 {
+			nd := m.pqPop()
 			v := int(nd.node)
 			if nd.dist > dist[v] {
 				continue
@@ -106,7 +144,7 @@ func (m *MCMF) run(s, t int, stopWhenNonNegative bool) (flow, benefit int64) {
 				if rc < dist[u] {
 					dist[u] = rc
 					prevEdge[u] = e
-					heap.Push(pq, nodeDist{node: int32(u), dist: rc})
+					m.pqPush(nodeDist{node: int32(u), dist: rc})
 				}
 			}
 		}
@@ -146,21 +184,25 @@ func (m *MCMF) run(s, t int, stopWhenNonNegative bool) (flow, benefit int64) {
 // bellmanFord initializes potentials from s, tolerating negative edge
 // costs. Nodes unreachable from s keep potential 0 (they can never be on an
 // augmenting path from s anyway).
-func (m *MCMF) bellmanFord(s int, pot []int64) {
-	dist := make([]int64, m.n)
+func (m *MCMFSolver) bellmanFord(s int, pot []int64) {
+	m.dist = scratch.Grow(m.dist, m.n)
+	dist := m.dist
 	for i := range dist {
 		dist[i] = infCost
 	}
 	dist[s] = 0
 	// SPFA-style queue-based relaxation.
-	queue := make([]int32, 0, m.n)
-	inq := make([]bool, m.n)
+	m.bfQueue = m.bfQueue[:0]
+	m.bfInq = scratch.Grow(m.bfInq, m.n)
+	for i := range m.bfInq {
+		m.bfInq[i] = false
+	}
+	queue := m.bfQueue
 	queue = append(queue, int32(s))
-	inq[s] = true
-	for len(queue) > 0 {
-		v := int(queue[0])
-		queue = queue[1:]
-		inq[v] = false
+	m.bfInq[s] = true
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		m.bfInq[v] = false
 		for e := m.head[v]; e != -1; e = m.next[e] {
 			if m.capacity[e] <= 0 {
 				continue
@@ -168,13 +210,14 @@ func (m *MCMF) bellmanFord(s int, pot []int64) {
 			u := int(m.to[e])
 			if nd := dist[v] + m.cost[e]; nd < dist[u] {
 				dist[u] = nd
-				if !inq[u] {
-					inq[u] = true
+				if !m.bfInq[u] {
+					m.bfInq[u] = true
 					queue = append(queue, int32(u))
 				}
 			}
 		}
 	}
+	m.bfQueue = queue[:0]
 	for i := range pot {
 		if dist[i] < infCost {
 			pot[i] = dist[i]
@@ -189,16 +232,44 @@ type nodeDist struct {
 	dist int64
 }
 
-type nodeHeap []nodeDist
+// pqPush and pqPop maintain m.pq as a binary min-heap by dist, inline so
+// the hot Dijkstra loop never boxes through container/heap interfaces.
+func (m *MCMFSolver) pqPush(nd nodeDist) {
+	h := append(m.pq, nd)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	m.pq = h
+}
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (m *MCMFSolver) pqPop() nodeDist {
+	h := m.pq
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < len(h) && h[l].dist < h[sm].dist {
+			sm = l
+		}
+		if r < len(h) && h[r].dist < h[sm].dist {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		h[i], h[sm] = h[sm], h[i]
+		i = sm
+	}
+	m.pq = h
+	return top
 }

@@ -1,5 +1,7 @@
 package matching
 
+import "qswitch/internal/scratch"
+
 // HungarianSolver solves rectangular assignment problems with reusable
 // scratch, mirroring HKMatcher: a zero value is ready to use, and a
 // solver kept across scheduling cycles reaches a steady state where
@@ -54,12 +56,12 @@ func (h *HungarianSolver) Solve(w [][]int64) []Edge {
 	const inf = int64(1) << 62
 	// u, v are potentials; p[j] = row matched to column j (1-based
 	// internal indexing with a virtual column 0).
-	h.u = growInt64(h.u, n+1)
-	h.v = growInt64(h.v, m+1)
-	h.minv = growInt64(h.minv, m+1)
-	h.p = growInt(h.p, m+1)
-	h.way = growInt(h.way, m+1)
-	h.used = growBool(h.used, m+1)
+	h.u = scratch.Grow(h.u, n+1)
+	h.v = scratch.Grow(h.v, m+1)
+	h.minv = scratch.Grow(h.minv, m+1)
+	h.p = scratch.Grow(h.p, m+1)
+	h.way = scratch.Grow(h.way, m+1)
+	h.used = scratch.Grow(h.used, m+1)
 	u, v, p, way := h.u, h.v, h.p, h.way
 	for j := 0; j <= m; j++ {
 		v[j] = 0
@@ -189,25 +191,4 @@ func growMatrix(m [][]int64, backing []int64, rows, cols int) ([][]int64, []int6
 		m[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
 	}
 	return m, backing
-}
-
-func growInt64(s []int64, n int) []int64 {
-	if cap(s) < n {
-		return make([]int64, n)
-	}
-	return s[:n]
-}
-
-func growInt(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n)
-	}
-	return s[:n]
-}
-
-func growBool(s []bool, n int) []bool {
-	if cap(s) < n {
-		return make([]bool, n)
-	}
-	return s[:n]
 }

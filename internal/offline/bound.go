@@ -1,28 +1,3 @@
-// Package offline computes offline optima and upper bounds used to measure
-// empirical competitive ratios.
-//
-// Three tiers are provided, trading instance size for tightness:
-//
-//   - ExactUnitCIOQ / ExactUnitCrossbar: exact OPT for unit-value
-//     instances via dynamic programming over queue-length states. With
-//     unit values, packets in a queue are interchangeable, so queue
-//     lengths are a sufficient state; the paper's WLOG assumptions (OPT is
-//     greedy and work-conserving at outputs, never benefits from
-//     discarding a unit packet it could keep) shrink the action space to
-//     the per-cycle choice of matching.
-//
-//   - ExactWeightedCIOQ / ExactWeightedCrossbar: exact OPT for *micro*
-//     weighted instances via memoized search over value-multiset states,
-//     using the paper's exchange arguments (A1–A3: transfer/send maxima,
-//     preempt minima) to keep branching on admissions and matchings only.
-//
-//   - OQUpperBound: a polynomial upper bound for arbitrary instances. It
-//     relaxes the fabric entirely: each output j is served by a single
-//     time-expanded queue of capacity equal to *all* memory that can hold
-//     packets for j (N·B_in [+ N·B_x] + B_out), with one transmission per
-//     slot. Any feasible CIOQ/crossbar schedule maps to a feasible
-//     schedule of this relaxation, so its optimum — a min-cost-flow
-//     computation — upper-bounds OPT.
 package offline
 
 import (
@@ -35,45 +10,180 @@ import (
 	"qswitch/internal/switchsim"
 )
 
-// OQUpperBound computes the per-output time-expanded flow relaxation for a
+// OQUpperBound computes the per-output time-expanded relaxation for a
 // CIOQ geometry. crossbar adds the crosspoint buffers to the relaxed
 // capacity. The result is an upper bound on the benefit of ANY schedule —
 // online or offline — for the given configuration and sequence.
 func OQUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
-	if err := cfg.Check(crossbar); err != nil {
-		return 0, err
-	}
-	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
-		return 0, fmt.Errorf("offline: bad sequence: %w", err)
-	}
-	slots := cfg.HorizonFor(seq)
-	relaxed := int64(cfg.Inputs)*int64(cfg.InputBuf) + int64(cfg.OutputBuf)
-	if crossbar {
-		relaxed += int64(cfg.Inputs) * int64(cfg.CrossBuf)
-	}
-	byOut := make([][]packet.Packet, cfg.Outputs)
-	for _, p := range seq {
-		if p.Arrival < slots {
-			byOut[p.Out] = append(byOut[p.Out], p)
-		}
-	}
-	return sumParallel(len(byOut), func(j int) int64 {
-		return singleQueueOPT(byOut[j], slots, relaxed)
-	}), nil
+	s := UpperBoundSolver{parallel: true}
+	return s.OQUpperBound(cfg, seq, crossbar)
 }
 
-// sumParallel evaluates f(0..n-1) across a bounded worker pool and sums
-// the results. The per-port min-cost flows are independent, so the bound
-// computation scales with cores; small n falls back to a plain loop.
-func sumParallel(n int, f func(int) int64) int64 {
+// InputUpperBound is the input-side counterpart of OQUpperBound: each
+// input port i is relaxed to a single time-expanded queue holding all of
+// its virtual output queues (capacity M·B_in [+ M·B_x]), drained at the
+// fabric rate of ŝ transfers per slot, with transferred value counting as
+// delivered (outputs fully relaxed). Any feasible schedule maps into this
+// relaxation, so it is another valid upper bound — tight when the fabric,
+// not the output links, is the bottleneck.
+func InputUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	s := UpperBoundSolver{parallel: true}
+	return s.InputUpperBound(cfg, seq, crossbar)
+}
+
+// CombinedUpperBound returns the tighter of the output-side and
+// input-side relaxations. Both dominate every feasible schedule, so their
+// minimum is still a valid upper bound on OPT. The sequence is validated
+// and partitioned once for both sides.
+func CombinedUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	s := UpperBoundSolver{parallel: true}
+	return s.CombinedUpperBound(cfg, seq, crossbar)
+}
+
+// UpperBoundSolver computes the flow-relaxation upper bounds with fully
+// reusable scratch: the per-port partition buckets and the combinatorial
+// single-queue engine survive across calls, so a judge that evaluates one
+// sequence after another allocates nothing in steady state. The zero value
+// is ready to use. Solvers are not safe for concurrent use; the package
+// functions (OQUpperBound, InputUpperBound, CombinedUpperBound) wrap
+// per-call solvers and additionally fan the independent per-port solves of
+// large instances out over the cores.
+type UpperBoundSolver struct {
+	q     QueueOPTSolver
+	byOut [][]packet.Packet
+	byIn  [][]packet.Packet
+
+	// parallel selects the multi-core path for the per-port solves; only
+	// the package-level wrappers set it, so a reused judge never spawns
+	// goroutines that would fight the caller's own worker pool.
+	parallel bool
+}
+
+// relaxedCaps returns the single-queue buffer capacities of the
+// output-side and input-side relaxations.
+func relaxedCaps(cfg switchsim.Config, crossbar bool) (outCap, inCap int64) {
+	outCap = int64(cfg.Inputs)*int64(cfg.InputBuf) + int64(cfg.OutputBuf)
+	inCap = int64(cfg.Outputs) * int64(cfg.InputBuf)
+	if crossbar {
+		outCap += int64(cfg.Inputs) * int64(cfg.CrossBuf)
+		inCap += int64(cfg.Outputs) * int64(cfg.CrossBuf)
+	}
+	return outCap, inCap
+}
+
+// check validates the configuration and sequence once per call.
+func check(cfg switchsim.Config, seq packet.Sequence, crossbar bool) error {
+	if err := cfg.Check(crossbar); err != nil {
+		return err
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return fmt.Errorf("offline: bad sequence: %w", err)
+	}
+	return nil
+}
+
+// partition splits the packets due before the horizon into per-port
+// buckets, reusing bucket storage. Either destination may be nil to skip
+// that side.
+func partition(seq packet.Sequence, slots int, byOut, byIn [][]packet.Packet) {
+	for j := range byOut {
+		byOut[j] = byOut[j][:0]
+	}
+	for i := range byIn {
+		byIn[i] = byIn[i][:0]
+	}
+	for _, p := range seq {
+		if p.Arrival >= slots {
+			continue
+		}
+		if byOut != nil {
+			byOut[p.Out] = append(byOut[p.Out], p)
+		}
+		if byIn != nil {
+			byIn[p.In] = append(byIn[p.In], p)
+		}
+	}
+}
+
+// growBuckets resizes a bucket table to n ports, keeping per-port storage.
+func growBuckets(b [][]packet.Packet, n int) [][]packet.Packet {
+	if cap(b) < n {
+		nb := make([][]packet.Packet, n)
+		copy(nb, b)
+		return nb
+	}
+	return b[:n]
+}
+
+// OQUpperBound is the output-side relaxation; see the package function.
+func (s *UpperBoundSolver) OQUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	if err := check(cfg, seq, crossbar); err != nil {
+		return 0, err
+	}
+	slots := cfg.HorizonFor(seq)
+	s.byOut = growBuckets(s.byOut, cfg.Outputs)
+	partition(seq, slots, s.byOut, nil)
+	outCap, _ := relaxedCaps(cfg, crossbar)
+	return s.sumPorts(s.byOut, slots, outCap, 1), nil
+}
+
+// InputUpperBound is the input-side relaxation; see the package function.
+func (s *UpperBoundSolver) InputUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	if err := check(cfg, seq, crossbar); err != nil {
+		return 0, err
+	}
+	slots := cfg.HorizonFor(seq)
+	s.byIn = growBuckets(s.byIn, cfg.Inputs)
+	partition(seq, slots, nil, s.byIn)
+	_, inCap := relaxedCaps(cfg, crossbar)
+	return s.sumPorts(s.byIn, slots, inCap, int64(cfg.Speedup)), nil
+}
+
+// CombinedUpperBound is min(output-side, input-side) with one validation
+// pass and one partition scan; see the package function.
+func (s *UpperBoundSolver) CombinedUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	if err := check(cfg, seq, crossbar); err != nil {
+		return 0, err
+	}
+	slots := cfg.HorizonFor(seq)
+	s.byOut = growBuckets(s.byOut, cfg.Outputs)
+	s.byIn = growBuckets(s.byIn, cfg.Inputs)
+	partition(seq, slots, s.byOut, s.byIn)
+	outCap, inCap := relaxedCaps(cfg, crossbar)
+	out := s.sumPorts(s.byOut, slots, outCap, 1)
+	in := s.sumPorts(s.byIn, slots, inCap, int64(cfg.Speedup))
+	return min(out, in), nil
+}
+
+// sumPorts sums the single-queue optima of the port buckets, sequentially
+// on the reused engine or fanned out over the cores (package wrappers).
+func (s *UpperBoundSolver) sumPorts(buckets [][]packet.Packet, slots int, bufCap, sendCap int64) int64 {
+	if !s.parallel {
+		var total int64
+		for _, b := range buckets {
+			total += s.q.Solve(b, slots, bufCap, sendCap)
+		}
+		return total
+	}
+	return sumParallel(len(buckets), func(k int, q *QueueOPTSolver) int64 {
+		return q.Solve(buckets[k], slots, bufCap, sendCap)
+	})
+}
+
+// sumParallel evaluates f(0..n-1) across a bounded worker pool — each
+// worker owning one reusable single-queue engine — and sums the results.
+// The per-port solves are independent, so the bound computation scales
+// with cores; small n falls back to a plain loop.
+func sumParallel(n int, f func(int, *QueueOPTSolver) int64) int64 {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n < 4 {
+		var q QueueOPTSolver
 		var total int64
 		for k := 0; k < n; k++ {
-			total += f(k)
+			total += f(k, &q)
 		}
 		return total
 	}
@@ -84,8 +194,9 @@ func sumParallel(n int, f func(int) int64) int64 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var q QueueOPTSolver
 			for k := range work {
-				partial[k] = f(k)
+				partial[k] = f(k, &q)
 			}
 		}()
 	}
@@ -101,71 +212,27 @@ func sumParallel(n int, f func(int) int64) int64 {
 	return total
 }
 
-// InputUpperBound is the input-side counterpart of OQUpperBound: each
-// input port i is relaxed to a single time-expanded queue holding all of
-// its virtual output queues (capacity M·B_in [+ M·B_x]), drained at the
-// fabric rate of ŝ transfers per slot, with transferred value counting as
-// delivered (outputs fully relaxed). Any feasible schedule maps into this
-// relaxation, so it is another valid upper bound — tight when the fabric,
-// not the output links, is the bottleneck.
-func InputUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
-	if err := cfg.Check(crossbar); err != nil {
-		return 0, err
-	}
-	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
-		return 0, fmt.Errorf("offline: bad sequence: %w", err)
-	}
-	slots := cfg.HorizonFor(seq)
-	relaxed := int64(cfg.Outputs) * int64(cfg.InputBuf)
-	if crossbar {
-		relaxed += int64(cfg.Outputs) * int64(cfg.CrossBuf)
-	}
-	var total int64
-	byIn := make([][]packet.Packet, cfg.Inputs)
-	for _, p := range seq {
-		if p.Arrival < slots {
-			byIn[p.In] = append(byIn[p.In], p)
-		}
-	}
-	total = sumParallel(len(byIn), func(i int) int64 {
-		return singleQueueOPTCap(byIn[i], slots, relaxed, int64(cfg.Speedup))
-	})
-	return total, nil
-}
-
-// CombinedUpperBound returns the tighter of the output-side and
-// input-side relaxations. Both dominate every feasible schedule, so their
-// minimum is still a valid upper bound on OPT.
-func CombinedUpperBound(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
-	out, err := OQUpperBound(cfg, seq, crossbar)
-	if err != nil {
-		return 0, err
-	}
-	in, err := InputUpperBound(cfg, seq, crossbar)
-	if err != nil {
-		return 0, err
-	}
-	if in < out {
-		return in, nil
-	}
-	return out, nil
-}
-
 // SingleQueueOPT computes the exact offline optimum of the bounded-buffer
 // single-queue problem: packets arrive at given slots, the buffer holds at
 // most bufCap packets at any time, one packet is transmitted per slot, and
 // preemption (discarding buffered packets) is free. This is exactly the
 // offline problem faced by one output port of an ideal OQ switch, solved
-// as a min-cost flow on the time-expanded line graph.
+// combinatorially on the compressed arrival-epoch timeline (see
+// QueueOPTSolver); SingleQueueOPTFlow is the retained min-cost-flow
+// reference, exact-equal on every instance.
 func SingleQueueOPT(pkts []packet.Packet, slots int, bufCap int64) int64 {
-	return singleQueueOPTCap(pkts, slots, bufCap, 1)
+	var q QueueOPTSolver
+	return q.Solve(pkts, slots, bufCap, 1)
 }
 
-func singleQueueOPT(pkts []packet.Packet, slots int, bufCap int64) int64 {
-	return singleQueueOPTCap(pkts, slots, bufCap, 1)
-}
-
-func singleQueueOPTCap(pkts []packet.Packet, slots int, bufCap, sendCap int64) int64 {
+// SingleQueueOPTFlow solves the same bounded-buffer single-queue problem
+// as QueueOPTSolver.Solve via min-cost flow on the time-expanded line
+// graph — two nodes per slot plus one per packet. It is kept as the
+// differential reference for the combinatorial solver (and as the honest
+// "before" judge in the BENCH_5 comparisons); both return identical values
+// on every instance, which the offline test suite and FuzzSingleQueueOPT
+// pin.
+func SingleQueueOPTFlow(pkts []packet.Packet, slots int, bufCap, sendCap int64) int64 {
 	if len(pkts) == 0 || slots == 0 {
 		return 0
 	}
@@ -195,4 +262,26 @@ func singleQueueOPTCap(pkts []packet.Packet, slots int, bufCap, sendCap int64) i
 	}
 	_, benefit := m.MaxBenefit(0, 1)
 	return benefit
+}
+
+// CombinedUpperBoundFlow recomputes CombinedUpperBound through the
+// retained time-expanded min-cost-flow reference. It exists for the
+// differential suite and for recording the pre-refactor judge cost
+// (BENCH_5.json); values are exactly equal to CombinedUpperBound.
+func CombinedUpperBoundFlow(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	if err := check(cfg, seq, crossbar); err != nil {
+		return 0, err
+	}
+	slots := cfg.HorizonFor(seq)
+	byOut := make([][]packet.Packet, cfg.Outputs)
+	byIn := make([][]packet.Packet, cfg.Inputs)
+	partition(seq, slots, byOut, byIn)
+	outCap, inCap := relaxedCaps(cfg, crossbar)
+	out := sumParallel(len(byOut), func(j int, _ *QueueOPTSolver) int64 {
+		return SingleQueueOPTFlow(byOut[j], slots, outCap, 1)
+	})
+	in := sumParallel(len(byIn), func(i int, _ *QueueOPTSolver) int64 {
+		return SingleQueueOPTFlow(byIn[i], slots, inCap, int64(cfg.Speedup))
+	})
+	return min(out, in), nil
 }

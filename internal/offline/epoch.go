@@ -1,0 +1,227 @@
+package offline
+
+import (
+	"slices"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/scratch"
+)
+
+// QueueOPTSolver is a reusable combinatorial engine for the bounded-buffer
+// single-queue offline optimum (see SingleQueueOPT): packets arrive at
+// given slots, the buffer holds at most bufCap packets at any time, up to
+// sendCap packets are transmitted per slot, and preemption is free.
+//
+// Instead of solving a min-cost flow on the time-expanded line graph — two
+// nodes per slot, so a 10^6-slot trace costs millions of nodes per solve —
+// the solver works on the *compressed* timeline of arrival epochs: the
+// distinct arrival slots of the instance. Every empty stretch between
+// epochs costs O(1), mirroring the quiescent fast path of the simulators
+// at the judge layer.
+//
+// The algorithm is the successive-shortest-path computation specialized to
+// the line graph. A set S of packets is deliverable iff the work-conserving
+// (send sendCap per slot whenever backlogged) schedule never overflows the
+// buffer and drains by the horizon, which by the Lindley recursion is the
+// window condition
+//
+//	|{p in S : s <= arrival(p) <= t}| <= bufCap + sendCap·(t-s)   for all s <= t
+//	|{p in S : arrival(p) >= s}|      <= sendCap·(slots-s)        for all s
+//
+// with only arrival epochs binding as window endpoints. Deliverable sets
+// are the independent sets of a gammoid (unit-capacity linkability in the
+// line graph), so admitting packets greedily in decreasing value order —
+// exactly the order successive shortest paths admits them — is optimal.
+// Each admission test asks for a window maximum/minimum over the epoch
+// axis, maintained by two lazy segment trees with range-add: writing
+// P(x) for the number of admitted packets at epochs <= x, the conditions
+// for admitting a packet at epoch j reduce to
+//
+//	max_{l >= j} (P(l) - c·a_l) + 1 - min_{i <= j} (P(i-1) - c·a_i) <= bufCap
+//	|S| + 1 - c·slots <= min_{i <= j} (P(i-1) - c·a_i)
+//
+// with c = sendCap. The total work is O(K log K) for K packets regardless
+// of the horizon. The zero value is ready to use; all scratch is reused
+// across solves, so repeated solves allocate nothing once warm.
+type QueueOPTSolver struct {
+	epochs []int      // distinct arrival slots, ascending
+	cands  []qoptCand // admissible packets, later sorted by value
+	g      epochTree  // leaf l: P(l) - c·a_l, queried for suffix maxima
+	h      epochTree  // leaf i: P(i-1) - c·a_i, queried for prefix minima
+	leaves []int64    // initial leaf values shared by both trees
+}
+
+// qoptCand is one packet surviving the admissibility filter: its value
+// and its arrival — the raw slot during collection, remapped in place to
+// the arrival's epoch index before the greedy sweep.
+type qoptCand struct {
+	v int64
+	e int
+}
+
+// Solve returns the optimum delivered value. The packet order is free (the
+// solver compresses and sorts arrivals itself); packets arriving at or
+// after the horizon, and packets of non-positive value, never contribute.
+func (s *QueueOPTSolver) Solve(pkts []packet.Packet, slots int, bufCap, sendCap int64) int64 {
+	if len(pkts) == 0 || slots <= 0 || bufCap <= 0 || sendCap <= 0 {
+		return 0
+	}
+	// One admissibility pass: collect candidates with raw arrivals, build
+	// the epoch axis from them, then remap arrivals to epoch indices.
+	s.epochs = s.epochs[:0]
+	s.cands = s.cands[:0]
+	for _, p := range pkts {
+		if p.Arrival >= slots || p.Value <= 0 {
+			continue
+		}
+		s.epochs = append(s.epochs, p.Arrival)
+		s.cands = append(s.cands, qoptCand{v: p.Value, e: p.Arrival})
+	}
+	if len(s.epochs) == 0 {
+		return 0
+	}
+	slices.Sort(s.epochs)
+	s.epochs = slices.Compact(s.epochs)
+	m := len(s.epochs)
+	for k := range s.cands {
+		e, _ := slices.BinarySearch(s.epochs, s.cands[k].e)
+		s.cands[k].e = e
+	}
+	slices.SortFunc(s.cands, func(a, b qoptCand) int {
+		switch {
+		case a.v > b.v:
+			return -1
+		case a.v < b.v:
+			return 1
+		}
+		return 0
+	})
+
+	// Both trees start from the same leaves: P ≡ 0, so leaf x holds
+	// -sendCap·a_x for G(x) = P(x) - c·a_x and H(x) = P(x-1) - c·a_x alike.
+	s.leaves = s.leaves[:0]
+	for _, a := range s.epochs {
+		s.leaves = append(s.leaves, -sendCap*int64(a))
+	}
+	s.g.init(s.leaves)
+	s.h.init(s.leaves)
+
+	drainCap := sendCap * int64(slots)
+	var total, benefit int64
+	for _, c := range s.cands {
+		e := c.e
+		hmin := s.h.min(0, e)
+		if total+1-drainCap > hmin {
+			continue
+		}
+		if s.g.max(e, m-1)+1-hmin > bufCap {
+			continue
+		}
+		total++
+		benefit += c.v
+		s.g.add(e, m-1, 1)
+		if e+1 <= m-1 {
+			s.h.add(e+1, m-1, 1)
+		}
+	}
+	return benefit
+}
+
+// epochTree is a lazy segment tree over the compressed epoch axis with
+// range add, range max and range min — the slack accountant behind
+// QueueOPTSolver. Storage is reused across init calls.
+type epochTree struct {
+	size int // leaf count, power of two
+	m    int // live leaves
+	mx   []int64
+	mn   []int64
+	lz   []int64
+}
+
+const epochInf = int64(1) << 62
+
+// init loads the tree with the given leaf values.
+func (t *epochTree) init(vals []int64) {
+	t.m = len(vals)
+	size := 1
+	for size < t.m {
+		size <<= 1
+	}
+	t.size = size
+	t.mx = scratch.Grow(t.mx, 2*size)
+	t.mn = scratch.Grow(t.mn, 2*size)
+	t.lz = scratch.Grow(t.lz, 2*size)
+	for i := range t.lz {
+		t.lz[i] = 0
+	}
+	for i := 0; i < size; i++ {
+		if i < t.m {
+			t.mx[size+i] = vals[i]
+			t.mn[size+i] = vals[i]
+		} else {
+			t.mx[size+i] = -epochInf
+			t.mn[size+i] = epochInf
+		}
+	}
+	for i := size - 1; i >= 1; i-- {
+		t.mx[i] = max(t.mx[2*i], t.mx[2*i+1])
+		t.mn[i] = min(t.mn[2*i], t.mn[2*i+1])
+	}
+}
+
+// add adds d to every leaf in [l, r] (inclusive).
+func (t *epochTree) add(l, r int, d int64) {
+	if l > r {
+		return
+	}
+	t.addRec(1, 0, t.size-1, l, r, d)
+}
+
+func (t *epochTree) addRec(node, lo, hi, l, r int, d int64) {
+	if r < lo || hi < l {
+		return
+	}
+	if l <= lo && hi <= r {
+		t.mx[node] += d
+		t.mn[node] += d
+		t.lz[node] += d
+		return
+	}
+	mid := (lo + hi) / 2
+	t.addRec(2*node, lo, mid, l, r, d)
+	t.addRec(2*node+1, mid+1, hi, l, r, d)
+	t.mx[node] = max(t.mx[2*node], t.mx[2*node+1]) + t.lz[node]
+	t.mn[node] = min(t.mn[2*node], t.mn[2*node+1]) + t.lz[node]
+}
+
+// max returns the maximum leaf value in [l, r] (inclusive).
+func (t *epochTree) max(l, r int) int64 {
+	return t.maxRec(1, 0, t.size-1, l, r)
+}
+
+func (t *epochTree) maxRec(node, lo, hi, l, r int) int64 {
+	if r < lo || hi < l {
+		return -epochInf
+	}
+	if l <= lo && hi <= r {
+		return t.mx[node]
+	}
+	mid := (lo + hi) / 2
+	return max(t.maxRec(2*node, lo, mid, l, r), t.maxRec(2*node+1, mid+1, hi, l, r)) + t.lz[node]
+}
+
+// min returns the minimum leaf value in [l, r] (inclusive).
+func (t *epochTree) min(l, r int) int64 {
+	return t.minRec(1, 0, t.size-1, l, r)
+}
+
+func (t *epochTree) minRec(node, lo, hi, l, r int) int64 {
+	if r < lo || hi < l {
+		return epochInf
+	}
+	if l <= lo && hi <= r {
+		return t.mn[node]
+	}
+	mid := (lo + hi) / 2
+	return min(t.minRec(2*node, lo, mid, l, r), t.minRec(2*node+1, mid+1, hi, l, r)) + t.lz[node]
+}

@@ -1,0 +1,41 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"qswitch/internal/packet"
+)
+
+// FuzzSingleQueueOPT fuzzes the combinatorial epoch solver against the
+// retained min-cost-flow reference over random values, arrivals, buffer
+// capacities, send rates and horizons. It runs as a 30s CI smoke on top of
+// the deterministic differential corpus.
+func FuzzSingleQueueOPT(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(2), uint8(1), uint16(20))
+	f.Add(int64(7), uint8(40), uint8(1), uint8(3), uint16(6))
+	f.Add(int64(42), uint8(3), uint8(7), uint8(2), uint16(300))
+	f.Add(int64(99), uint8(60), uint8(4), uint8(1), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, nPkts, bufCap, sendCap uint8, horizon uint16) {
+		slots := 1 + int(horizon)%400
+		n := int(nPkts) % 64
+		buf := 1 + int64(bufCap)%8
+		send := 1 + int64(sendCap)%4
+		rng := rand.New(rand.NewSource(seed))
+		pkts := make([]packet.Packet, n)
+		for k := range pkts {
+			pkts[k] = packet.Packet{
+				ID:      int64(k),
+				Arrival: rng.Intn(slots + 8), // some packets beyond the horizon
+				Value:   1 + rng.Int63n(50),
+			}
+		}
+		var q QueueOPTSolver
+		got := q.Solve(pkts, slots, buf, send)
+		want := SingleQueueOPTFlow(pkts, slots, buf, send)
+		if got != want {
+			t.Fatalf("slots=%d buf=%d send=%d: combinatorial %d != flow %d\npkts=%v",
+				slots, buf, send, got, want, pkts)
+		}
+	})
+}

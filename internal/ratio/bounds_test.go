@@ -32,7 +32,7 @@ func TestSingleSurfacesPolicyErrors(t *testing.T) {
 		return 0, errTest
 	})
 	seq := packet.Sequence{{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 1}}
-	if _, _, err := Single(cfg, bad, ExactUnitCIOQ, seq); err == nil {
+	if _, _, err := Single(cfg, bad, ExactUnitCIOQ(), seq); err == nil {
 		t.Error("policy error swallowed")
 	}
 }
@@ -43,7 +43,7 @@ func TestSingleFlagsZeroBenefitAgainstPositiveOPT(t *testing.T) {
 		return 0, nil // scores nothing
 	})
 	seq := packet.Sequence{{ID: 0, Arrival: 0, In: 0, Out: 0, Value: 1}}
-	if _, _, err := Single(cfg, lazy, ExactUnitCIOQ, seq); err == nil {
+	if _, _, err := Single(cfg, lazy, ExactUnitCIOQ(), seq); err == nil {
 		t.Error("unbounded ratio not surfaced as an error")
 	}
 }

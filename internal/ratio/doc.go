@@ -12,6 +12,13 @@
 //   - Policy instances are created per evaluation through the Alg
 //     factory, never shared, so concurrent or repeated evaluations cannot
 //     leak mutable policy state.
+//   - Judges are minted per worker through a JudgeFactory and reused
+//     across that worker's whole seed stream: judging is deterministic
+//     (same value for the same sequence regardless of call history), so
+//     scratch reuse never changes an Estimate, only wall-clock. The same
+//     holds for the per-worker fleets minted by a FleetAlgFactory, and
+//     for RunFleet overlapping each chunk's judging with its fleet
+//     stepping.
 //   - The simulation engine is whatever the caller's switchsim.Config
 //     selects — event-driven by default, dense via Config.Dense — and the
 //     measured ratios are identical either way; only wall-clock changes.

@@ -17,51 +17,67 @@ import (
 // counterpart of Alg: the columnar fleet engine amortizes one policy loop
 // (and one switch construction) across the batch, and is bit-identical to
 // the scalar engines, so estimates built on it are byte-identical to
-// Run/RunParallel's.
+// Run/RunParallel's. A FleetAlg may hold reusable state (a fleet.Runner)
+// across calls and is not safe for concurrent use.
 type FleetAlg func(cfg switchsim.Config, seqs []packet.Sequence) ([]int64, error)
 
-// CIOQFleetAlg adapts a CIOQ policy factory to the FleetAlg signature via
-// fleet.RunCIOQ (columnar when the family is batchable, per-instance
-// scalar otherwise — either way bit-identical to CIOQAlg).
-func CIOQFleetAlg(factory func() switchsim.CIOQPolicy) FleetAlg {
-	return func(cfg switchsim.Config, seqs []packet.Sequence) ([]int64, error) {
-		rs, err := fleet.RunCIOQ(cfg, factory, seqs)
-		if err != nil {
-			return nil, err
+// FleetAlgFactory mints independent FleetAlgs — RunFleet calls it once per
+// worker, so each worker's fleet storage is constructed once and reused
+// across its whole chunk stream.
+type FleetAlgFactory func() FleetAlg
+
+// CIOQFleetAlg adapts a CIOQ policy factory to the FleetAlgFactory
+// signature: each minted FleetAlg owns a fleet.CIOQRunner (columnar when
+// the family is batchable, per-instance scalar otherwise — either way
+// bit-identical to CIOQAlg) whose storage survives across batches.
+func CIOQFleetAlg(factory func() switchsim.CIOQPolicy) FleetAlgFactory {
+	return func() FleetAlg {
+		r := fleet.NewCIOQRunner(factory)
+		return func(cfg switchsim.Config, seqs []packet.Sequence) ([]int64, error) {
+			rs, err := r.Run(cfg, seqs)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]int64, len(rs))
+			for k, res := range rs {
+				out[k] = res.M.Benefit
+			}
+			return out, nil
 		}
-		out := make([]int64, len(rs))
-		for k, r := range rs {
-			out[k] = r.M.Benefit
-		}
-		return out, nil
 	}
 }
 
-// CrossbarFleetAlg adapts a crossbar policy factory to the FleetAlg
-// signature via fleet.RunCrossbar.
-func CrossbarFleetAlg(factory func() switchsim.CrossbarPolicy) FleetAlg {
-	return func(cfg switchsim.Config, seqs []packet.Sequence) ([]int64, error) {
-		rs, err := fleet.RunCrossbar(cfg, factory, seqs)
-		if err != nil {
-			return nil, err
+// CrossbarFleetAlg adapts a crossbar policy factory to the
+// FleetAlgFactory signature via fleet.CrossbarRunner.
+func CrossbarFleetAlg(factory func() switchsim.CrossbarPolicy) FleetAlgFactory {
+	return func() FleetAlg {
+		r := fleet.NewCrossbarRunner(factory)
+		return func(cfg switchsim.Config, seqs []packet.Sequence) ([]int64, error) {
+			rs, err := r.Run(cfg, seqs)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]int64, len(rs))
+			for k, res := range rs {
+				out[k] = res.M.Benefit
+			}
+			return out, nil
 		}
-		out := make([]int64, len(rs))
-		for k, r := range rs {
-			out[k] = r.M.Benefit
-		}
-		return out, nil
 	}
 }
 
 // RunFleet is RunParallel with the policy side of the measurements routed
 // through a batched FleetAlg: seeds are dealt into contiguous batches of
-// `batch` sequences (<= 0 selects 64), each batch's offline optima are
-// solved per-sequence, the policy runs once over the batch's eligible
-// sequences, and batches fan out over `workers` goroutines (<= 0 selects
-// GOMAXPROCS). Results are merged deterministically in seed order, so the
-// output is byte-identical to Run and RunParallel for the same inputs,
-// regardless of workers or batch size.
-func RunFleet(cfg switchsim.Config, alg FleetAlg, opt Opt, gen packet.Generator,
+// `batch` sequences (<= 0 selects 64) and batches fan out over `workers`
+// goroutines (<= 0 selects GOMAXPROCS). Each worker mints one FleetAlg
+// and one Judge up front — the fleet storage and the judge scratch are
+// reused across the worker's whole chunk stream — and overlaps the two
+// per chunk: the batch's policy runs step on a side goroutine while the
+// worker judges the batch's sequences. Results are merged
+// deterministically in seed order, so the output is byte-identical to Run
+// and RunParallel for the same inputs, regardless of workers or batch
+// size.
+func RunFleet(cfg switchsim.Config, alg FleetAlgFactory, judge JudgeFactory, gen packet.Generator,
 	baseSeed int64, runs, workers, batch int) (Estimate, error) {
 	var est Estimate
 	if runs <= 0 {
@@ -86,56 +102,91 @@ func RunFleet(cfg switchsim.Config, alg FleetAlg, opt Opt, gen packet.Generator,
 		skipped bool
 		err     error
 	}
+	type algOut struct {
+		benefits []int64
+		err      error
+	}
 	results := make([]outcome, runs)
-	process := func(c int) {
-		k0 := c * batch
-		k1 := min(runs, k0+batch)
-		optVals := make([]int64, k1-k0)
-		eligible := make([]packet.Sequence, 0, k1-k0)
-		eligIdx := make([]int, 0, k1-k0)
-		for k := k0; k < k1; k++ {
-			rng := rand.New(rand.NewSource(baseSeed + int64(k)))
-			seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
-			optVal, err := opt(cfg, seq)
-			if err != nil {
-				results[k] = outcome{err: fmt.Errorf("offline optimum: %w", err)}
+	// worker drains chunk indices, holding one reusable fleet alg, one
+	// reusable judge and one sequence scratch buffer for its whole stream.
+	worker := func(chunks <-chan int) {
+		a := alg()
+		j := judge()
+		var seqs []packet.Sequence
+		var optVals []int64
+		algCh := make(chan algOut, 1)
+		for c := range chunks {
+			k0 := c * batch
+			k1 := min(runs, k0+batch)
+			seqs = seqs[:0]
+			for k := k0; k < k1; k++ {
+				rng := rand.New(rand.NewSource(baseSeed + int64(k)))
+				seqs = append(seqs, gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg)))
+			}
+			// Policy side first, on its own goroutine: the fleet steps the
+			// whole batch while this worker judges it, so judge work
+			// overlaps fleet stepping instead of serializing behind it.
+			go func() {
+				benefits, err := a(cfg, seqs)
+				if err == nil && len(benefits) != len(seqs) {
+					err = fmt.Errorf("fleet alg returned %d benefits for %d sequences", len(benefits), len(seqs))
+				}
+				algCh <- algOut{benefits, err}
+			}()
+			if cap(optVals) < k1-k0 {
+				optVals = make([]int64, k1-k0)
+			} else {
+				optVals = optVals[:k1-k0]
+			}
+			judgeErr := false
+			firstElig := -1
+			for k := k0; k < k1; k++ {
+				optVal, err := j.Judge(cfg, seqs[k-k0])
+				switch {
+				case err != nil:
+					results[k] = outcome{err: fmt.Errorf("offline optimum: %w", err)}
+					judgeErr = true
+				case optVal == 0:
+					results[k] = outcome{skipped: true}
+				default:
+					if firstElig < 0 {
+						firstElig = k
+					}
+					optVals[k-k0] = optVal
+				}
+			}
+			out := <-algCh
+			if out.err != nil {
+				// Deterministic attribution: the first eligible seed in the
+				// batch carries the policy error; judge errors (which may
+				// have fed the fleet a sequence the old per-eligible path
+				// would have excluded) take precedence.
+				if firstElig >= 0 && !judgeErr {
+					results[firstElig] = outcome{err: fmt.Errorf("policy run: %w", out.err)}
+				}
 				continue
 			}
-			optVals[k-k0] = optVal
-			if optVal == 0 {
-				results[k] = outcome{skipped: true}
-				continue
+			for k := k0; k < k1; k++ {
+				if o := results[k]; o.err != nil || o.skipped {
+					continue
+				}
+				optVal := optVals[k-k0]
+				if benefit := out.benefits[k-k0]; benefit == 0 {
+					results[k] = outcome{err: fmt.Errorf("ratio: policy scored 0 against optimum %d", optVal)}
+				} else {
+					results[k] = outcome{ratio: float64(optVal) / float64(benefit)}
+				}
 			}
-			eligible = append(eligible, seq)
-			eligIdx = append(eligIdx, k)
-		}
-		if len(eligible) == 0 {
-			return
-		}
-		benefits, err := alg(cfg, eligible)
-		if err == nil && len(benefits) != len(eligible) {
-			err = fmt.Errorf("fleet alg returned %d benefits for %d sequences", len(benefits), len(eligible))
-		}
-		if err != nil {
-			// Deterministic attribution: the first eligible seed in the
-			// batch carries the error.
-			results[eligIdx[0]] = outcome{err: fmt.Errorf("policy run: %w", err)}
-			return
-		}
-		for x, k := range eligIdx {
-			optVal := optVals[k-k0]
-			if benefits[x] == 0 {
-				results[k] = outcome{err: fmt.Errorf("ratio: policy scored 0 against optimum %d", optVal)}
-				continue
-			}
-			results[k] = outcome{ratio: float64(optVal) / float64(benefits[x])}
 		}
 	}
 
 	if workers <= 1 {
+		chunkCh := make(chan int, nChunks)
 		for c := 0; c < nChunks; c++ {
-			process(c)
+			chunkCh <- c
 		}
+		close(chunkCh)
+		worker(chunkCh)
 	} else {
 		chunkCh := make(chan int, nChunks)
 		var wg sync.WaitGroup
@@ -143,9 +194,7 @@ func RunFleet(cfg switchsim.Config, alg FleetAlg, opt Opt, gen packet.Generator,
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for c := range chunkCh {
-					process(c)
-				}
+				worker(chunkCh)
 			}()
 		}
 		for c := 0; c < nChunks; c++ {

@@ -14,13 +14,15 @@ import (
 
 // RunParallel is Run with the per-seed measurements fanned out over a
 // worker pool. Each worker gets its own policy instance (via the Alg
-// closure) and its own rand.Rand, so runs are fully independent; results
-// are merged deterministically (sorted by seed), making RunParallel's
-// output bit-identical to Run's for the same inputs.
+// closure), its own judge (via the factory, so per-worker scratch stays
+// warm across the worker's whole seed stream) and its own rand.Rand, so
+// runs are fully independent; results are merged deterministically
+// (sorted by seed), making RunParallel's output bit-identical to Run's
+// for the same inputs.
 //
 // workers <= 0 selects GOMAXPROCS. The speedup is near-linear because
 // each measurement is an independent simulation plus an offline solve.
-func RunParallel(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator,
+func RunParallel(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator,
 	baseSeed int64, runs, workers int) (Estimate, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,7 +31,7 @@ func RunParallel(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator,
 		workers = runs
 	}
 	if workers <= 1 {
-		return Run(cfg, alg, opt, gen, baseSeed, runs)
+		return Run(cfg, alg, judge, gen, baseSeed, runs)
 	}
 
 	type outcome struct {
@@ -45,11 +47,12 @@ func RunParallel(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			j := judge()
 			for k := range seedCh {
 				seed := baseSeed + int64(k)
 				rng := rand.New(rand.NewSource(seed))
 				seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
-				r, ok, err := Single(cfg, alg, opt, seq)
+				r, ok, err := Single(cfg, alg, j, seq)
 				results[k] = outcome{seed: seed, ratio: r, err: err, skipped: !ok && err == nil}
 			}
 		}()
@@ -93,7 +96,7 @@ func RunParallel(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator,
 // spreads its seeds over the share of the budget the point concurrency
 // leaves free, so a sweep of few points over many seeds parallelizes just
 // as well as one of many points.
-func Sweep(cfg switchsim.Config, algs map[string]Alg, opt Opt, gen packet.Generator,
+func Sweep(cfg switchsim.Config, algs map[string]Alg, judge JudgeFactory, gen packet.Generator,
 	baseSeed int64, runs, workers int) (map[string]Estimate, error) {
 	names := make([]string, 0, len(algs))
 	for name := range algs {
@@ -115,7 +118,7 @@ func Sweep(cfg switchsim.Config, algs map[string]Alg, opt Opt, gen packet.Genera
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			est, err := RunParallel(cfg, algs[name], opt, gen, baseSeed, runs, perPoint)
+			est, err := RunParallel(cfg, algs[name], judge, gen, baseSeed, runs, perPoint)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {

@@ -10,40 +10,63 @@ import (
 	"qswitch/internal/switchsim"
 )
 
-// Opt computes an offline benchmark value for a sequence: the exact
-// optimum or a proven upper bound.
-type Opt func(cfg switchsim.Config, seq packet.Sequence) (int64, error)
-
-// ExactUnitCIOQ adapts the exact unit-value DP to the Opt signature.
-func ExactUnitCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
-	return offline.ExactUnitCIOQ(cfg, seq)
+// Judge computes an offline benchmark value for a sequence: the exact
+// optimum or a proven upper bound. Implementations may carry reusable
+// scratch between calls — the upper-bound judges keep their epoch solver
+// and partition buckets warm across a whole seed stream — and therefore
+// need not be safe for concurrent use; mint one per goroutine via a
+// JudgeFactory. Judging is deterministic: every judge returns the same
+// value for the same (cfg, seq) regardless of call history.
+type Judge interface {
+	Judge(cfg switchsim.Config, seq packet.Sequence) (int64, error)
 }
 
-// ExactUnitCrossbar adapts the exact unit-value crossbar DP.
-func ExactUnitCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
-	return offline.ExactUnitCrossbar(cfg, seq)
+// JudgeFactory mints independent judges. Run holds one judge for its whole
+// seed stream; RunParallel and RunFleet call the factory once per worker,
+// so each worker's judge reuses its scratch across everything that worker
+// measures.
+type JudgeFactory func() Judge
+
+// JudgeFunc adapts a stateless judging function to the Judge interface.
+type JudgeFunc func(cfg switchsim.Config, seq packet.Sequence) (int64, error)
+
+// Judge implements the Judge interface.
+func (f JudgeFunc) Judge(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return f(cfg, seq)
 }
 
-// ExactWeightedCIOQ adapts the exact weighted micro search.
-func ExactWeightedCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
-	return offline.ExactWeightedCIOQ(cfg, seq)
-}
+// ExactUnitCIOQ mints the exact unit-value CIOQ DP judge.
+func ExactUnitCIOQ() Judge { return JudgeFunc(offline.ExactUnitCIOQ) }
 
-// ExactWeightedCrossbar adapts the exact weighted crossbar micro search.
-func ExactWeightedCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
-	return offline.ExactWeightedCrossbar(cfg, seq)
-}
+// ExactUnitCrossbar mints the exact unit-value crossbar DP judge.
+func ExactUnitCrossbar() Judge { return JudgeFunc(offline.ExactUnitCrossbar) }
 
-// UpperBoundCIOQ adapts the combined (output-side and input-side) flow
-// relaxation for CIOQ geometries.
-func UpperBoundCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
-	return offline.CombinedUpperBound(cfg, seq, false)
-}
+// ExactWeightedCIOQ mints the exact weighted micro-search judge.
+func ExactWeightedCIOQ() Judge { return JudgeFunc(offline.ExactWeightedCIOQ) }
 
-// UpperBoundCrossbar adapts the combined flow relaxation for crossbar
+// ExactWeightedCrossbar mints the exact weighted crossbar micro-search
+// judge.
+func ExactWeightedCrossbar() Judge { return JudgeFunc(offline.ExactWeightedCrossbar) }
+
+// UpperBoundCIOQ mints a judge for the combined (output-side and
+// input-side) relaxation of CIOQ geometries, holding a reusable
+// offline.UpperBoundSolver: repeated judging allocates nothing in steady
+// state.
+func UpperBoundCIOQ() Judge { return &boundJudge{} }
+
+// UpperBoundCrossbar mints the combined-relaxation judge for crossbar
 // geometries.
-func UpperBoundCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
-	return offline.CombinedUpperBound(cfg, seq, true)
+func UpperBoundCrossbar() Judge { return &boundJudge{crossbar: true} }
+
+// boundJudge is the reusable upper-bound judge behind UpperBoundCIOQ and
+// UpperBoundCrossbar.
+type boundJudge struct {
+	crossbar bool
+	s        offline.UpperBoundSolver
+}
+
+func (b *boundJudge) Judge(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return b.s.CombinedUpperBound(cfg, seq, b.crossbar)
 }
 
 // Alg runs a policy on a sequence and returns its benefit.
@@ -90,20 +113,21 @@ func (e Estimate) String() string {
 		e.Max, e.Mean, e.CI95, e.Runs, e.WorstSeed)
 }
 
-// Run measures OPT/ALG over `runs` seeded workloads drawn from gen.
-// Sequences where OPT = 0 are skipped (the ratio is vacuous); an ALG of 0
-// with positive OPT is reported as +Inf via a very large sentinel would be
-// wrong — it is a genuine unbounded ratio, surfaced as an error instead,
-// since none of the paper's algorithms can score zero against a positive
+// Run measures OPT/ALG over `runs` seeded workloads drawn from gen, with
+// one judge minted up front and reused across the whole stream. Sequences
+// where OPT = 0 are skipped (the ratio is vacuous); an ALG of 0 with
+// positive OPT is a genuine unbounded ratio, surfaced as an error, since
+// none of the paper's algorithms can score zero against a positive
 // optimum.
-func Run(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator, baseSeed int64, runs int) (Estimate, error) {
+func Run(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator, baseSeed int64, runs int) (Estimate, error) {
 	var est Estimate
 	var acc stats.Acc
+	j := judge()
 	for k := 0; k < runs; k++ {
 		seed := baseSeed + int64(k)
 		rng := rand.New(rand.NewSource(seed))
 		seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
-		r, ok, err := Single(cfg, alg, opt, seq)
+		r, ok, err := Single(cfg, alg, j, seq)
 		if err != nil {
 			return est, fmt.Errorf("ratio: seed %d: %w", seed, err)
 		}
@@ -124,9 +148,11 @@ func Run(cfg switchsim.Config, alg Alg, opt Opt, gen packet.Generator, baseSeed 
 	return est, nil
 }
 
-// Single measures OPT/ALG on one sequence. ok=false when OPT is zero.
-func Single(cfg switchsim.Config, alg Alg, opt Opt, seq packet.Sequence) (float64, bool, error) {
-	optVal, err := opt(cfg, seq)
+// Single measures OPT/ALG on one sequence with an already-minted judge
+// (hot loops hold one judge across many Single calls). ok=false when OPT
+// is zero.
+func Single(cfg switchsim.Config, alg Alg, judge Judge, seq packet.Sequence) (float64, bool, error) {
+	optVal, err := judge.Judge(cfg, seq)
 	if err != nil {
 		return 0, false, fmt.Errorf("offline optimum: %w", err)
 	}

@@ -156,7 +156,7 @@ func TestUpperBoundRatiosAreLooserButFinite(t *testing.T) {
 func TestSingleReportsVacuousInstances(t *testing.T) {
 	cfg := microCfg()
 	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
-	_, ok, err := Single(cfg, alg, ExactUnitCIOQ, nil)
+	_, ok, err := Single(cfg, alg, ExactUnitCIOQ(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,16 @@
+// Package scratch provides the one helper every reusable solver object
+// in this repo needs: resizing a scratch slice to a requested length
+// while keeping its backing array whenever it already fits, so warm
+// solvers never allocate. It replaces the per-package growInt/growBool
+// copies that accumulated in matching, flow and offline.
+package scratch
+
+// Grow returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified; callers that need
+// zeroed or sentinel-filled scratch overwrite it themselves.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

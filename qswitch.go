@@ -290,13 +290,20 @@ func MeasureRatioCIOQ(cfg Config, policyName string, gen Generator, exact bool, 
 	if _, err := NewCIOQPolicy(policyName); err != nil {
 		return RatioEstimate{}, err
 	}
-	opt := ratio.UpperBoundCIOQ
+	judge := ratio.JudgeFactory(ratio.UpperBoundCIOQ)
 	if exact {
-		opt = func(cfg Config, seq Sequence) (int64, error) {
-			return ExactOptimum(cfg, seq, false)
-		}
+		judge = exactJudge(false)
 	}
-	return ratio.Run(cfg, alg, opt, gen, seed, runs)
+	return ratio.Run(cfg, alg, judge, gen, seed, runs)
+}
+
+// exactJudge adapts ExactOptimum to the ratio judge factory contract.
+func exactJudge(crossbar bool) ratio.JudgeFactory {
+	return func() ratio.Judge {
+		return ratio.JudgeFunc(func(cfg Config, seq Sequence) (int64, error) {
+			return ExactOptimum(cfg, seq, crossbar)
+		})
+	}
 }
 
 // MeasureRatioCIOQParallel is MeasureRatioCIOQ with the per-seed
@@ -313,13 +320,11 @@ func MeasureRatioCIOQParallel(cfg Config, policyName string, gen Generator, exac
 		}
 		return p
 	})
-	opt := ratio.UpperBoundCIOQ
+	judge := ratio.JudgeFactory(ratio.UpperBoundCIOQ)
 	if exact {
-		opt = func(cfg Config, seq Sequence) (int64, error) {
-			return ExactOptimum(cfg, seq, false)
-		}
+		judge = exactJudge(false)
 	}
-	return ratio.RunParallel(cfg, alg, opt, gen, seed, runs, workers)
+	return ratio.RunParallel(cfg, alg, judge, gen, seed, runs, workers)
 }
 
 // MeasureRatioCrossbar is the buffered-crossbar analogue of
@@ -335,13 +340,11 @@ func MeasureRatioCrossbar(cfg Config, policyName string, gen Generator, exact bo
 	if _, err := NewCrossbarPolicy(policyName); err != nil {
 		return RatioEstimate{}, err
 	}
-	opt := ratio.UpperBoundCrossbar
+	judge := ratio.JudgeFactory(ratio.UpperBoundCrossbar)
 	if exact {
-		opt = func(cfg Config, seq Sequence) (int64, error) {
-			return ExactOptimum(cfg, seq, true)
-		}
+		judge = exactJudge(true)
 	}
-	return ratio.Run(cfg, alg, opt, gen, seed, runs)
+	return ratio.Run(cfg, alg, judge, gen, seed, runs)
 }
 
 // DefaultBetaPG returns β = 1+√2, PG's optimal parameter (Theorem 2).
