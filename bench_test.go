@@ -2,6 +2,7 @@ package qswitch
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"testing"
@@ -587,9 +588,9 @@ func BenchmarkFleetRatioGM16B256(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		if fleetLoopedScalar() {
-			_, err = ratio.RunParallel(cfg, ratio.CIOQAlg(factory), judge, gen, 1, 256, 1)
+			_, err = ratio.RunParallel(context.Background(), cfg, ratio.CIOQAlg(factory), judge, gen, 1, 256, 1)
 		} else {
-			_, err = ratio.RunFleet(cfg, ratio.CIOQFleetAlg(factory), judge, gen, 1, 256, 1, 256)
+			_, err = ratio.RunFleet(context.Background(), cfg, ratio.CIOQFleetAlg(factory), judge, gen, 1, 256, 1, 256)
 		}
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,195 @@
+// Command qswitchctl is the sharded experiment service's coordinator: it
+// fans the Monte-Carlo experiments (E1–E4) and adversary hunts out over a
+// fleet of qswitchd workers with retries, supervision and crash-safe
+// checkpointing, and merges results that are byte-identical to a
+// single-process run.
+//
+// Usage:
+//
+//	qswitchctl -workers 4 -run e1,e2 -quick            # spawn 4 local workers
+//	qswitchctl -connect :7410,:7411 -run e3            # use running qswitchd -listen workers
+//	qswitchctl -workers 4 -run e1 -checkpoint e1.ckpt  # kill it, rerun: resumes
+//	qswitchctl -workers 2 -chaos seed=7,kill=0.1 -run e1
+//	qswitchctl -workers 4 -hunt "pg" -huntjudge exactweighted -maxvalue 8 -restarts 16
+//
+// With -workers N the coordinator re-executes its own binary in worker
+// mode (the hidden -serve flag), so no separate qswitchd binary is
+// needed on PATH; -chaos applies to the spawned workers. A run with a
+// -checkpoint file can be killed at any point and rerun with the same
+// arguments: completed chunks are replayed from the log, only the rest
+// execute.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"qswitch/internal/adversary"
+	"qswitch/internal/experiments"
+	"qswitch/internal/shard"
+	"qswitch/internal/shard/faultinject"
+	"qswitch/internal/switchsim"
+)
+
+func main() {
+	var (
+		serve      = flag.Bool("serve", false, "worker mode: serve the shard protocol on stdio (used internally by -workers)")
+		workers    = flag.Int("workers", 0, "spawn this many local worker processes")
+		connect    = flag.String("connect", "", "comma-separated TCP addresses of running qswitchd -listen workers")
+		run        = flag.String("run", "", "comma-separated experiment ids to run sharded (of e1,e2,e3,e4)")
+		quick      = flag.Bool("quick", false, "reduced workloads")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		chunk      = flag.Int("chunk", 0, "seeds per chunk (0 selects the default)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint log path; completed chunks survive coordinator crashes")
+		chaos      = flag.String("chaos", "", "fault-injection spec passed to spawned workers")
+		timeout    = flag.Duration("chunk-timeout", 0, "per-chunk attempt deadline (default 2m)")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "max silence before a worker is presumed dead (default 10s)")
+		hunt       = flag.String("hunt", "", "policy spec to hunt adversarially instead of running experiments")
+		huntJudge  = flag.String("huntjudge", "exactunit", "judge spec for -hunt")
+		crossbar   = flag.Bool("crossbar", false, "hunt against the buffered-crossbar model")
+		restarts   = flag.Int("restarts", 8, "hunt restarts (sharded across workers)")
+		iterations = flag.Int("iterations", 400, "hunt hill-climb iterations per restart")
+		maxValue   = flag.Int64("maxvalue", 1, "hunt max packet value (1 = unit)")
+		verbose    = flag.Bool("v", false, "log supervision events to stderr")
+	)
+	flag.Parse()
+
+	if *serve {
+		inj, err := faultinject.ParseSpec(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		if err := shard.ServeStdio(shard.ServeOptions{Chaos: inj}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	opts := shard.CoordinatorOptions{
+		ChunkTimeout:     *timeout,
+		HeartbeatTimeout: *hbTimeout,
+		CheckpointPath:   *checkpoint,
+	}
+	if *verbose {
+		logger := log.New(os.Stderr, "qswitchctl: ", log.Ltime|log.Lmicroseconds)
+		opts.Logf = logger.Printf
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(fmt.Errorf("cannot locate own binary for -workers: %w", err))
+	}
+	if *chaos != "" {
+		// Fail fast on a bad spec here rather than in every worker.
+		if _, err := faultinject.ParseSpec(*chaos); err != nil {
+			fatal(err)
+		}
+	}
+	for i := 0; i < *workers; i++ {
+		cmd := []string{exe, "-serve"}
+		if *chaos != "" {
+			cmd = append(cmd, "-chaos", perWorkerChaos(*chaos, i))
+		}
+		opts.Workers = append(opts.Workers, shard.WorkerSpec{Cmd: cmd})
+	}
+	if *connect != "" {
+		for _, addr := range strings.Split(*connect, ",") {
+			opts.Workers = append(opts.Workers, shard.WorkerSpec{Addr: strings.TrimSpace(addr)})
+		}
+	}
+
+	coord, err := shard.NewCoordinator(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+
+	start := time.Now()
+	switch {
+	case *hunt != "":
+		runHunt(coord, *hunt, *huntJudge, *crossbar, *restarts, *iterations, *maxValue, *seed, *chunk)
+	case *run != "":
+		runExperiments(coord, *run, *quick, *seed, *chunk)
+	default:
+		fmt.Fprintln(os.Stderr, "qswitchctl: nothing to do; use -run or -hunt")
+		flag.Usage()
+		os.Exit(2)
+	}
+	st := coord.Stats()
+	fmt.Printf("\n%s elapsed — chunks: %d executed, %d from checkpoint, %d local; retries: %d, respawns: %d, excluded workers: %d\n",
+		time.Since(start).Round(time.Millisecond),
+		st.ChunksExecuted, st.CheckpointHits, st.LocalChunks, st.Retries, st.Respawns, st.Excluded)
+}
+
+// runExperiments executes the requested ratio experiments with their
+// Monte-Carlo estimations sharded through the coordinator.
+func runExperiments(coord *shard.Coordinator, ids string, quick bool, seed int64, chunk int) {
+	opts := experiments.Options{Quick: quick, Seed: seed, Shard: coord, ShardChunk: chunk}
+	for _, id := range strings.Split(ids, ",") {
+		exp, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", id))
+		}
+		tables, err := exp.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", exp.ID, err))
+		}
+		for _, tb := range tables {
+			fmt.Println()
+			tb.Render(os.Stdout)
+		}
+	}
+}
+
+// runHunt shards an adversary hunt's restarts across the workers.
+func runHunt(coord *shard.Coordinator, policy, judge string, crossbar bool,
+	restarts, iterations int, maxValue, seed int64, chunk int) {
+	cfg := switchsim.Config{Inputs: 2, Outputs: 2, InputBuf: 1, OutputBuf: 1, CrossBuf: 1, Speedup: 1}
+	req := shard.HuntRequest{
+		Cfg: cfg, Crossbar: crossbar, Policy: policy, Judge: judge,
+		Search: adversary.SearchOptions{
+			Inputs: cfg.Inputs, Outputs: cfg.Outputs, MaxSlots: 5, MaxPackets: 8,
+			MaxValue: maxValue, Iterations: iterations, Seed: seed, Restarts: restarts,
+		},
+	}
+	res, err := coord.Hunt(context.Background(), req, chunk)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hunt %s vs %s: best ratio %.4f (restart %d, %d accepted, %d tried)\n",
+		policy, judge, res.Ratio, res.Restart, res.Accepted, res.Tried)
+	for _, p := range res.Seq {
+		fmt.Printf("  t=%d in=%d out=%d v=%d\n", p.Arrival, p.In, p.Out, p.Value)
+	}
+}
+
+// perWorkerChaos offsets the spec's seed by the worker index, so spawned
+// workers draw independent fault schedules. Chunks are dealt to workers
+// round-robin, which keeps same-seed schedules in lockstep: every worker
+// would reach a kill position at nearly the same moment and a retried
+// chunk would land on a worker about to fail the same way, burning the
+// whole attempt budget on one correlated fault.
+func perWorkerChaos(spec string, worker int) string {
+	terms := strings.Split(spec, ",")
+	for i, kv := range terms {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if ok && k == "seed" {
+			if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+				terms[i] = fmt.Sprintf("seed=%d", s+int64(worker))
+			}
+			return strings.Join(terms, ",")
+		}
+	}
+	// No explicit seed: ParseSpec defaults to 1, so stagger from there.
+	return spec + fmt.Sprintf(",seed=%d", 1+worker)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qswitchctl: %v\n", err)
+	os.Exit(1)
+}

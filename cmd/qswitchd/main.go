@@ -1,0 +1,72 @@
+// Command qswitchd is the sharded experiment service's worker: it
+// executes chunk specs — seed-range slices of Monte-Carlo ratio
+// estimations, restart-range slices of adversary hunts — sent to it by a
+// coordinator (qswitchctl, or any shard.Coordinator) over stdio or TCP,
+// heartbeating while it computes.
+//
+// Usage:
+//
+//	qswitchd                            # serve stdio (coordinator-spawned)
+//	qswitchd -listen 127.0.0.1:7410    # serve TCP
+//	qswitchd -chaos seed=7,kill=0.05,corrupt=0.1
+//
+// The -chaos flag enables deterministic fault injection (see
+// internal/shard/faultinject): per chunk request the worker may crash,
+// hang silently, delay its reply, or flip a bit in its response frame
+// after the checksum is computed. Chaos exercises the coordinator's
+// supervision machinery; because chunks are deterministic and retried,
+// it never changes merged results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"qswitch/internal/shard"
+	"qswitch/internal/shard/faultinject"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "", "TCP address to serve on (default: serve stdin/stdout)")
+		chaos     = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,kill=0.05,hang=0.02,delay=0.2,corrupt=0.1,maxdelayms=20")
+		heartbeat = flag.Duration("heartbeat", 0, "heartbeat period while executing a chunk (default 250ms)")
+		verbose   = flag.Bool("v", false, "log served chunks and chaos events to stderr")
+	)
+	flag.Parse()
+
+	inj, err := faultinject.ParseSpec(*chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
+		os.Exit(2)
+	}
+	opts := shard.ServeOptions{
+		Chaos:          inj,
+		HeartbeatEvery: *heartbeat,
+	}
+	if *verbose {
+		logger := log.New(os.Stderr, fmt.Sprintf("qswitchd[%d]: ", os.Getpid()), log.Ltime|log.Lmicroseconds)
+		opts.Logf = logger.Printf
+	}
+
+	if *listen == "" {
+		if err := shard.ServeStdio(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "qswitchd: serving on %s\n", ln.Addr())
+	if err := shard.ServeTCP(ln, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
+		os.Exit(1)
+	}
+}

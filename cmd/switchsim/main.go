@@ -55,14 +55,9 @@ func main() {
 
 	var seq qswitch.Sequence
 	if *trace != "" {
-		f, err := os.Open(*trace)
+		tr, err := packet.LoadTrace(*trace)
 		if err != nil {
 			fatal("%v", err)
-		}
-		tr, err := packet.ReadBinary(f)
-		f.Close()
-		if err != nil {
-			fatal("reading trace: %v", err)
 		}
 		if tr.Inputs != cfg.Inputs || tr.Outputs != cfg.Outputs {
 			fmt.Fprintf(os.Stderr, "switchsim: note: trace geometry %dx%d overrides flags\n",

@@ -91,14 +91,9 @@ func main() {
 }
 
 func readTrace(path string) *packet.Trace {
-	f, err := os.Open(path)
+	tr, err := packet.LoadTrace(path)
 	if err != nil {
 		fatal("%v", err)
-	}
-	defer f.Close()
-	tr, err := packet.ReadBinary(f)
-	if err != nil {
-		fatal("reading %s: %v", path, err)
 	}
 	return tr
 }

@@ -1,0 +1,87 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"qswitch/internal/packet"
+)
+
+// HuntResult is the best adversarial instance found by a Hunt, plus enough
+// provenance (the winning restart index) to make merging deterministic.
+type HuntResult struct {
+	// Seq is the best sequence found.
+	Seq packet.Sequence
+	// Ratio is the best OPT/ALG ratio achieved.
+	Ratio float64
+	// Restart is the index of the restart that found Seq; -1 in the empty
+	// result (no restarts run yet).
+	Restart int
+	// Accepted counts improving mutations accepted by the winning restart.
+	Accepted int
+	// Tried counts mutations tried across all restarts merged so far.
+	Tried int
+}
+
+// Hunt is Search with per-restart seeding: restart r hill-climbs with its
+// own rand.Rand seeded opts.Seed + r, so restarts are independent of one
+// another and of how they are batched. That independence is what makes
+// hunts shardable — HuntRange chunks merged with MergeHunts reproduce
+// Hunt's result byte-for-byte regardless of chunk boundaries, worker
+// counts or retry history, which Search (one rng threaded through all
+// restarts) cannot offer.
+func Hunt(opts SearchOptions, eval Ratio) HuntResult {
+	r1 := opts.Restarts
+	if r1 < 1 {
+		r1 = 1
+	}
+	return HuntRange(opts, eval, 0, r1)
+}
+
+// HuntRange runs the restarts [r0, r1) of the hunt named by opts and
+// returns their best instance. Splitting [0, Restarts) into ranges and
+// folding the results with MergeHunts yields exactly Hunt's result.
+func HuntRange(opts SearchOptions, eval Ratio, r0, r1 int) HuntResult {
+	if opts.MaxValue < 1 {
+		opts.MaxValue = 1
+	}
+	best := emptyHunt()
+	for r := r0; r < r1; r++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(r)))
+		res := searchOnce(opts, eval, rng)
+		best = MergeHunts(best, HuntResult{
+			Seq: res.Seq, Ratio: res.Ratio, Restart: r,
+			Accepted: res.Accepted, Tried: res.Tried,
+		})
+	}
+	return best
+}
+
+// MergeHunts combines two hunt results: the higher ratio wins, ties go to
+// the lower restart index, and Tried accumulates. The tie-break makes the
+// fold order-independent, so chunked hunts merge deterministically.
+func MergeHunts(a, b HuntResult) HuntResult {
+	out := a
+	if better(b, a) {
+		out = b
+	}
+	out.Tried = a.Tried + b.Tried
+	return out
+}
+
+// emptyHunt is the identity element of MergeHunts.
+func emptyHunt() HuntResult { return HuntResult{Ratio: -1, Restart: -1} }
+
+// better reports whether b beats a under the (ratio desc, restart asc)
+// order; the empty result (Restart -1) loses to everything real.
+func better(b, a HuntResult) bool {
+	if b.Restart < 0 {
+		return false
+	}
+	if a.Restart < 0 {
+		return true
+	}
+	if b.Ratio != a.Ratio {
+		return b.Ratio > a.Ratio
+	}
+	return b.Restart < a.Restart
+}

@@ -11,8 +11,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"qswitch/internal/packet"
 	"qswitch/internal/ratio"
@@ -43,30 +45,78 @@ type Options struct {
 	// runs. Estimates are byte-identical either way; like Dense, it is
 	// purely a wall-clock lever.
 	Fleet bool
+	// Shard routes the Monte-Carlo ratio estimations (E1-E4) through an
+	// out-of-process chunk service — typically a shard.Coordinator
+	// fanning seed-range chunks over qswitchd worker processes with
+	// retries and checkpointing. Estimates are byte-identical to every
+	// in-process backend; like Dense and Fleet, it is purely an
+	// operational lever. Takes precedence over Fleet.
+	Shard ratio.ChunkService
+	// ShardChunk is the seeds-per-chunk granularity handed to
+	// ratio.RunSharded when Shard is set (<= 0 selects the default).
+	ShardChunk int
 }
 
 // fleetBatch is the batch size Options.Fleet hands to ratio.RunFleet.
 const fleetBatch = 64
 
 // ratioCIOQ measures OPT/ALG for a CIOQ policy family over seeded
-// workloads, honoring Options.Fleet. Results are byte-identical across
-// backends.
-func (o Options) ratioCIOQ(cfg switchsim.Config, factory func() switchsim.CIOQPolicy,
-	judge ratio.JudgeFactory, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
-	if o.Fleet {
-		return ratio.RunFleet(cfg, ratio.CIOQFleetAlg(factory), judge, gen, seed, runs, 1, fleetBatch)
+// workloads, honoring Options.Shard and Options.Fleet. The policy and
+// judge carry both an in-process constructor and the registry spec string
+// shard workers resolve; results are byte-identical across backends.
+func (o Options) ratioCIOQ(cfg switchsim.Config, pol cioqPolicyRef,
+	judge judgeRef, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
+	if o.Shard != nil {
+		return ratio.RunSharded(o.ctx(), o.Shard, ratio.ChunkRequest{
+			Cfg: cfg, Policy: pol.spec, Judge: judge.spec, Gen: gen, BaseSeed: seed,
+		}, runs, o.ShardChunk)
 	}
-	return ratio.Run(cfg, ratio.CIOQAlg(factory), judge, gen, seed, runs)
+	if o.Fleet {
+		return ratio.RunFleet(o.ctx(), cfg, ratio.CIOQFleetAlg(pol.factory), judge.factory, gen, seed, runs, 1, fleetBatch)
+	}
+	return ratio.Run(o.ctx(), cfg, ratio.CIOQAlg(pol.factory), judge.factory, gen, seed, runs)
 }
 
 // ratioCrossbar is ratioCIOQ for crossbar policy families.
-func (o Options) ratioCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy,
-	judge ratio.JudgeFactory, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
-	if o.Fleet {
-		return ratio.RunFleet(cfg, ratio.CrossbarFleetAlg(factory), judge, gen, seed, runs, 1, fleetBatch)
+func (o Options) ratioCrossbar(cfg switchsim.Config, pol crossbarPolicyRef,
+	judge judgeRef, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
+	if o.Shard != nil {
+		return ratio.RunSharded(o.ctx(), o.Shard, ratio.ChunkRequest{
+			Cfg: cfg, Crossbar: true, Policy: pol.spec, Judge: judge.spec, Gen: gen, BaseSeed: seed,
+		}, runs, o.ShardChunk)
 	}
-	return ratio.Run(cfg, ratio.CrossbarAlg(factory), judge, gen, seed, runs)
+	if o.Fleet {
+		return ratio.RunFleet(o.ctx(), cfg, ratio.CrossbarFleetAlg(pol.factory), judge.factory, gen, seed, runs, 1, fleetBatch)
+	}
+	return ratio.Run(o.ctx(), cfg, ratio.CrossbarAlg(pol.factory), judge.factory, gen, seed, runs)
 }
+
+// ctx is the context experiment runs execute under; experiments are
+// synchronous today, so it is the background context.
+func (o Options) ctx() context.Context { return context.Background() }
+
+// cioqPolicyRef couples a CIOQ policy family's in-process factory with
+// the registry spec string a shard worker resolves to the same family.
+type cioqPolicyRef struct {
+	spec    string
+	factory func() switchsim.CIOQPolicy
+}
+
+// crossbarPolicyRef is cioqPolicyRef for crossbar families.
+type crossbarPolicyRef struct {
+	spec    string
+	factory func() switchsim.CrossbarPolicy
+}
+
+// judgeRef couples a judge factory with its registry spec string.
+type judgeRef struct {
+	spec    string
+	factory ratio.JudgeFactory
+}
+
+// fmtParam renders a float policy parameter so it round-trips exactly
+// through a registry spec string.
+func fmtParam(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // cfg applies the experiment-wide simulation options to a config.
 func (o Options) cfg(c switchsim.Config) switchsim.Config {

@@ -26,7 +26,7 @@ func E1GMRatio(opts Options) ([]*stats.Table, error) {
 		packet.Hotspot{Load: 1.5, HotFrac: 0.8},
 		packet.Bursty{OnLoad: 1.0, POnOff: 0.4, POffOn: 0.4},
 	}
-	alg := func() switchsim.CIOQPolicy { return &core.GM{} }
+	alg := cioqPolicyRef{"gm", func() switchsim.CIOQPolicy { return &core.GM{} }}
 	cfgs := []switchsim.Config{microCfg(opts, slots)}
 	{
 		c := microCfg(opts, slots)
@@ -38,7 +38,7 @@ func E1GMRatio(opts Options) ([]*stats.Table, error) {
 	}
 	for ci, cfg := range cfgs {
 		for gi, gen := range gens {
-			est, err := opts.ratioCIOQ(cfg, alg, ratio.ExactUnitCIOQ, gen,
+			est, err := opts.ratioCIOQ(cfg, alg, judgeRef{"exactunit", ratio.ExactUnitCIOQ}, gen,
 				opts.Seed+int64(1000*ci+100*gi), runs)
 			if err != nil {
 				return nil, fmt.Errorf("e1: %w", err)
@@ -68,9 +68,9 @@ func E2PGRatio(opts Options) ([]*stats.Table, error) {
 		packet.Bursty{OnLoad: 0.8, POnOff: 0.3, POffOn: 0.3, Values: packet.ZipfValues{Hi: 100, S: 1.2}},
 	}
 	cfg := microCfg(opts, slots)
-	alg := func() switchsim.CIOQPolicy { return &core.PG{} }
+	alg := cioqPolicyRef{"pg", func() switchsim.CIOQPolicy { return &core.PG{} }}
 	for gi, gen := range gens {
-		est, err := opts.ratioCIOQ(cfg, alg, ratio.ExactWeightedCIOQ, gen,
+		est, err := opts.ratioCIOQ(cfg, alg, judgeRef{"exactweighted", ratio.ExactWeightedCIOQ}, gen,
 			opts.Seed+int64(100*gi), runs)
 		if err != nil {
 			return nil, fmt.Errorf("e2a: %w", err)
@@ -92,8 +92,10 @@ func E2PGRatio(opts Options) ([]*stats.Table, error) {
 	gen := packet.Hotspot{Load: 1.2, HotFrac: 0.8, Values: packet.GeometricValues{P: 0.35, Hi: 64}}
 	for _, beta := range betas {
 		b := beta
-		est, err := opts.ratioCIOQ(cfgB, func() switchsim.CIOQPolicy { return &core.PG{Beta: b} },
-			ratio.ExactWeightedCIOQ, gen, opts.Seed+7, runs)
+		pol := cioqPolicyRef{fmt.Sprintf("pg(beta=%s)", fmtParam(b)),
+			func() switchsim.CIOQPolicy { return &core.PG{Beta: b} }}
+		est, err := opts.ratioCIOQ(cfgB, pol,
+			judgeRef{"exactweighted", ratio.ExactWeightedCIOQ}, gen, opts.Seed+7, runs)
 		if err != nil {
 			return nil, fmt.Errorf("e2b beta=%v: %w", beta, err)
 		}
@@ -120,7 +122,7 @@ func E3CGURatio(opts Options) ([]*stats.Table, error) {
 		packet.Hotspot{Load: 1.5, HotFrac: 0.8},
 		packet.Bursty{OnLoad: 1.0, POnOff: 0.4, POffOn: 0.4},
 	}
-	alg := func() switchsim.CrossbarPolicy { return &core.CGU{} }
+	alg := crossbarPolicyRef{"cgu", func() switchsim.CrossbarPolicy { return &core.CGU{} }}
 	cfgs := []switchsim.Config{microCfg(opts, slots)}
 	{
 		c := microCfg(opts, slots)
@@ -129,7 +131,7 @@ func E3CGURatio(opts Options) ([]*stats.Table, error) {
 	}
 	for ci, cfg := range cfgs {
 		for gi, gen := range gens {
-			est, err := opts.ratioCrossbar(cfg, alg, ratio.ExactUnitCrossbar, gen,
+			est, err := opts.ratioCrossbar(cfg, alg, judgeRef{"exactunit", ratio.ExactUnitCrossbar}, gen,
 				opts.Seed+int64(1000*ci+100*gi), runs)
 			if err != nil {
 				return nil, fmt.Errorf("e3: %w", err)
@@ -173,15 +175,20 @@ func E4CPGParams(opts Options) ([]*stats.Table, error) {
 	tbC := stats.NewTable("E4c: empirical ratio vs exact OPT (micro instances)",
 		"variant", "runs", "max_ratio", "mean_ratio", "bound", "within")
 	variants := []struct {
-		name    string
-		factory func() switchsim.CrossbarPolicy
-		bound   float64
+		name  string
+		pol   crossbarPolicyRef
+		bound float64
 	}{
-		{"cpg (beta*, alpha*)", func() switchsim.CrossbarPolicy { return &core.CPG{} }, core.CPGRatioClosedForm()},
-		{"cpg (beta=alpha)", func() switchsim.CrossbarPolicy { return core.CPGEqualParams() }, rEq},
+		{"cpg (beta*, alpha*)",
+			crossbarPolicyRef{"cpg", func() switchsim.CrossbarPolicy { return &core.CPG{} }},
+			core.CPGRatioClosedForm()},
+		{"cpg (beta=alpha)",
+			crossbarPolicyRef{fmt.Sprintf("cpg(beta=%s,alpha=%s)", fmtParam(bEq), fmtParam(bEq)),
+				func() switchsim.CrossbarPolicy { return core.CPGEqualParams() }},
+			rEq},
 	}
 	for vi, v := range variants {
-		est, err := opts.ratioCrossbar(cfg, v.factory, ratio.ExactWeightedCrossbar,
+		est, err := opts.ratioCrossbar(cfg, v.pol, judgeRef{"exactweighted", ratio.ExactWeightedCrossbar},
 			gen, opts.Seed+int64(100*vi), runs)
 		if err != nil {
 			return nil, fmt.Errorf("e4c: %w", err)

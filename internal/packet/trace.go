@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc64"
 	"io"
+	"os"
 )
 
 // Trace file formats.
@@ -80,27 +81,31 @@ func (tr *Trace) WriteBinary(w io.Writer) error {
 	return err
 }
 
-// ReadBinary parses a binary trace, verifying magic and checksum.
+// ReadBinary parses a binary trace, verifying magic and checksum. Errors
+// name the byte offset at which parsing failed, so a truncated or
+// corrupted trace is diagnosable without a hex dump.
 func ReadBinary(r io.Reader) (*Trace, error) {
 	cr := &crcReader{r: r}
-	br := bufio.NewReader(cr)
+	// The countingReader sits on the consumer side of the bufio buffer, so
+	// its offset is the logical parse position, unaffected by read-ahead.
+	nr := &countingReader{r: bufio.NewReader(cr)}
 	magic := make([]byte, len(traceMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	if _, err := io.ReadFull(nr, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic at byte offset %d: %w", nr.off, err)
 	}
 	if string(magic) != traceMagic {
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
 	var inputs, outputs uint32
 	var count uint64
-	if err := binary.Read(br, binary.LittleEndian, &inputs); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	if err := binary.Read(nr, binary.LittleEndian, &inputs); err != nil {
+		return nil, fmt.Errorf("trace: reading header at byte offset %d: %w", nr.off, err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &outputs); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	if err := binary.Read(nr, binary.LittleEndian, &outputs); err != nil {
+		return nil, fmt.Errorf("trace: reading header at byte offset %d: %w", nr.off, err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	if err := binary.Read(nr, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: reading header at byte offset %d: %w", nr.off, err)
 	}
 	if count > 1<<40 {
 		return nil, fmt.Errorf("trace: implausible packet count %d", count)
@@ -115,8 +120,8 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	tr := &Trace{Inputs: int(inputs), Outputs: int(outputs), Packets: make(Sequence, 0, capHint)}
 	var rec [32]byte
 	for k := uint64(0); k < count; k++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading record %d: %w", k, err)
+		if _, err := io.ReadFull(nr, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d of %d at byte offset %d: %w", k, count, nr.off, err)
 		}
 		tr.Packets = append(tr.Packets, Packet{
 			Arrival: int(int64(binary.LittleEndian.Uint64(rec[0:]))),
@@ -126,16 +131,18 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 			ID:      int64(binary.LittleEndian.Uint64(rec[24:])),
 		})
 	}
+	trailerOff := nr.off
 	var trailer [8]byte
-	if _, err := io.ReadFull(br, trailer[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading checksum: %w", err)
+	if _, err := io.ReadFull(nr, trailer[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading checksum at byte offset %d: %w", nr.off, err)
 	}
 	// The trailer has now certainly passed through crcReader, so its sum
 	// covers exactly the bytes before the trailer.
 	want := cr.sum
 	got := binary.LittleEndian.Uint64(trailer[:])
 	if got != want {
-		return nil, fmt.Errorf("trace: checksum mismatch: file has %#x, computed %#x", got, want)
+		return nil, fmt.Errorf("trace: checksum mismatch over bytes [0, %d): file has %#x, computed %#x",
+			trailerOff, got, want)
 	}
 	if err := tr.Packets.Validate(tr.Inputs, tr.Outputs); err != nil {
 		return nil, fmt.Errorf("trace: invalid sequence: %w", err)
@@ -153,16 +160,55 @@ func (tr *Trace) WriteJSON(w io.Writer) error {
 	return enc.Encode(tr)
 }
 
-// ReadJSON parses a JSON trace and validates it.
+// ReadJSON parses a JSON trace and validates it. Decode errors name the
+// byte offset at which the document became unreadable.
 func ReadJSON(r io.Reader) (*Trace, error) {
 	var tr Trace
-	if err := json.NewDecoder(r).Decode(&tr); err != nil {
-		return nil, fmt.Errorf("trace: decoding json: %w", err)
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decoding json at byte offset %d: %w", dec.InputOffset(), err)
 	}
 	if err := tr.Packets.Validate(tr.Inputs, tr.Outputs); err != nil {
 		return nil, fmt.Errorf("trace: invalid sequence: %w", err)
 	}
 	return &tr, nil
+}
+
+// LoadTrace reads a trace file in either format, sniffing binary traces
+// by their magic and treating everything else as JSON. Errors are wrapped
+// with the file path (and, from the readers, the byte offset), so a bad
+// trace in a long batch names itself.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load trace: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(len(traceMagic))
+	var tr *Trace
+	if string(head) == traceMagic {
+		tr, err = ReadBinary(br)
+	} else {
+		tr, err = ReadJSON(br)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load trace %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// countingReader tracks how many bytes its consumer has actually read,
+// giving parse errors an exact logical offset.
+type countingReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
 }
 
 type crcWriter struct {

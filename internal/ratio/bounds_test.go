@@ -1,6 +1,7 @@
 package ratio
 
 import (
+	"context"
 	"testing"
 
 	"qswitch/internal/core"
@@ -12,7 +13,7 @@ func TestUpperBoundCrossbarAdaptor(t *testing.T) {
 	cfg := microCfg()
 	cfg.Slots = 8
 	alg := CrossbarAlg(func() switchsim.CrossbarPolicy { return &core.CPG{} })
-	est, err := Run(cfg, alg, UpperBoundCrossbar, packet.Bernoulli{Load: 1.2,
+	est, err := Run(context.Background(), cfg, alg, UpperBoundCrossbar, packet.Bernoulli{Load: 1.2,
 		Values: packet.UniformValues{Hi: 10}}, 21, 6)
 	if err != nil {
 		t.Fatal(err)

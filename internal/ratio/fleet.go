@@ -1,14 +1,13 @@
 package ratio
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"qswitch/internal/fleet"
 	"qswitch/internal/packet"
-	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
 )
 
@@ -71,17 +70,21 @@ func CrossbarFleetAlg(factory func() switchsim.CrossbarPolicy) FleetAlgFactory {
 // `batch` sequences (<= 0 selects 64) and batches fan out over `workers`
 // goroutines (<= 0 selects GOMAXPROCS). Each worker mints one FleetAlg
 // and one Judge up front — the fleet storage and the judge scratch are
-// reused across the worker's whole chunk stream — and overlaps the two
-// per chunk: the batch's policy runs step on a side goroutine while the
-// worker judges the batch's sequences. Results are merged
+// reused across the worker's whole chunk stream — and evaluates each
+// chunk via EvalChunk, which overlaps judging with fleet stepping and
+// attributes errors to their exact seed. Results are merged
 // deterministically in seed order, so the output is byte-identical to Run
 // and RunParallel for the same inputs, regardless of workers or batch
 // size.
-func RunFleet(cfg switchsim.Config, alg FleetAlgFactory, judge JudgeFactory, gen packet.Generator,
+//
+// Cancellation mirrors RunParallel at chunk granularity: a failed chunk
+// stops siblings from starting chunks beyond it (chunks below the failure
+// still run, keeping attribution exact), and a cancelled ctx abandons all
+// remaining chunks.
+func RunFleet(ctx context.Context, cfg switchsim.Config, alg FleetAlgFactory, judge JudgeFactory, gen packet.Generator,
 	baseSeed int64, runs, workers, batch int) (Estimate, error) {
-	var est Estimate
 	if runs <= 0 {
-		return est, nil
+		return Estimate{}, nil
 	}
 	if batch <= 0 {
 		batch = 64
@@ -97,85 +100,51 @@ func RunFleet(cfg switchsim.Config, alg FleetAlgFactory, judge JudgeFactory, gen
 		workers = nChunks
 	}
 
-	type outcome struct {
-		ratio   float64
-		skipped bool
-		err     error
+	results := make([]SeedOutcome, runs)
+	// errChunk is the smallest chunk index containing a failed seed;
+	// chunks above it cannot affect the merged result and are skipped.
+	errChunk := int64(nChunks)
+	var errMu sync.Mutex
+	loadErrChunk := func() int64 {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errChunk
 	}
-	type algOut struct {
-		benefits []int64
-		err      error
-	}
-	results := make([]outcome, runs)
+	var cancelled atomic.Bool
 	// worker drains chunk indices, holding one reusable fleet alg, one
-	// reusable judge and one sequence scratch buffer for its whole stream.
+	// reusable judge and one outcome scratch buffer for its whole stream.
 	worker := func(chunks <-chan int) {
 		a := alg()
 		j := judge()
-		var seqs []packet.Sequence
-		var optVals []int64
-		algCh := make(chan algOut, 1)
+		var outs []SeedOutcome
 		for c := range chunks {
 			k0 := c * batch
 			k1 := min(runs, k0+batch)
-			seqs = seqs[:0]
-			for k := k0; k < k1; k++ {
-				rng := rand.New(rand.NewSource(baseSeed + int64(k)))
-				seqs = append(seqs, gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg)))
-			}
-			// Policy side first, on its own goroutine: the fleet steps the
-			// whole batch while this worker judges it, so judge work
-			// overlaps fleet stepping instead of serializing behind it.
-			go func() {
-				benefits, err := a(cfg, seqs)
-				if err == nil && len(benefits) != len(seqs) {
-					err = fmt.Errorf("fleet alg returned %d benefits for %d sequences", len(benefits), len(seqs))
-				}
-				algCh <- algOut{benefits, err}
-			}()
-			if cap(optVals) < k1-k0 {
-				optVals = make([]int64, k1-k0)
-			} else {
-				optVals = optVals[:k1-k0]
-			}
-			judgeErr := false
-			firstElig := -1
-			for k := k0; k < k1; k++ {
-				optVal, err := j.Judge(cfg, seqs[k-k0])
-				switch {
-				case err != nil:
-					results[k] = outcome{err: fmt.Errorf("offline optimum: %w", err)}
-					judgeErr = true
-				case optVal == 0:
-					results[k] = outcome{skipped: true}
-				default:
-					if firstElig < 0 {
-						firstElig = k
-					}
-					optVals[k-k0] = optVal
-				}
-			}
-			out := <-algCh
-			if out.err != nil {
-				// Deterministic attribution: the first eligible seed in the
-				// batch carries the policy error; judge errors (which may
-				// have fed the fleet a sequence the old per-eligible path
-				// would have excluded) take precedence.
-				if firstElig >= 0 && !judgeErr {
-					results[firstElig] = outcome{err: fmt.Errorf("policy run: %w", out.err)}
+			if cancelled.Load() || ctx.Err() != nil {
+				cancelled.Store(true)
+				for k := k0; k < k1; k++ {
+					results[k] = SeedOutcome{Seed: baseSeed + int64(k), NotRun: true}
 				}
 				continue
 			}
-			for k := k0; k < k1; k++ {
-				if o := results[k]; o.err != nil || o.skipped {
-					continue
+			if int64(c) > loadErrChunk() {
+				for k := k0; k < k1; k++ {
+					results[k] = SeedOutcome{Seed: baseSeed + int64(k), NotRun: true}
 				}
-				optVal := optVals[k-k0]
-				if benefit := out.benefits[k-k0]; benefit == 0 {
-					results[k] = outcome{err: fmt.Errorf("ratio: policy scored 0 against optimum %d", optVal)}
-				} else {
-					results[k] = outcome{ratio: float64(optVal) / float64(benefit)}
+				continue
+			}
+			outs = EvalChunk(cfg, a, j, gen, baseSeed, k0, k1, outs)
+			failed := false
+			for i, o := range outs {
+				results[k0+i] = o
+				failed = failed || o.Err != nil
+			}
+			if failed {
+				errMu.Lock()
+				if int64(c) < errChunk {
+					errChunk = int64(c)
 				}
+				errMu.Unlock()
 			}
 		}
 	}
@@ -203,26 +172,5 @@ func RunFleet(cfg switchsim.Config, alg FleetAlgFactory, judge JudgeFactory, gen
 		close(chunkCh)
 		wg.Wait()
 	}
-
-	var acc stats.Acc
-	for k, o := range results {
-		seed := baseSeed + int64(k)
-		if o.err != nil {
-			return est, fmt.Errorf("ratio: seed %d: %w", seed, o.err)
-		}
-		if o.skipped {
-			est.Skipped++
-			continue
-		}
-		acc.Add(o.ratio)
-		est.Samples = append(est.Samples, o.ratio)
-		if o.ratio > est.Max {
-			est.Max = o.ratio
-			est.WorstSeed = seed
-		}
-		est.Runs++
-	}
-	est.Mean = acc.Mean()
-	est.CI95 = acc.CI95()
-	return est, nil
+	return MergeOutcomes(ctx, results)
 }

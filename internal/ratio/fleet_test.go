@@ -1,6 +1,7 @@
 package ratio
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -35,18 +36,18 @@ func TestRunFleetMatchesScalarBackends(t *testing.T) {
 	factory := func() switchsim.CIOQPolicy { return &core.GM{} }
 	const runs = 24
 
-	want, err := Run(cfg, CIOQAlg(factory), ExactUnitCIOQ, gen, 11, runs)
+	want, err := Run(context.Background(), cfg, CIOQAlg(factory), ExactUnitCIOQ, gen, 11, runs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 3, 8} {
-		par, err := RunParallel(cfg, CIOQAlg(factory), ExactUnitCIOQ, gen, 11, runs, workers)
+		par, err := RunParallel(context.Background(), cfg, CIOQAlg(factory), ExactUnitCIOQ, gen, 11, runs, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
 		assertSameEstimate(t, "RunParallel", want, par)
 		for _, batch := range []int{1, 5, 24, 100} {
-			fl, err := RunFleet(cfg, CIOQFleetAlg(factory), ExactUnitCIOQ, gen, 11, runs, workers, batch)
+			fl, err := RunFleet(context.Background(), cfg, CIOQFleetAlg(factory), ExactUnitCIOQ, gen, 11, runs, workers, batch)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,12 +62,12 @@ func TestRunFleetCrossbarMatchesScalarBackends(t *testing.T) {
 	factory := func() switchsim.CrossbarPolicy { return &core.CGU{RotatePick: true} }
 	const runs = 16
 
-	want, err := Run(cfg, CrossbarAlg(factory), ExactUnitCrossbar, gen, 5, runs)
+	want, err := Run(context.Background(), cfg, CrossbarAlg(factory), ExactUnitCrossbar, gen, 5, runs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, batch := range []int{1, 7, 64} {
-		fl, err := RunFleet(cfg, CrossbarFleetAlg(factory), ExactUnitCrossbar, gen, 5, runs, 2, batch)
+		fl, err := RunFleet(context.Background(), cfg, CrossbarFleetAlg(factory), ExactUnitCrossbar, gen, 5, runs, 2, batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,11 +85,11 @@ func TestRunFleetFallbackPolicy(t *testing.T) {
 	factory := func() switchsim.CIOQPolicy { return &core.PG{} }
 	const runs = 10
 
-	want, err := Run(cfg, CIOQAlg(factory), ExactWeightedCIOQ, gen, 3, runs)
+	want, err := Run(context.Background(), cfg, CIOQAlg(factory), ExactWeightedCIOQ, gen, 3, runs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl, err := RunFleet(cfg, CIOQFleetAlg(factory), ExactWeightedCIOQ, gen, 3, runs, 2, 4)
+	fl, err := RunFleet(context.Background(), cfg, CIOQFleetAlg(factory), ExactWeightedCIOQ, gen, 3, runs, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,14 +1,15 @@
 package ratio
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qswitch/internal/packet"
-	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
 )
 
@@ -20,9 +21,16 @@ import (
 // (sorted by seed), making RunParallel's output bit-identical to Run's
 // for the same inputs.
 //
+// Cancellation is prompt and attribution stays deterministic: when a seed
+// fails, sibling workers stop picking up seeds beyond the failed one
+// (those can no longer affect the result — the merge reports the lowest
+// failing seed) but still evaluate every queued seed below it, so the
+// reported (seed, error) pair is exactly Run's. Cancelling ctx abandons
+// all remaining seeds and returns ctx's error.
+//
 // workers <= 0 selects GOMAXPROCS. The speedup is near-linear because
 // each measurement is an independent simulation plus an offline solve.
-func RunParallel(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator,
+func RunParallel(ctx context.Context, cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator,
 	baseSeed int64, runs, workers int) (Estimate, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -31,16 +39,21 @@ func RunParallel(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.G
 		workers = runs
 	}
 	if workers <= 1 {
-		return Run(cfg, alg, judge, gen, baseSeed, runs)
+		return Run(ctx, cfg, alg, judge, gen, baseSeed, runs)
 	}
 
-	type outcome struct {
-		seed    int64
-		ratio   float64
-		err     error
-		skipped bool
+	results := make([]SeedOutcome, runs)
+	// errIdx is the smallest seed index known to have failed; seeds above
+	// it are moot (the merge reports the lowest failure) and are skipped so
+	// siblings wind down promptly instead of running the stream dry.
+	errIdx := int64(runs)
+	var errMu sync.Mutex
+	loadErrIdx := func() int64 {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errIdx
 	}
-	results := make([]outcome, runs)
+	var cancelled atomic.Bool
 	seedCh := make(chan int, runs)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -50,10 +63,24 @@ func RunParallel(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.G
 			j := judge()
 			for k := range seedCh {
 				seed := baseSeed + int64(k)
-				rng := rand.New(rand.NewSource(seed))
-				seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
-				r, ok, err := Single(cfg, alg, j, seq)
-				results[k] = outcome{seed: seed, ratio: r, err: err, skipped: !ok && err == nil}
+				if cancelled.Load() || ctx.Err() != nil {
+					cancelled.Store(true)
+					results[k] = SeedOutcome{Seed: seed, NotRun: true}
+					continue
+				}
+				if int64(k) > loadErrIdx() {
+					results[k] = SeedOutcome{Seed: seed, NotRun: true}
+					continue
+				}
+				o := evalSeed(cfg, alg, j, gen, seed)
+				results[k] = o
+				if o.Err != nil {
+					errMu.Lock()
+					if int64(k) < errIdx {
+						errIdx = int64(k)
+					}
+					errMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -62,28 +89,7 @@ func RunParallel(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.G
 	}
 	close(seedCh)
 	wg.Wait()
-
-	var est Estimate
-	var acc stats.Acc
-	for _, o := range results {
-		if o.err != nil {
-			return est, fmt.Errorf("ratio: seed %d: %w", o.seed, o.err)
-		}
-		if o.skipped {
-			est.Skipped++
-			continue
-		}
-		acc.Add(o.ratio)
-		est.Samples = append(est.Samples, o.ratio)
-		if o.ratio > est.Max {
-			est.Max = o.ratio
-			est.WorstSeed = o.seed
-		}
-		est.Runs++
-	}
-	est.Mean = acc.Mean()
-	est.CI95 = acc.CI95()
-	return est, nil
+	return MergeOutcomes(ctx, results)
 }
 
 // Sweep evaluates a family of parameterized policies over the same seeded
@@ -96,7 +102,12 @@ func RunParallel(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.G
 // spreads its seeds over the share of the budget the point concurrency
 // leaves free, so a sweep of few points over many seeds parallelizes just
 // as well as one of many points.
-func Sweep(cfg switchsim.Config, algs map[string]Alg, judge JudgeFactory, gen packet.Generator,
+//
+// The first failing point cancels the points still running (their
+// in-flight seeds wind down promptly); the reported error is the
+// alphabetically first failed point's, so attribution is deterministic
+// regardless of which point's failure was observed first.
+func Sweep(ctx context.Context, cfg switchsim.Config, algs map[string]Alg, judge JudgeFactory, gen packet.Generator,
 	baseSeed int64, runs, workers int) (map[string]Estimate, error) {
 	names := make([]string, 0, len(algs))
 	for name := range algs {
@@ -107,8 +118,10 @@ func Sweep(cfg switchsim.Config, algs map[string]Alg, judge JudgeFactory, gen pa
 	points := min(workers, max(1, len(names)))
 	perPoint := max(1, workers/points)
 	out := make(map[string]Estimate, len(algs))
+	errs := make(map[string]error, len(algs))
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var mu sync.Mutex
-	var firstErr error
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, points)
 	for _, name := range names {
@@ -118,19 +131,40 @@ func Sweep(cfg switchsim.Config, algs map[string]Alg, judge JudgeFactory, gen pa
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			est, err := RunParallel(cfg, algs[name], judge, gen, baseSeed, runs, perPoint)
+			est, err := RunParallel(sctx, cfg, algs[name], judge, gen, baseSeed, runs, perPoint)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("sweep %q: %w", name, err)
+			if err != nil {
+				errs[name] = err
+				cancel()
 				return
 			}
 			out[name] = est
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		// Deterministic attribution: prefer the alphabetically first point
+		// that failed on its own (not via the cancellation its sibling's
+		// failure triggered); fall back to the first failure of any kind.
+		var firstAny, firstReal string
+		for _, name := range names {
+			err, ok := errs[name]
+			if !ok {
+				continue
+			}
+			if firstAny == "" {
+				firstAny = name
+			}
+			if firstReal == "" && !errors.Is(err, context.Canceled) {
+				firstReal = name
+			}
+		}
+		name := firstReal
+		if name == "" {
+			name = firstAny
+		}
+		return nil, fmt.Errorf("sweep %q: %w", name, errs[name])
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package ratio
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,11 +15,11 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	cfg.Slots = 5
 	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
 	gen := packet.Bernoulli{Load: 1.6}
-	seq, err := Run(cfg, alg, ExactUnitCIOQ, gen, 77, 24)
+	seq, err := Run(context.Background(), cfg, alg, ExactUnitCIOQ, gen, 77, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunParallel(cfg, alg, ExactUnitCIOQ, gen, 77, 24, 8)
+	par, err := RunParallel(context.Background(), cfg, alg, ExactUnitCIOQ, gen, 77, 24, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestRunParallelWorkerEdgeCases(t *testing.T) {
 	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
 	gen := packet.Bernoulli{Load: 1.2}
 	for _, workers := range []int{0, 1, 3, 100} {
-		est, err := RunParallel(cfg, alg, ExactUnitCIOQ, gen, 5, 6, workers)
+		est, err := RunParallel(context.Background(), cfg, alg, ExactUnitCIOQ, gen, 5, 6, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -59,7 +60,7 @@ func TestSweepComparableAcrossPoints(t *testing.T) {
 		"beta=4.0": CIOQAlg(func() switchsim.CIOQPolicy { return &core.PG{Beta: 4} }),
 	}
 	gen := packet.Bernoulli{Load: 0.8, Values: packet.UniformValues{Hi: 12}}
-	out, err := Sweep(cfg, algs, ExactWeightedCIOQ, gen, 3, 8, 4)
+	out, err := Sweep(context.Background(), cfg, algs, ExactWeightedCIOQ, gen, 3, 8, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,11 +93,11 @@ func TestRunParallelEventDrivenMatchesDense(t *testing.T) {
 	gen := packet.PoissonBurst{OffMean: 8, BurstMean: 2}
 	cfg := evCfg
 	cfg.Dense = true
-	dense, err := RunParallel(cfg, alg, ExactUnitCIOQ, gen, 5, 16, 4)
+	dense, err := RunParallel(context.Background(), cfg, alg, ExactUnitCIOQ, gen, 5, 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := RunParallel(evCfg, alg, ExactUnitCIOQ, gen, 5, 16, 4)
+	fast, err := RunParallel(context.Background(), evCfg, alg, ExactUnitCIOQ, gen, 5, 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,11 +107,11 @@ func TestRunParallelEventDrivenMatchesDense(t *testing.T) {
 	}
 	algs := map[string]Alg{"gm": alg,
 		"rr": CIOQAlg(func() switchsim.CIOQPolicy { return &core.RoundRobin{} })}
-	sw1, err := Sweep(cfg, algs, ExactUnitCIOQ, gen, 5, 8, 2)
+	sw1, err := Sweep(context.Background(), cfg, algs, ExactUnitCIOQ, gen, 5, 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw2, err := Sweep(evCfg, algs, ExactUnitCIOQ, gen, 5, 8, 2)
+	sw2, err := Sweep(context.Background(), evCfg, algs, ExactUnitCIOQ, gen, 5, 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

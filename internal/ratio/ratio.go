@@ -1,12 +1,12 @@
 package ratio
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"qswitch/internal/offline"
 	"qswitch/internal/packet"
-	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
 )
 
@@ -118,35 +118,27 @@ func (e Estimate) String() string {
 // where OPT = 0 are skipped (the ratio is vacuous); an ALG of 0 with
 // positive OPT is a genuine unbounded ratio, surfaced as an error, since
 // none of the paper's algorithms can score zero against a positive
-// optimum.
-func Run(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator, baseSeed int64, runs int) (Estimate, error) {
-	var est Estimate
-	var acc stats.Acc
+// optimum. Cancelling ctx stops the seed stream between evaluations and
+// returns the context's error.
+func Run(ctx context.Context, cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator, baseSeed int64, runs int) (Estimate, error) {
 	j := judge()
+	outs := make([]SeedOutcome, 0, runs)
 	for k := 0; k < runs; k++ {
-		seed := baseSeed + int64(k)
-		rng := rand.New(rand.NewSource(seed))
-		seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, pickSlots(cfg))
-		r, ok, err := Single(cfg, alg, j, seq)
-		if err != nil {
-			return est, fmt.Errorf("ratio: seed %d: %w", seed, err)
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
 		}
-		if !ok {
-			est.Skipped++
-			continue
+		o := evalSeed(cfg, alg, j, gen, baseSeed+int64(k))
+		outs = append(outs, o)
+		if o.Err != nil {
+			break // merge reports it; later seeds can't change the outcome
 		}
-		acc.Add(r)
-		est.Samples = append(est.Samples, r)
-		if r > est.Max {
-			est.Max = r
-			est.WorstSeed = seed
-		}
-		est.Runs++
 	}
-	est.Mean = acc.Mean()
-	est.CI95 = acc.CI95()
-	return est, nil
+	return MergeOutcomes(ctx, outs)
 }
+
+// newSeedRand is the one way seeds become RNGs: every backend derives a
+// seed's workload from exactly this stream.
+func newSeedRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // Single measures OPT/ALG on one sequence with an already-minted judge
 // (hot loops hold one judge across many Single calls). ok=false when OPT

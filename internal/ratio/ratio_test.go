@@ -1,6 +1,7 @@
 package ratio
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestTheorem1GMWithinBound(t *testing.T) {
 	for gi, gen := range gens {
 		c := cfg
 		c.Slots = 6 // keep the exact DP fast
-		est, err := Run(c, alg, ExactUnitCIOQ, gen, int64(1000*gi), 25)
+		est, err := Run(context.Background(), c, alg, ExactUnitCIOQ, gen, int64(1000*gi), 25)
 		if err != nil {
 			t.Fatalf("gen %d: %v", gi, err)
 		}
@@ -53,7 +54,7 @@ func TestTheorem1SpeedupInvariance(t *testing.T) {
 		cfg := microCfg()
 		cfg.Speedup = speedup
 		cfg.Slots = 5
-		est, err := Run(cfg, alg, ExactUnitCIOQ, packet.Bernoulli{Load: 1.8}, 42, 20)
+		est, err := Run(context.Background(), cfg, alg, ExactUnitCIOQ, packet.Bernoulli{Load: 1.8}, 42, 20)
 		if err != nil {
 			t.Fatalf("speedup %d: %v", speedup, err)
 		}
@@ -76,7 +77,7 @@ func TestTheorem2PGWithinBound(t *testing.T) {
 		packet.Hotspot{Load: 0.9, HotFrac: 0.9, Values: packet.GeometricValues{P: 0.3, Hi: 64}},
 	}
 	for gi, gen := range gens {
-		est, err := Run(cfg, alg, ExactWeightedCIOQ, gen, int64(2000*gi), 15)
+		est, err := Run(context.Background(), cfg, alg, ExactWeightedCIOQ, gen, int64(2000*gi), 15)
 		if err != nil {
 			t.Fatalf("gen %d: %v", gi, err)
 		}
@@ -98,7 +99,7 @@ func TestTheorem3CGUWithinBound(t *testing.T) {
 		packet.Hotspot{Load: 1.5, HotFrac: 0.8},
 	}
 	for gi, gen := range gens {
-		est, err := Run(cfg, alg, ExactUnitCrossbar, gen, int64(3000*gi), 20)
+		est, err := Run(context.Background(), cfg, alg, ExactUnitCrossbar, gen, int64(3000*gi), 20)
 		if err != nil {
 			t.Fatalf("gen %d: %v", gi, err)
 		}
@@ -121,7 +122,7 @@ func TestTheorem4CPGWithinBound(t *testing.T) {
 		packet.Bernoulli{Load: 0.7, Values: packet.TwoValued{Alpha: 40, PHigh: 0.3}},
 	}
 	for gi, gen := range gens {
-		est, err := Run(cfg, alg, ExactWeightedCrossbar, gen, int64(4000*gi), 10)
+		est, err := Run(context.Background(), cfg, alg, ExactWeightedCrossbar, gen, int64(4000*gi), 10)
 		if err != nil {
 			t.Fatalf("gen %d: %v", gi, err)
 		}
@@ -137,7 +138,7 @@ func TestUpperBoundRatiosAreLooserButFinite(t *testing.T) {
 	cfg := switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2,
 		CrossBuf: 2, Speedup: 1, Validate: true, Slots: 20}
 	alg := CIOQAlg(func() switchsim.CIOQPolicy { return &core.GM{} })
-	est, err := Run(cfg, alg, UpperBoundCIOQ, packet.Bernoulli{Load: 1.2}, 7, 10)
+	est, err := Run(context.Background(), cfg, alg, UpperBoundCIOQ, packet.Bernoulli{Load: 1.2}, 7, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

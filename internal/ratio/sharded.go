@@ -1,0 +1,124 @@
+package ratio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/switchsim"
+)
+
+// ChunkRequest names one seed-range chunk of a ratio estimation in a form
+// that can cross a process boundary: the policy and judge are registry
+// spec strings (resolved by the shard worker's registry — see
+// internal/shard) rather than closures. K0/K1 bound the seed indices
+// [K0, K1) relative to BaseSeed.
+type ChunkRequest struct {
+	// Cfg is the switch geometry and horizon.
+	Cfg switchsim.Config
+	// Crossbar selects the buffered-crossbar model instead of CIOQ; the
+	// policy and judge specs must agree with it.
+	Crossbar bool
+	// Policy is the policy spec string, e.g. "gm" or "pg(beta=2.41)".
+	Policy string
+	// Judge is the judge spec string: "exactunit", "exactweighted" or
+	// "upperbound" (the geometry comes from Crossbar).
+	Judge string
+	// Gen draws each seed's workload. The shard service serializes it; an
+	// unsupported generator fails the chunk with a clear error.
+	Gen packet.Generator
+	// BaseSeed is the estimation's base seed; seed k is BaseSeed + k.
+	BaseSeed int64
+	// K0 and K1 delimit the chunk's seed indices [K0, K1).
+	K0, K1 int
+}
+
+// ChunkService executes ratio chunks, typically out of process with
+// retries, checkpointing and fault tolerance (shard.Coordinator is the
+// canonical implementation). RatioChunk returns one outcome per seed in
+// [req.K0, req.K1), in seed order; the error return is reserved for
+// infrastructure failures (no worker could run the chunk), while
+// deterministic per-seed evaluation failures travel inside the outcomes
+// so they are attributed to their exact seed and never retried.
+type ChunkService interface {
+	RatioChunk(ctx context.Context, req ChunkRequest) ([]SeedOutcome, error)
+}
+
+// RunSharded is Run with the seed stream sharded into chunks of `chunk`
+// seeds (<= 0 selects 16) executed by svc — out-of-process workers when
+// svc is a shard coordinator. Chunk outcomes are merged deterministically
+// in seed order, so the Estimate is byte-identical to Run, RunParallel
+// and RunFleet for the same inputs, regardless of chunk size, worker
+// count, worker failures or checkpoint resumption. req.K0/K1 are ignored
+// and overwritten per chunk.
+//
+// The first chunk that fails at the infrastructure level cancels the
+// remaining chunks; the reported infrastructure error is the lowest such
+// chunk's, so attribution is deterministic.
+func RunSharded(ctx context.Context, svc ChunkService, req ChunkRequest, runs, chunk int) (Estimate, error) {
+	if runs <= 0 {
+		return Estimate{}, nil
+	}
+	if chunk <= 0 {
+		chunk = 16
+	}
+	if chunk > runs {
+		chunk = runs
+	}
+	nChunks := (runs + chunk - 1) / chunk
+	outs := make([][]SeedOutcome, nChunks)
+	errs := make([]error, nChunks)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			creq := req
+			creq.K0 = c * chunk
+			creq.K1 = min(runs, creq.K0+chunk)
+			res, err := svc.RatioChunk(cctx, creq)
+			if err != nil {
+				errs[c] = err
+				cancel()
+				return
+			}
+			if len(res) != creq.K1-creq.K0 {
+				errs[c] = fmt.Errorf("chunk service returned %d outcomes for %d seeds", len(res), creq.K1-creq.K0)
+				cancel()
+				return
+			}
+			outs[c] = res
+		}()
+	}
+	wg.Wait()
+	// Deterministic attribution of infrastructure failures: the lowest
+	// chunk that failed on its own, before any cancellation-induced errors.
+	var firstAny error
+	for c, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstAny == nil {
+			firstAny = fmt.Errorf("shard chunk %d: %w", c, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			return Estimate{}, fmt.Errorf("shard chunk %d: %w", c, err)
+		}
+	}
+	if firstAny != nil {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
+		return Estimate{}, firstAny
+	}
+	flat := make([]SeedOutcome, 0, runs)
+	for _, o := range outs {
+		flat = append(flat, o...)
+	}
+	return MergeOutcomes(ctx, flat)
+}

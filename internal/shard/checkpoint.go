@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The checkpoint log is an append-only file of CRC-framed records, one per
+// completed chunk, written with an fsync per append so a completed chunk
+// survives a coordinator crash. A record maps a chunk's canonical spec
+// bytes (its checkpoint key) to its verified result bytes. Loading
+// tolerates a torn tail — a crash mid-append leaves a final partial frame,
+// which is detected by the frame CRC and truncated away — so a restarted
+// coordinator resumes from exactly the set of chunks that fully committed,
+// re-executing only the rest.
+
+// checkpointRecord is the JSON payload of one log frame.
+type checkpointRecord struct {
+	// Type is the chunk's request frame type (ratio or hunt chunk).
+	Type uint8 `json:"type"`
+	// Key is the chunk's canonical spec payload.
+	Key json.RawMessage `json:"key"`
+	// Result is the chunk's result payload.
+	Result json.RawMessage `json:"result"`
+}
+
+// checkpointLog appends records to the log file. Appends are serialized
+// and fsync'd before they are reported durable.
+type checkpointLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// ckptKey builds the in-memory cache key for a chunk: the request frame
+// type joined with the canonical spec bytes.
+func ckptKey(ft frameType, payload []byte) string {
+	return string([]byte{byte(ft)}) + string(payload)
+}
+
+// openCheckpointLog opens (creating if needed) the log at path, replays
+// the committed records into a key -> result map, truncates any torn tail
+// and positions the file for appending.
+func openCheckpointLog(path string) (*checkpointLog, map[string][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: open checkpoint log: %w", err)
+	}
+	cache := map[string][]byte{}
+	br := bufio.NewReader(f)
+	var good int64
+	for {
+		ft, payload, n, err := readFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail (crash mid-append) or corruption: keep the committed
+			// prefix, drop the rest.
+			break
+		}
+		if ft != ftCheckpoint {
+			break
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		cache[ckptKey(frameType(rec.Type), rec.Key)] = bytes.Clone(rec.Result)
+		good += int64(n)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("shard: truncate checkpoint tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("shard: seek checkpoint log: %w", err)
+	}
+	return &checkpointLog{f: f}, cache, nil
+}
+
+// append commits one record: frame, write, fsync. The record is durable
+// when append returns.
+func (l *checkpointLog) append(ft frameType, key, result []byte) error {
+	payload := marshalMsg(checkpointRecord{Type: uint8(ft), Key: key, Result: result})
+	frame := appendFrame(nil, ftCheckpoint, payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("shard: append checkpoint: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("shard: sync checkpoint: %w", err)
+	}
+	return nil
+}
+
+// close closes the log file.
+func (l *checkpointLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func TestCheckpointLogRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/log.qswf"
+	l, cache, err := openCheckpointLog(path)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	if len(cache) != 0 {
+		t.Errorf("fresh log has %d cached records", len(cache))
+	}
+	if err := l.append(ftRatioChunk, []byte(`{"k":1}`), []byte(`{"r":1}`)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.append(ftHuntChunk, []byte(`{"k":2}`), []byte(`{"r":2}`)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, cache, err := openCheckpointLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.close()
+	if len(cache) != 2 {
+		t.Fatalf("reopened cache has %d records, want 2", len(cache))
+	}
+	if got := cache[ckptKey(ftRatioChunk, []byte(`{"k":1}`))]; !bytes.Equal(got, []byte(`{"r":1}`)) {
+		t.Errorf("record 1 result = %q", got)
+	}
+	if got := cache[ckptKey(ftHuntChunk, []byte(`{"k":2}`))]; !bytes.Equal(got, []byte(`{"r":2}`)) {
+		t.Errorf("record 2 result = %q", got)
+	}
+	// The same key under a different frame type must be a distinct record.
+	if _, ok := cache[ckptKey(ftRatioChunk, []byte(`{"k":2}`))]; ok {
+		t.Error("hunt record visible under ratio key")
+	}
+}
+
+// TestCheckpointLogTruncatesTornTail: a crash mid-append leaves a partial
+// final frame; reopening must keep the committed prefix, drop the tail,
+// and leave the file positioned so later appends commit cleanly.
+func TestCheckpointLogTruncatesTornTail(t *testing.T) {
+	path := t.TempDir() + "/log.qswf"
+	l, _, err := openCheckpointLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.append(ftRatioChunk, []byte(`{"k":1}`), []byte(`{"r":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := fileSize(t, path)
+
+	// Simulate the torn append.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := appendFrame(nil, ftCheckpoint, marshalMsg(checkpointRecord{
+		Type: uint8(ftRatioChunk), Key: []byte(`{"k":2}`), Result: []byte(`{"r":2}`),
+	}))
+	if _, err := f.Write(whole[:len(whole)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, cache, err := openCheckpointLog(path)
+	if err != nil {
+		t.Fatalf("reopen torn log: %v", err)
+	}
+	if len(cache) != 1 {
+		t.Errorf("torn log replayed %d records, want 1", len(cache))
+	}
+	if got := fileSize(t, path); got != goodSize {
+		t.Errorf("torn tail not truncated: size %d, want %d", got, goodSize)
+	}
+	// Appends after recovery must land after the good prefix and replay.
+	if err := l2.append(ftRatioChunk, []byte(`{"k":3}`), []byte(`{"r":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, cache, err := openCheckpointLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.close()
+	if len(cache) != 2 {
+		t.Errorf("after recovery+append, replayed %d records, want 2", len(cache))
+	}
+}
+
+// TestCheckpointLogStopsAtCorruption: a bit flip inside a committed frame
+// invalidates that frame and everything after it, never yielding a bad
+// record.
+func TestCheckpointLogStopsAtCorruption(t *testing.T) {
+	path := t.TempDir() + "/log.qswf"
+	l, _, err := openCheckpointLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte('a'); i < 'd'; i++ {
+		if err := l.append(ftRatioChunk, []byte{'{', '"', i, '"', ':', '1', '}'}, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte in the middle record.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, cache, err := openCheckpointLog(path)
+	if err != nil {
+		t.Fatalf("reopen corrupted log: %v", err)
+	}
+	defer l2.close()
+	if len(cache) >= 3 {
+		t.Fatalf("corrupted log replayed %d records, want < 3", len(cache))
+	}
+	for _, res := range cache {
+		if !bytes.Equal(res, []byte(`{}`)) {
+			t.Errorf("corrupted record surfaced: %q", res)
+		}
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte(`{"a":1}`), nil, bytes.Repeat([]byte("x"), 4096)}
+	types := []frameType{ftHello, ftHeartbeat, ftResult}
+	for i, p := range payloads {
+		if err := writeFrame(&buf, types[i], p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, p := range payloads {
+		ft, got, n, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if ft != types[i] {
+			t.Errorf("frame %d: type %d, want %d", i, ft, types[i])
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame %d: payload mismatch", i)
+		}
+		if want := frameHeaderLen + len(p) + frameTrailerLen; n != want {
+			t.Errorf("frame %d: size %d, want %d", i, n, want)
+		}
+	}
+	if _, _, _, err := readFrame(r); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameDetectsEveryBitFlip is the checksum guarantee the chaos
+// Corrupt fault relies on: no single-bit corruption of an encoded frame
+// may decode successfully.
+func TestFrameDetectsEveryBitFlip(t *testing.T) {
+	frame := appendFrame(nil, ftResult, []byte(`{"seeds":[{"seed":7,"ratio":1.5}]}`))
+	for bit := 0; bit < len(frame)*8; bit++ {
+		mut := bytes.Clone(frame)
+		mut[bit/8] ^= 1 << (bit % 8)
+		_, _, _, err := readFrame(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("bit flip at %d decoded successfully", bit)
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	frame := appendFrame(nil, ftResult, []byte("payload"))
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, _, err := readFrame(bytes.NewReader(frame[:cut]))
+		if err == nil || err == io.EOF {
+			t.Fatalf("truncation at %d bytes: err = %v, want decode error", cut, err)
+		}
+	}
+}
+
+func TestFrameRejectsVersionSkew(t *testing.T) {
+	frame := appendFrame(nil, ftHello, []byte(`{}`))
+	frame[4]++ // bump version; CRC now also mismatches, but version is checked first
+	_, _, _, err := readFrame(bytes.NewReader(frame))
+	if err == nil || !strings.Contains(err.Error(), "protocol version") {
+		t.Fatalf("err = %v, want protocol version error", err)
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	frame := appendFrame(nil, ftResult, []byte("p"))
+	frame[8], frame[9], frame[10], frame[11] = 0xff, 0xff, 0xff, 0xff
+	_, _, _, err := readFrame(bytes.NewReader(frame))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("err = %v, want payload limit error", err)
+	}
+}

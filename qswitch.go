@@ -37,6 +37,7 @@
 package qswitch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -294,7 +295,7 @@ func MeasureRatioCIOQ(cfg Config, policyName string, gen Generator, exact bool, 
 	if exact {
 		judge = exactJudge(false)
 	}
-	return ratio.Run(cfg, alg, judge, gen, seed, runs)
+	return ratio.Run(context.Background(), cfg, alg, judge, gen, seed, runs)
 }
 
 // exactJudge adapts ExactOptimum to the ratio judge factory contract.
@@ -324,7 +325,7 @@ func MeasureRatioCIOQParallel(cfg Config, policyName string, gen Generator, exac
 	if exact {
 		judge = exactJudge(false)
 	}
-	return ratio.RunParallel(cfg, alg, judge, gen, seed, runs, workers)
+	return ratio.RunParallel(context.Background(), cfg, alg, judge, gen, seed, runs, workers)
 }
 
 // MeasureRatioCrossbar is the buffered-crossbar analogue of
@@ -344,7 +345,7 @@ func MeasureRatioCrossbar(cfg Config, policyName string, gen Generator, exact bo
 	if exact {
 		judge = exactJudge(true)
 	}
-	return ratio.Run(cfg, alg, judge, gen, seed, runs)
+	return ratio.Run(context.Background(), cfg, alg, judge, gen, seed, runs)
 }
 
 // DefaultBetaPG returns β = 1+√2, PG's optimal parameter (Theorem 2).
