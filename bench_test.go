@@ -740,3 +740,99 @@ func BenchmarkAdversarySearchGM(b *testing.B) {
 		}, eval)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Streaming-engine benchmarks: a 10^8-slot lazily generated sparse workload
+// per iteration through RunCIOQStream/RunCrossbarStream — a horizon whose
+// materialized form is hundreds of megabytes of Packet structs. The same
+// names measure both strategies: streaming by default, or generate-the-
+// whole-sequence-then-run with QSWITCH_MATERIALIZE=1 (BENCH_7.json holds
+// the materialized baseline, BENCH_7_post.json the streamed runs; record
+// with -benchtime 1x). B/op is half the story: the materialized side must
+// hold the full sequence, the streamed side runs in O(window) regardless
+// of the horizon.
+// ---------------------------------------------------------------------------
+
+func streamMaterialized() bool { return os.Getenv("QSWITCH_MATERIALIZE") != "" }
+
+const streamBenchSlots = 100_000_000
+
+// streamBenchDiurnal is a day/night workload whose silent troughs span
+// tens of thousands of slots: the streaming engines ride the same idle
+// jumps as the materialized event-driven engine, answered from the stream
+// head instead of a slice cursor.
+func streamBenchDiurnal() packet.Generator {
+	return packet.Diurnal{Load: 0.005, Period: 50_000, Amplitude: 4,
+		Values: packet.UniformValues{Hi: 20}}
+}
+
+// streamBenchFlowMix opens sparse flows whose packet trains arrive in
+// line-rate runs separated by long inter-flow gaps — the flow-level shape
+// with an open-flow state of a few bytes per input.
+func streamBenchFlowMix() packet.Generator {
+	return packet.FlowMix{FlowRate: 0.0002, Values: packet.UniformValues{Hi: 20}}
+}
+
+func benchStreamCIOQ(b *testing.B, gen packet.Generator, mk func() switchsim.CIOQPolicy) {
+	const n = 4
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 8,
+		Speedup: 2, Slots: streamBenchSlots,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if streamMaterialized() {
+			seq := gen.Generate(rand.New(rand.NewSource(7)), n, n, streamBenchSlots)
+			_, err = switchsim.RunCIOQ(cfg, mk(), seq)
+		} else {
+			src := packet.StreamTraffic(gen, rand.New(rand.NewSource(7)), n, n, streamBenchSlots)
+			_, err = switchsim.RunCIOQStream(cfg, mk(), src)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/streamBenchSlots, "ns/slot")
+}
+
+func benchStreamCrossbar(b *testing.B, gen packet.Generator, mk func() switchsim.CrossbarPolicy) {
+	const n = 4
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 8, CrossBuf: 2,
+		Speedup: 2, Slots: streamBenchSlots,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if streamMaterialized() {
+			seq := gen.Generate(rand.New(rand.NewSource(7)), n, n, streamBenchSlots)
+			_, err = switchsim.RunCrossbar(cfg, mk(), seq)
+		} else {
+			src := packet.StreamTraffic(gen, rand.New(rand.NewSource(7)), n, n, streamBenchSlots)
+			_, err = switchsim.RunCrossbarStream(cfg, mk(), src)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/streamBenchSlots, "ns/slot")
+}
+
+func BenchmarkStreamCIOQGMDiurnal4(b *testing.B) {
+	benchStreamCIOQ(b, streamBenchDiurnal(), func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkStreamCIOQPGDiurnal4(b *testing.B) {
+	benchStreamCIOQ(b, streamBenchDiurnal(), func() switchsim.CIOQPolicy { return &core.PG{} })
+}
+func BenchmarkStreamCIOQGMFlowMix4(b *testing.B) {
+	benchStreamCIOQ(b, streamBenchFlowMix(), func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkStreamCrossbarCGUDiurnal4(b *testing.B) {
+	benchStreamCrossbar(b, streamBenchDiurnal(), func() switchsim.CrossbarPolicy { return &core.CGU{} })
+}
+func BenchmarkStreamCrossbarCPGFlowMix4(b *testing.B) {
+	benchStreamCrossbar(b, streamBenchFlowMix(), func() switchsim.CrossbarPolicy { return &core.CPG{} })
+}

@@ -25,16 +25,17 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		run   = flag.String("run", "", "comma-separated experiment ids to run (e.g. e1,e5)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced workloads (seconds instead of minutes)")
-		dense = flag.Bool("dense", false, "opt out of the event-driven simulator fast path and simulate every slot (bit-identical results, slower)")
-		fleet = flag.Bool("fleet", false, "route Monte-Carlo ratio estimations through the columnar batched fleet engine (byte-identical results)")
-		seed  = flag.Int64("seed", 1, "base RNG seed")
-		csv   = flag.String("csv", "", "directory to write per-table CSV files into")
-		figs  = flag.Bool("figures", true, "render ASCII charts for figure-type experiments")
-		par   = flag.Int("parallel", 1, "run up to this many experiments concurrently (output stays ordered)")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		run    = flag.String("run", "", "comma-separated experiment ids to run (e.g. e1,e5)")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "reduced workloads (seconds instead of minutes)")
+		dense  = flag.Bool("dense", false, "opt out of the event-driven simulator fast path and simulate every slot (bit-identical results, slower)")
+		fleet  = flag.Bool("fleet", false, "route Monte-Carlo ratio estimations through the columnar batched fleet engine (byte-identical results)")
+		stream = flag.Bool("stream", false, "route Monte-Carlo ratio estimations through the streaming engines (byte-identical results)")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		csv    = flag.String("csv", "", "directory to write per-table CSV files into")
+		figs   = flag.Bool("figures", true, "render ASCII charts for figure-type experiments")
+		par    = flag.Int("parallel", 1, "run up to this many experiments concurrently (output stays ordered)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Dense: *dense, Fleet: *fleet}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Dense: *dense, Fleet: *fleet, Stream: *stream}
 	// Each experiment renders into its own buffer so concurrent runs
 	// still print in the requested order.
 	type report struct {

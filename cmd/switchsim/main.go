@@ -31,12 +31,13 @@ func main() {
 		speedup = flag.Int("speedup", 1, "scheduling cycles per slot")
 		slots   = flag.Int("slots", 1000, "arrival slots to generate")
 		horizon = flag.Int("horizon", 0, "simulation horizon (0 = drain fully)")
-		traffic = flag.String("traffic", "uniform", "traffic: uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock")
+		traffic = flag.String("traffic", "uniform", "traffic: uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock, flowmix")
 		values  = flag.String("values", "unit", "values: unit, two, uniform, zipf, geometric")
 		load    = flag.Float64("load", 0.9, "offered load per input per slot")
 		dense   = flag.Bool("dense", false, "opt out of the event-driven engine and simulate every slot (bit-identical metrics, much slower on sparse traces)")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		trace   = flag.String("trace", "", "binary trace file to replay instead of generating")
+		stream  = flag.Bool("stream", false, "consume arrivals through the streaming engines: bounded memory on huge traces/horizons, bit-identical metrics")
 		ub      = flag.Bool("ub", false, "also compute the offline upper bound")
 		lat     = flag.Bool("latency", false, "record and print latency statistics")
 		compare = flag.Bool("compare", false, "run ALL policies of the model on the same workload and tabulate")
@@ -51,6 +52,51 @@ func main() {
 		Speedup: *speedup, Slots: *horizon,
 		RecordLatency: *lat,
 		Dense:         *dense,
+	}
+
+	if *stream {
+		if *compare {
+			fatal("-compare needs the materialized sequence; drop -stream")
+		}
+		if *ub {
+			fatal("-ub needs the materialized sequence; drop -stream")
+		}
+		cfg.StreamMetrics = *lat
+		var src qswitch.ArrivalStream
+		if *trace != "" {
+			ts, err := qswitch.OpenTraceStream(*trace)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer ts.Close()
+			if ts.Inputs != cfg.Inputs || ts.Outputs != cfg.Outputs {
+				fmt.Fprintf(os.Stderr, "switchsim: note: trace geometry %dx%d overrides flags\n",
+					ts.Inputs, ts.Outputs)
+				cfg.Inputs, cfg.Outputs = ts.Inputs, ts.Outputs
+			}
+			src = ts
+		} else {
+			gen, err := buildGenerator(*traffic, *values, *load)
+			if err != nil {
+				fatal("%v", err)
+			}
+			src = qswitch.StreamTraffic(gen, cfg, *slots, *seed)
+		}
+		var res *qswitch.Result
+		var err error
+		switch *model {
+		case "cioq":
+			res, err = qswitch.SimulateCIOQStream(cfg, *policy, src)
+		case "crossbar":
+			res, err = qswitch.SimulateCrossbarStream(cfg, *policy, src)
+		default:
+			fatal("-stream supports models cioq and crossbar (got %q)", *model)
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+		printResult(*model, cfg, res, *slots, *lat)
+		return
 	}
 
 	var seq qswitch.Sequence
@@ -94,10 +140,23 @@ func main() {
 		fatal("%v", err)
 	}
 
+	printResult(*model, cfg, res, *slots, *lat)
+	if *ub {
+		bound, err := offline.OQUpperBound(cfg, seq, *model == "crossbar")
+		if err != nil {
+			fatal("upper bound: %v", err)
+		}
+		fmt.Printf("offlineUB: %d (policy achieved %.1f%% of the bound)\n",
+			bound, 100*float64(res.M.Benefit)/float64(bound))
+	}
+}
+
+// printResult prints the standard single-run metrics block.
+func printResult(model string, cfg qswitch.Config, res *qswitch.Result, slots int, lat bool) {
 	fmt.Printf("model    : %s (%dx%d, Bin=%d Bout=%d Bx=%d, speedup %d)\n",
-		*model, cfg.Inputs, cfg.Outputs, cfg.InputBuf, cfg.OutputBuf, cfg.CrossBuf, cfg.Speedup)
+		model, cfg.Inputs, cfg.Outputs, cfg.InputBuf, cfg.OutputBuf, cfg.CrossBuf, cfg.Speedup)
 	fmt.Printf("policy   : %s\n", res.Policy)
-	fmt.Printf("slots    : %d (arrivals over %d)\n", res.Slots, *slots)
+	fmt.Printf("slots    : %d (arrivals over %d)\n", res.Slots, slots)
 	fmt.Printf("arrived  : %d packets, value %d\n", res.M.Arrived, res.M.ArrivedValue)
 	fmt.Printf("accepted : %d   rejected: %d\n", res.M.Accepted, res.M.Rejected)
 	fmt.Printf("preempted: input=%d cross=%d output=%d\n",
@@ -107,16 +166,8 @@ func main() {
 		res.M.Benefit, res.GoodputValue(), res.Throughput())
 	fmt.Printf("occupancy: input %.2f, output %.2f (mean pkts)\n",
 		res.M.MeanInputOccupancy(), res.M.MeanOutputOccupancy())
-	if *lat {
+	if lat {
 		fmt.Printf("latency  : mean %.2f slots, max %d\n", res.M.MeanLatency(), res.M.LatencyMax)
-	}
-	if *ub {
-		bound, err := offline.OQUpperBound(cfg, seq, *model == "crossbar")
-		if err != nil {
-			fatal("upper bound: %v", err)
-		}
-		fmt.Printf("offlineUB: %d (policy achieved %.1f%% of the bound)\n",
-			bound, 100*float64(res.M.Benefit)/float64(bound))
 	}
 }
 

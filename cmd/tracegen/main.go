@@ -19,6 +19,16 @@
 // input onto one hot output (the backlogged-but-quiescent shape for the
 // quiescent drain fast path). For all four, -load sets the mean
 // per-input offered load.
+//
+// Flow-level traffic (the streaming engines' flagship workload):
+//
+//	tracegen -o flows.qsw -n 16 -slots 100000 -traffic flowmix -load 0.7
+//
+// flowmix opens short "rat" and long "elephant" flows per input at a
+// stage-varying rate; every open flow emits one packet per slot toward
+// its flow destination, so traffic has flow-level trains, a heavy/light
+// size mix and a diurnal-style intensity profile. -load sets the
+// approximate mean per-input packet load.
 package main
 
 import (
@@ -38,7 +48,7 @@ func main() {
 		n       = flag.Int("n", 8, "input ports")
 		m       = flag.Int("m", 0, "output ports (defaults to -n)")
 		slots   = flag.Int("slots", 1000, "arrival slots")
-		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock")
+		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock, flowmix")
 		values  = flag.String("values", "unit", "unit, two, uniform, zipf, geometric")
 		load    = flag.Float64("load", 0.9, "offered load")
 		seed    = flag.Int64("seed", 1, "RNG seed")

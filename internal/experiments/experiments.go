@@ -55,6 +55,13 @@ type Options struct {
 	// ShardChunk is the seeds-per-chunk granularity handed to
 	// ratio.RunSharded when Shard is set (<= 0 selects the default).
 	ShardChunk int
+	// Stream routes the Monte-Carlo ratio estimations (E1-E4) through the
+	// streaming engines (switchsim.RunCIOQStream/RunCrossbarStream), with
+	// each seed's sequence replayed as an arrival stream. Estimates are
+	// byte-identical to every other backend; it exists to exercise the
+	// streaming engines across the whole experiment surface. Shard and
+	// Fleet take precedence.
+	Stream bool
 }
 
 // fleetBatch is the batch size Options.Fleet hands to ratio.RunFleet.
@@ -74,6 +81,9 @@ func (o Options) ratioCIOQ(cfg switchsim.Config, pol cioqPolicyRef,
 	if o.Fleet {
 		return ratio.RunFleet(o.ctx(), cfg, ratio.CIOQFleetAlg(pol.factory), judge.factory, gen, seed, runs, 1, fleetBatch)
 	}
+	if o.Stream {
+		return ratio.Run(o.ctx(), cfg, ratio.CIOQStreamAlg(pol.factory), judge.factory, gen, seed, runs)
+	}
 	return ratio.Run(o.ctx(), cfg, ratio.CIOQAlg(pol.factory), judge.factory, gen, seed, runs)
 }
 
@@ -87,6 +97,9 @@ func (o Options) ratioCrossbar(cfg switchsim.Config, pol crossbarPolicyRef,
 	}
 	if o.Fleet {
 		return ratio.RunFleet(o.ctx(), cfg, ratio.CrossbarFleetAlg(pol.factory), judge.factory, gen, seed, runs, 1, fleetBatch)
+	}
+	if o.Stream {
+		return ratio.Run(o.ctx(), cfg, ratio.CrossbarStreamAlg(pol.factory), judge.factory, gen, seed, runs)
 	}
 	return ratio.Run(o.ctx(), cfg, ratio.CrossbarAlg(pol.factory), judge.factory, gen, seed, runs)
 }

@@ -263,6 +263,9 @@ func (f *CIOQFleet) Reset(seqs []packet.Sequence) error {
 	f.view.direct = 0
 	for k := 0; k < f.cur; k++ {
 		f.ms[k] = switchsim.Metrics{}
+		if f.cfg.RecordLatency && f.cfg.StreamMetrics {
+			f.ms[k].EnableLatencySketch()
+		}
 		f.results[k] = nil
 		f.next[k] = 0
 		f.at[k] = 0

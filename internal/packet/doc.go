@@ -27,5 +27,22 @@
 // of adversarial lower-bound constructions. BurstyBlocking specifically
 // produces backlogged-but-quiescent states: bursts converging on one hot
 // output that, at speedup >= 2, leave a deep output-queue backlog
-// draining long after the input side has emptied.
+// draining long after the input side has emptied. FlowMix adds a
+// flow-level process (open flows emitting packet trains, a rat/elephant
+// size mix, a cyclic intensity profile) whose state is bounded by its
+// open-flow cap rather than the horizon.
+//
+// # Streaming
+//
+// ArrivalStream is the pull interface the streaming engines consume:
+// Peek/Next deliver packets in normalized order, and Err distinguishes a
+// clean end of stream from a decode failure. SeqStream adapts an
+// in-memory Sequence; GenStream drives any generator implementing
+// SlotStreamer (a slot-major process exposed as a SlotSource) through a
+// fixed-size refill window, so generation memory is O(window + generator
+// state) regardless of the horizon; TraceStream decodes the binary trace
+// format incrementally with the same per-record validation and CRC64
+// checking as ReadBinary. StreamTraffic picks the streaming path when
+// the generator supports it and falls back to materialize-then-stream
+// otherwise, so callers get identical packets either way.
 package packet

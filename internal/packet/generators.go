@@ -34,23 +34,33 @@ func (g Bernoulli) Name() string {
 
 // Generate implements Generator.
 func (g Bernoulli) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
-	vd := orUnit(g.Values)
-	var seq Sequence
-	var id int64
-	for t := 0; t < slots; t++ {
-		for i := 0; i < inputs; i++ {
-			n := wholeArrivals(rng, g.Load)
-			for k := 0; k < n; k++ {
-				seq = append(seq, Packet{
-					ID: id, Arrival: t, In: i,
-					Out:   rng.Intn(outputs),
-					Value: vd.Sample(rng),
-				})
-				id++
-			}
+	return generateFromSource(g.Source(rng, inputs, outputs), slots)
+}
+
+// Source implements SlotStreamer.
+func (g Bernoulli) Source(rng *rand.Rand, inputs, outputs int) SlotSource {
+	return &bernoulliSource{g: g, vd: orUnit(g.Values), rng: rng, inputs: inputs, outputs: outputs}
+}
+
+type bernoulliSource struct {
+	g               Bernoulli
+	vd              ValueDist
+	rng             *rand.Rand
+	inputs, outputs int
+}
+
+func (s *bernoulliSource) AppendSlot(dst Sequence, t int) Sequence {
+	for i := 0; i < s.inputs; i++ {
+		n := wholeArrivals(s.rng, s.g.Load)
+		for k := 0; k < n; k++ {
+			dst = append(dst, Packet{
+				Arrival: t, In: i,
+				Out:   s.rng.Intn(s.outputs),
+				Value: s.vd.Sample(s.rng),
+			})
 		}
 	}
-	return seq.Normalize()
+	return dst
 }
 
 // Hotspot sends a fraction HotFrac of each input's traffic to output
@@ -70,23 +80,33 @@ func (g Hotspot) Name() string {
 
 // Generate implements Generator.
 func (g Hotspot) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
-	vd := orUnit(g.Values)
-	var seq Sequence
-	var id int64
-	for t := 0; t < slots; t++ {
-		for i := 0; i < inputs; i++ {
-			n := wholeArrivals(rng, g.Load)
-			for k := 0; k < n; k++ {
-				out := g.HotOut % outputs
-				if rng.Float64() >= g.HotFrac {
-					out = rng.Intn(outputs)
-				}
-				seq = append(seq, Packet{ID: id, Arrival: t, In: i, Out: out, Value: vd.Sample(rng)})
-				id++
+	return generateFromSource(g.Source(rng, inputs, outputs), slots)
+}
+
+// Source implements SlotStreamer.
+func (g Hotspot) Source(rng *rand.Rand, inputs, outputs int) SlotSource {
+	return &hotspotSource{g: g, vd: orUnit(g.Values), rng: rng, inputs: inputs, outputs: outputs}
+}
+
+type hotspotSource struct {
+	g               Hotspot
+	vd              ValueDist
+	rng             *rand.Rand
+	inputs, outputs int
+}
+
+func (s *hotspotSource) AppendSlot(dst Sequence, t int) Sequence {
+	for i := 0; i < s.inputs; i++ {
+		n := wholeArrivals(s.rng, s.g.Load)
+		for k := 0; k < n; k++ {
+			out := s.g.HotOut % s.outputs
+			if s.rng.Float64() >= s.g.HotFrac {
+				out = s.rng.Intn(s.outputs)
 			}
+			dst = append(dst, Packet{Arrival: t, In: i, Out: out, Value: s.vd.Sample(s.rng)})
 		}
 	}
-	return seq.Normalize()
+	return dst
 }
 
 // Diagonal concentrates traffic near the diagonal of the traffic matrix:
@@ -106,23 +126,33 @@ func (g Diagonal) Name() string {
 
 // Generate implements Generator.
 func (g Diagonal) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
-	vd := orUnit(g.Values)
-	var seq Sequence
-	var id int64
-	for t := 0; t < slots; t++ {
-		for i := 0; i < inputs; i++ {
-			n := wholeArrivals(rng, g.Load)
-			for k := 0; k < n; k++ {
-				out := i % outputs
-				if rng.Float64() < g.OffFrac {
-					out = (i + 1) % outputs
-				}
-				seq = append(seq, Packet{ID: id, Arrival: t, In: i, Out: out, Value: vd.Sample(rng)})
-				id++
+	return generateFromSource(g.Source(rng, inputs, outputs), slots)
+}
+
+// Source implements SlotStreamer.
+func (g Diagonal) Source(rng *rand.Rand, inputs, outputs int) SlotSource {
+	return &diagonalSource{g: g, vd: orUnit(g.Values), rng: rng, inputs: inputs, outputs: outputs}
+}
+
+type diagonalSource struct {
+	g               Diagonal
+	vd              ValueDist
+	rng             *rand.Rand
+	inputs, outputs int
+}
+
+func (s *diagonalSource) AppendSlot(dst Sequence, t int) Sequence {
+	for i := 0; i < s.inputs; i++ {
+		n := wholeArrivals(s.rng, s.g.Load)
+		for k := 0; k < n; k++ {
+			out := i % s.outputs
+			if s.rng.Float64() < s.g.OffFrac {
+				out = (i + 1) % s.outputs
 			}
+			dst = append(dst, Packet{Arrival: t, In: i, Out: out, Value: s.vd.Sample(s.rng)})
 		}
 	}
-	return seq.Normalize()
+	return dst
 }
 
 // Bursty is a two-state (ON/OFF) Markov-modulated arrival process per
@@ -147,7 +177,13 @@ func (g Bursty) Name() string {
 
 // Generate implements Generator.
 func (g Bursty) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
-	vd := orUnit(g.Values)
+	return generateFromSource(g.Source(rng, inputs, outputs), slots)
+}
+
+// Source implements SlotStreamer. The per-input Markov chains start in
+// their stationary distribution, drawn here so the construction-time RNG
+// consumption matches a materializing Generate exactly.
+func (g Bursty) Source(rng *rand.Rand, inputs, outputs int) SlotSource {
 	on := make([]bool, inputs)
 	dest := make([]int, inputs)
 	for i := range on {
@@ -159,31 +195,39 @@ func (g Bursty) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
 		on[i] = rng.Float64() < pi
 		dest[i] = rng.Intn(outputs)
 	}
-	var seq Sequence
-	var id int64
-	for t := 0; t < slots; t++ {
-		for i := 0; i < inputs; i++ {
-			if on[i] {
-				if rng.Float64() < g.OnLoad {
-					out := dest[i]
-					if g.Uniform {
-						out = rng.Intn(outputs)
-					}
-					seq = append(seq, Packet{ID: id, Arrival: t, In: i, Out: out, Value: vd.Sample(rng)})
-					id++
+	return &burstySource{g: g, vd: orUnit(g.Values), rng: rng, outputs: outputs, on: on, dest: dest}
+}
+
+type burstySource struct {
+	g       Bursty
+	vd      ValueDist
+	rng     *rand.Rand
+	outputs int
+	on      []bool
+	dest    []int
+}
+
+func (s *burstySource) AppendSlot(dst Sequence, t int) Sequence {
+	for i := range s.on {
+		if s.on[i] {
+			if s.rng.Float64() < s.g.OnLoad {
+				out := s.dest[i]
+				if s.g.Uniform {
+					out = s.rng.Intn(s.outputs)
 				}
-				if rng.Float64() < g.POnOff {
-					on[i] = false
-				}
-			} else {
-				if rng.Float64() < g.POffOn {
-					on[i] = true
-					dest[i] = rng.Intn(outputs) // new burst, new destination
-				}
+				dst = append(dst, Packet{Arrival: t, In: i, Out: out, Value: s.vd.Sample(s.rng)})
+			}
+			if s.rng.Float64() < s.g.POnOff {
+				s.on[i] = false
+			}
+		} else {
+			if s.rng.Float64() < s.g.POffOn {
+				s.on[i] = true
+				s.dest[i] = s.rng.Intn(s.outputs) // new burst, new destination
 			}
 		}
 	}
-	return seq.Normalize()
+	return dst
 }
 
 // Permutation applies a fixed random permutation traffic pattern: input i
@@ -203,20 +247,32 @@ func (g Permutation) Name() string {
 
 // Generate implements Generator.
 func (g Permutation) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
-	vd := orUnit(g.Values)
-	perm := rng.Perm(outputs)
-	var seq Sequence
-	var id int64
-	for t := 0; t < slots; t++ {
-		for i := 0; i < inputs; i++ {
-			n := wholeArrivals(rng, g.Load)
-			for k := 0; k < n; k++ {
-				seq = append(seq, Packet{ID: id, Arrival: t, In: i, Out: perm[i%outputs], Value: vd.Sample(rng)})
-				id++
-			}
+	return generateFromSource(g.Source(rng, inputs, outputs), slots)
+}
+
+// Source implements SlotStreamer. The permutation is drawn up front, as a
+// materializing Generate does.
+func (g Permutation) Source(rng *rand.Rand, inputs, outputs int) SlotSource {
+	return &permutationSource{g: g, vd: orUnit(g.Values), rng: rng,
+		inputs: inputs, outputs: outputs, perm: rng.Perm(outputs)}
+}
+
+type permutationSource struct {
+	g               Permutation
+	vd              ValueDist
+	rng             *rand.Rand
+	inputs, outputs int
+	perm            []int
+}
+
+func (s *permutationSource) AppendSlot(dst Sequence, t int) Sequence {
+	for i := 0; i < s.inputs; i++ {
+		n := wholeArrivals(s.rng, s.g.Load)
+		for k := 0; k < n; k++ {
+			dst = append(dst, Packet{Arrival: t, In: i, Out: s.perm[i%s.outputs], Value: s.vd.Sample(s.rng)})
 		}
 	}
-	return seq.Normalize()
+	return dst
 }
 
 // Fixed wraps a pre-built sequence as a Generator, ignoring the rng and

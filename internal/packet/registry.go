@@ -1,6 +1,9 @@
 package packet
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ValueDistByName resolves the CLI value-distribution names shared by
 // switchsim and tracegen.
@@ -33,6 +36,17 @@ func GeneratorByName(traffic, values string, load float64) (Generator, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Reject degenerate loads up front, for every pattern. NaN slips past
+	// one-sided guards like `load <= 0` (all NaN comparisons are false) and
+	// +Inf passes them outright; downstream the gap formulas turn such
+	// loads into NaN/Inf parameters, and negative loads make the dense
+	// patterns silently generate empty traffic. A spec error beats either.
+	if math.IsNaN(load) || math.IsInf(load, 0) {
+		return nil, fmt.Errorf("traffic %q needs a finite load (got %g)", traffic, load)
+	}
+	if load <= 0 {
+		return nil, fmt.Errorf("traffic %q needs load > 0 (got %g)", traffic, load)
+	}
 	switch traffic {
 	case "uniform":
 		return Bernoulli{Load: load, Values: vd}, nil
@@ -50,15 +64,17 @@ func GeneratorByName(traffic, values string, load float64) (Generator, error) {
 		// tops out at load 4/5; beyond that it is not sparse traffic, so
 		// reject rather than silently under-deliver.
 		const burst = 4.0
-		if load <= 0 || load >= burst/(burst+1) {
+		if load >= burst/(burst+1) {
 			return nil, fmt.Errorf("poissonburst needs 0 < load < %.2f (got %g); use uniform or bursty for dense traffic", burst/(burst+1), load)
 		}
 		return PoissonBurst{OffMean: burst * (1 - load) / load, BurstMean: burst, Values: vd}, nil
 	case "diurnal":
-		if load <= 0 {
-			return nil, fmt.Errorf("diurnal needs load > 0 (got %g)", load)
-		}
 		return Diurnal{Load: load, Period: 1000, Amplitude: 1.2, Values: vd}, nil
+	case "flowmix":
+		// Flow-level traffic: rat/elephant flow mix with a diurnal-style
+		// stage profile; see FlowMixForLoad for the load-to-flow-rate
+		// translation.
+		return FlowMixForLoad(load, vd), nil
 	case "burstblock":
 		// Converging line-rate bursts of 16 packets per input into a
 		// single hot output, separated by idle gaps sized to hit the
@@ -68,7 +84,7 @@ func GeneratorByName(traffic, values string, load float64) (Generator, error) {
 		// the CLIs' default -load 0.9 still resolves (unlike the sparser
 		// poissonburst/heavytail mappings, which reject dense loads).
 		const bb = 16.0
-		if load <= 0 || load >= bb/(bb+1) {
+		if load >= bb/(bb+1) {
 			return nil, fmt.Errorf("burstblock needs 0 < load < %.2f (got %g); use uniform or bursty for dense traffic", bb/(bb+1), load)
 		}
 		return BurstyBlocking{OffMean: bb * (1 - load) / load, Burst: int(bb), Values: vd}, nil
@@ -76,7 +92,7 @@ func GeneratorByName(traffic, values string, load float64) (Generator, error) {
 		// Pareto(1.5) gaps with mean 1/load slots per input. The minimum
 		// gap of one slot caps the pattern at load 1/3; reject rather
 		// than silently under-deliver.
-		if load <= 0 || load >= 1.0/3 {
+		if load >= 1.0/3 {
 			return nil, fmt.Errorf("heavytail needs 0 < load < 0.33 (got %g); use uniform or bursty for dense traffic", load)
 		}
 		return HeavyTail{Alpha: 1.5, MinGap: 1 / (3 * load), Values: vd}, nil

@@ -1,0 +1,103 @@
+package packet
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// trafficCatalog is every traffic name GeneratorByName resolves, paired
+// with a load each pattern accepts (the sparse renewal patterns reject
+// dense loads by design).
+var trafficCatalog = []struct {
+	name   string
+	okLoad float64
+}{
+	{"uniform", 0.9},
+	{"bursty", 0.9},
+	{"hotspot", 0.9},
+	{"diagonal", 0.9},
+	{"permutation", 0.9},
+	{"poissonburst", 0.3},
+	{"diurnal", 0.3},
+	{"flowmix", 0.7},
+	{"burstblock", 0.5},
+	{"heavytail", 0.1},
+}
+
+func TestGeneratorByNameCatalogResolves(t *testing.T) {
+	for _, tc := range trafficCatalog {
+		gen, err := GeneratorByName(tc.name, "unit", tc.okLoad)
+		if err != nil {
+			t.Errorf("%s at load %g: %v", tc.name, tc.okLoad, err)
+			continue
+		}
+		seq := gen.Generate(rand.New(rand.NewSource(1)), 4, 4, 2000)
+		if err := seq.Validate(4, 4); err != nil {
+			t.Errorf("%s: generated invalid sequence: %v", tc.name, err)
+		}
+		if len(seq) == 0 {
+			t.Errorf("%s at load %g: generated no traffic over 2000 slots", tc.name, tc.okLoad)
+		}
+	}
+}
+
+// TestGeneratorByNameRejectsDegenerateLoads: NaN (which slips past
+// one-sided comparisons), infinities, zero and negative loads must all be
+// parse-time errors for every catalog name — never a generator that later
+// produces NaN gap parameters or silently empty traffic.
+func TestGeneratorByNameRejectsDegenerateLoads(t *testing.T) {
+	bad := []struct {
+		load float64
+		sub  string
+	}{
+		{math.NaN(), "finite load"},
+		{math.Inf(1), "finite load"},
+		{math.Inf(-1), "finite load"},
+		{0, "load > 0"},
+		{-0.5, "load > 0"},
+	}
+	for _, tc := range trafficCatalog {
+		for _, b := range bad {
+			gen, err := GeneratorByName(tc.name, "unit", b.load)
+			if err == nil {
+				t.Errorf("%s: load %v resolved to %s, want error", tc.name, b.load, gen.Name())
+				continue
+			}
+			if !strings.Contains(err.Error(), b.sub) {
+				t.Errorf("%s: load %v err %q, want mention of %q", tc.name, b.load, err, b.sub)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Errorf("%s: load %v err %q does not name the pattern", tc.name, b.load, err)
+			}
+		}
+	}
+}
+
+// TestGeneratorByNameDenseLoadRejections: the sparse renewal patterns
+// reject loads beyond their structural caps with a pointer at the dense
+// alternatives.
+func TestGeneratorByNameDenseLoadRejections(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		load float64
+	}{
+		{"poissonburst", 0.9},
+		{"burstblock", 0.97},
+		{"heavytail", 0.5},
+	} {
+		if _, err := GeneratorByName(tc.name, "unit", tc.load); err == nil {
+			t.Errorf("%s at load %g resolved, want a cap error", tc.name, tc.load)
+		}
+	}
+}
+
+func TestGeneratorByNameUnknownNames(t *testing.T) {
+	if _, err := GeneratorByName("nosuch", "unit", 0.5); err == nil {
+		t.Error("unknown traffic name resolved")
+	}
+	if _, err := GeneratorByName("uniform", "nosuch", 0.5); err == nil {
+		t.Error("unknown value distribution resolved")
+	}
+}

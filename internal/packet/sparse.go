@@ -75,31 +75,66 @@ func (g Diurnal) Name() string {
 
 // Generate implements Generator.
 func (g Diurnal) Generate(rng *rand.Rand, inputs, outputs, slots int) Sequence {
-	vd := orUnit(g.Values)
+	return generateFromSource(g.Source(rng, inputs, outputs), slots)
+}
+
+// Source implements SlotStreamer: the sinusoidal load depends only on the
+// slot number, so the process is slot-major and streams with no lookahead.
+// Silent trough slots consume no RNG draws at all.
+func (g Diurnal) Source(rng *rand.Rand, inputs, outputs int) SlotSource {
 	period := g.Period
 	if period < 2 {
 		period = 2
 	}
-	var seq Sequence
-	var id int64
-	for t := 0; t < slots; t++ {
-		load := g.Load * (1 + g.Amplitude*math.Sin(2*math.Pi*float64(t%period)/float64(period)))
-		if load <= 0 {
-			continue
-		}
-		for i := 0; i < inputs; i++ {
-			n := wholeArrivals(rng, load)
-			for k := 0; k < n; k++ {
-				seq = append(seq, Packet{
-					ID: id, Arrival: t, In: i,
-					Out:   rng.Intn(outputs),
-					Value: vd.Sample(rng),
-				})
-				id++
-			}
+	s := &diurnalSource{g: g, vd: orUnit(g.Values), rng: rng,
+		inputs: inputs, outputs: outputs, period: period}
+	// The load curve depends only on t mod period, so for sane periods it
+	// is precomputed once: on a 10⁸-slot streamed horizon the per-slot Sin
+	// would otherwise dominate the whole simulation. Identical values
+	// either way — the table is a cache, not an approximation.
+	if period <= 1<<20 {
+		s.loads = make([]float64, period)
+		for t := range s.loads {
+			s.loads[t] = s.loadAt(t)
 		}
 	}
-	return seq.Normalize()
+	return s
+}
+
+type diurnalSource struct {
+	g               Diurnal
+	vd              ValueDist
+	rng             *rand.Rand
+	inputs, outputs int
+	period          int
+	loads           []float64 // load per t mod period; nil for huge periods
+}
+
+func (s *diurnalSource) loadAt(t int) float64 {
+	return s.g.Load * (1 + s.g.Amplitude*math.Sin(2*math.Pi*float64(t%s.period)/float64(s.period)))
+}
+
+func (s *diurnalSource) AppendSlot(dst Sequence, t int) Sequence {
+	var load float64
+	if s.loads != nil {
+		load = s.loads[t%s.period]
+	} else {
+		load = s.loadAt(t)
+	}
+	if load <= 0 {
+		return dst
+	}
+	for i := 0; i < s.inputs; i++ {
+		n := wholeArrivals(s.rng, load)
+		for k := 0; k < n; k++ {
+			dst = append(dst, Packet{
+				Arrival: t, In: i,
+				Out:   s.rng.Intn(s.outputs),
+				Value: s.vd.Sample(s.rng),
+			})
+		}
+	}
+	return dst
 }
 
 // HeavyTail draws per-input interarrival gaps from a discretized Pareto

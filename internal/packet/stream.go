@@ -1,0 +1,195 @@
+package packet
+
+import "math/rand"
+
+// Arrival streams. A Sequence materializes a whole workload in memory; an
+// ArrivalStream hands it over one packet at a time, so unbounded traces
+// simulate in memory proportional to the producer's state (a read-ahead
+// window, per-flow counters) rather than the trace length. Streams honor
+// the same structural contract as a valid Sequence — packets arrive in
+// nondecreasing Arrival order with strictly ascending IDs — which consumers
+// (the streaming engines in internal/switchsim) verify incrementally.
+//
+// Three producers cover the workload sources:
+//
+//   - SeqStream replays an in-memory Sequence (and is how materialized and
+//     streamed runs are pinned bit-identical in the differential suites);
+//   - GenStream synthesizes arrivals lazily from a SlotSource, a window of
+//     slots at a time (StreamTraffic builds one for any SlotStreamer
+//     generator);
+//   - TraceStream (tracestream.go) decodes the CRC-framed binary trace
+//     format with windowed read-ahead.
+
+// ArrivalStream is the pull-based form of an arrival sequence. Packets are
+// delivered in nondecreasing Arrival order with strictly ascending IDs.
+// Exhaustion is not an error: Peek and Next report ok=false both at a clean
+// end of stream and on failure, and Err distinguishes the two.
+type ArrivalStream interface {
+	// Peek returns the next packet without consuming it. ok is false when
+	// the stream is exhausted or has failed.
+	Peek() (p Packet, ok bool)
+	// Next consumes and returns the next packet.
+	Next() (p Packet, ok bool)
+	// Err returns the error that terminated the stream early, or nil after
+	// a clean end of stream (or mid-stream).
+	Err() error
+}
+
+// SlotSource is the incremental form of a slot-major generator: AppendSlot
+// appends slot t's arrivals to dst — in admission order, with Arrival, In,
+// Out and Value set — and returns the extended slice. Callers must invoke
+// it for consecutive slots t = 0, 1, 2, ... exactly once each; the caller
+// assigns packet IDs in append order, so sources leave ID zero. A source
+// owns its RNG and per-flow state, which is what makes a windowed consumer
+// equivalent to a full materialization: the draws happen in the same order
+// either way.
+type SlotSource interface {
+	AppendSlot(dst Sequence, t int) Sequence
+}
+
+// SlotStreamer is implemented by generators whose arrival process is
+// slot-major — the RNG draws for slot t happen before those for slot t+1 —
+// and can therefore synthesize arrivals incrementally. For these
+// generators, streaming via Source and materializing via Generate produce
+// bit-identical sequences (Generate is implemented on top of Source).
+//
+// Per-input renewal generators (PoissonBurst, HeavyTail, BurstyBlocking)
+// draw one input's whole timeline before the next input's and do not
+// implement the interface; StreamTraffic falls back to materializing them.
+type SlotStreamer interface {
+	Generator
+	// Source binds the generator to an RNG and geometry, returning the
+	// stateful per-slot form.
+	Source(rng *rand.Rand, inputs, outputs int) SlotSource
+}
+
+// generateFromSource implements Generator.Generate for SlotStreamer
+// generators: drive the source across every slot, assigning IDs in append
+// order. Slot-major append order is already sorted by (Arrival, ID), so the
+// closing Normalize is the identity and exists purely as insurance on the
+// documented contract.
+func generateFromSource(src SlotSource, slots int) Sequence {
+	var seq Sequence
+	var id int64
+	for t := 0; t < slots; t++ {
+		n := len(seq)
+		seq = src.AppendSlot(seq, t)
+		for k := n; k < len(seq); k++ {
+			seq[k].ID = id
+			id++
+		}
+	}
+	return seq.Normalize()
+}
+
+// StreamTraffic returns an ArrivalStream of the generator's workload for
+// the given geometry and horizon, bit-identical to
+// gen.Generate(rng, inputs, outputs, slots). SlotStreamer generators are
+// streamed lazily in O(window) memory; all others are materialized once and
+// replayed (their draw order does not factor by slot, so laziness cannot
+// reproduce Generate's output).
+func StreamTraffic(gen Generator, rng *rand.Rand, inputs, outputs, slots int) ArrivalStream {
+	if ss, ok := gen.(SlotStreamer); ok {
+		return NewGenStream(ss.Source(rng, inputs, outputs), slots)
+	}
+	return NewSeqStream(gen.Generate(rng, inputs, outputs, slots))
+}
+
+// SeqStream replays an in-memory Sequence as an ArrivalStream.
+type SeqStream struct {
+	seq Sequence
+	pos int
+}
+
+// NewSeqStream wraps a sequence; the stream aliases it, so the caller must
+// not mutate seq while streaming.
+func NewSeqStream(seq Sequence) *SeqStream { return &SeqStream{seq: seq} }
+
+// Peek implements ArrivalStream.
+func (s *SeqStream) Peek() (Packet, bool) {
+	if s.pos >= len(s.seq) {
+		return Packet{}, false
+	}
+	return s.seq[s.pos], true
+}
+
+// Next implements ArrivalStream.
+func (s *SeqStream) Next() (Packet, bool) {
+	p, ok := s.Peek()
+	if ok {
+		s.pos++
+	}
+	return p, ok
+}
+
+// Err implements ArrivalStream; replay cannot fail.
+func (s *SeqStream) Err() error { return nil }
+
+// streamWindow is the number of slots a GenStream synthesizes per refill.
+// Steady-state memory is one window's worth of arrivals regardless of the
+// horizon; the value trades refill frequency against buffer size and is
+// deliberately small enough that even line-rate traffic on wide switches
+// stays in cache.
+const streamWindow = 256
+
+// GenStream adapts a SlotSource to an ArrivalStream by synthesizing a
+// window of slots at a time into a reusable buffer. Output is
+// bit-identical to materializing the whole horizon via generateFromSource:
+// the source consumes its RNG in the same per-slot order, and IDs are
+// assigned in the same global append order.
+type GenStream struct {
+	src   SlotSource
+	slots int
+	t     int // next slot to synthesize
+	id    int64
+	buf   Sequence
+	pos   int
+}
+
+// NewGenStream streams the source across `slots` arrival slots.
+func NewGenStream(src SlotSource, slots int) *GenStream {
+	return &GenStream{src: src, slots: slots}
+}
+
+// fill refills the window buffer until it holds at least one unconsumed
+// packet or the horizon is exhausted. Empty windows (idle stretches) are
+// skipped in a loop, so sparse traffic never returns a false end-of-stream.
+func (g *GenStream) fill() {
+	for g.pos >= len(g.buf) && g.t < g.slots {
+		g.buf = g.buf[:0]
+		g.pos = 0
+		end := g.t + streamWindow
+		if end > g.slots {
+			end = g.slots
+		}
+		for ; g.t < end; g.t++ {
+			n := len(g.buf)
+			g.buf = g.src.AppendSlot(g.buf, g.t)
+			for k := n; k < len(g.buf); k++ {
+				g.buf[k].ID = g.id
+				g.id++
+			}
+		}
+	}
+}
+
+// Peek implements ArrivalStream.
+func (g *GenStream) Peek() (Packet, bool) {
+	g.fill()
+	if g.pos >= len(g.buf) {
+		return Packet{}, false
+	}
+	return g.buf[g.pos], true
+}
+
+// Next implements ArrivalStream.
+func (g *GenStream) Next() (Packet, bool) {
+	p, ok := g.Peek()
+	if ok {
+		g.pos++
+	}
+	return p, ok
+}
+
+// Err implements ArrivalStream; synthesis cannot fail.
+func (g *GenStream) Err() error { return nil }

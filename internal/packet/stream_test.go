@@ -1,0 +1,356 @@
+package packet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// drain pulls a stream dry, checking the Peek/Next agreement on the way.
+func drain(t *testing.T, src ArrivalStream) Sequence {
+	t.Helper()
+	var seq Sequence
+	for {
+		peeked, pok := src.Peek()
+		p, ok := src.Next()
+		if pok != ok || (ok && peeked != p) {
+			t.Fatalf("Peek/Next disagree: (%+v, %v) vs (%+v, %v)", peeked, pok, p, ok)
+		}
+		if !ok {
+			return seq
+		}
+		seq = append(seq, p)
+	}
+}
+
+func TestSeqStreamReplays(t *testing.T) {
+	seq := sampleTrace(3, 50).Packets
+	got := drain(t, NewSeqStream(seq))
+	if !reflect.DeepEqual(got, seq) {
+		t.Errorf("SeqStream replayed %d packets, want %d (or contents differ)", len(got), len(seq))
+	}
+	s := NewSeqStream(seq)
+	if err := s.Err(); err != nil {
+		t.Errorf("SeqStream.Err = %v, want nil", err)
+	}
+	if _, ok := NewSeqStream(nil).Next(); ok {
+		t.Error("empty SeqStream yielded a packet")
+	}
+}
+
+// streamerCatalog lists every SlotStreamer generator with parameters that
+// produce both dense and sparse stretches; the streamed output must be
+// bit-identical to the materialized one.
+func streamerCatalog() []Generator {
+	return []Generator{
+		Bernoulli{Load: 0.7, Values: UniformValues{Hi: 50}},
+		Hotspot{Load: 0.5, HotFrac: 0.6, Values: ZipfValues{Hi: 100, S: 1.2}},
+		Diagonal{Load: 0.4, OffFrac: 0.2},
+		Bursty{OnLoad: 0.9, POnOff: 0.3, POffOn: 0.05, Values: TwoValued{Alpha: 20, PHigh: 0.1}},
+		Permutation{Load: 0.6},
+		// Period far larger than the stream window, so whole refill windows
+		// fall inside the silent troughs.
+		Diurnal{Load: 0.05, Period: 2000, Amplitude: 1.5},
+		FlowMix{FlowRate: 0.02, Values: UniformValues{Hi: 10}},
+		FlowMixForLoad(0.6, nil),
+	}
+}
+
+func TestGenStreamMatchesGenerate(t *testing.T) {
+	for _, gen := range streamerCatalog() {
+		for _, slots := range []int{0, 1, 255, 256, 257, 3000} {
+			want := gen.Generate(rand.New(rand.NewSource(11)), 5, 3, slots)
+			got := drain(t, StreamTraffic(gen, rand.New(rand.NewSource(11)), 5, 3, slots))
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s slots=%d: streamed sequence diverged from Generate (%d vs %d packets)",
+					gen.Name(), slots, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestStreamTrafficFallback: non-slot-major generators must still stream
+// (via materialization) with output identical to Generate.
+func TestStreamTrafficFallback(t *testing.T) {
+	gen := PoissonBurst{OffMean: 40, BurstMean: 4, Values: UniformValues{Hi: 9}}
+	if _, ok := Generator(gen).(SlotStreamer); ok {
+		t.Fatal("PoissonBurst unexpectedly implements SlotStreamer; pick another fallback generator")
+	}
+	want := gen.Generate(rand.New(rand.NewSource(4)), 4, 4, 2000)
+	got := drain(t, StreamTraffic(gen, rand.New(rand.NewSource(4)), 4, 4, 2000))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback stream diverged from Generate (%d vs %d packets)", len(got), len(want))
+	}
+}
+
+// TestFlowMixIsValidAndLoaded pins the structural contract and the
+// FlowMixForLoad calibration: valid sequence, roughly the requested load.
+func TestFlowMixIsValidAndLoaded(t *testing.T) {
+	const load = 0.5
+	gen := FlowMixForLoad(load, nil)
+	const inputs, outputs, slots = 8, 8, 40000
+	seq := gen.Generate(rand.New(rand.NewSource(2)), inputs, outputs, slots)
+	if err := seq.Validate(inputs, outputs); err != nil {
+		t.Fatalf("FlowMix generated an invalid sequence: %v", err)
+	}
+	got := float64(len(seq)) / float64(inputs*slots)
+	if got < 0.7*load || got > 1.3*load {
+		t.Errorf("FlowMixForLoad(%g) realized load %.3f, want within 30%%", load, got)
+	}
+	// Flow-level structure: some packet trains must share (in, out) across
+	// consecutive slots (an open flow emitting every slot).
+	trains := 0
+	byPair := map[[2]int][]int{}
+	for _, p := range seq {
+		k := [2]int{p.In, p.Out}
+		byPair[k] = append(byPair[k], p.Arrival)
+	}
+	for _, arr := range byPair {
+		for i := 1; i < len(arr); i++ {
+			if arr[i] == arr[i-1]+1 {
+				trains++
+			}
+		}
+	}
+	if trains == 0 {
+		t.Error("no consecutive-slot packet trains; flow emission seems broken")
+	}
+}
+
+// TestFlowMixMaxActiveBoundsState: the open-flow cap bounds generator state
+// (and therefore streaming memory) regardless of the offered flow rate.
+func TestFlowMixMaxActiveBoundsState(t *testing.T) {
+	gen := FlowMix{FlowRate: 50, MaxActive: 7, RatPackets: 100, ElephantPackets: 100}
+	src := gen.Source(rand.New(rand.NewSource(1)), 2, 2).(*flowMixSource)
+	var seq Sequence
+	for tt := 0; tt < 200; tt++ {
+		seq = src.AppendSlot(seq[:0], tt)
+		for i := range src.active {
+			if len(src.active[i]) > 7 {
+				t.Fatalf("slot %d: input %d holds %d open flows, cap 7", tt, i, len(src.active[i]))
+			}
+		}
+		if len(seq) > 2*7 {
+			t.Fatalf("slot %d: %d arrivals from 2 inputs capped at 7 flows", tt, len(seq))
+		}
+	}
+}
+
+// writeTempTrace writes tr's binary encoding (optionally mutated) to a file.
+func writeTempTrace(t *testing.T, tr *Trace, mutate func([]byte)) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if mutate != nil {
+		mutate(data)
+	}
+	path := filepath.Join(t.TempDir(), "t.qsw")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceStreamMatchesReadBinary(t *testing.T) {
+	// 2000 packets spans several 512-record windows.
+	tr := sampleTrace(7, 600)
+	path := writeTempTrace(t, tr, nil)
+	ts, err := OpenTraceStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	if ts.Inputs != tr.Inputs || ts.Outputs != tr.Outputs {
+		t.Fatalf("header geometry %dx%d, want %dx%d", ts.Inputs, ts.Outputs, tr.Inputs, tr.Outputs)
+	}
+	got := drain(t, ts)
+	if err := ts.Err(); err != nil {
+		t.Fatalf("Err after clean drain: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr.Packets) {
+		t.Errorf("streamed trace diverged from ReadBinary contents (%d vs %d packets)", len(got), len(tr.Packets))
+	}
+	if err := ts.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestTraceStreamChecksumMismatch(t *testing.T) {
+	path := writeTempTrace(t, sampleTrace(1, 20), func(data []byte) {
+		data[len(data)-1] ^= 1 // corrupt the stored trailer
+	})
+	ts, err := OpenTraceStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	drainAll(ts)
+	if err := ts.Err(); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("Err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestTraceStreamTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace(1, 20).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const headerLen = 8 + 4 + 4 + 8
+	cut := headerLen + 3*32 + 10
+	path := filepath.Join(t.TempDir(), "cut.qsw")
+	if err := os.WriteFile(path, buf.Bytes()[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := OpenTraceStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	drainAll(ts)
+	err = ts.Err()
+	if err == nil {
+		t.Fatal("truncated trace streamed cleanly")
+	}
+	if !strings.Contains(err.Error(), "reading record 3") ||
+		!strings.Contains(err.Error(), fmt.Sprintf("at byte offset %d", cut)) {
+		t.Errorf("err %q does not name record 3 at byte offset %d", err, cut)
+	}
+}
+
+func drainAll(src ArrivalStream) {
+	for {
+		if _, ok := src.Next(); !ok {
+			return
+		}
+	}
+}
+
+// craftedFrameCases patches single fields of record 2 to wire values that
+// must be rejected at decode time — before the int64/int32 payloads are
+// narrowed to int — with the record index and byte offset in the error.
+// sampleTrace has 4x4 geometry; record k starts at header(24) + k*32 with
+// layout {arrival int64, in int32, out int32, value int64, id int64}.
+func craftedFrameCases() []struct {
+	name   string
+	patch  func(rec []byte)
+	errSub string
+} {
+	return []struct {
+		name   string
+		patch  func(rec []byte)
+		errSub string
+	}{
+		{"negative arrival", func(rec []byte) { rec[7] = 0x80 }, "arrival"},
+		{"negative input port", func(rec []byte) {
+			rec[8], rec[9], rec[10], rec[11] = 0xFF, 0xFF, 0xFF, 0xFF
+		}, "input port -1"},
+		{"input port beyond geometry", func(rec []byte) {
+			rec[8], rec[9], rec[10], rec[11] = 9, 0, 0, 0
+		}, "input port 9 outside [0, 4)"},
+		{"output port beyond geometry", func(rec []byte) {
+			rec[12], rec[13], rec[14], rec[15] = 200, 0, 0, 0
+		}, "output port 200 outside [0, 4)"},
+		{"zero value", func(rec []byte) {
+			for i := 16; i < 24; i++ {
+				rec[i] = 0
+			}
+		}, "value 0 < 1"},
+	}
+}
+
+// TestBinaryCraftedFrameRejected: both the batch loader and the stream
+// reject crafted frames at decode time, naming the record and offset. The
+// decode checks run before the trailer, so no CRC re-patching is needed.
+func TestBinaryCraftedFrameRejected(t *testing.T) {
+	const headerLen = 8 + 4 + 4 + 8
+	const recIdx = 2
+	for _, tc := range craftedFrameCases() {
+		data := encodeSample(t) // sampleTrace(1, 20), 4x4
+		tc.patch(data[headerLen+recIdx*32 : headerLen+(recIdx+1)*32])
+
+		_, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: ReadBinary accepted the crafted frame", tc.name)
+			continue
+		}
+		for _, want := range []string{tc.errSub, "reading record 2", "at byte offset"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: ReadBinary err %q missing %q", tc.name, err, want)
+			}
+		}
+
+		ts, err := newTraceStream(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: header parse: %v", tc.name, err)
+		}
+		drainAll(ts)
+		serr := ts.Err()
+		if serr == nil {
+			t.Errorf("%s: TraceStream accepted the crafted frame", tc.name)
+			continue
+		}
+		for _, want := range []string{tc.errSub, "reading record 2", "at byte offset"} {
+			if !strings.Contains(serr.Error(), want) {
+				t.Errorf("%s: TraceStream err %q missing %q", tc.name, serr, want)
+			}
+		}
+	}
+}
+
+// TestTraceStreamRejectsBrokenOrdering: records violating the sequence
+// invariants (nondecreasing arrivals, ascending IDs) fail incrementally.
+// The patched record is chosen from the decoded sample so the violation is
+// guaranteed, not dependent on where the sample's first arrivals land.
+func TestTraceStreamRejectsBrokenOrdering(t *testing.T) {
+	const headerLen = 8 + 4 + 4 + 8
+	tr := sampleTrace(1, 20)
+	// First record whose predecessor arrives after slot 0: zeroing its
+	// arrival is a regression.
+	regress := -1
+	for k := 1; k < len(tr.Packets); k++ {
+		if tr.Packets[k-1].Arrival > 0 {
+			regress = k
+			break
+		}
+	}
+	if regress < 0 {
+		t.Fatal("sample trace never leaves slot 0; grow it")
+	}
+	for _, tc := range []struct {
+		name   string
+		rec    int
+		lo, hi int // field byte range within the record, zeroed
+		errSub string
+	}{
+		{"arrival regression", regress, 0, 8, "before previous"},
+		{"id regression", 5, 24, 32, "not ascending"},
+	} {
+		data := encodeSample(t)
+		for i := tc.lo; i < tc.hi; i++ {
+			data[headerLen+tc.rec*32+i] = 0
+		}
+		ts, err := newTraceStream(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainAll(ts)
+		serr := ts.Err()
+		if serr == nil || !strings.Contains(serr.Error(), tc.errSub) {
+			t.Errorf("%s: Err = %v, want %q", tc.name, serr, tc.errSub)
+		}
+	}
+}

@@ -123,13 +123,11 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		if _, err := io.ReadFull(nr, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d of %d at byte offset %d: %w", k, count, nr.off, err)
 		}
-		tr.Packets = append(tr.Packets, Packet{
-			Arrival: int(int64(binary.LittleEndian.Uint64(rec[0:]))),
-			In:      int(int32(binary.LittleEndian.Uint32(rec[8:]))),
-			Out:     int(int32(binary.LittleEndian.Uint32(rec[12:]))),
-			Value:   int64(binary.LittleEndian.Uint64(rec[16:])),
-			ID:      int64(binary.LittleEndian.Uint64(rec[24:])),
-		})
+		p, err := decodeRecord(rec[:], tr.Inputs, tr.Outputs)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading record %d of %d at byte offset %d: %w", k, count, nr.off, err)
+		}
+		tr.Packets = append(tr.Packets, p)
 	}
 	trailerOff := nr.off
 	var trailer [8]byte
@@ -148,6 +146,38 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: invalid sequence: %w", err)
 	}
 	return tr, nil
+}
+
+// maxInt is the largest value representable in the platform's int.
+const maxInt = int64(^uint(0) >> 1)
+
+// decodeRecord converts one 32-byte binary record into a Packet,
+// range-checking every field before the int64/int32 wire values are
+// narrowed to int: a record whose arrival does not fit the platform's int
+// (or is negative), whose ports fall outside the header geometry, or whose
+// value is below 1 is rejected here — at decode time, with the caller
+// attaching the record index and byte offset — instead of silently
+// wrapping on narrower platforms and failing (or worse, passing) the
+// whole-sequence validation later.
+func decodeRecord(rec []byte, inputs, outputs int) (Packet, error) {
+	arrival := int64(binary.LittleEndian.Uint64(rec[0:]))
+	in := int32(binary.LittleEndian.Uint32(rec[8:]))
+	out := int32(binary.LittleEndian.Uint32(rec[12:]))
+	value := int64(binary.LittleEndian.Uint64(rec[16:]))
+	id := int64(binary.LittleEndian.Uint64(rec[24:]))
+	if arrival < 0 || arrival > maxInt {
+		return Packet{}, fmt.Errorf("arrival %d outside [0, %d]", arrival, maxInt)
+	}
+	if in < 0 || int64(in) >= int64(inputs) {
+		return Packet{}, fmt.Errorf("input port %d outside [0, %d)", in, inputs)
+	}
+	if out < 0 || int64(out) >= int64(outputs) {
+		return Packet{}, fmt.Errorf("output port %d outside [0, %d)", out, outputs)
+	}
+	if value < 1 {
+		return Packet{}, fmt.Errorf("value %d < 1", value)
+	}
+	return Packet{Arrival: int(arrival), In: int(in), Out: int(out), Value: value, ID: id}, nil
 }
 
 // WriteJSON serializes the trace as indented JSON.

@@ -149,6 +149,13 @@ type genSpec struct {
 	Amplitude float64         `json:"amplitude,omitempty"`
 	Alpha     float64         `json:"alpha,omitempty"`
 	MinGap    float64         `json:"minGap,omitempty"`
+	FlowRate  float64         `json:"flowRate,omitempty"`
+	EFrac     float64         `json:"eFrac,omitempty"`
+	RatPkts   int             `json:"ratPkts,omitempty"`
+	EPkts     int             `json:"ePkts,omitempty"`
+	Stages    []float64       `json:"stages,omitempty"`
+	StageLen  int             `json:"stageLen,omitempty"`
+	MaxActive int             `json:"maxActive,omitempty"`
 	Label     string          `json:"label,omitempty"`
 	Seq       packet.Sequence `json:"seq,omitempty"`
 	Values    *valueSpec      `json:"values,omitempty"`
@@ -197,6 +204,10 @@ func encodeGen(g packet.Generator) (genSpec, error) {
 	case packet.BurstyBlocking:
 		return genSpec{Type: "burstyblocking", OffMean: g.OffMean, Burst: g.Burst, Fanin: g.Fanin,
 			Values: encodeValues(g.Values)}, nil
+	case packet.FlowMix:
+		return genSpec{Type: "flowmix", FlowRate: g.FlowRate, EFrac: g.ElephantFrac,
+			RatPkts: g.RatPackets, EPkts: g.ElephantPackets, Stages: g.Stages,
+			StageLen: g.StageSlots, MaxActive: g.MaxActive, Values: encodeValues(g.Values)}, nil
 	case packet.Fixed:
 		return genSpec{Type: "fixed", Label: g.Label, Seq: g.Seq}, nil
 	default:
@@ -233,6 +244,10 @@ func decodeGen(gs genSpec) (packet.Generator, error) {
 		return packet.HeavyTail{Alpha: gs.Alpha, MinGap: gs.MinGap, Values: vd}, nil
 	case "burstyblocking":
 		return packet.BurstyBlocking{OffMean: gs.OffMean, Burst: gs.Burst, Fanin: gs.Fanin, Values: vd}, nil
+	case "flowmix":
+		return packet.FlowMix{FlowRate: gs.FlowRate, ElephantFrac: gs.EFrac,
+			RatPackets: gs.RatPkts, ElephantPackets: gs.EPkts, Stages: gs.Stages,
+			StageSlots: gs.StageLen, MaxActive: gs.MaxActive, Values: vd}, nil
 	case "fixed":
 		return packet.Fixed{Label: gs.Label, Seq: gs.Seq}, nil
 	default:

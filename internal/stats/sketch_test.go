@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestQuantilesMatchesRepeatedQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 5, 100, 1001} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+		}
+		orig := make([]float64, len(xs))
+		copy(orig, xs)
+		qs := []float64{-0.1, 0, 0.25, 0.5, 0.9, 0.99, 1, 1.5}
+		got := Quantiles(xs, qs...)
+		if len(got) != len(qs) {
+			t.Fatalf("n=%d: %d results for %d probabilities", n, len(got), len(qs))
+		}
+		for i, q := range qs {
+			if want := Quantile(xs, q); got[i] != want {
+				t.Errorf("n=%d q=%g: Quantiles %g, Quantile %g", n, q, got[i], want)
+			}
+		}
+		if !reflect.DeepEqual(xs, orig) {
+			t.Errorf("n=%d: Quantiles mutated its input", n)
+		}
+	}
+}
+
+func TestQuantileSketchExactUpToFive(t *testing.T) {
+	// With five or fewer observations the sketch answers from its exact
+	// buffer, so it must agree with Quantile bit for bit.
+	obs := []float64{9, 1, 4, 7, 2}
+	for n := 0; n <= len(obs); n++ {
+		s := NewQuantileSketch(0.5, 0.9)
+		for _, x := range obs[:n] {
+			s.Add(x)
+		}
+		if s.Count() != int64(n) {
+			t.Fatalf("Count = %d, want %d", s.Count(), n)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+			if got, want := s.Query(q), Quantile(obs[:n], q); got != want {
+				t.Errorf("n=%d q=%g: sketch %g, exact %g", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileSketchDeterministic(t *testing.T) {
+	mk := func() *QuantileSketch {
+		s := NewQuantileSketch(0.5, 0.9, 0.99)
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 5000; i++ {
+			s.Add(rng.ExpFloat64() * 100)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical input orders produced different sketch states")
+	}
+}
+
+// TestQuantileSketchAccuracy: P² estimates on smooth distributions land
+// within a few percent of the exact sample quantiles; the min/max anchors
+// make the extremes exact.
+func TestQuantileSketchAccuracy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		draw func(*rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 1000 }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 100 }},
+		{"normal", func(r *rand.Rand) float64 { return 500 + 50*r.NormFloat64() }},
+	} {
+		s := NewQuantileSketch(0.5, 0.9, 0.99)
+		rng := rand.New(rand.NewSource(17))
+		xs := make([]float64, 0, 200000)
+		for i := 0; i < cap(xs); i++ {
+			x := tc.draw(rng)
+			s.Add(x)
+			xs = append(xs, x)
+		}
+		exact := Quantiles(xs, 0.5, 0.9, 0.99)
+		for i, q := range []float64{0.5, 0.9, 0.99} {
+			got := s.Query(q)
+			want := exact[i]
+			spread := Quantile(xs, 1) - Quantile(xs, 0)
+			if math.Abs(got-want) > 0.05*spread {
+				t.Errorf("%s q=%g: sketch %g vs exact %g (spread %g)", tc.name, q, got, want, spread)
+			}
+		}
+		if got, want := s.Query(0), Quantile(xs, 0); got != want {
+			t.Errorf("%s: min anchor %g, want %g", tc.name, got, want)
+		}
+		if got, want := s.Query(1), Quantile(xs, 1); got != want {
+			t.Errorf("%s: max anchor %g, want %g", tc.name, got, want)
+		}
+	}
+}
+
+// TestQuantileSketchMonotone: queries across probabilities never decrease,
+// even between tracked markers (the interpolation is piecewise linear
+// through sorted anchors).
+func TestQuantileSketchMonotone(t *testing.T) {
+	s := NewQuantileSketch(0.5, 0.9, 0.99)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64() * 100)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Query(q)
+		if v < prev {
+			t.Fatalf("Query(%g) = %g < previous %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQuantileSketchDegenerate(t *testing.T) {
+	// No tracked quantiles: queries fall back to the exact buffer while it
+	// lasts, then 0 — but never panic.
+	s := NewQuantileSketch()
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	_ = s.Query(0.5)
+
+	// Constant stream: every quantile is that constant.
+	c := NewQuantileSketch(0.5, 0.9)
+	for i := 0; i < 1000; i++ {
+		c.Add(42)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 1} {
+		if got := c.Query(q); got != 42 {
+			t.Errorf("constant stream Query(%g) = %g, want 42", q, got)
+		}
+	}
+
+	// Empty sketch.
+	if got := NewQuantileSketch(0.5).Query(0.5); got != 0 {
+		t.Errorf("empty sketch Query = %g, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 // Package stats provides the small statistics toolkit used by the
-// benchmark harness: streaming moments (Welford), quantiles, confidence
-// intervals, histograms, and ASCII/CSV table rendering.
+// benchmark harness: streaming moments (Welford), quantiles (exact and
+// the constant-space P² sketch), confidence intervals, histograms, and
+// ASCII/CSV table rendering.
 package stats
 
 import (
@@ -79,12 +80,37 @@ func (a *Acc) CI95() float64 {
 
 // Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics. xs is not modified.
+//
+// Each call copies and sorts xs; callers extracting several quantiles
+// from the same data should use Quantiles, which sorts once.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// Quantiles returns the quantiles of xs at each probability in qs, using
+// the same interpolation as Quantile but copying and sorting xs only
+// once — per-call cost O(n log n + |qs|) instead of |qs|·O(n log n).
+// xs is not modified.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// quantileSorted reads the q-th quantile off already-sorted data.
+func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
 	}

@@ -381,6 +381,9 @@ func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
 	slots := cfg.HorizonFor(seq)
 	inDisc, outDisc := pol.Disciplines()
 	sw := NewCIOQ(cfg, inDisc, outDisc)
+	if cfg.RecordLatency && cfg.StreamMetrics {
+		sw.M.EnableLatencySketch()
+	}
 	if cfg.RecordSeries {
 		sw.M.SlotBenefit = make([]int64, slots)
 	}

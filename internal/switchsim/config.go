@@ -52,6 +52,14 @@ type Config struct {
 	// RecordLatency collects a latency histogram (slots between arrival
 	// and transmission).
 	RecordLatency bool
+
+	// StreamMetrics swaps the latency histogram for a constant-memory P²
+	// quantile sketch (Metrics.LatencySketch), so RecordLatency stays
+	// bounded on unbounded streaming runs. It changes only the latency
+	// *representation* — sum, max and every other metric stay exact —
+	// and it is honored identically by the materialized and streaming
+	// engines, so differential runs still compare with DeepEqual.
+	StreamMetrics bool
 }
 
 // Check validates the configuration, applying no defaults.

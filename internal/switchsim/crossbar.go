@@ -418,6 +418,9 @@ func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, 
 	slots := cfg.HorizonFor(seq)
 	inDisc, crossDisc, outDisc := pol.Disciplines()
 	sw := NewCrossbar(cfg, inDisc, crossDisc, outDisc)
+	if cfg.RecordLatency && cfg.StreamMetrics {
+		sw.M.EnableLatencySketch()
+	}
 	if cfg.RecordSeries {
 		sw.M.SlotBenefit = make([]int64, slots)
 	}

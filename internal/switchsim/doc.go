@@ -66,4 +66,20 @@
 // workloads. Sparse and bursty traces (the natural shape of adversarial
 // sequences, whose lower-bound constructions alternate bursts with long
 // draining gaps) simulate orders of magnitude faster this way.
+//
+// # Streaming arrivals
+//
+// RunCIOQStream and RunCrossbarStream run the same event-driven loop
+// against a packet.ArrivalStream instead of a materialized Sequence: a
+// streamCursor pulls arrivals on demand, validates ordering incrementally
+// (with exactly the error texts Sequence.Validate would produce), and
+// lets the idle/quiescent jumps peek at the next arrival epoch without
+// consuming it. Memory is bounded by the stream's window plus switch
+// state — independent of the horizon — and the resulting Metrics are
+// deeply equal to the materialized engines' output, asserted by the
+// differential, fuzz and allocation suites in internal/core. With
+// Config.StreamMetrics set, latency quantiles come from a constant-space
+// P² sketch (package internal/stats) instead of the per-packet
+// histogram; all engines honor the flag identically so sketch-mode runs
+// stay comparable across engines.
 package switchsim

@@ -3,6 +3,8 @@ package switchsim
 import (
 	"fmt"
 	"strings"
+
+	"qswitch/internal/stats"
 )
 
 // Metrics aggregates everything observable about one simulation run.
@@ -34,11 +36,15 @@ type Metrics struct {
 	Benefit int64 // total transmitted value — the objective
 
 	// Latency statistics (slots between arrival and transmission),
-	// populated when Config.RecordLatency is set.
-	LatencySum   int64
-	LatencyMax   int
-	LatencyHist  []int64 // bucket k = packets with latency k (capped)
-	latencyCapHi bool
+	// populated when Config.RecordLatency is set. With
+	// Config.StreamMetrics the per-bucket histogram is replaced by
+	// LatencySketch, a constant-memory P² quantile sketch; sum and max
+	// stay exact either way.
+	LatencySum    int64
+	LatencyMax    int
+	LatencyHist   []int64 // bucket k = packets with latency k (capped)
+	LatencySketch *stats.QuantileSketch
+	latencyCapHi  bool
 
 	// SlotBenefit is the transmitted value per slot, populated when
 	// Config.RecordSeries is set.
@@ -54,10 +60,25 @@ type Metrics struct {
 
 const latencyBuckets = 256
 
+// sketchQuantiles are the latency quantiles a stream-metrics run tracks.
+var sketchQuantiles = []float64{0.5, 0.9, 0.99}
+
+// EnableLatencySketch switches latency recording from the per-bucket
+// histogram to the constant-memory P² sketch. The engines call it when
+// Config.StreamMetrics is set, before any latency is recorded; external
+// engines reproducing Metrics bit-identically must do the same.
+func (m *Metrics) EnableLatencySketch() {
+	m.LatencySketch = stats.NewQuantileSketch(sketchQuantiles...)
+}
+
 func (m *Metrics) recordLatency(delay int) {
 	m.LatencySum += int64(delay)
 	if delay > m.LatencyMax {
 		m.LatencyMax = delay
+	}
+	if m.LatencySketch != nil {
+		m.LatencySketch.Add(float64(delay))
+		return
 	}
 	if m.LatencyHist == nil {
 		m.LatencyHist = make([]int64, latencyBuckets)
@@ -92,10 +113,15 @@ func (m *Metrics) MeanLatency() float64 {
 }
 
 // LatencyQuantile returns the q-th quantile (0..1) of the recorded
-// latency histogram, in slots. Latencies beyond the histogram range are
-// clamped to its top bucket (LatencyMax holds the true maximum). Returns
-// 0 when no latency was recorded.
+// latency distribution, in slots. Histogram-backed runs read the exact
+// (range-capped) bucket counts: latencies beyond the histogram range are
+// clamped to its top bucket (LatencyMax holds the true maximum).
+// Sketch-backed runs (Config.StreamMetrics) answer from the P² markers,
+// rounded to the nearest slot. Returns 0 when no latency was recorded.
 func (m *Metrics) LatencyQuantile(q float64) int {
+	if m.LatencySketch != nil {
+		return int(m.LatencySketch.Query(q) + 0.5)
+	}
 	if m.LatencyHist == nil {
 		return 0
 	}

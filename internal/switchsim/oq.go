@@ -31,6 +31,9 @@ func RunOQ(cfg Config, seq packet.Sequence) (*Result, error) {
 		oq[j] = queue.New(cfg.OutputBuf, queue.ByValue)
 	}
 	var m Metrics
+	if cfg.RecordLatency && cfg.StreamMetrics {
+		m.EnableLatencySketch()
+	}
 	if cfg.RecordSeries {
 		m.SlotBenefit = make([]int64, slots)
 	}

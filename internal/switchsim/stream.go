@@ -1,0 +1,316 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"qswitch/internal/packet"
+)
+
+// Streaming engines. RunCIOQStream and RunCrossbarStream are the
+// event-driven engines' pull-based twins: instead of a materialized
+// Sequence they consume a packet.ArrivalStream, admitting arrivals as the
+// stream yields them and answering "when is the next arrival?" from the
+// stream's head. Everything else — the speedup cycles, the transmit and
+// occupancy sampling, the quiescent closed-form jumps, the IdleAdvancer
+// contract — is the exact machinery of RunCIOQ/RunCrossbar, so a
+// streaming run produces Metrics bit-identical to a materialized run of
+// the same arrivals while holding only the stream's read-ahead window in
+// memory.
+//
+// The sequence invariants a materialized run checks up front
+// (Sequence.Validate) are enforced incrementally as packets are pulled,
+// with identical error text, so an out-of-order or out-of-range stream
+// fails the same way a bad sequence does.
+//
+// Horizon semantics match Config.HorizonFor: with Slots > 0 the run is
+// truncated there (unconsumed stream packets are simply never pulled);
+// with Slots == 0 the horizon is last arrival + 1 + packet count —
+// discovered when the stream ends — which drains any backlog completely.
+//
+// Bounded memory holds for every metric except one: RecordSeries retains
+// a per-slot series whose length is the horizon, so it is O(slots) by
+// definition. For unbounded runs leave it off and use StreamMetrics to
+// keep RecordLatency in constant memory too.
+
+// streamCursor is the streaming counterpart of the engines' sequence
+// cursor: it holds the stream's head packet and validates the sequence
+// invariants incrementally.
+type streamCursor struct {
+	src             packet.ArrivalStream
+	inputs, outputs int
+
+	head packet.Packet
+	ok   bool // head is valid; false after clean exhaustion
+
+	count       int64 // packets pulled so far
+	prevArrival int
+	prevID      int64
+}
+
+func newStreamCursor(src packet.ArrivalStream, inputs, outputs int) (*streamCursor, error) {
+	c := &streamCursor{src: src, inputs: inputs, outputs: outputs, prevID: -1}
+	if err := c.pull(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// pull loads the next packet into head, applying the same checks (and
+// error text) as Sequence.Validate, indexed by the packet's position in
+// the stream. A clean end of stream clears ok; a stream error fails the
+// run.
+func (c *streamCursor) pull() error {
+	p, ok := c.src.Next()
+	if !ok {
+		c.ok = false
+		if err := c.src.Err(); err != nil {
+			return fmt.Errorf("switchsim: arrival stream: %w", err)
+		}
+		return nil
+	}
+	k := c.count
+	switch {
+	case p.Arrival < c.prevArrival:
+		return fmt.Errorf("switchsim: bad sequence: packet %d: arrival %d before previous %d", k, p.Arrival, c.prevArrival)
+	case p.ID <= c.prevID:
+		return fmt.Errorf("switchsim: bad sequence: packet %d: id %d not ascending (prev %d)", k, p.ID, c.prevID)
+	case p.In < 0 || p.In >= c.inputs:
+		return fmt.Errorf("switchsim: bad sequence: packet %d: input port %d out of range [0,%d)", k, p.In, c.inputs)
+	case p.Out < 0 || p.Out >= c.outputs:
+		return fmt.Errorf("switchsim: bad sequence: packet %d: output port %d out of range [0,%d)", k, p.Out, c.outputs)
+	case p.Value < 1:
+		return fmt.Errorf("switchsim: bad sequence: packet %d: value %d < 1", k, p.Value)
+	}
+	c.prevArrival, c.prevID = p.Arrival, p.ID
+	c.count++
+	c.head, c.ok = p, true
+	return nil
+}
+
+// finalHorizon is Sequence.Horizon computed from the cursor's running
+// tallies: last arrival + 1 + count, at least 1. Only meaningful once the
+// stream is exhausted.
+func (c *streamCursor) finalHorizon() int {
+	if c.count == 0 {
+		return 1
+	}
+	h := int64(c.prevArrival) + 1 + c.count
+	if h < 1 {
+		return 1
+	}
+	return int(h)
+}
+
+// jumpTarget mirrors idleJump's bound: the slot the engine may fast-
+// forward to after finishing `slot` — the earlier of the next arrival and
+// the horizon. With the stream alive the head packet *is* the next
+// arrival; exhausted, the target is the (now known, or configured)
+// horizon.
+func (c *streamCursor) jumpTarget(cfg Config) int {
+	if c.ok {
+		to := c.head.Arrival
+		if cfg.Slots > 0 && cfg.Slots < to {
+			to = cfg.Slots
+		}
+		return to
+	}
+	if cfg.Slots > 0 {
+		return cfg.Slots
+	}
+	return c.finalHorizon()
+}
+
+// atHorizon reports whether the run is complete after `slot` slots have
+// been simulated. With Slots == 0 and the stream still alive the answer
+// is always no: the eventual horizon exceeds every pending arrival.
+func (c *streamCursor) atHorizon(cfg Config, slot int) bool {
+	if cfg.Slots > 0 {
+		return slot >= cfg.Slots
+	}
+	return !c.ok && slot >= c.finalHorizon()
+}
+
+// growSeries extends the per-slot benefit series to n entries. The
+// streaming engines cannot size it up front (the horizon may be unknown),
+// so it grows as slots complete and is padded to the final horizon at the
+// end, leaving exactly the series a materialized run allocates.
+func growSeries(m *Metrics, n int) {
+	if len(m.SlotBenefit) >= n {
+		return
+	}
+	if cap(m.SlotBenefit) >= n {
+		m.SlotBenefit = m.SlotBenefit[:n]
+		return
+	}
+	grown := make([]int64, n, max(n, 2*cap(m.SlotBenefit)))
+	copy(grown, m.SlotBenefit)
+	m.SlotBenefit = grown
+}
+
+// RunCIOQStream simulates the policy on an arrival stream; see the
+// package comments above for the equivalence contract with RunCIOQ.
+func RunCIOQStream(cfg Config, pol CIOQPolicy, src packet.ArrivalStream) (*Result, error) {
+	if err := cfg.Check(false); err != nil {
+		return nil, err
+	}
+	cur, err := newStreamCursor(src, cfg.Inputs, cfg.Outputs)
+	if err != nil {
+		return nil, err
+	}
+	inDisc, outDisc := pol.Disciplines()
+	sw := NewCIOQ(cfg, inDisc, outDisc)
+	if cfg.RecordLatency && cfg.StreamMetrics {
+		sw.M.EnableLatencySketch()
+	}
+	pol.Reset(cfg)
+	var idle IdleAdvancer
+	if !cfg.Dense {
+		idle, _ = pol.(IdleAdvancer)
+	}
+	slot := 0
+	for {
+		for cur.ok && cur.head.Arrival == slot {
+			p := cur.head
+			if err := cur.pull(); err != nil {
+				return nil, err
+			}
+			if err := sw.admit(p, pol.Admit(sw, p)); err != nil {
+				return nil, err
+			}
+		}
+		for cycle := 0; cycle < cfg.Speedup; cycle++ {
+			if err := sw.executeTransfers(pol.Schedule(sw, slot, cycle)); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.RecordSeries {
+			growSeries(&sw.M, slot+1)
+		}
+		sw.transmit(slot)
+		sw.sampleOccupancy()
+		if cfg.Validate {
+			if err := sw.checkInvariants(); err != nil {
+				return nil, fmt.Errorf("switchsim: slot %d: %w", slot, err)
+			}
+		}
+		if idle != nil && sw.inCount == 0 {
+			if to := cur.jumpTarget(cfg); to > slot+1 {
+				jump := to - (slot + 1)
+				if cfg.RecordSeries {
+					growSeries(&sw.M, to)
+				}
+				sw.quiesce(slot, jump)
+				idle.IdleAdvance(jump)
+				slot += jump
+				if cfg.Validate {
+					if err := sw.checkInvariants(); err != nil {
+						return nil, fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", slot, err)
+					}
+				}
+			}
+		}
+		slot++
+		if cur.atHorizon(cfg, slot) {
+			break
+		}
+	}
+	if cfg.Validate {
+		if err := sw.M.conservationCheck(sw.QueuedPackets()); err != nil {
+			return nil, err
+		}
+	}
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = cur.finalHorizon()
+	}
+	if cfg.RecordSeries {
+		growSeries(&sw.M, slots)
+	}
+	return &Result{Policy: pol.Name(), Cfg: cfg, Slots: slots, M: sw.M}, nil
+}
+
+// RunCrossbarStream simulates a crossbar policy on an arrival stream; see
+// the package comments above for the equivalence contract with
+// RunCrossbar.
+func RunCrossbarStream(cfg Config, pol CrossbarPolicy, src packet.ArrivalStream) (*Result, error) {
+	if err := cfg.Check(true); err != nil {
+		return nil, err
+	}
+	cur, err := newStreamCursor(src, cfg.Inputs, cfg.Outputs)
+	if err != nil {
+		return nil, err
+	}
+	inDisc, crossDisc, outDisc := pol.Disciplines()
+	sw := NewCrossbar(cfg, inDisc, crossDisc, outDisc)
+	if cfg.RecordLatency && cfg.StreamMetrics {
+		sw.M.EnableLatencySketch()
+	}
+	pol.Reset(cfg)
+	var idle IdleAdvancer
+	if !cfg.Dense {
+		idle, _ = pol.(IdleAdvancer)
+	}
+	slot := 0
+	for {
+		for cur.ok && cur.head.Arrival == slot {
+			p := cur.head
+			if err := cur.pull(); err != nil {
+				return nil, err
+			}
+			if err := sw.admit(p, pol.Admit(sw, p)); err != nil {
+				return nil, err
+			}
+		}
+		for cycle := 0; cycle < cfg.Speedup; cycle++ {
+			if err := sw.executeInputSubphase(pol.InputSubphase(sw, slot, cycle)); err != nil {
+				return nil, err
+			}
+			if err := sw.executeOutputSubphase(pol.OutputSubphase(sw, slot, cycle)); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.RecordSeries {
+			growSeries(&sw.M, slot+1)
+		}
+		sw.transmit(slot)
+		sw.sampleOccupancy()
+		if cfg.Validate {
+			if err := sw.checkInvariants(); err != nil {
+				return nil, fmt.Errorf("switchsim: slot %d: %w", slot, err)
+			}
+		}
+		if idle != nil && sw.inCount == 0 && sw.crossCount == 0 {
+			if to := cur.jumpTarget(cfg); to > slot+1 {
+				jump := to - (slot + 1)
+				if cfg.RecordSeries {
+					growSeries(&sw.M, to)
+				}
+				sw.quiesce(slot, jump)
+				idle.IdleAdvance(jump)
+				slot += jump
+				if cfg.Validate {
+					if err := sw.checkInvariants(); err != nil {
+						return nil, fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", slot, err)
+					}
+				}
+			}
+		}
+		slot++
+		if cur.atHorizon(cfg, slot) {
+			break
+		}
+	}
+	if cfg.Validate {
+		if err := sw.M.conservationCheck(sw.QueuedPackets()); err != nil {
+			return nil, err
+		}
+	}
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = cur.finalHorizon()
+	}
+	if cfg.RecordSeries {
+		growSeries(&sw.M, slots)
+	}
+	return &Result{Policy: pol.Name(), Cfg: cfg, Slots: slots, M: sw.M}, nil
+}

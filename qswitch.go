@@ -19,8 +19,14 @@
 //     drain-only stretches are jumped in closed form with bit-identical
 //     metrics (Config.Dense opts out);
 //   - synthetic traffic generators (uniform, bursty, hotspot, diagonal,
-//     permutation; unit, two-valued, Zipf, geometric value models) and
-//     trace serialization;
+//     permutation, flow-level flowmix; unit, two-valued, Zipf, geometric
+//     value models) and trace serialization;
+//   - a streaming arrival layer (ArrivalStream, SimulateCIOQStream,
+//     SimulateCrossbarStream, OpenTraceStream) that simulates horizons of
+//     10⁹ slots and beyond in memory bounded by a fixed arrival window,
+//     with metrics bit-identical to a materialized run
+//     (Config.StreamMetrics swaps latency quantiles for a constant-space
+//     P² sketch);
 //   - offline optima: exact solvers for small instances and a min-cost
 //     flow upper bound for arbitrary ones, enabling empirical
 //     competitive-ratio measurement.
@@ -76,6 +82,13 @@ type (
 	IdleAdvancer = switchsim.IdleAdvancer
 	// RatioEstimate aggregates competitive-ratio measurements.
 	RatioEstimate = ratio.Estimate
+	// ArrivalStream is the pull-based form of an arrival sequence; the
+	// streaming simulators consume it incrementally, so unbounded
+	// workloads run in bounded memory.
+	ArrivalStream = packet.ArrivalStream
+	// TraceStream reads a binary trace file incrementally as an
+	// ArrivalStream; see OpenTraceStream.
+	TraceStream = packet.TraceStream
 )
 
 // NewCIOQPolicy constructs a CIOQ policy by name:
@@ -196,6 +209,46 @@ func SimulateOQ(cfg Config, seq Sequence) (*Result, error) {
 	return switchsim.RunOQ(cfg, seq)
 }
 
+// SimulateCIOQStream runs the named (or given) policy on a CIOQ switch,
+// consuming arrivals from a stream instead of a materialized sequence.
+// Metrics are bit-identical to SimulateCIOQ on the same arrivals; memory
+// is bounded by the stream's window rather than the trace length (set
+// Config.StreamMetrics to keep latency recording bounded too).
+func SimulateCIOQStream(cfg Config, policy interface{}, src ArrivalStream) (*Result, error) {
+	pol, err := resolveCIOQ(policy)
+	if err != nil {
+		return nil, err
+	}
+	return switchsim.RunCIOQStream(cfg, pol, src)
+}
+
+// SimulateCrossbarStream is SimulateCIOQStream for buffered crossbars.
+func SimulateCrossbarStream(cfg Config, policy interface{}, src ArrivalStream) (*Result, error) {
+	pol, err := resolveCrossbar(policy)
+	if err != nil {
+		return nil, err
+	}
+	return switchsim.RunCrossbarStream(cfg, pol, src)
+}
+
+// StreamTraffic returns the generator's workload as an ArrivalStream,
+// bit-identical to GenerateTraffic with the same arguments. Slot-major
+// generators (the Bernoulli family, Diurnal, FlowMix) are synthesized
+// lazily in O(window) memory; the per-input renewal generators are
+// materialized once and replayed.
+func StreamTraffic(gen Generator, cfg Config, slots int, seed int64) ArrivalStream {
+	rng := rand.New(rand.NewSource(seed))
+	return packet.StreamTraffic(gen, rng, cfg.Inputs, cfg.Outputs, slots)
+}
+
+// OpenTraceStream opens a binary trace file for incremental replay
+// through the streaming simulators; the caller should Close it when done.
+// Record fields, ordering invariants and the CRC64 trailer are verified
+// as the stream is consumed.
+func OpenTraceStream(path string) (*TraceStream, error) {
+	return packet.OpenTraceStream(path)
+}
+
 // GenerateTraffic draws a reproducible sequence from a generator for the
 // given geometry: `slots` arrival slots seeded by `seed`.
 func GenerateTraffic(gen Generator, cfg Config, slots int, seed int64) Sequence {
@@ -241,6 +294,17 @@ func DiurnalTraffic(load float64, period int, amplitude float64, dist ValueDist)
 // gaps: self-similar traffic with occasional very long silences.
 func HeavyTailTraffic(alpha, minGap float64, dist ValueDist) Generator {
 	return packet.HeavyTail{Alpha: alpha, MinGap: minGap, Values: dist}
+}
+
+// FlowMixTraffic is flow-level traffic: each input carries a mix of
+// short "rat" and long "elephant" flows opening at a stage-varying rate,
+// every open flow emitting one packet per slot toward its destination.
+// The load argument is the approximate mean per-input packet load under
+// the default mix; see packet.FlowMix for the full parameter surface.
+// FlowMix is slot-major, so it streams in memory proportional to the
+// open-flow state — the flagship workload for the streaming simulators.
+func FlowMixTraffic(load float64, dist ValueDist) Generator {
+	return packet.FlowMixForLoad(load, dist)
 }
 
 // BurstyBlockingTraffic converges line-rate bursts (burst packets from
