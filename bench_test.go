@@ -3,6 +3,7 @@ package qswitch
 import (
 	"bytes"
 	"context"
+	"math"
 	"math/rand"
 	"os"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
 	"qswitch/internal/ratio"
+	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
 )
 
@@ -835,4 +837,148 @@ func BenchmarkStreamCrossbarCGUDiurnal4(b *testing.B) {
 }
 func BenchmarkStreamCrossbarCPGFlowMix4(b *testing.B) {
 	benchStreamCrossbar(b, streamBenchFlowMix(), func() switchsim.CrossbarPolicy { return &core.CPG{} })
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_8: paired fleets vs independent sampling. Both arms drive the same
+// policy-vs-policy comparison (GM vs PG on a 4x4 CIOQ switch) to the same
+// CI half-width target on the mean ratio difference, and report how many
+// switch-slots of simulation they spent getting there. The paired arm
+// shares workloads and judge calls across policies (common random
+// numbers); the independent arm gives each policy its own seed stream and
+// pays the full between-workload variance. Regenerate the JSON records
+// with:
+//
+//	go test -run xxx -bench 'PairedDiffCIOQIndependent' -benchmem -benchtime 1x . \
+//	  | go run ./cmd/benchjson -label independent-sampling > BENCH_8.json
+//	go test -run xxx -bench 'PairedDiffCIOQ$' -benchmem -benchtime 1x . \
+//	  | go run ./cmd/benchjson -label paired-fleet > BENCH_8_post.json
+// ---------------------------------------------------------------------------
+
+const (
+	pairedBenchTarget = 0.008 // CI half-width target on mean(PG/OPT) - mean(GM/OPT)
+	pairedBenchConf   = 0.95
+	pairedBenchBudget = 8192 // seeds per arm before giving up
+	pairedBenchChunk  = 16   // stopping-rule granularity (seeds)
+	pairedBenchBatch  = 32   // fleet sub-batch
+)
+
+func pairedBenchSetup() (switchsim.Config, packet.Generator, []ratio.PairedPolicy) {
+	cfg := switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2, Speedup: 1, Slots: 32}
+	gen := packet.Bernoulli{Load: 1.5}
+	pols := []ratio.PairedPolicy{
+		{Name: "gm", Alg: ratio.CIOQFleetAlg(func() switchsim.CIOQPolicy { return &core.GM{} })},
+		{Name: "pg", Alg: ratio.CIOQFleetAlg(func() switchsim.CIOQPolicy { return &core.PG{} })},
+	}
+	return cfg, gen, pols
+}
+
+// BenchmarkPairedDiffCIOQ measures the paired (common-random-numbers)
+// arm: RunPaired stops once the paired-difference CI clears the target.
+func BenchmarkPairedDiffCIOQ(b *testing.B) {
+	cfg, gen, pols := pairedBenchSetup()
+	tgt := stats.Target{AbsWidth: pairedBenchTarget, Confidence: pairedBenchConf}
+	b.ReportAllocs()
+	var slots int64
+	var seeds int
+	for i := 0; i < b.N; i++ {
+		pe, err := ratio.RunPaired(context.Background(), cfg, pols, ratio.UpperBoundCIOQ, gen, 1,
+			ratio.PairedOptions{Batch: pairedBenchBatch, Chunk: pairedBenchChunk, Target: tgt, MaxRuns: pairedBenchBudget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pe.TargetMet {
+			b.Fatalf("paired arm missed the target within %d seeds (hw=%v)", pairedBenchBudget, pe.Diffs[0].HalfWidth)
+		}
+		slots, seeds = pe.SlotsSimulated, pe.Seeds
+	}
+	b.ReportMetric(float64(slots), "slots-to-target")
+	b.ReportMetric(float64(seeds), "seeds-to-target")
+}
+
+// BenchmarkPairedDiffCIOQIndependent measures the control arm: each
+// policy samples its own disjoint seed stream, and the run stops when the
+// Welch CI on the difference of the two independent means clears the
+// same target. Slots are charged with the same WorkloadSlots accounting
+// PairedEstimate.SlotsSimulated uses.
+func BenchmarkPairedDiffCIOQIndependent(b *testing.B) {
+	cfg, gen, pols := pairedBenchSetup()
+	b.ReportAllocs()
+	var slots int64
+	var seeds int
+	for i := 0; i < b.N; i++ {
+		var err error
+		slots, seeds, err = independentDiffToTarget(cfg, gen, pols)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(slots), "slots-to-target")
+	b.ReportMetric(float64(seeds), "seeds-to-target")
+}
+
+// independentDiffToTarget advances two independent fleet-backed seed
+// streams (disjoint base seeds, one per policy) in lockstep chunks until
+// the Welch two-sample CI half-width on the difference of means reaches
+// pairedBenchTarget, and returns (switch-slots spent, seeds issued).
+func independentDiffToTarget(cfg switchsim.Config, gen packet.Generator, pols []ratio.PairedPolicy) (int64, int, error) {
+	const seedA, seedB = 1, 1 << 20 // disjoint streams
+	ctx := context.Background()
+	evalA := ratio.FleetChunks(cfg, pols[0].Alg, ratio.UpperBoundCIOQ, gen, seedA, pairedBenchBatch)
+	evalB := ratio.FleetChunks(cfg, pols[1].Alg, ratio.UpperBoundCIOQ, gen, seedB, pairedBenchBatch)
+	var accA, accB stats.Estimator
+	fold := func(acc *stats.Estimator, outs []ratio.SeedOutcome) error {
+		for _, o := range outs {
+			if o.Err != nil {
+				return o.Err
+			}
+			if !o.Skipped {
+				acc.Add(o.Ratio)
+			}
+		}
+		return nil
+	}
+	n := 0
+	for n < pairedBenchBudget {
+		k1 := n + pairedBenchChunk
+		if k1 > pairedBenchBudget {
+			k1 = pairedBenchBudget
+		}
+		outsA, err := evalA(ctx, n, k1)
+		if err != nil {
+			return 0, 0, err
+		}
+		outsB, err := evalB(ctx, n, k1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := fold(&accA, outsA); err != nil {
+			return 0, 0, err
+		}
+		if err := fold(&accB, outsB); err != nil {
+			return 0, 0, err
+		}
+		n = k1
+		if welchDiffHalfWidth(&accA, &accB) <= pairedBenchTarget {
+			break
+		}
+	}
+	slots := ratio.WorkloadSlots(cfg, gen, seedA, n) + ratio.WorkloadSlots(cfg, gen, seedB, n)
+	return slots, 2 * n, nil
+}
+
+// welchDiffHalfWidth is the CI half-width on mean(B) - mean(A) for two
+// independent samples, using the conservative min(nA,nB)-1 df. It mirrors
+// the paired stopping rule's MinSamples floor (returns +Inf below it).
+func welchDiffHalfWidth(a, bAcc *stats.Estimator) float64 {
+	nA, nB := a.N(), bAcc.N()
+	if nA < 8 || nB < 8 {
+		return math.Inf(1)
+	}
+	df := nA - 1
+	if nB < nA {
+		df = nB - 1
+	}
+	se := math.Sqrt(a.Var()/float64(nA) + bAcc.Var()/float64(nB))
+	return stats.TCrit(df, pairedBenchConf) * se
 }

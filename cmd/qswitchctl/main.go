@@ -34,6 +34,7 @@ import (
 	"qswitch/internal/experiments"
 	"qswitch/internal/shard"
 	"qswitch/internal/shard/faultinject"
+	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
 )
 
@@ -50,6 +51,8 @@ func main() {
 		chaos      = flag.String("chaos", "", "fault-injection spec passed to spawned workers")
 		timeout    = flag.Duration("chunk-timeout", 0, "per-chunk attempt deadline (default 2m)")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "max silence before a worker is presumed dead (default 10s)")
+		ciTarget   = flag.Float64("ci-target", 0, "sequential sweeps: stop each ratio estimation once the Student-t CI half-width on the mean ratio is <= this (0 disables); seed chunks keep flowing through the shard service until then")
+		confidence = flag.Float64("confidence", 0.95, "confidence level for -ci-target stopping and hunt verdicts")
 		hunt       = flag.String("hunt", "", "policy spec to hunt adversarially instead of running experiments")
 		huntJudge  = flag.String("huntjudge", "exactunit", "judge spec for -hunt")
 		crossbar   = flag.Bool("crossbar", false, "hunt against the buffered-crossbar model")
@@ -112,9 +115,9 @@ func main() {
 	start := time.Now()
 	switch {
 	case *hunt != "":
-		runHunt(coord, *hunt, *huntJudge, *crossbar, *restarts, *iterations, *maxValue, *seed, *chunk)
+		runHunt(coord, *hunt, *huntJudge, *crossbar, *restarts, *iterations, *maxValue, *seed, *chunk, *confidence)
 	case *run != "":
-		runExperiments(coord, *run, *quick, *seed, *chunk)
+		runExperiments(coord, *run, *quick, *seed, *chunk, *ciTarget, *confidence)
 	default:
 		fmt.Fprintln(os.Stderr, "qswitchctl: nothing to do; use -run or -hunt")
 		flag.Usage()
@@ -127,9 +130,16 @@ func main() {
 }
 
 // runExperiments executes the requested ratio experiments with their
-// Monte-Carlo estimations sharded through the coordinator.
-func runExperiments(coord *shard.Coordinator, ids string, quick bool, seed int64, chunk int) {
-	opts := experiments.Options{Quick: quick, Seed: seed, Shard: coord, ShardChunk: chunk}
+// Monte-Carlo estimations sharded through the coordinator; a positive
+// ciTarget makes each estimation sequential, issuing seed chunks to the
+// workers only until its CI half-width clears the target.
+func runExperiments(coord *shard.Coordinator, ids string, quick bool, seed int64, chunk int,
+	ciTarget, confidence float64) {
+	opts := experiments.Options{
+		Quick: quick, Seed: seed, Shard: coord, ShardChunk: chunk,
+		CITarget: stats.Target{AbsWidth: ciTarget, Confidence: confidence},
+		SeqChunk: chunk,
+	}
 	for _, id := range strings.Split(ids, ",") {
 		exp, ok := experiments.ByID(strings.TrimSpace(id))
 		if !ok {
@@ -146,9 +156,10 @@ func runExperiments(coord *shard.Coordinator, ids string, quick bool, seed int64
 	}
 }
 
-// runHunt shards an adversary hunt's restarts across the workers.
+// runHunt shards an adversary hunt's restarts across the workers and
+// prints a confidence-annotated verdict alongside the witness.
 func runHunt(coord *shard.Coordinator, policy, judge string, crossbar bool,
-	restarts, iterations int, maxValue, seed int64, chunk int) {
+	restarts, iterations int, maxValue, seed int64, chunk int, confidence float64) {
 	cfg := switchsim.Config{Inputs: 2, Outputs: 2, InputBuf: 1, OutputBuf: 1, CrossBuf: 1, Speedup: 1}
 	req := shard.HuntRequest{
 		Cfg: cfg, Crossbar: crossbar, Policy: policy, Judge: judge,
@@ -163,6 +174,7 @@ func runHunt(coord *shard.Coordinator, policy, judge string, crossbar bool,
 	}
 	fmt.Printf("hunt %s vs %s: best ratio %.4f (restart %d, %d accepted, %d tried)\n",
 		policy, judge, res.Ratio, res.Restart, res.Accepted, res.Tried)
+	fmt.Printf("verdict: %s\n", res.Verdict(restarts, confidence))
 	for _, p := range res.Seq {
 		fmt.Printf("  t=%d in=%d out=%d v=%d\n", p.Arrival, p.In, p.Out, p.Value)
 	}

@@ -32,6 +32,10 @@ func main() {
 		dense  = flag.Bool("dense", false, "opt out of the event-driven simulator fast path and simulate every slot (bit-identical results, slower)")
 		fleet  = flag.Bool("fleet", false, "route Monte-Carlo ratio estimations through the columnar batched fleet engine (byte-identical results)")
 		stream = flag.Bool("stream", false, "route Monte-Carlo ratio estimations through the streaming engines (byte-identical results)")
+		ciTgt  = flag.Float64("ci-target", 0, "sequential stopping: stop each ratio estimation once the Student-t CI half-width on the mean ratio is <= this (0 disables; seed budget still caps)")
+		conf   = flag.Float64("confidence", 0.95, "confidence level for CI columns and -ci-target stopping")
+		chunk  = flag.Int("ci-chunk", 0, "seeds per sequential stopping decision (0 selects the default)")
+		paired = flag.Bool("paired", false, "run the E2b beta sweep as a paired fleet (common random numbers, one offline solve per seed; byte-identical table)")
 		seed   = flag.Int64("seed", 1, "base RNG seed")
 		csv    = flag.String("csv", "", "directory to write per-table CSV files into")
 		figs   = flag.Bool("figures", true, "render ASCII charts for figure-type experiments")
@@ -66,7 +70,11 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Dense: *dense, Fleet: *fleet, Stream: *stream}
+	opts := experiments.Options{
+		Quick: *quick, Seed: *seed, Dense: *dense, Fleet: *fleet, Stream: *stream,
+		CITarget: stats.Target{AbsWidth: *ciTgt, Confidence: *conf},
+		SeqChunk: *chunk, Paired: *paired,
+	}
 	// Each experiment renders into its own buffer so concurrent runs
 	// still print in the requested order.
 	type report struct {

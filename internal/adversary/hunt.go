@@ -1,9 +1,11 @@
 package adversary
 
 import (
+	"fmt"
 	"math/rand"
 
 	"qswitch/internal/packet"
+	"qswitch/internal/stats"
 )
 
 // HuntResult is the best adversarial instance found by a Hunt, plus enough
@@ -70,6 +72,45 @@ func MergeHunts(a, b HuntResult) HuntResult {
 
 // emptyHunt is the identity element of MergeHunts.
 func emptyHunt() HuntResult { return HuntResult{Ratio: -1, Restart: -1} }
+
+// Verdict is a confidence-annotated hunt conclusion. The witness half is
+// certain: the judge is deterministic, so a found sequence with ratio r
+// PROVES the policy's competitive ratio is >= r. The statistical half
+// bounds what more hunting would buy: if R independent restarts all
+// failed to beat r, then with confidence 1-delta the probability that one
+// more restart improves on r is at most ImproveBound (rule of three /
+// clean-sample bound: 1 - delta^(1/R)).
+type Verdict struct {
+	// Ratio is the proven counterexample ratio (the witness's).
+	Ratio float64
+	// Restarts is the number of independent restarts the bound is over.
+	Restarts int
+	// Confidence is 1-delta.
+	Confidence float64
+	// ImproveBound bounds P(a fresh restart beats Ratio) at Confidence.
+	ImproveBound float64
+}
+
+// Verdict annotates the hunt result with the restart-exceedance bound at
+// the given confidence (e.g. 0.95). restarts is the total number of
+// independent restarts that produced the result (SearchOptions.Restarts,
+// or the merged range width for sharded hunts).
+func (h HuntResult) Verdict(restarts int, confidence float64) Verdict {
+	return Verdict{
+		Ratio:        h.Ratio,
+		Restarts:     restarts,
+		Confidence:   confidence,
+		ImproveBound: stats.ExceedanceBound(int64(restarts), 1-confidence),
+	}
+}
+
+// String renders the verdict in the paper-facing form, e.g.
+// "counterexample ratio >= 1.2500 (proven witness); P(fresh restart
+// improves) <= 0.0950 at 95% confidence (31 restarts)".
+func (v Verdict) String() string {
+	return fmt.Sprintf("counterexample ratio >= %.4f (proven witness); P(fresh restart improves) <= %.4f at %g%% confidence (%d restarts)",
+		v.Ratio, v.ImproveBound, 100*v.Confidence, v.Restarts)
+}
 
 // better reports whether b beats a under the (ratio desc, restart asc)
 // order; the empty result (Restart -1) loses to everything real.

@@ -62,6 +62,27 @@ type Options struct {
 	// streaming engines across the whole experiment surface. Shard and
 	// Fleet take precedence.
 	Stream bool
+	// CITarget enables sequential stopping for the Monte-Carlo ratio
+	// estimations (E1-E4): seed chunks are issued through whichever
+	// backend the other levers select (scalar, stream, fleet or shard)
+	// until the Student-t CI half-width on the mean ratio clears the
+	// target, capped at the experiment's usual seed budget. The stopped
+	// seed count depends only on (Seed, SeqChunk), never on the backend.
+	// A disabled (zero) target reproduces the fixed-N estimates
+	// byte-identically.
+	CITarget stats.Target
+	// SeqChunk is the seeds-per-stopping-decision granularity when
+	// CITarget is enabled (<= 0 selects the ratio package default).
+	SeqChunk int
+	// Paired routes the E2b beta sweep through ratio.RunPaired: every
+	// beta steps identical arrival sequences via the fleet engine with
+	// ONE offline-optimum solve per seed (instead of one per beta), and
+	// the sweep's paired-difference columns come from the same
+	// ratio.PairedDiff fold either way — so the table is byte-identical
+	// to the independent path and, like Fleet, this is purely a
+	// wall-clock/sample-efficiency lever. Shard takes precedence (paired
+	// mode is in-process).
+	Paired bool
 }
 
 // fleetBatch is the batch size Options.Fleet hands to ratio.RunFleet.
@@ -73,6 +94,11 @@ const fleetBatch = 64
 // shard workers resolve; results are byte-identical across backends.
 func (o Options) ratioCIOQ(cfg switchsim.Config, pol cioqPolicyRef,
 	judge judgeRef, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
+	if o.CITarget.Enabled() {
+		est, _, err := ratio.RunSequential(o.ctx(), o.cioqEvaluator(cfg, pol, judge, gen, seed),
+			ratio.SequentialOptions{Target: o.CITarget, Chunk: o.SeqChunk, MaxRuns: runs})
+		return est, err
+	}
 	if o.Shard != nil {
 		return ratio.RunSharded(o.ctx(), o.Shard, ratio.ChunkRequest{
 			Cfg: cfg, Policy: pol.spec, Judge: judge.spec, Gen: gen, BaseSeed: seed,
@@ -87,9 +113,32 @@ func (o Options) ratioCIOQ(cfg switchsim.Config, pol cioqPolicyRef,
 	return ratio.Run(o.ctx(), cfg, ratio.CIOQAlg(pol.factory), judge.factory, gen, seed, runs)
 }
 
+// cioqEvaluator adapts the backend the options select to the sequential
+// driver's chunk interface, honoring the same precedence as ratioCIOQ.
+func (o Options) cioqEvaluator(cfg switchsim.Config, pol cioqPolicyRef,
+	judge judgeRef, gen packet.Generator, seed int64) ratio.ChunkEvaluator {
+	if o.Shard != nil {
+		return ratio.ShardedChunks(o.Shard, ratio.ChunkRequest{
+			Cfg: cfg, Policy: pol.spec, Judge: judge.spec, Gen: gen, BaseSeed: seed,
+		})
+	}
+	if o.Fleet {
+		return ratio.FleetChunks(cfg, ratio.CIOQFleetAlg(pol.factory), judge.factory, gen, seed, fleetBatch)
+	}
+	if o.Stream {
+		return ratio.ScalarChunks(cfg, ratio.CIOQStreamAlg(pol.factory), judge.factory, gen, seed)
+	}
+	return ratio.ScalarChunks(cfg, ratio.CIOQAlg(pol.factory), judge.factory, gen, seed)
+}
+
 // ratioCrossbar is ratioCIOQ for crossbar policy families.
 func (o Options) ratioCrossbar(cfg switchsim.Config, pol crossbarPolicyRef,
 	judge judgeRef, gen packet.Generator, seed int64, runs int) (ratio.Estimate, error) {
+	if o.CITarget.Enabled() {
+		est, _, err := ratio.RunSequential(o.ctx(), o.crossbarEvaluator(cfg, pol, judge, gen, seed),
+			ratio.SequentialOptions{Target: o.CITarget, Chunk: o.SeqChunk, MaxRuns: runs})
+		return est, err
+	}
 	if o.Shard != nil {
 		return ratio.RunSharded(o.ctx(), o.Shard, ratio.ChunkRequest{
 			Cfg: cfg, Crossbar: true, Policy: pol.spec, Judge: judge.spec, Gen: gen, BaseSeed: seed,
@@ -104,9 +153,30 @@ func (o Options) ratioCrossbar(cfg switchsim.Config, pol crossbarPolicyRef,
 	return ratio.Run(o.ctx(), cfg, ratio.CrossbarAlg(pol.factory), judge.factory, gen, seed, runs)
 }
 
+// crossbarEvaluator is cioqEvaluator for crossbar policy families.
+func (o Options) crossbarEvaluator(cfg switchsim.Config, pol crossbarPolicyRef,
+	judge judgeRef, gen packet.Generator, seed int64) ratio.ChunkEvaluator {
+	if o.Shard != nil {
+		return ratio.ShardedChunks(o.Shard, ratio.ChunkRequest{
+			Cfg: cfg, Crossbar: true, Policy: pol.spec, Judge: judge.spec, Gen: gen, BaseSeed: seed,
+		})
+	}
+	if o.Fleet {
+		return ratio.FleetChunks(cfg, ratio.CrossbarFleetAlg(pol.factory), judge.factory, gen, seed, fleetBatch)
+	}
+	if o.Stream {
+		return ratio.ScalarChunks(cfg, ratio.CrossbarStreamAlg(pol.factory), judge.factory, gen, seed)
+	}
+	return ratio.ScalarChunks(cfg, ratio.CrossbarAlg(pol.factory), judge.factory, gen, seed)
+}
+
 // ctx is the context experiment runs execute under; experiments are
 // synchronous today, so it is the background context.
 func (o Options) ctx() context.Context { return context.Background() }
+
+// confidence is the CI confidence level the ratio tables annotate at:
+// the CITarget's level, 0.95 when no target is set.
+func (o Options) confidence() float64 { return o.CITarget.ConfidenceLevel() }
 
 // cioqPolicyRef couples a CIOQ policy family's in-process factory with
 // the registry spec string a shard worker resolves to the same family.

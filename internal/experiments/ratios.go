@@ -19,7 +19,7 @@ func E1GMRatio(opts Options) ([]*stats.Table, error) {
 	runs := opts.pick(8, 120)
 	slots := opts.pick(5, 7)
 	tb := stats.NewTable("E1: GM vs exact OPT (bound 3)",
-		"config", "traffic", "runs", "max_ratio", "mean_ratio", "bound", "within")
+		"config", "traffic", "runs", "max_ratio", "mean_ratio", "ci_hw", "bound", "within")
 	gens := []packet.Generator{
 		packet.Bernoulli{Load: 1.0},
 		packet.Bernoulli{Load: 2.0},
@@ -44,7 +44,7 @@ func E1GMRatio(opts Options) ([]*stats.Table, error) {
 				return nil, fmt.Errorf("e1: %w", err)
 			}
 			tb.AddRow(fmtCfg(cfg), gen.Name(), est.Runs, est.Max, est.Mean,
-				3.0, boolMark(est.Max <= 3.0+1e-9))
+				est.HalfWidth(opts.confidence()), 3.0, boolMark(est.Max <= 3.0+1e-9))
 		}
 	}
 	return []*stats.Table{tb}, nil
@@ -60,7 +60,7 @@ func E2PGRatio(opts Options) ([]*stats.Table, error) {
 	slots := opts.pick(3, 4)
 	bound := core.PGRatio(core.DefaultBetaPG())
 	tbA := stats.NewTable(fmt.Sprintf("E2a: PG (beta=1+sqrt2) vs exact OPT (bound %.4f)", bound),
-		"traffic", "runs", "max_ratio", "mean_ratio", "bound", "within")
+		"traffic", "runs", "max_ratio", "mean_ratio", "ci_hw", "bound", "within")
 	gens := []packet.Generator{
 		packet.Bernoulli{Load: 0.8, Values: packet.UniformValues{Hi: 20}},
 		packet.Bernoulli{Load: 0.8, Values: packet.TwoValued{Alpha: 50, PHigh: 0.3}},
@@ -75,38 +75,97 @@ func E2PGRatio(opts Options) ([]*stats.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("e2a: %w", err)
 		}
-		tbA.AddRow(gen.Name(), est.Runs, est.Max, est.Mean, bound,
-			boolMark(est.Max <= bound+1e-9))
+		tbA.AddRow(gen.Name(), est.Runs, est.Max, est.Mean,
+			est.HalfWidth(opts.confidence()), bound, boolMark(est.Max <= bound+1e-9))
 	}
 
 	// The beta gate only binds when output queues can actually fill,
 	// which requires speedup >= 2 (with one cycle per slot, an output
 	// queue gains at most one packet per slot and sends one). The sweep
 	// therefore runs at speedup 2 with a tight output buffer.
+	// The beta sweep is the natural paired comparison: every beta sees the
+	// SAME seed stream (all points at opts.Seed+7), so per-seed ratio
+	// differences against the baseline beta cancel all workload noise.
+	// The dmean/dci_hw columns report that paired difference; with
+	// Options.Paired the points share one generated sequence and one
+	// offline solve per seed via ratio.RunPaired, and the diff fold is the
+	// same ratio.PairedDiff either way, so the table is byte-identical.
 	tbB := stats.NewTable("E2b: beta sweep at speedup 2 (figure: ratio vs beta)",
-		"beta", "theory_bound", "max_ratio", "mean_ratio", "within")
+		"beta", "theory_bound", "max_ratio", "mean_ratio", "ci_hw", "dmean", "dci_hw", "within")
 	cfgB := cfg
 	cfgB.Speedup = 2
 	cfgB.OutputBuf = 1
 	betas := []float64{1.0, 1.2, 1.5, 1.8, 2.1, 1 + math.Sqrt2, 2.8, 3.2, 4.0, 6.0}
 	gen := packet.Hotspot{Load: 1.2, HotFrac: 0.8, Values: packet.GeometricValues{P: 0.35, Hi: 64}}
-	for _, beta := range betas {
+	pols := make([]cioqPolicyRef, len(betas))
+	for i, beta := range betas {
 		b := beta
-		pol := cioqPolicyRef{fmt.Sprintf("pg(beta=%s)", fmtParam(b)),
+		pols[i] = cioqPolicyRef{fmt.Sprintf("pg(beta=%s)", fmtParam(b)),
 			func() switchsim.CIOQPolicy { return &core.PG{Beta: b} }}
-		est, err := opts.ratioCIOQ(cfgB, pol,
-			judgeRef{"exactweighted", ratio.ExactWeightedCIOQ}, gen, opts.Seed+7, runs)
-		if err != nil {
-			return nil, fmt.Errorf("e2b beta=%v: %w", beta, err)
-		}
+	}
+	ests, err := opts.betaSweepEstimates(cfgB, pols, gen, opts.Seed+7, runs)
+	if err != nil {
+		return nil, fmt.Errorf("e2b: %w", err)
+	}
+	conf := opts.confidence()
+	for i, beta := range betas {
+		est := ests[i]
 		theory := core.PGRatio(beta)
 		if beta <= 1 {
 			theory = math.Inf(1)
 		}
+		d := prefixDiff(ests[0], est, conf)
 		tbB.AddRow(fmt.Sprintf("%.4f", beta), theory, est.Max, est.Mean,
+			est.HalfWidth(conf), d.Mean, d.HalfWidth,
 			boolMark(beta <= 1 || est.Max <= theory+1e-9))
 	}
 	return []*stats.Table{tbA, tbB}, nil
+}
+
+// betaSweepEstimates measures every point of a policy family over the
+// same seed stream: independently through ratioCIOQ, or — with
+// Options.Paired and no shard — through ratio.RunPaired, which steps all
+// points on shared sequences with one judge call per seed. Marginal
+// estimates are byte-identical either way.
+func (o Options) betaSweepEstimates(cfg switchsim.Config, pols []cioqPolicyRef,
+	gen packet.Generator, seed int64, runs int) ([]ratio.Estimate, error) {
+	if o.Paired && o.Shard == nil {
+		ppols := make([]ratio.PairedPolicy, len(pols))
+		for i, p := range pols {
+			ppols[i] = ratio.PairedPolicy{Name: p.spec, Alg: ratio.CIOQFleetAlg(p.factory)}
+		}
+		pe, err := ratio.RunPaired(o.ctx(), cfg, ppols, ratio.ExactWeightedCIOQ, gen, seed,
+			ratio.PairedOptions{Batch: fleetBatch, Chunk: o.SeqChunk, Target: o.CITarget, MaxRuns: runs})
+		if err != nil {
+			return nil, err
+		}
+		return pe.Marginals, nil
+	}
+	ests := make([]ratio.Estimate, len(pols))
+	for i, pol := range pols {
+		est, err := o.ratioCIOQ(cfg, pol, judgeRef{"exactweighted", ratio.ExactWeightedCIOQ}, gen, seed, runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pol.spec, err)
+		}
+		ests[i] = est
+	}
+	return ests, nil
+}
+
+// prefixDiff is ratio.PairedDiff over the aligned sample prefix: two
+// estimates on the same seed stream share their skip set (the judge
+// decides it alone), so sample i of both is the same seed even when
+// sequential stopping issued different seed counts — truncating to the
+// common prefix keeps the pairing exact.
+func prefixDiff(base, other ratio.Estimate, conf float64) ratio.DiffEstimate {
+	n := min(len(base.Samples), len(other.Samples))
+	base.Samples, other.Samples = base.Samples[:n], other.Samples[:n]
+	base.Runs, other.Runs = n, n
+	d, err := ratio.PairedDiff(base, other, conf)
+	if err != nil {
+		return ratio.DiffEstimate{Confidence: conf}
+	}
+	return d
 }
 
 // E3CGURatio measures CGU against the exact unit-value crossbar optimum:
@@ -116,7 +175,7 @@ func E3CGURatio(opts Options) ([]*stats.Table, error) {
 	runs := opts.pick(8, 100)
 	slots := opts.pick(4, 6)
 	tb := stats.NewTable("E3: CGU vs exact OPT (bound 3; prior analysis gave 4)",
-		"config", "traffic", "runs", "max_ratio", "mean_ratio", "bound", "within")
+		"config", "traffic", "runs", "max_ratio", "mean_ratio", "ci_hw", "bound", "within")
 	gens := []packet.Generator{
 		packet.Bernoulli{Load: 1.5},
 		packet.Hotspot{Load: 1.5, HotFrac: 0.8},
@@ -137,7 +196,7 @@ func E3CGURatio(opts Options) ([]*stats.Table, error) {
 				return nil, fmt.Errorf("e3: %w", err)
 			}
 			tb.AddRow(fmtCfg(cfg), gen.Name(), est.Runs, est.Max, est.Mean,
-				3.0, boolMark(est.Max <= 3.0+1e-9))
+				est.HalfWidth(opts.confidence()), 3.0, boolMark(est.Max <= 3.0+1e-9))
 		}
 	}
 	return []*stats.Table{tb}, nil
@@ -173,7 +232,7 @@ func E4CPGParams(opts Options) ([]*stats.Table, error) {
 	cfg := microCfg(opts, slots)
 	gen := packet.Bernoulli{Load: 0.7, Values: packet.UniformValues{Hi: 16}}
 	tbC := stats.NewTable("E4c: empirical ratio vs exact OPT (micro instances)",
-		"variant", "runs", "max_ratio", "mean_ratio", "bound", "within")
+		"variant", "runs", "max_ratio", "mean_ratio", "ci_hw", "bound", "within")
 	variants := []struct {
 		name  string
 		pol   crossbarPolicyRef
@@ -193,7 +252,8 @@ func E4CPGParams(opts Options) ([]*stats.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("e4c: %w", err)
 		}
-		tbC.AddRow(v.name, est.Runs, est.Max, est.Mean, v.bound,
+		tbC.AddRow(v.name, est.Runs, est.Max, est.Mean,
+			est.HalfWidth(opts.confidence()), v.bound,
 			boolMark(est.Max <= v.bound+1e-9))
 	}
 	return []*stats.Table{tbA, tbB, tbC}, nil

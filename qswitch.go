@@ -52,6 +52,7 @@ import (
 	"qswitch/internal/offline"
 	"qswitch/internal/packet"
 	"qswitch/internal/ratio"
+	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
 )
 
@@ -82,6 +83,16 @@ type (
 	IdleAdvancer = switchsim.IdleAdvancer
 	// RatioEstimate aggregates competitive-ratio measurements.
 	RatioEstimate = ratio.Estimate
+	// PrecisionTarget is a CI-precision stopping rule for sequential
+	// ratio estimation (absolute and/or relative Student-t half-width).
+	PrecisionTarget = stats.Target
+	// RatioReport describes how a sequential estimation stopped.
+	RatioReport = ratio.SeqReport
+	// PairedEstimate is the result of a paired (common-random-numbers)
+	// policy comparison: per-policy marginals plus per-seed difference CIs.
+	PairedEstimate = ratio.PairedEstimate
+	// RatioDiff is one paired-difference estimate within a PairedEstimate.
+	RatioDiff = ratio.DiffEstimate
 	// ArrivalStream is the pull-based form of an arrival sequence; the
 	// streaming simulators consume it incrementally, so unbounded
 	// workloads run in bounded memory.
@@ -390,6 +401,65 @@ func MeasureRatioCIOQParallel(cfg Config, policyName string, gen Generator, exac
 		judge = exactJudge(false)
 	}
 	return ratio.RunParallel(context.Background(), cfg, alg, judge, gen, seed, runs, workers)
+}
+
+// MeasureRatioCIOQSequential is MeasureRatioCIOQ with sequential
+// stopping: seeds are issued in chunks of `chunk` (<= 0 selects the
+// default) until the Student-t CI half-width on the mean ratio clears the
+// target or maxRuns seeds have been spent. With a disabled (zero) target
+// it is byte-identical to MeasureRatioCIOQ over maxRuns seeds; with a
+// target the stopped seed count depends only on (seed, chunk).
+func MeasureRatioCIOQSequential(cfg Config, policyName string, gen Generator, exact bool,
+	seed int64, target PrecisionTarget, chunk, maxRuns int) (RatioEstimate, RatioReport, error) {
+	if _, err := NewCIOQPolicy(policyName); err != nil {
+		return RatioEstimate{}, RatioReport{}, err
+	}
+	alg := ratio.CIOQAlg(func() CIOQPolicy {
+		p, err := NewCIOQPolicy(policyName)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	})
+	judge := ratio.JudgeFactory(ratio.UpperBoundCIOQ)
+	if exact {
+		judge = exactJudge(false)
+	}
+	return ratio.RunSequential(context.Background(),
+		ratio.ScalarChunks(cfg, alg, judge, gen, seed),
+		ratio.SequentialOptions{Target: target, Chunk: chunk, MaxRuns: maxRuns})
+}
+
+// CompareRatioCIOQPaired compares named CIOQ policies with common random
+// numbers: every seed's workload is generated once, judged once, and fed
+// to all policies through the fleet engine, and the per-seed ratio
+// differences against policyNames[0] get their own Student-t CIs. The
+// marginal estimates are byte-identical to MeasureRatioCIOQ per policy on
+// the same seeds; the paired differences reach a target half-width with
+// far fewer switch-slots than independent sampling (see BENCH_8). A
+// non-zero target stops early once every difference CI clears it.
+func CompareRatioCIOQPaired(cfg Config, policyNames []string, gen Generator, exact bool,
+	seed int64, target PrecisionTarget, maxRuns int) (PairedEstimate, error) {
+	pols := make([]ratio.PairedPolicy, len(policyNames))
+	for i, name := range policyNames {
+		name := name
+		if _, err := NewCIOQPolicy(name); err != nil {
+			return PairedEstimate{}, err
+		}
+		pols[i] = ratio.PairedPolicy{Name: name, Alg: ratio.CIOQFleetAlg(func() CIOQPolicy {
+			p, err := NewCIOQPolicy(name)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		})}
+	}
+	judge := ratio.JudgeFactory(ratio.UpperBoundCIOQ)
+	if exact {
+		judge = exactJudge(false)
+	}
+	return ratio.RunPaired(context.Background(), cfg, pols, judge, gen, seed,
+		ratio.PairedOptions{Target: target, MaxRuns: maxRuns})
 }
 
 // MeasureRatioCrossbar is the buffered-crossbar analogue of
