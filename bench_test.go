@@ -13,6 +13,8 @@ import (
 	"qswitch/internal/experiments"
 	"qswitch/internal/fleet"
 	"qswitch/internal/matching"
+	"qswitch/internal/obs"
+	"qswitch/internal/obs/wire"
 	"qswitch/internal/offline"
 	"qswitch/internal/packet"
 	"qswitch/internal/queue"
@@ -981,4 +983,71 @@ func welchDiffHalfWidth(a, bAcc *stats.Estimator) float64 {
 	}
 	se := math.Sqrt(a.Var()/float64(nA) + bAcc.Var()/float64(nB))
 	return stats.TCrit(df, pairedBenchConf) * se
+}
+
+// ---------------------------------------------------------------------------
+// Observability layer benchmarks. The counter benchmarks price the probe
+// primitives themselves (enabled and disabled paths); the probed pipeline
+// benchmark runs E1 with the full probe set installed and reports the
+// obs-derived workload counters — quiescent-jump rate, judge solves —
+// alongside ns/op, so committed benchmark baselines record what the
+// workload did, not just how long it took.
+// ---------------------------------------------------------------------------
+
+func BenchmarkObsCounterAdd(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench_ops_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsCounterAddDisabled(b *testing.B) {
+	// The probes-uninstalled path: a nil counter must cost one
+	// predictable branch and allocate nothing.
+	var c *obs.Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("bench_seconds", 0.001, 0.01, 0.1, 1, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 100)
+	}
+}
+
+func BenchmarkObsProbedE1(b *testing.B) {
+	exp, ok := experiments.ByID("e1")
+	if !ok {
+		b.Fatal("e1 missing")
+	}
+	reg := obs.NewRegistry()
+	wire.Up(reg)
+	defer wire.Down()
+	before := reg.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(experiments.Options{Quick: true, Seed: int64(i + 1), Probes: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	delta := obs.DiffSnapshot(before, reg.Snapshot())
+	n := float64(b.N)
+	b.ReportMetric(delta[obs.MetricEngineRuns]/n, "engineruns/op")
+	b.ReportMetric(delta[obs.MetricJudgeSolves]/n+delta[obs.MetricJudgeExactSolves]/n, "judgesolves/op")
+	b.ReportMetric(delta[obs.MetricEngineJumps]/n, "jumps/op")
+	if slots := delta[obs.MetricEngineSlots]; slots > 0 {
+		b.ReportMetric(delta[obs.MetricEngineJumpedSlots]/slots, "jumpedfrac")
+	}
 }

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseLineCustomUnits(t *testing.T) {
+	// A probed observability benchmark line: custom b.ReportMetric units
+	// (engineruns/op, jumpedfrac, ...) must land in Metrics next to the
+	// standard ns/op and -benchmem figures.
+	line := "BenchmarkObsProbedE1-8   \t       3\t  10031030 ns/op\t        96.00 engineruns/op\t        96.00 judgesolves/op\t         0.05104 jumpedfrac\t        16.50 jumps/op\t 3949292 B/op\t  140708 allocs/op"
+	b, ok := parseLine(line)
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkObsProbedE1" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", b.Name)
+	}
+	if b.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3", b.Iterations)
+	}
+	want := map[string]float64{
+		"ns/op":          10031030,
+		"engineruns/op":  96,
+		"judgesolves/op": 96,
+		"jumpedfrac":     0.05104,
+		"jumps/op":       16.5,
+		"B/op":           3949292,
+		"allocs/op":      140708,
+	}
+	if len(b.Metrics) != len(want) {
+		t.Errorf("metrics = %v, want %d entries", b.Metrics, len(want))
+	}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metrics[%q] = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-8",
+		"BenchmarkBroken-8 notanint 5 ns/op",
+		"ok  \tqswitch\t12.3s",
+		"PASS",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted a non-result line", line)
+		}
+	}
+}

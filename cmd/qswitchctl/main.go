@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -32,6 +33,8 @@ import (
 
 	"qswitch/internal/adversary"
 	"qswitch/internal/experiments"
+	"qswitch/internal/obs"
+	"qswitch/internal/obs/wire"
 	"qswitch/internal/shard"
 	"qswitch/internal/shard/faultinject"
 	"qswitch/internal/stats"
@@ -60,7 +63,10 @@ func main() {
 		iterations = flag.Int("iterations", 400, "hunt hill-climb iterations per restart")
 		maxValue   = flag.Int64("maxvalue", 1, "hunt max packet value (1 = unit)")
 		verbose    = flag.Bool("v", false, "log supervision events to stderr")
+		status     = flag.Bool("status", false, "print a live per-worker health table to stderr while running")
+		events     = flag.String("events", "", "append structured JSONL run events to this file")
 	)
+	obsCLI := wire.Flags(flag.CommandLine, true, "trace")
 	flag.Parse()
 
 	if *serve {
@@ -74,10 +80,27 @@ func main() {
 		return
 	}
 
+	sess, err := obsCLI.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+	var runLog *slog.Logger
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runLog = obs.NewRunLog(f)
+		runLog.Info("run start", "args", strings.Join(os.Args[1:], " "))
+	}
+
 	opts := shard.CoordinatorOptions{
 		ChunkTimeout:     *timeout,
 		HeartbeatTimeout: *hbTimeout,
 		CheckpointPath:   *checkpoint,
+		Metrics:          sess.Reg,
 	}
 	if *verbose {
 		logger := log.New(os.Stderr, "qswitchctl: ", log.Ltime|log.Lmicroseconds)
@@ -112,12 +135,18 @@ func main() {
 	}
 	defer coord.Close()
 
+	if *status {
+		stop := make(chan struct{})
+		defer close(stop)
+		go statusLoop(coord, stop)
+	}
+
 	start := time.Now()
 	switch {
 	case *hunt != "":
 		runHunt(coord, *hunt, *huntJudge, *crossbar, *restarts, *iterations, *maxValue, *seed, *chunk, *confidence)
 	case *run != "":
-		runExperiments(coord, *run, *quick, *seed, *chunk, *ciTarget, *confidence)
+		runExperiments(coord, sess.Reg, *run, *quick, *seed, *chunk, *ciTarget, *confidence)
 	default:
 		fmt.Fprintln(os.Stderr, "qswitchctl: nothing to do; use -run or -hunt")
 		flag.Usage()
@@ -127,18 +156,44 @@ func main() {
 	fmt.Printf("\n%s elapsed — chunks: %d executed, %d from checkpoint, %d local; retries: %d, respawns: %d, excluded workers: %d\n",
 		time.Since(start).Round(time.Millisecond),
 		st.ChunksExecuted, st.CheckpointHits, st.LocalChunks, st.Retries, st.Respawns, st.Excluded)
+	if runLog != nil {
+		obs.LogSnapshot(runLog, "run complete", sess.Reg)
+	}
+}
+
+// statusLoop renders the coordinator's per-worker health table to stderr
+// until stop closes — the qswitchctl -status live view.
+func statusLoop(coord *shard.Coordinator, stop <-chan struct{}) {
+	t := time.NewTicker(2 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			for _, h := range coord.Health() {
+				beat := "-"
+				if !h.LastBeat.IsZero() {
+					beat = time.Since(h.LastBeat).Round(100*time.Millisecond).String() + " ago"
+				}
+				fmt.Fprintf(os.Stderr, "qswitchctl: worker %d [%s] chunks=%d retries=%d respawns=%d %.1f units/s last=%.0fms beat=%s\n",
+					h.Worker, h.State, h.ChunksDone, h.Retries, h.Respawns,
+					h.Stats.UnitsPerSec, h.Stats.LastChunkMs, beat)
+			}
+		}
+	}
 }
 
 // runExperiments executes the requested ratio experiments with their
 // Monte-Carlo estimations sharded through the coordinator; a positive
 // ciTarget makes each estimation sequential, issuing seed chunks to the
 // workers only until its CI half-width clears the target.
-func runExperiments(coord *shard.Coordinator, ids string, quick bool, seed int64, chunk int,
+func runExperiments(coord *shard.Coordinator, reg *obs.Registry, ids string, quick bool, seed int64, chunk int,
 	ciTarget, confidence float64) {
 	opts := experiments.Options{
 		Quick: quick, Seed: seed, Shard: coord, ShardChunk: chunk,
 		CITarget: stats.Target{AbsWidth: ciTarget, Confidence: confidence},
-		SeqChunk: chunk,
+		SeqChunk: chunk, Probes: reg,
 	}
 	for _, id := range strings.Split(ids, ",") {
 		exp, ok := experiments.ByID(strings.TrimSpace(id))

@@ -16,6 +16,10 @@
 // after the checksum is computed. Chaos exercises the coordinator's
 // supervision machinery; because chunks are deterministic and retried,
 // it never changes merged results.
+//
+// The observability flags (-metrics-addr, -cpuprofile, -memprofile,
+// -trace) expose the worker's engine probes, chunk counters and pprof
+// endpoints while it serves; see internal/obs.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"net"
 	"os"
 
+	"qswitch/internal/obs/wire"
 	"qswitch/internal/shard"
 	"qswitch/internal/shard/faultinject"
 )
@@ -36,6 +41,7 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 0, "heartbeat period while executing a chunk (default 250ms)")
 		verbose   = flag.Bool("v", false, "log served chunks and chaos events to stderr")
 	)
+	obsCLI := wire.Flags(flag.CommandLine, false, "trace")
 	flag.Parse()
 
 	inj, err := faultinject.ParseSpec(*chaos)
@@ -43,30 +49,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
 		os.Exit(2)
 	}
+	sess, err := obsCLI.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
+		os.Exit(1)
+	}
 	opts := shard.ServeOptions{
 		Chaos:          inj,
 		HeartbeatEvery: *heartbeat,
+		Metrics:        sess.Reg,
 	}
 	if *verbose {
 		logger := log.New(os.Stderr, fmt.Sprintf("qswitchd[%d]: ", os.Getpid()), log.Ltime|log.Lmicroseconds)
 		opts.Logf = logger.Printf
 	}
 
-	if *listen == "" {
-		if err := shard.ServeStdio(opts); err != nil {
-			fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
-			os.Exit(1)
+	serveErr := func() error {
+		if *listen == "" {
+			return shard.ServeStdio(opts)
 		}
-		return
-	}
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "qswitchd: serving on %s\n", ln.Addr())
+		return shard.ServeTCP(ln, opts)
+	}()
+	if err := sess.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
-		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "qswitchd: serving on %s\n", ln.Addr())
-	if err := shard.ServeTCP(ln, opts); err != nil {
-		fmt.Fprintf(os.Stderr, "qswitchd: %v\n", err)
+	if serveErr != nil {
+		fmt.Fprintf(os.Stderr, "qswitchd: %v\n", serveErr)
 		os.Exit(1)
 	}
 }

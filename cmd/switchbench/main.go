@@ -13,13 +13,17 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"qswitch/internal/experiments"
+	"qswitch/internal/obs"
+	"qswitch/internal/obs/wire"
 	"qswitch/internal/stats"
 )
 
@@ -40,7 +44,9 @@ func main() {
 		csv    = flag.String("csv", "", "directory to write per-table CSV files into")
 		figs   = flag.Bool("figures", true, "render ASCII charts for figure-type experiments")
 		par    = flag.Int("parallel", 1, "run up to this many experiments concurrently (output stays ordered)")
+		events = flag.String("events", "", "append structured JSONL run events to this file")
 	)
+	obsCLI := wire.Flags(flag.CommandLine, true, "trace")
 	flag.Parse()
 
 	if *list {
@@ -70,10 +76,26 @@ func main() {
 		}
 	}
 
+	sess, err := obsCLI.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer sess.Close()
+	var runLog *obsLog
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		runLog = &obsLog{l: obs.NewRunLog(f)}
+		runLog.l.Info("run start", "args", strings.Join(os.Args[1:], " "))
+	}
+
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Dense: *dense, Fleet: *fleet, Stream: *stream,
 		CITarget: stats.Target{AbsWidth: *ciTgt, Confidence: *conf},
-		SeqChunk: *chunk, Paired: *paired,
+		SeqChunk: *chunk, Paired: *paired, Probes: sess.Reg,
 	}
 	// Each experiment renders into its own buffer so concurrent runs
 	// still print in the requested order.
@@ -100,6 +122,13 @@ func main() {
 			r := reports[k]
 			fmt.Fprintf(&r.out, "### %s — %s\n", exp.ID, exp.Title)
 			fmt.Fprintf(&r.out, "    %s\n\n", exp.Claim)
+			// With concurrent experiments the process-wide probe counters
+			// interleave, so the per-experiment attribution is only
+			// reported serially.
+			var probesBefore map[string]float64
+			if *par <= 1 {
+				probesBefore = opts.ProbeSnapshot()
+			}
 			start := time.Now()
 			tables, err := exp.Run(opts)
 			if err != nil {
@@ -128,6 +157,13 @@ func main() {
 				}
 			}
 			fmt.Fprintf(&r.out, "    (%s in %.2fs)\n\n", exp.ID, time.Since(start).Seconds())
+			if probesBefore != nil {
+				delta := obs.DiffSnapshot(probesBefore, opts.ProbeSnapshot())
+				if line := probeLine(delta); line != "" {
+					fmt.Fprintf(&r.out, "    probes: %s\n\n", line)
+				}
+				runLog.snapshot(exp.ID, delta)
+			}
 		}()
 	}
 	wg.Wait()
@@ -137,6 +173,64 @@ func main() {
 		}
 		os.Stdout.Write(r.out.Bytes())
 	}
+	if runLog != nil {
+		obs.LogSnapshot(runLog.l, "run complete", sess.Reg)
+	}
+}
+
+// obsLog wraps the optional -events logger so call sites stay nil-safe.
+type obsLog struct {
+	l *slog.Logger
+	m sync.Mutex
+}
+
+func (o *obsLog) snapshot(id string, delta map[string]float64) {
+	if o == nil {
+		return
+	}
+	o.m.Lock()
+	defer o.m.Unlock()
+	attrs := make([]any, 0, 2*len(delta)+2)
+	attrs = append(attrs, "experiment", id)
+	for _, k := range sortedKeys(delta) {
+		attrs = append(attrs, k, delta[k])
+	}
+	o.l.Info("experiment probes", attrs...)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// probeLine compresses a probe-counter delta into the one-line summary
+// printed under each serially-run experiment: engine work, backend
+// split, judge work. Counters the experiment never moved are omitted.
+func probeLine(delta map[string]float64) string {
+	var parts []string
+	add := func(format string, args ...any) { parts = append(parts, fmt.Sprintf(format, args...)) }
+	if runs := delta[obs.MetricEngineRuns]; runs > 0 {
+		slots := delta[obs.MetricEngineSlots]
+		jumped := delta[obs.MetricEngineJumpedSlots]
+		add("%.0f engine runs, %.0f slots (%.0f%% jumped)", runs, slots, 100*jumped/max(slots, 1))
+	}
+	if k := delta[obs.MetricFleetKernel]; k > 0 {
+		add("%.0f kernel instances", k)
+	}
+	if f := delta[obs.MetricFleetFallback]; f > 0 {
+		add("%.0f fallback instances", f)
+	}
+	if s := delta[obs.MetricJudgeSolves]; s > 0 {
+		add("%.0f judge solves (%.1f epochs/solve)", s, delta[obs.MetricJudgeEpochs]/s)
+	}
+	if x := delta[obs.MetricJudgeExactSolves]; x > 0 {
+		add("%.0f exact solves", x)
+	}
+	return strings.Join(parts, " · ")
 }
 
 func writeCSV(dir, id string, idx int, tb *stats.Table) error {

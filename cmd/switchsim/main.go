@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"qswitch"
+	"qswitch/internal/obs/wire"
 	"qswitch/internal/offline"
 	"qswitch/internal/packet"
 )
@@ -42,7 +43,15 @@ func main() {
 		lat     = flag.Bool("latency", false, "record and print latency statistics")
 		compare = flag.Bool("compare", false, "run ALL policies of the model on the same workload and tabulate")
 	)
+	// -trace already means "replay this trace file" here, so the runtime
+	// execution-trace profile flag is spelled -exectrace.
+	obsCLI := wire.Flags(flag.CommandLine, true, "exectrace")
 	flag.Parse()
+	sess, err := obsCLI.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer sess.Close()
 	if *m == 0 {
 		*m = *n
 	}
@@ -125,7 +134,6 @@ func main() {
 	}
 
 	var res *qswitch.Result
-	var err error
 	switch *model {
 	case "cioq":
 		res, err = qswitch.SimulateCIOQ(cfg, *policy, seq)

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 
+	"qswitch/internal/obs"
 	"qswitch/internal/packet"
 	"qswitch/internal/ratio"
 	"qswitch/internal/stats"
@@ -83,7 +84,20 @@ type Options struct {
 	// wall-clock/sample-efficiency lever. Shard takes precedence (paired
 	// mode is in-process).
 	Paired bool
+	// Probes, when set, is the observability registry the process's
+	// probe bundles flush into (see internal/obs/wire.Up). Experiments
+	// never read it — probes only observe, and tables are byte-identical
+	// with or without it — but runners snapshot it around each
+	// experiment (ProbeSnapshot) to report run telemetry next to the
+	// tables.
+	Probes *obs.Registry
 }
+
+// ProbeSnapshot captures the current probe counters; nil without a
+// Probes registry. Diff two snapshots with obs.DiffSnapshot to attribute
+// work (slots simulated, judge solves, quiescent jumps) to one
+// experiment.
+func (o Options) ProbeSnapshot() map[string]float64 { return o.Probes.Snapshot() }
 
 // fleetBatch is the batch size Options.Fleet hands to ratio.RunFleet.
 const fleetBatch = 64

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"qswitch/internal/core"
+	"qswitch/internal/obs"
 	"qswitch/internal/packet"
 	"qswitch/internal/switchsim"
 )
@@ -99,5 +100,28 @@ func TestFleetQuiescentCycleZeroAllocs(t *testing.T) {
 	}
 	if allocs := measureStepAllocs(t, f.Step); allocs != 0 {
 		t.Errorf("quiescent burst/drain cycle: %v allocs per batched step, want 0", allocs)
+	}
+}
+
+// TestFleetStepZeroAllocsWithProbes re-pins the steady-state zero-alloc
+// guarantee with the observability probes installed: the per-delivery
+// pass-through counting and the runner's flush bookkeeping must not put
+// anything on the heap.
+func TestFleetStepZeroAllocsWithProbes(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetProbes(obs.NewFleetProbes(reg))
+	defer SetProbes(nil)
+
+	cfg := switchsim.Config{Inputs: 16, Outputs: 16, InputBuf: 4, OutputBuf: 4, Speedup: 2, RecordLatency: true}
+	const batch, slots = 8, 8000
+	f, err := NewCIOQFleet(cfg, func() switchsim.CIOQPolicy { return &core.GM{} }, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Reset(allocSeqs(cfg, batch, slots)); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := measureStepAllocs(t, f.Step); allocs != 0 {
+		t.Errorf("probed batched step: %v allocs in steady state, want 0", allocs)
 	}
 }

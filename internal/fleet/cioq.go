@@ -74,6 +74,11 @@ type CIOQFleet struct {
 	outBuf int32
 	allIn  uint64 // mask of all n input ports
 
+	// passCount tallies pass-through deliveries (pend-buffer parks)
+	// across the fleet's lifetime; the runner diffs it around each batch
+	// to flush the fleet probes.
+	passCount int64
+
 	// Columnar switch state: per-instance blocks inside flat arrays.
 	voq      []uint64 // [k*n+i]: outputs j with IQ(k,i,j) non-empty
 	voqByOut []uint64 // [k*m+j]: inputs i with IQ(k,i,j) non-empty
@@ -503,6 +508,7 @@ func (v *cioqView) transfer(i, j int) {
 		// park it in the pass-through buffer instead of the ring.
 		v.pend[j] = p
 		v.direct |= 1 << uint(j)
+		v.f.passCount++
 	} else {
 		v.oq[j*v.ocap+int((ho.head+ho.n)&v.ocapM)] = p
 	}

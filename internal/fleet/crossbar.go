@@ -29,6 +29,11 @@ type CrossbarFleet struct {
 	crossBuf int32
 	outBuf   int32
 
+	// passCount tallies pass-through deliveries (pend-buffer parks)
+	// across the fleet's lifetime; the runner diffs it around each batch
+	// to flush the fleet probes.
+	passCount int64
+
 	// Columnar switch state: per-instance blocks inside flat arrays.
 	voq        []uint64 // [k*n+i]: outputs j with IQ(k,i,j) non-empty
 	xFree      []uint64 // [k*n+i]: outputs j with XQ(k,i,j) not full
@@ -430,6 +435,7 @@ func (v *crossbarView) outputTransfer(i, j int) {
 		// park it in the pass-through buffer instead of the ring.
 		v.pend[j] = p
 		v.direct |= 1 << uint(j)
+		v.f.passCount++
 	} else {
 		v.oq[j*v.ocap+int((ho.head+ho.n)&v.ocapM)] = p
 	}

@@ -81,6 +81,7 @@ func (r *CIOQRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*switc
 			}
 			out[k] = res
 		}
+		fleetProbes.Load().RecordFallback(int64(len(seqs)))
 		return out, nil
 	}
 	if r.f == nil || r.cfg != cfg || r.f.batch < len(seqs) {
@@ -93,9 +94,21 @@ func (r *CIOQRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*switc
 	if err := r.f.Reset(seqs); err != nil {
 		return nil, err
 	}
+	passBefore := r.f.passCount
 	for r.f.Step() {
 	}
-	return r.f.Results()
+	out, err := r.f.Results()
+	if err != nil {
+		return nil, err
+	}
+	if p := fleetProbes.Load(); p != nil {
+		var slots int64
+		for _, res := range out {
+			slots += int64(res.Slots)
+		}
+		p.RecordKernel(int64(len(seqs)), slots, r.f.passCount-passBefore)
+	}
+	return out, nil
 }
 
 // CrossbarRunner is CIOQRunner for buffered-crossbar policy families.
@@ -127,6 +140,7 @@ func (r *CrossbarRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*s
 			}
 			out[k] = res
 		}
+		fleetProbes.Load().RecordFallback(int64(len(seqs)))
 		return out, nil
 	}
 	if r.f == nil || r.cfg != cfg || r.f.batch < len(seqs) {
@@ -139,9 +153,21 @@ func (r *CrossbarRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*s
 	if err := r.f.Reset(seqs); err != nil {
 		return nil, err
 	}
+	passBefore := r.f.passCount
 	for r.f.Step() {
 	}
-	return r.f.Results()
+	out, err := r.f.Results()
+	if err != nil {
+		return nil, err
+	}
+	if p := fleetProbes.Load(); p != nil {
+		var slots int64
+		for _, res := range out {
+			slots += int64(res.Slots)
+		}
+		p.RecordKernel(int64(len(seqs)), slots, r.f.passCount-passBefore)
+	}
+	return out, nil
 }
 
 // checkResidual detects malformed sequences at retirement: once an

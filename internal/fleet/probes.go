@@ -1,0 +1,18 @@
+package fleet
+
+import (
+	"sync/atomic"
+
+	"qswitch/internal/obs"
+)
+
+// fleetProbes is the process-wide observability receiver for the batch
+// runners. Runs flush once per batch (kernel path) or once per fallback
+// sweep, so the per-slot cost of probes is zero; the pass-through tally
+// rides a plain per-fleet integer that the runner diffs around each
+// batch.
+var fleetProbes atomic.Pointer[obs.FleetProbes]
+
+// SetProbes installs (or, with nil, removes) the fleet probe bundle.
+// Probes only observe: results are bit-identical with probes on or off.
+func SetProbes(p *obs.FleetProbes) { fleetProbes.Store(p) }

@@ -1,0 +1,31 @@
+// Package obs is the dependency-free observability core: atomic
+// counters, gauges and fixed-bucket histograms in a named registry, a
+// hand-rolled Prometheus text-format / JSON vars encoder, an HTTP
+// endpoint bundling /metrics, /debug/vars and /debug/pprof, structured
+// JSONL run-event logging over log/slog, a throttled progress tracker
+// (seeds done, slots/sec, CI half-width, ETA) and profiling hooks
+// (CPU/heap profiles, execution traces).
+//
+// # The zero-overhead contract
+//
+// Instrumented hot loops must stay exactly as fast, allocation-free and
+// decision-identical as their uninstrumented form. Three rules enforce
+// that:
+//
+//   - Every metric method is safe on a nil receiver and compiles to a
+//     predictably-taken branch, so "probes disabled" costs one compare
+//     per flush site — never per slot.
+//   - Engines accumulate probe data in function-local integers and flush
+//     once per run (or per batch/chunk), so the per-slot cost of "probes
+//     enabled" is zero: no atomics, no allocations, no extra branches in
+//     the slot body. AllocsPerRun pins in internal/core, internal/fleet
+//     and this package hold the line.
+//   - Probes only ever observe; they are never read back by the code
+//     under measurement. Differential suites (probes on vs off must be
+//     byte-identical across every ratio backend) enforce
+//     decision-neutrality.
+//
+// The typed probe bundles (EngineProbes, FleetProbes, JudgeProbes,
+// SeqProbes) name the metrics each instrumented layer flushes;
+// internal/obs/wire installs them process-wide.
+package obs

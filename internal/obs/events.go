@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sort"
+)
+
+// NewRunLog returns a structured JSONL event logger writing one JSON
+// object per line to w — the -events sink of switchbench and qswitchctl.
+// Events carry a time, level, msg and whatever attributes the call site
+// attaches; downstream tooling gets machine-readable run telemetry
+// without scraping human log text.
+func NewRunLog(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil))
+}
+
+// LogSnapshot emits one event carrying every sample of the registry as
+// sorted attributes. Nil loggers and registries are no-ops.
+func LogSnapshot(l *slog.Logger, msg string, reg *Registry) {
+	if l == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]any, 0, len(keys))
+	for _, k := range keys {
+		attrs = append(attrs, slog.Float64(k, snap[k]))
+	}
+	l.Info(msg, attrs...)
+}

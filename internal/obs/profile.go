@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles names the profiling outputs a run should capture; empty paths
+// disable the corresponding capture, so the zero value is a no-op. It
+// backs the -cpuprofile/-memprofile/-trace CLI flags.
+type Profiles struct {
+	// CPU receives a pprof CPU profile spanning Start..stop.
+	CPU string
+	// Mem receives a pprof heap profile taken at stop, after a GC.
+	Mem string
+	// Trace receives a runtime execution trace spanning Start..stop.
+	Trace string
+}
+
+// Start begins the configured captures and returns the stop function
+// that finishes them (stops the CPU profile and trace, writes the heap
+// profile, closes the files). On error, anything already started is
+// stopped before returning.
+func (p Profiles) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if p.CPU != "" {
+		cpuF, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			cleanup()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		traceF, err = os.Create(p.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() error {
+		var errs []error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			errs = append(errs, cpuF.Close())
+		}
+		if traceF != nil {
+			trace.Stop()
+			errs = append(errs, traceF.Close())
+		}
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("mem profile: %w", err))
+			} else {
+				runtime.GC() // materialize final live-heap state
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					errs = append(errs, fmt.Errorf("mem profile: %w", err))
+				}
+				errs = append(errs, f.Close())
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}

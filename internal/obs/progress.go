@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// IsTerminal reports whether f is attached to a character device (a
+// TTY). The progress tracker is only enabled by default when stderr is
+// one, so redirected output never changes unless -progress forces it.
+func IsTerminal(f *os.File) bool {
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return st.Mode()&os.ModeCharDevice != 0
+}
+
+// Tracker emits a throttled progress line from a registry's probe
+// counters: seeds done, seed and slot rates, the current CI half-width
+// against its target, and an ETA extrapolated from the half-width's
+// 1/sqrt(n) decay. It samples on its own goroutine, so instrumented code
+// pays nothing beyond the probe flushes it already does.
+type Tracker struct {
+	reg   *Registry
+	w     io.Writer
+	every time.Duration
+	cr    bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartTracker starts a tracker writing to w every `every` (<= 0 selects
+// 500ms). With cr set, lines overwrite in place with carriage returns
+// (TTY mode) and Stop leaves a final newline-terminated line; without
+// it, each sample is its own line.
+func StartTracker(w io.Writer, reg *Registry, every time.Duration, cr bool) *Tracker {
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	t := &Tracker{reg: reg, w: w, every: every, cr: cr, done: make(chan struct{})}
+	t.wg.Add(1)
+	go t.loop()
+	return t
+}
+
+func (t *Tracker) loop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.every)
+	defer tick.Stop()
+	prev := t.reg.Snapshot()
+	prevAt := time.Now()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C:
+			cur := t.reg.Snapshot()
+			now := time.Now()
+			t.emit(progressLine(prev, cur, now.Sub(prevAt)), false)
+			prev, prevAt = cur, now
+		}
+	}
+}
+
+// Stop halts sampling and, in carriage-return mode, finishes the line.
+func (t *Tracker) Stop() {
+	if t == nil {
+		return
+	}
+	close(t.done)
+	t.wg.Wait()
+	t.emit(progressLine(nil, t.reg.Snapshot(), 0), true)
+}
+
+func (t *Tracker) emit(line string, last bool) {
+	if t.cr {
+		fmt.Fprintf(t.w, "\r\x1b[2K%s", line)
+		if last {
+			fmt.Fprintln(t.w)
+		}
+		return
+	}
+	if !last {
+		fmt.Fprintln(t.w, line)
+	}
+}
+
+// progressLine renders one sample. prev may be nil (rates are omitted).
+func progressLine(prev, cur map[string]float64, dt time.Duration) string {
+	var b strings.Builder
+	b.WriteString("progress:")
+	seeds := cur[MetricSeqSeeds]
+	budget := cur[MetricSeqBudget]
+	if budget > 0 {
+		fmt.Fprintf(&b, " seeds %.0f/%.0f", seeds, budget)
+	} else {
+		fmt.Fprintf(&b, " seeds %.0f", cur[MetricSeqSeedsTotal])
+	}
+	var seedRate float64
+	if prev != nil && dt > 0 {
+		sec := dt.Seconds()
+		seedRate = (cur[MetricSeqSeedsTotal] - prev[MetricSeqSeedsTotal]) / sec
+		if seedRate > 0 {
+			fmt.Fprintf(&b, " · %s seeds/s", humanRate(seedRate))
+		}
+		slotRate := (cur[MetricEngineSlots] + cur[MetricFleetSlots] -
+			prev[MetricEngineSlots] - prev[MetricFleetSlots]) / sec
+		if slotRate > 0 {
+			fmt.Fprintf(&b, " · %s slots/s", humanRate(slotRate))
+		}
+	}
+	hw := cur[MetricSeqHalfWidth]
+	target := cur[MetricSeqTarget]
+	if hw > 0 {
+		fmt.Fprintf(&b, " · ci ±%.4g", hw)
+		if target > 0 {
+			fmt.Fprintf(&b, " (target %.4g)", target)
+		}
+	}
+	if eta, ok := progressETA(seeds, budget, hw, target, seedRate); ok {
+		fmt.Fprintf(&b, " · eta %s", eta.Round(time.Second))
+	}
+	return b.String()
+}
+
+// progressETA extrapolates the current estimation's remaining wall time.
+// The Student-t half-width shrinks like 1/sqrt(n), so clearing a target
+// from half-width hw at n seeds needs about n*(hw/target)^2 seeds,
+// capped by the seed budget.
+func progressETA(seeds, budget, hw, target, seedRate float64) (time.Duration, bool) {
+	if seedRate <= 0 || seeds <= 1 {
+		return 0, false
+	}
+	needed := budget
+	if target > 0 && hw > target {
+		est := seeds * (hw / target) * (hw / target)
+		if budget <= 0 || est < budget {
+			needed = est
+		}
+	} else if target > 0 && hw > 0 {
+		return 0, true // target already met; stop is imminent
+	}
+	if needed <= seeds {
+		return 0, false
+	}
+	sec := (needed - seeds) / seedRate
+	if math.IsNaN(sec) || math.IsInf(sec, 0) || sec > 365*24*3600 {
+		return 0, false
+	}
+	return time.Duration(sec * float64(time.Second)), true
+}
+
+// humanRate renders a per-second rate compactly (812, 4.2k, 1.3M, 2.1G).
+func humanRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsePrometheus strictly parses Prometheus text exposition format
+// (version 0.0.4) and returns every sample keyed by its full name
+// (including the label block, _bucket/_sum/_count suffixes and all). It
+// is the validator behind the CI /metrics scrape check: malformed names,
+// label syntax, values, duplicate samples, unknown TYPE keywords and
+// samples typed inconsistently with their family's TYPE line are all
+// errors.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	samples := map[string]float64{}
+	types := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, types); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, dup := samples[name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", lineNo, name)
+		}
+		if err := checkSampleFamily(name, types); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples[name] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// parseComment handles # TYPE / # HELP lines (free comments pass).
+func parseComment(line string, types map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if err := validateBaseName(name); err != nil {
+			return fmt.Errorf("TYPE line: %w", err)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE line for %q", name)
+		}
+		types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		if err := validateBaseName(fields[2]); err != nil {
+			return fmt.Errorf("HELP line: %w", err)
+		}
+	}
+	return nil
+}
+
+// parseSample splits one sample line into its full name and value; an
+// optional trailing timestamp is accepted and dropped.
+func parseSample(line string) (string, float64, error) {
+	name := line
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		name, rest = line[:j+1], line[j+1:]
+	} else if i := strings.IndexAny(line, " \t"); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	if err := validateSampleName(name); err != nil {
+		return "", 0, err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 {
+		return "", 0, fmt.Errorf("want `name value [timestamp]`, got %q", line)
+	}
+	value, err := parsePromValue(fields[0])
+	if err != nil {
+		return "", 0, err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, value, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// checkSampleFamily verifies a sample against its family's TYPE line
+// when one was declared; undeclared families are allowed (TYPE lines are
+// optional in the format), mismatched histogram/summary series are not.
+func checkSampleFamily(name string, types map[string]string) error {
+	base := baseName(name)
+	if typ, ok := types[base]; ok {
+		if typ == "histogram" || typ == "summary" {
+			return fmt.Errorf("sample %q collides with declared %s family %q", name, typ, base)
+		}
+		return nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		trimmed, ok := strings.CutSuffix(base, suffix)
+		if !ok {
+			continue
+		}
+		if typ, ok := types[trimmed]; ok {
+			if typ != "histogram" && typ != "summary" {
+				return fmt.Errorf("sample %q uses series suffix %q but family %q is a %s", name, suffix, trimmed, typ)
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// validateBaseName checks a bare metric name against the Prometheus data
+// model ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func validateBaseName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return fmt.Errorf("metric name %q starts with a digit", name)
+			}
+		default:
+			return fmt.Errorf("metric name %q has invalid character %q", name, c)
+		}
+	}
+	return nil
+}
+
+// validateSampleName checks a full sample name: a base name optionally
+// followed by one well-formed {key="value",...} label block.
+func validateSampleName(name string) error {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return validateBaseName(name)
+	}
+	if err := validateBaseName(name[:i]); err != nil {
+		return err
+	}
+	rest := name[i+1:]
+	if !strings.HasSuffix(rest, "}") {
+		return fmt.Errorf("unterminated label block in %q", name)
+	}
+	rest = strings.TrimSuffix(rest, "}")
+	if strings.ContainsAny(rest, "{}") {
+		return fmt.Errorf("nested label block in %q", name)
+	}
+	if rest == "" {
+		return nil
+	}
+	for len(rest) > 0 {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without value in %q", name)
+		}
+		if err := validateBaseName(rest[:eq]); err != nil {
+			return fmt.Errorf("bad label name in %q: %w", name, err)
+		}
+		rest = rest[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", name)
+		}
+		rest = rest[1:]
+		end := -1
+		for j := 0; j < len(rest); j++ {
+			switch rest[j] {
+			case '\\':
+				j++ // escaped character
+			case '"':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", name)
+		}
+		rest = rest[end+1:]
+		if rest == "" {
+			return nil
+		}
+		if rest[0] != ',' {
+			return fmt.Errorf("malformed label separator in %q", name)
+		}
+		rest = rest[1:]
+	}
+	return fmt.Errorf("trailing label separator in %q", name)
+}

@@ -64,6 +64,7 @@ type qoptCand struct {
 // after the horizon, and packets of non-positive value, never contribute.
 func (s *QueueOPTSolver) Solve(pkts []packet.Packet, slots int, bufCap, sendCap int64) int64 {
 	if len(pkts) == 0 || slots <= 0 || bufCap <= 0 || sendCap <= 0 {
+		judgeProbes.Load().RecordSolve(int64(len(pkts)), 0)
 		return 0
 	}
 	// One admissibility pass: collect candidates with raw arrivals, build
@@ -78,11 +79,13 @@ func (s *QueueOPTSolver) Solve(pkts []packet.Packet, slots int, bufCap, sendCap 
 		s.cands = append(s.cands, qoptCand{v: p.Value, e: p.Arrival})
 	}
 	if len(s.epochs) == 0 {
+		judgeProbes.Load().RecordSolve(int64(len(pkts)), 0)
 		return 0
 	}
 	slices.Sort(s.epochs)
 	s.epochs = slices.Compact(s.epochs)
 	m := len(s.epochs)
+	judgeProbes.Load().RecordSolve(int64(len(pkts)), int64(m))
 	for k := range s.cands {
 		e, _ := slices.BinarySearch(s.epochs, s.cands[k].e)
 		s.cands[k].e = e

@@ -68,6 +68,7 @@ func ExactUnitCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
 		unitStateEstimate(cfg, false) > maxExactStates {
 		return 0, ErrTooLarge
 	}
+	judgeProbes.Load().RecordExactSolve()
 	s := &unitCIOQSolver{
 		cfg:      cfg,
 		slots:    slots,
@@ -211,6 +212,7 @@ func ExactUnitCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error)
 		unitStateEstimate(cfg, true) > maxExactStates {
 		return 0, ErrTooLarge
 	}
+	judgeProbes.Load().RecordExactSolve()
 	s := &unitXbarSolver{
 		cfg:      cfg,
 		slots:    slots,

@@ -47,6 +47,7 @@ func ExactWeightedCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error)
 		cfg.Speedup > maxWSpeedup || slots > maxWSlots || len(seq) > maxWPackets {
 		return 0, ErrTooLarge
 	}
+	judgeProbes.Load().RecordExactSolve()
 	s := &weightedSolver{
 		cfg:      cfg,
 		crossbar: false,
@@ -76,6 +77,7 @@ func ExactWeightedCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, er
 		cfg.Speedup > maxWSpeedup || slots > maxWSlots || len(seq) > maxWPackets {
 		return 0, ErrTooLarge
 	}
+	judgeProbes.Load().RecordExactSolve()
 	s := &weightedSolver{
 		cfg:      cfg,
 		crossbar: true,

@@ -1,0 +1,16 @@
+package offline
+
+import (
+	"sync/atomic"
+
+	"qswitch/internal/obs"
+)
+
+// judgeProbes is the process-wide observability receiver for the offline
+// judges. Solvers flush once per solve, so the per-packet cost of probes
+// is zero and a nil bundle degrades to one predictable branch per solve.
+var judgeProbes atomic.Pointer[obs.JudgeProbes]
+
+// SetProbes installs (or, with nil, removes) the judge probe bundle.
+// Probes only observe: bounds are bit-identical with probes on or off.
+func SetProbes(p *obs.JudgeProbes) { judgeProbes.Store(p) }

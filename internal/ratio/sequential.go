@@ -3,6 +3,7 @@ package ratio
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"qswitch/internal/packet"
 	"qswitch/internal/stats"
@@ -145,6 +146,8 @@ func RunSequential(ctx context.Context, eval ChunkEvaluator, opts SequentialOpti
 	if chunk <= 0 {
 		chunk = 16
 	}
+	probes := seqProbes.Load()
+	probes.StartRun(int64(opts.MaxRuns), opts.Target.AbsWidth)
 	var acc stats.Estimator
 	outs := make([]SeedOutcome, 0, min(opts.MaxRuns, 4*chunk))
 	for k0 := 0; k0 < opts.MaxRuns; k0 += chunk {
@@ -152,6 +155,10 @@ func RunSequential(ctx context.Context, eval ChunkEvaluator, opts SequentialOpti
 			return Estimate{}, rep, err
 		}
 		k1 := min(opts.MaxRuns, k0+chunk)
+		var t0 time.Time
+		if probes != nil {
+			t0 = time.Now()
+		}
 		res, err := eval(ctx, k0, k1)
 		if err != nil {
 			return Estimate{}, rep, err
@@ -167,6 +174,12 @@ func RunSequential(ctx context.Context, eval ChunkEvaluator, opts SequentialOpti
 			if !o.Skipped {
 				acc.Add(o.Ratio)
 			}
+		}
+		if probes != nil {
+			// HalfWidth is pure (it never feeds back into the run), so
+			// computing it here only when probes are installed keeps the
+			// probe-off path identical.
+			probes.RecordChunk(time.Since(t0), int64(len(res)), int64(rep.Seeds), acc.HalfWidth(rep.Confidence))
 		}
 		if failed {
 			break // the merge attributes the error to its exact seed

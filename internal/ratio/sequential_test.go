@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"qswitch/internal/core"
+	"qswitch/internal/obs"
 	"qswitch/internal/packet"
 	"qswitch/internal/stats"
 	"qswitch/internal/switchsim"
@@ -198,4 +199,56 @@ func FuzzSequentialMergeIdentity(f *testing.F) {
 			t.Fatalf("report = %+v, want %d seeds, target unmet", rep, nRuns)
 		}
 	})
+}
+
+// TestSequentialProbed pins the probe contract on the sequential engine:
+// with SeqProbes installed the estimate and stopping report stay
+// byte-identical (the per-chunk half-width telemetry is observational
+// only), while the registry records the run's chunks, seeds and final
+// half-width. It is also the probed estimation CI's race job runs.
+func TestSequentialProbed(t *testing.T) {
+	cfg := microCfg()
+	cfg.Slots = 4
+	gen := packet.Bernoulli{Load: 1.0}
+	const baseSeed, budget, chunk = 30, 24, 5
+	tgt := stats.Target{AbsWidth: 0.04, Confidence: 0.95}
+	ctx := context.Background()
+	mk := seqBackends(cfg, gen, baseSeed)["scalar"]
+
+	wantEst, wantRep, err := RunSequential(ctx, mk(), SequentialOptions{Target: tgt, Chunk: chunk, MaxRuns: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	SetProbes(obs.NewSeqProbes(reg))
+	defer SetProbes(nil)
+	gotEst, gotRep, err := RunSequential(ctx, mk(), SequentialOptions{Target: tgt, Chunk: chunk, MaxRuns: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotEst, wantEst) || !reflect.DeepEqual(gotRep, wantRep) {
+		t.Errorf("probes changed the sequential result:\n got %+v / %+v\nwant %+v / %+v", gotEst, gotRep, wantEst, wantRep)
+	}
+
+	snap := reg.Snapshot()
+	if snap[obs.MetricSeqRuns] != 1 {
+		t.Errorf("seq runs = %v, want 1", snap[obs.MetricSeqRuns])
+	}
+	wantChunks := float64((wantRep.Seeds + chunk - 1) / chunk)
+	if snap[obs.MetricSeqChunks] != wantChunks {
+		t.Errorf("seq chunks = %v, want %v", snap[obs.MetricSeqChunks], wantChunks)
+	}
+	if snap[obs.MetricSeqSeedsTotal] != float64(wantRep.Seeds) {
+		t.Errorf("seq seeds = %v, want %d", snap[obs.MetricSeqSeedsTotal], wantRep.Seeds)
+	}
+	if snap[obs.MetricSeqBudget] != budget {
+		t.Errorf("seq budget = %v, want %d", snap[obs.MetricSeqBudget], budget)
+	}
+	if hw := snap[obs.MetricSeqHalfWidth]; wantRep.TargetMet && hw > tgt.AbsWidth {
+		t.Errorf("final half-width gauge = %v after a met %v target", hw, tgt.AbsWidth)
+	}
+	if snap[obs.MetricSeqChunkSeconds+"_count"] != wantChunks {
+		t.Errorf("chunk latency histogram count = %v, want %v", snap[obs.MetricSeqChunkSeconds+"_count"], wantChunks)
+	}
 }

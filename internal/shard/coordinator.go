@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"qswitch/internal/adversary"
+	"qswitch/internal/obs"
 	"qswitch/internal/ratio"
 	"qswitch/internal/switchsim"
 )
@@ -63,6 +64,10 @@ type CoordinatorOptions struct {
 	CheckpointPath string
 	// Logf receives supervision diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the per-slot supervision counters
+	// (qswitch_shard_worker_*{worker="i"}) a qswitchctl -metrics-addr
+	// endpoint serves alongside the in-process probe families.
+	Metrics *obs.Registry
 }
 
 func (o CoordinatorOptions) chunkTimeout() time.Duration {
@@ -144,6 +149,8 @@ type Coordinator struct {
 	cacheMu sync.Mutex
 	cache   map[string][]byte
 
+	health []*workerHealthState
+
 	active    atomic.Int64 // worker slots not yet excluded
 	localOnce sync.Once
 	closeOnce sync.Once
@@ -196,8 +203,18 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if len(opts.Workers) == 0 {
 		c.startLocal()
 	}
+	c.health = make([]*workerHealthState, len(opts.Workers))
 	for i, ws := range opts.Workers {
-		h := &workerHandle{c: c, spec: ws, idx: i}
+		c.health[i] = &workerHealthState{h: WorkerHealth{Worker: i, State: "connecting"}}
+		h := &workerHandle{c: c, spec: ws, idx: i, hs: c.health[i]}
+		if reg := opts.Metrics; reg != nil {
+			label := fmt.Sprintf(`{worker="%d"}`, i)
+			h.mChunks = reg.Counter(MetricShardWorkerChunks + label)
+			h.mRetries = reg.Counter(MetricShardWorkerRetries + label)
+			h.mRespawns = reg.Counter(MetricShardWorkerRespawns + label)
+			h.mUnitsPerSec = reg.FloatGauge(MetricShardWorkerUnitsPerSec + label)
+			h.mLastChunkMs = reg.FloatGauge(MetricShardWorkerLastChunkMs + label)
+		}
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
@@ -205,6 +222,18 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		}()
 	}
 	return c, nil
+}
+
+// Health snapshots the per-worker supervision table: one row per
+// configured worker slot, indexed by slot. The rows combine what the
+// coordinator observes (state, chunks done, retries, respawns) with what
+// each worker self-reports in its heartbeats (WorkerStats).
+func (c *Coordinator) Health() []WorkerHealth {
+	out := make([]WorkerHealth, len(c.health))
+	for i, hs := range c.health {
+		out[i] = hs.snapshot()
+	}
+	return out
 }
 
 // Close stops supervision, tears down spawned workers and closes the
@@ -437,7 +466,7 @@ func (c *Coordinator) startLocal() {
 					return
 				case jb := <-c.jobs:
 					c.stats.local.Add(1)
-					ft, payload := executeChunk(exec, jb.ft, jb.payload)
+					ft, payload, _ := executeChunk(exec, jb.ft, jb.payload)
 					if ft == ftChunkError {
 						var msg chunkErrorMsg
 						if err := json.Unmarshal(payload, &msg); err != nil {
@@ -478,11 +507,53 @@ type workerHandle struct {
 	spec     WorkerSpec
 	idx      int
 	respawns int
+	hs       *workerHealthState
+
+	// Per-slot labeled metrics; nil (and no-op) without
+	// CoordinatorOptions.Metrics.
+	mChunks      *obs.Counter
+	mRetries     *obs.Counter
+	mRespawns    *obs.Counter
+	mUnitsPerSec *obs.FloatGauge
+	mLastChunkMs *obs.FloatGauge
 
 	cmd    *exec.Cmd
 	conn   io.Closer
 	wr     *bufio.Writer
 	frames chan recvFrame
+}
+
+// noteRespawn records one reconnect/restart attempt everywhere it is
+// visible: the coordinator stats, the health table, the metrics.
+func (h *workerHandle) noteRespawn() {
+	h.respawns++
+	h.c.stats.respawns.Add(1)
+	h.mRespawns.Inc()
+	if h.hs != nil {
+		h.hs.mu.Lock()
+		h.hs.h.Respawns++
+		h.hs.mu.Unlock()
+	}
+}
+
+// noteBeat records a heartbeat, decoding the WorkerStats payload v2
+// workers attach. Undecodable stats are ignored — telemetry is advisory
+// and must never poison a healthy stream.
+func (h *workerHandle) noteBeat(payload []byte) {
+	if h.hs == nil {
+		return
+	}
+	h.hs.mu.Lock()
+	h.hs.h.LastBeat = time.Now()
+	if len(payload) > 0 {
+		var stats WorkerStats
+		if err := json.Unmarshal(payload, &stats); err == nil {
+			h.hs.h.Stats = stats
+			h.mUnitsPerSec.Set(stats.UnitsPerSec)
+			h.mLastChunkMs.Set(stats.LastChunkMs)
+		}
+	}
+	h.hs.mu.Unlock()
 }
 
 // loop serves jobs on the worker until the coordinator closes or the slot
@@ -493,6 +564,7 @@ func (h *workerHandle) loop() {
 		if h.frames == nil {
 			if h.respawns > h.c.opts.maxRespawns() {
 				h.c.logf("shard: worker %d: excluded after %d respawns", h.idx, h.respawns-1)
+				h.hs.setState("excluded")
 				h.c.retire()
 				return
 			}
@@ -508,11 +580,11 @@ func (h *workerHandle) loop() {
 				}
 			}
 			if err := h.connect(); err != nil {
-				h.respawns++
-				h.c.stats.respawns.Add(1)
+				h.noteRespawn()
 				h.c.logf("shard: worker %d: connect: %v", h.idx, err)
 				continue
 			}
+			h.hs.setState("serving")
 		}
 		select {
 		case <-h.c.done:
@@ -524,10 +596,24 @@ func (h *workerHandle) loop() {
 				// chunk is retried (it is deterministic, so a retry is safe).
 				h.c.logf("shard: worker %d: chunk attempt failed: %v", h.idx, err)
 				h.teardown()
-				h.respawns++
-				h.c.stats.respawns.Add(1)
+				h.hs.setState("connecting")
+				h.noteRespawn()
+				h.mRetries.Inc()
+				if h.hs != nil {
+					h.hs.mu.Lock()
+					h.hs.h.Retries++
+					h.hs.mu.Unlock()
+				}
 				h.c.requeue(jb, err)
 				continue
+			}
+			if err == nil {
+				h.mChunks.Inc()
+				if h.hs != nil {
+					h.hs.mu.Lock()
+					h.hs.h.ChunksDone++
+					h.hs.mu.Unlock()
+				}
 			}
 			jb.resp <- jobResult{payload: payload, err: err}
 		}
@@ -649,6 +735,7 @@ func (h *workerHandle) do(jb *job) (payload []byte, err error, terminal bool) {
 					<-hbTimer.C
 				}
 				hbTimer.Reset(h.c.opts.heartbeatTimeout())
+				h.noteBeat(fr.payload)
 			case ftResult:
 				return fr.payload, nil, true
 			case ftChunkError:

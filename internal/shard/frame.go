@@ -21,9 +21,20 @@ import (
 // checkpoint log, so corruption anywhere — a chaos-flipped response bit, a
 // torn checkpoint tail — is caught by the same CRC check.
 
-// ProtocolVersion is the shard wire-format version; workers reject frames
-// from a different major version during the hello handshake.
-const ProtocolVersion = 1
+// ProtocolVersion is the shard wire-format version this build speaks.
+// Version history:
+//
+//	1: initial format; heartbeat frames carry no payload.
+//	2: heartbeat frames may carry a WorkerStats JSON payload (empty
+//	   payloads remain valid, so v1 peers stay readable).
+//
+// Peers negotiate down during the hello handshake: a session with a v1
+// peer is framed at version 1 with empty heartbeats.
+const ProtocolVersion = 2
+
+// MinProtocolVersion is the oldest peer version still accepted; frames
+// and hellos outside [MinProtocolVersion, ProtocolVersion] are rejected.
+const MinProtocolVersion = 1
 
 // maxFramePayload bounds a frame's payload so a corrupted length field
 // cannot trigger an absurd allocation.
@@ -55,11 +66,18 @@ const (
 	ftCheckpoint
 )
 
-// appendFrame appends one encoded frame to dst and returns it.
+// appendFrame appends one encoded frame at the current protocol version
+// to dst and returns it.
 func appendFrame(dst []byte, ft frameType, payload []byte) []byte {
+	return appendFrameV(dst, ProtocolVersion, ft, payload)
+}
+
+// appendFrameV appends one encoded frame at an explicit version — the
+// negotiated session version when talking to an older peer.
+func appendFrameV(dst []byte, version byte, ft frameType, payload []byte) []byte {
 	start := len(dst)
 	dst = append(dst, frameMagic[:]...)
-	dst = append(dst, ProtocolVersion, byte(ft), 0, 0)
+	dst = append(dst, version, byte(ft), 0, 0)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
 	dst = append(dst, payload...)
 	crc := crc64.Checksum(dst[start:], crcTable)
@@ -92,8 +110,8 @@ func readFrame(r io.Reader) (frameType, []byte, int, error) {
 	if [4]byte(hdr[:4]) != frameMagic {
 		return 0, nil, 0, fmt.Errorf("shard: bad frame magic %x", hdr[:4])
 	}
-	if hdr[4] != ProtocolVersion {
-		return 0, nil, 0, fmt.Errorf("shard: protocol version %d, want %d", hdr[4], ProtocolVersion)
+	if hdr[4] < MinProtocolVersion || hdr[4] > ProtocolVersion {
+		return 0, nil, 0, fmt.Errorf("shard: protocol version %d, want %d..%d", hdr[4], MinProtocolVersion, ProtocolVersion)
 	}
 	n := binary.BigEndian.Uint32(hdr[8:12])
 	if n > maxFramePayload {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"qswitch/internal/obs"
 	"qswitch/internal/shard/faultinject"
 )
 
@@ -30,6 +31,10 @@ type ServeOptions struct {
 	Exit func(code int)
 	// Logf receives serve-loop diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the worker-side counters
+	// (qswitch_worker_chunks_total, _units_total, _chunk_seconds) — the
+	// registry a qswitchd -metrics-addr endpoint serves.
+	Metrics *obs.Registry
 }
 
 func (o ServeOptions) heartbeatEvery() time.Duration {
@@ -98,6 +103,11 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
 	var wmu sync.Mutex
+	// ver is the negotiated session version: ProtocolVersion until the
+	// hello handshake proves the peer older. It is written only from the
+	// serve loop before any chunk runs, so the heartbeat goroutine reads
+	// it race-free.
+	ver := byte(ProtocolVersion)
 	writeRaw := func(frame []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
@@ -107,9 +117,15 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 		return bw.Flush()
 	}
 	write := func(ft frameType, payload []byte) error {
-		return writeRaw(appendFrame(nil, ft, payload))
+		return writeRaw(appendFrameV(nil, ver, ft, payload))
 	}
 
+	tel := &workerTelemetry{
+		tr:           &statsTracker{},
+		chunks:       opts.Metrics.Counter(MetricWorkerChunks),
+		units:        opts.Metrics.Counter(MetricWorkerUnits),
+		chunkSeconds: opts.Metrics.Histogram(MetricWorkerChunkSeconds, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60),
+	}
 	exec := NewExecutor()
 	for {
 		ft, payload, _, err := readFrame(br)
@@ -125,16 +141,19 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 			if err := json.Unmarshal(payload, &hello); err != nil {
 				return fmt.Errorf("shard: bad hello: %w", err)
 			}
-			if hello.Version != ProtocolVersion {
-				return fmt.Errorf("shard: peer protocol version %d, want %d", hello.Version, ProtocolVersion)
+			if hello.Version < MinProtocolVersion || hello.Version > ProtocolVersion {
+				return fmt.Errorf("shard: peer protocol version %d, want %d..%d", hello.Version, MinProtocolVersion, ProtocolVersion)
 			}
-			if err := write(ftHelloAck, marshalMsg(helloMsg{Version: ProtocolVersion, PID: os.Getpid()})); err != nil {
+			// Frame the whole session (this ack included) at the peer's
+			// version; v1 peers reject anything newer.
+			ver = byte(hello.Version)
+			if err := write(ftHelloAck, marshalMsg(helloMsg{Version: hello.Version, PID: os.Getpid()})); err != nil {
 				return err
 			}
 		case ftShutdown:
 			return nil
 		case ftRatioChunk, ftHuntChunk:
-			if err := serveChunk(exec, ft, payload, opts, write, writeRaw); err != nil {
+			if err := serveChunk(exec, ft, payload, opts, tel, ver, write, writeRaw); err != nil {
 				return err
 			}
 		case ftHeartbeat:
@@ -145,10 +164,24 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 	}
 }
 
+// workerTelemetry bundles one serve session's stats tracker with the
+// optional registry-backed counters (nil-safe when ServeOptions.Metrics
+// is unset).
+type workerTelemetry struct {
+	tr           *statsTracker
+	chunks       *obs.Counter
+	units        *obs.Counter
+	chunkSeconds *obs.Histogram
+}
+
 // serveChunk executes one chunk request, applying the chaos plan drawn
-// for it and heartbeating while the evaluation runs.
+// for it and heartbeating while the evaluation runs. On v2 sessions the
+// heartbeats carry the session's WorkerStats so the coordinator can tell
+// a slow worker from a dead one *and* see how fast it is going.
 func serveChunk(exec *Executor, ft frameType, payload []byte, opts ServeOptions,
+	tel *workerTelemetry, ver byte,
 	write func(frameType, []byte) error, writeRaw func([]byte) error) error {
+	v2 := ver >= 2
 	plan := opts.Chaos.Next()
 	switch plan.Action {
 	case faultinject.Kill:
@@ -181,18 +214,28 @@ func serveChunk(exec *Executor, ft frameType, payload []byte, opts ServeOptions,
 			case <-stop:
 				return
 			case <-t.C:
-				if err := write(ftHeartbeat, nil); err != nil {
+				var stats []byte
+				if v2 {
+					stats = marshalMsg(tel.tr.snapshot())
+				}
+				if err := write(ftHeartbeat, stats); err != nil {
 					return
 				}
 			}
 		}
 	}()
 
-	resFT, resPayload := executeChunk(exec, ft, payload)
+	t0 := time.Now()
+	resFT, resPayload, units := executeChunk(exec, ft, payload)
+	elapsed := time.Since(t0)
 	close(stop)
 	hbWG.Wait()
+	tel.tr.record(units, elapsed)
+	tel.chunks.Inc()
+	tel.units.Add(units)
+	tel.chunkSeconds.Observe(elapsed.Seconds())
 
-	frame := appendFrame(nil, resFT, resPayload)
+	frame := appendFrameV(nil, ver, resFT, resPayload)
 	if plan.Action == faultinject.Corrupt {
 		// Flip one payload bit after the CRC was computed: the receiver's
 		// checksum check must reject the frame.
@@ -206,10 +249,12 @@ func serveChunk(exec *Executor, ft frameType, payload []byte, opts ServeOptions,
 }
 
 // executeChunk decodes and runs one chunk, mapping deterministic failures
-// to a chunk-error frame.
-func executeChunk(exec *Executor, ft frameType, payload []byte) (frameType, []byte) {
-	fail := func(err error) (frameType, []byte) {
-		return ftChunkError, marshalMsg(chunkErrorMsg{Msg: err.Error()})
+// to a chunk-error frame. units reports the work done — seeds for ratio
+// chunks, restarts for hunt chunks, 0 on failure — feeding the telemetry
+// trackers.
+func executeChunk(exec *Executor, ft frameType, payload []byte) (_ frameType, _ []byte, units int64) {
+	fail := func(err error) (frameType, []byte, int64) {
+		return ftChunkError, marshalMsg(chunkErrorMsg{Msg: err.Error()}), 0
 	}
 	switch ft {
 	case ftRatioChunk:
@@ -221,7 +266,7 @@ func executeChunk(exec *Executor, ft frameType, payload []byte) (frameType, []by
 		if err != nil {
 			return fail(err)
 		}
-		return ftResult, marshalMsg(res)
+		return ftResult, marshalMsg(res), int64(msg.K1 - msg.K0)
 	default:
 		var msg huntChunkMsg
 		if err := json.Unmarshal(payload, &msg); err != nil {
@@ -231,6 +276,6 @@ func executeChunk(exec *Executor, ft frameType, payload []byte) (frameType, []by
 		if err != nil {
 			return fail(err)
 		}
-		return ftResult, marshalMsg(res)
+		return ftResult, marshalMsg(res), int64(msg.R1 - msg.R0)
 	}
 }

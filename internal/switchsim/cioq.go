@@ -396,6 +396,7 @@ func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
 	}
 	// The sequence is sorted by (Arrival, ID), so a cursor yields each
 	// slot's arrivals in admission order with no per-slot grouping.
+	var probeJumped, probeJumps int64
 	next := 0
 	for slot := 0; slot < slots; slot++ {
 		for next < len(seq) && seq[next].Arrival == slot {
@@ -426,6 +427,8 @@ func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
 				sw.quiesce(slot, jump)
 				idle.IdleAdvance(jump)
 				slot += jump
+				probeJumps++
+				probeJumped += int64(jump)
 				if cfg.Validate {
 					if err := sw.checkInvariants(); err != nil {
 						return nil, fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", slot, err)
@@ -439,5 +442,6 @@ func RunCIOQ(cfg Config, pol CIOQPolicy, seq packet.Sequence) (*Result, error) {
 			return nil, err
 		}
 	}
+	engineProbes.Load().RecordRun(int64(slots), probeJumped, probeJumps)
 	return &Result{Policy: pol.Name(), Cfg: cfg, Slots: slots, M: sw.M}, nil
 }

@@ -429,6 +429,7 @@ func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, 
 	if !cfg.Dense {
 		idle, _ = pol.(IdleAdvancer)
 	}
+	var probeJumped, probeJumps int64
 	next := 0
 	for slot := 0; slot < slots; slot++ {
 		for next < len(seq) && seq[next].Arrival == slot {
@@ -462,6 +463,8 @@ func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, 
 				sw.quiesce(slot, jump)
 				idle.IdleAdvance(jump)
 				slot += jump
+				probeJumps++
+				probeJumped += int64(jump)
 				if cfg.Validate {
 					if err := sw.checkInvariants(); err != nil {
 						return nil, fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", slot, err)
@@ -475,5 +478,6 @@ func RunCrossbar(cfg Config, pol CrossbarPolicy, seq packet.Sequence) (*Result, 
 			return nil, err
 		}
 	}
+	engineProbes.Load().RecordRun(int64(slots), probeJumped, probeJumps)
 	return &Result{Policy: pol.Name(), Cfg: cfg, Slots: slots, M: sw.M}, nil
 }

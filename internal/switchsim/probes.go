@@ -1,0 +1,18 @@
+package switchsim
+
+import (
+	"sync/atomic"
+
+	"qswitch/internal/obs"
+)
+
+// engineProbes is the process-wide observability receiver for the run
+// functions. Runs load it once at entry, accumulate in function-local
+// integers, and flush once at a successful return — so the per-slot cost
+// of probes is zero and a nil bundle degrades to one predictable branch
+// per run.
+var engineProbes atomic.Pointer[obs.EngineProbes]
+
+// SetProbes installs (or, with nil, removes) the engine probe bundle.
+// Probes only observe: results are bit-identical with probes on or off.
+func SetProbes(p *obs.EngineProbes) { engineProbes.Store(p) }

@@ -1,0 +1,55 @@
+package switchsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"qswitch/internal/obs"
+	"qswitch/internal/packet"
+)
+
+// TestProbesAddZeroAllocs is the zero-overhead pin for the engine probes:
+// a full simulation run with probes installed must allocate exactly as
+// much as one without. The probes accumulate in function-local integers
+// and flush once per run into atomic counters, so nothing per-slot (or
+// even per-run) may escape to the heap.
+func TestProbesAddZeroAllocs(t *testing.T) {
+	cfg := Config{Inputs: 8, Outputs: 8, InputBuf: 4, OutputBuf: 4, CrossBuf: 2, Speedup: 1}
+	rng := rand.New(rand.NewSource(3))
+	gen := packet.Bursty{OnLoad: 0.8, POnOff: 0.05, POffOn: 0.2, Values: packet.UniformValues{Hi: 9}}
+	seq := gen.Generate(rng, cfg.Inputs, cfg.Outputs, 2000)
+
+	measure := func(run func()) float64 {
+		run() // warm up policy/result pools outside the measurement
+		return testing.AllocsPerRun(20, run)
+	}
+
+	runs := map[string]func(){
+		"cioq": func() {
+			if _, err := RunCIOQ(cfg, &passPolicy{}, seq); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"crossbar": func() {
+			if _, err := RunCrossbar(cfg, &xbarPolicy{}, seq); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, run := range runs {
+		SetProbes(nil)
+		base := measure(run)
+
+		reg := obs.NewRegistry()
+		SetProbes(obs.NewEngineProbes(reg))
+		probed := measure(run)
+		SetProbes(nil)
+
+		if probed > base {
+			t.Errorf("%s: %v allocs/run with probes vs %v without — probes must add zero", name, probed, base)
+		}
+		if reg.Snapshot()[obs.MetricEngineRuns] == 0 {
+			t.Errorf("%s: probes installed but never recorded", name)
+		}
+	}
+}

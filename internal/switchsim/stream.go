@@ -167,6 +167,7 @@ func RunCIOQStream(cfg Config, pol CIOQPolicy, src packet.ArrivalStream) (*Resul
 	if !cfg.Dense {
 		idle, _ = pol.(IdleAdvancer)
 	}
+	var probeJumped, probeJumps int64
 	slot := 0
 	for {
 		for cur.ok && cur.head.Arrival == slot {
@@ -202,6 +203,8 @@ func RunCIOQStream(cfg Config, pol CIOQPolicy, src packet.ArrivalStream) (*Resul
 				sw.quiesce(slot, jump)
 				idle.IdleAdvance(jump)
 				slot += jump
+				probeJumps++
+				probeJumped += int64(jump)
 				if cfg.Validate {
 					if err := sw.checkInvariants(); err != nil {
 						return nil, fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", slot, err)
@@ -226,6 +229,7 @@ func RunCIOQStream(cfg Config, pol CIOQPolicy, src packet.ArrivalStream) (*Resul
 	if cfg.RecordSeries {
 		growSeries(&sw.M, slots)
 	}
+	engineProbes.Load().RecordRun(int64(slots), probeJumped, probeJumps)
 	return &Result{Policy: pol.Name(), Cfg: cfg, Slots: slots, M: sw.M}, nil
 }
 
@@ -250,6 +254,7 @@ func RunCrossbarStream(cfg Config, pol CrossbarPolicy, src packet.ArrivalStream)
 	if !cfg.Dense {
 		idle, _ = pol.(IdleAdvancer)
 	}
+	var probeJumped, probeJumps int64
 	slot := 0
 	for {
 		for cur.ok && cur.head.Arrival == slot {
@@ -288,6 +293,8 @@ func RunCrossbarStream(cfg Config, pol CrossbarPolicy, src packet.ArrivalStream)
 				sw.quiesce(slot, jump)
 				idle.IdleAdvance(jump)
 				slot += jump
+				probeJumps++
+				probeJumped += int64(jump)
 				if cfg.Validate {
 					if err := sw.checkInvariants(); err != nil {
 						return nil, fmt.Errorf("switchsim: after quiescent jump to slot %d: %w", slot, err)
@@ -312,5 +319,6 @@ func RunCrossbarStream(cfg Config, pol CrossbarPolicy, src packet.ArrivalStream)
 	if cfg.RecordSeries {
 		growSeries(&sw.M, slots)
 	}
+	engineProbes.Load().RecordRun(int64(slots), probeJumped, probeJumps)
 	return &Result{Policy: pol.Name(), Cfg: cfg, Slots: slots, M: sw.M}, nil
 }

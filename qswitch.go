@@ -49,6 +49,8 @@ import (
 	"sort"
 
 	"qswitch/internal/core"
+	"qswitch/internal/obs"
+	"qswitch/internal/obs/wire"
 	"qswitch/internal/offline"
 	"qswitch/internal/packet"
 	"qswitch/internal/ratio"
@@ -100,7 +102,25 @@ type (
 	// TraceStream reads a binary trace file incrementally as an
 	// ArrivalStream; see OpenTraceStream.
 	TraceStream = packet.TraceStream
+	// MetricsRegistry is the observability layer's named-metric registry;
+	// see EnableObservability and internal/obs.
+	MetricsRegistry = obs.Registry
 )
+
+// EnableObservability creates a metrics registry and installs the
+// library's probes into it: engine run/slot/jump counters, fleet
+// kernel-vs-fallback counters, offline-judge solve counters and
+// sequential-estimation chunk telemetry. Until this is called every probe
+// is a nil no-op, so simulations pay nothing for the layer's existence.
+//
+// The returned stop function uninstalls the probes again. Registry reads
+// (Snapshot, WritePrometheus) are safe while simulations run. Probes only
+// observe — enabling them never changes any simulation or estimate.
+func EnableObservability() (*MetricsRegistry, func()) {
+	reg := obs.NewRegistry()
+	wire.Up(reg)
+	return reg, wire.Down
+}
 
 // NewCIOQPolicy constructs a CIOQ policy by name:
 //
