@@ -437,6 +437,40 @@ func BenchmarkQuiescentCrossbarCGU16(b *testing.B) {
 func BenchmarkQuiescentCrossbarCPG16(b *testing.B) {
 	benchQuiescentCrossbar(b, quiescentBenchSeq(16), 16, func() switchsim.CrossbarPolicy { return &core.CPG{} })
 }
+
+// BenchmarkCrossDrain* quantify dense crosspoint-drain time: CrossDrain's
+// conflict-free all-to-all rotations stack two packets on every (input,
+// output) crosspoint, the input side empties within a couple of cycles,
+// and the remainder of every event window is spent draining the full
+// n x n crosspoint matrix at one packet per output per cycle — the
+// crossbar engines' per-output crosspoint-scan cost in isolation.
+func benchCrossDrainCrossbar(b *testing.B, n int, mk func() switchsim.CrossbarPolicy) {
+	const slots = 100_000
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 4, OutputBuf: 4, CrossBuf: 2,
+		Speedup: 1, Slots: slots,
+		Dense: benchDense(),
+	}
+	rng := rand.New(rand.NewSource(4))
+	seq := packet.CrossDrain{OffMean: 200, Depth: 2, Values: packet.UniformValues{Hi: 20}}.
+		Generate(rng, n, n, slots)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsim.RunCrossbar(cfg, mk(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*slots), "ns/slot")
+}
+
+func BenchmarkCrossDrainCrossbarCGU16(b *testing.B) {
+	benchCrossDrainCrossbar(b, 16, func() switchsim.CrossbarPolicy { return &core.CGU{} })
+}
+func BenchmarkCrossDrainCrossbarCPG16(b *testing.B) {
+	benchCrossDrainCrossbar(b, 16, func() switchsim.CrossbarPolicy { return &core.CPG{} })
+}
+
 func BenchmarkAdversarialCIOQGM16(b *testing.B) {
 	benchQuiescentCIOQ(b, adversarialBenchSeq(16), 16, func() switchsim.CIOQPolicy { return &core.GM{} })
 }
@@ -569,6 +603,109 @@ func BenchmarkFleetCrossbarCGU16B64(b *testing.B) {
 }
 func BenchmarkFleetCrossbarCGU16B256(b *testing.B) {
 	benchFleetCrossbar(b, 256, func() switchsim.CrossbarPolicy { return &core.CGU{} })
+}
+
+// ---------------------------------------------------------------------------
+// Weighted and wide fleet benchmarks: the full-coverage columnar engine —
+// weighted kernels (PG/CPG/KRMWM, ByValue rings, preemptive transfers) at
+// n=64, and the multi-word wide engine at n=256 (occupancy rows spanning
+// four words, batched counting-sort matching). Same convention as above:
+// QSWITCH_NOFLEET=1 measures the looped-scalar baseline (BENCH_9.json),
+// default measures the fleet (BENCH_9_post.json). Run the KRMWM pair
+// with -benchtime 1x: the Hungarian oracle is cubic in ports on both
+// backends.
+// ---------------------------------------------------------------------------
+
+func fleetWeightedBenchSeqs(batch, n, slots int) []packet.Sequence {
+	seqs := make([]packet.Sequence, batch)
+	for k := range seqs {
+		rng := rand.New(rand.NewSource(int64(k + 1)))
+		seqs[k] = packet.Bernoulli{Load: 1.5, Values: packet.UniformValues{Hi: 100}}.
+			Generate(rng, n, n, slots)
+	}
+	return seqs
+}
+
+func benchFleetWeightedCIOQ(b *testing.B, n, batch int, mk func() switchsim.CIOQPolicy) {
+	const slots = fleetBenchSlots
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 2, OutputBuf: 2,
+		Speedup: 2, Slots: slots,
+	}
+	seqs := fleetWeightedBenchSeqs(batch, n, slots)
+	b.ReportAllocs()
+	if fleetLoopedScalar() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, seq := range seqs {
+				if _, err := switchsim.RunCIOQ(cfg, mk(), seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	} else {
+		// The runner dispatches to the narrow engine at n <= 64 and the
+		// wide engine beyond, reusing the fleet across iterations.
+		r := fleet.NewCIOQRunner(mk)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Run(cfg, seqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch*slots), "ns/slot")
+}
+
+func benchFleetWeightedCrossbar(b *testing.B, n, batch int, mk func() switchsim.CrossbarPolicy) {
+	const slots = fleetBenchSlots
+	cfg := switchsim.Config{
+		Inputs: n, Outputs: n, InputBuf: 2, OutputBuf: 2, CrossBuf: 1,
+		Speedup: 2, Slots: slots,
+	}
+	seqs := fleetWeightedBenchSeqs(batch, n, slots)
+	b.ReportAllocs()
+	if fleetLoopedScalar() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, seq := range seqs {
+				if _, err := switchsim.RunCrossbar(cfg, mk(), seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	} else {
+		r := fleet.NewCrossbarRunner(mk)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Run(cfg, seqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch*slots), "ns/slot")
+}
+
+func BenchmarkFleetWeightedPG64B64(b *testing.B) {
+	benchFleetWeightedCIOQ(b, 64, 64, func() switchsim.CIOQPolicy { return &core.PG{} })
+}
+func BenchmarkFleetWeightedKRMWM64B16(b *testing.B) {
+	benchFleetWeightedCIOQ(b, 64, 16, func() switchsim.CIOQPolicy { return &core.KRMWM{} })
+}
+func BenchmarkFleetWeightedCPG64B64(b *testing.B) {
+	benchFleetWeightedCrossbar(b, 64, 64, func() switchsim.CrossbarPolicy { return &core.CPG{} })
+}
+func BenchmarkFleetWidePG256B16(b *testing.B) {
+	benchFleetWeightedCIOQ(b, 256, 16, func() switchsim.CIOQPolicy { return &core.PG{} })
+}
+func BenchmarkFleetWideKRMWM256B4(b *testing.B) {
+	benchFleetWeightedCIOQ(b, 256, 4, func() switchsim.CIOQPolicy { return &core.KRMWM{} })
+}
+func BenchmarkFleetWideGM256B16(b *testing.B) {
+	benchFleetWeightedCIOQ(b, 256, 16, func() switchsim.CIOQPolicy { return &core.GM{} })
+}
+func BenchmarkFleetWideCPG256B16(b *testing.B) {
+	benchFleetWeightedCrossbar(b, 256, 16, func() switchsim.CrossbarPolicy { return &core.CPG{} })
 }
 
 // BenchmarkFleetRatioGM16B256 times the wired path end to end: RunFleet

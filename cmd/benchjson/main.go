@@ -5,10 +5,19 @@
 // Usage:
 //
 //	go test -bench 'CIOQ|Crossbar|E5' -benchmem -benchtime 3x | benchjson -label baseline > BENCH_1.json
+//	go test -bench Fleet | benchjson -geomean BENCH_9.json > BENCH_9_post.json
 //
 // Every `Benchmark*` result line is parsed into the iteration count, the
 // primary ns/op figure and any additional metrics (B/op, allocs/op and
 // custom b.ReportMetric units such as ns/slot).
+//
+// With -geomean FILE, the parsed results are additionally compared
+// against the baseline report in FILE: for every metric present on both
+// sides of a name-matched benchmark pair, one summary line per metric is
+// printed to stderr with the geometric mean of the baseline/current
+// ratios — so for cost-like metrics (ns/op, ns/slot, B/op) values above
+// 1.0 mean the current run is faster/leaner than the baseline. The JSON
+// on stdout is unaffected.
 package main
 
 import (
@@ -16,7 +25,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,6 +54,7 @@ type Report struct {
 
 func main() {
 	label := flag.String("label", "", "free-form label stored in the output (e.g. baseline, post-bitset)")
+	geomean := flag.String("geomean", "", "baseline BENCH_*.json to compare against: print per-metric geomean speedup lines to stderr")
 	flag.Parse()
 
 	rep := Report{Label: *label}
@@ -79,6 +91,78 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *geomean != "" {
+		raw, err := os.ReadFile(*geomean)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -geomean: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -geomean %s: %v\n", *geomean, err)
+			os.Exit(1)
+		}
+		lines := geomeans(base.Benchmarks, rep.Benchmarks)
+		if len(lines) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -geomean %s: no benchmark pairs matched\n", *geomean)
+			os.Exit(1)
+		}
+		for _, l := range lines {
+			fmt.Fprintf(os.Stderr, "geomean %s: %.2fx vs baseline (%d pairs)\n", l.Unit, l.Speedup, l.Pairs)
+		}
+	}
+}
+
+// geoLine is one per-metric geomean summary: the geometric mean of
+// baseline/current ratios over all name-matched pairs carrying the
+// metric, so > 1 means the current run improved on a cost-like metric.
+type geoLine struct {
+	Unit    string
+	Speedup float64
+	Pairs   int
+}
+
+// geomeans matches benchmarks by name and aggregates, per metric unit,
+// the geometric mean of baseline/current value ratios. Pairs where
+// either side of a metric is non-positive are skipped for that metric
+// (zero-alloc runs make B/op and allocs/op legitimately zero, and a log
+// of zero would poison the whole mean). Units are emitted in sorted
+// order so the output is stable.
+func geomeans(base, cur []Benchmark) []geoLine {
+	byName := make(map[string]Benchmark, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	logSum := map[string]float64{}
+	pairs := map[string]int{}
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		for unit, cv := range c.Metrics {
+			bv, ok := b.Metrics[unit]
+			if !ok || bv <= 0 || cv <= 0 {
+				continue
+			}
+			logSum[unit] += math.Log(bv / cv)
+			pairs[unit]++
+		}
+	}
+	units := make([]string, 0, len(logSum))
+	for unit := range logSum {
+		units = append(units, unit)
+	}
+	sort.Strings(units)
+	out := make([]geoLine, 0, len(units))
+	for _, unit := range units {
+		out = append(out, geoLine{
+			Unit:    unit,
+			Speedup: math.Exp(logSum[unit] / float64(pairs[unit])),
+			Pairs:   pairs[unit],
+		})
+	}
+	return out
 }
 
 // parseLine parses a single result line of the form

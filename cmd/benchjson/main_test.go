@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestParseLineCustomUnits(t *testing.T) {
 	// A probed observability benchmark line: custom b.ReportMetric units
@@ -33,6 +36,44 @@ func TestParseLineCustomUnits(t *testing.T) {
 		if b.Metrics[unit] != v {
 			t.Errorf("metrics[%q] = %v, want %v", unit, b.Metrics[unit], v)
 		}
+	}
+}
+
+func TestGeomeansPerMetric(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 400, "ns/slot": 40, "allocs/op": 8}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 900, "ns/slot": 90}},
+		{Name: "BenchmarkOnlyInBase", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	cur := []Benchmark{
+		// ns/op ratios 4x and 1x -> geomean 2x; ns/slot ratios 4x and 9x
+		// -> geomean 6x; allocs/op pairs with a zero on the current side,
+		// so that metric is skipped entirely.
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100, "ns/slot": 10, "allocs/op": 0}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 900, "ns/slot": 10}},
+		{Name: "BenchmarkOnlyInCurrent", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	lines := geomeans(base, cur)
+	want := []geoLine{
+		{Unit: "ns/op", Speedup: 2, Pairs: 2},
+		{Unit: "ns/slot", Speedup: 6, Pairs: 2},
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("geomeans = %+v, want %d lines", lines, len(want))
+	}
+	for k, w := range want {
+		g := lines[k]
+		if g.Unit != w.Unit || g.Pairs != w.Pairs || math.Abs(g.Speedup-w.Speedup) > 1e-9 {
+			t.Errorf("line %d = %+v, want %+v", k, g, w)
+		}
+	}
+}
+
+func TestGeomeansNoMatches(t *testing.T) {
+	base := []Benchmark{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 1}}}
+	cur := []Benchmark{{Name: "BenchmarkY", Metrics: map[string]float64{"ns/op": 1}}}
+	if lines := geomeans(base, cur); len(lines) != 0 {
+		t.Errorf("disjoint names produced %+v", lines)
 	}
 }
 

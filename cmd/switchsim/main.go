@@ -32,7 +32,7 @@ func main() {
 		speedup = flag.Int("speedup", 1, "scheduling cycles per slot")
 		slots   = flag.Int("slots", 1000, "arrival slots to generate")
 		horizon = flag.Int("horizon", 0, "simulation horizon (0 = drain fully)")
-		traffic = flag.String("traffic", "uniform", "traffic: uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock, flowmix")
+		traffic = flag.String("traffic", "uniform", "traffic: uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock, crossdrain, flowmix")
 		values  = flag.String("values", "unit", "values: unit, two, uniform, zipf, geometric")
 		load    = flag.Float64("load", 0.9, "offered load per input per slot")
 		dense   = flag.Bool("dense", false, "opt out of the event-driven engine and simulate every slot (bit-identical metrics, much slower on sparse traces)")

@@ -17,8 +17,10 @@
 // day/night cycle whose troughs go silent; heavytail draws Pareto(1.5)
 // interarrival gaps; burstblock converges 16-packet bursts from every
 // input onto one hot output (the backlogged-but-quiescent shape for the
-// quiescent drain fast path). For all four, -load sets the mean
-// per-input offered load.
+// quiescent drain fast path); crossdrain rotates conflict-free
+// all-to-all bursts that park the backlog across a buffered crossbar's
+// crosspoint matrix. For all five, -load sets the mean per-input
+// offered load.
 //
 // Flow-level traffic (the streaming engines' flagship workload):
 //
@@ -48,7 +50,7 @@ func main() {
 		n       = flag.Int("n", 8, "input ports")
 		m       = flag.Int("m", 0, "output ports (defaults to -n)")
 		slots   = flag.Int("slots", 1000, "arrival slots")
-		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock, flowmix")
+		traffic = flag.String("traffic", "uniform", "uniform, bursty, hotspot, diagonal, permutation, poissonburst, diurnal, heavytail, burstblock, crossdrain, flowmix")
 		values  = flag.String("values", "unit", "unit, two, uniform, zipf, geometric")
 		load    = flag.Float64("load", 0.9, "offered load")
 		seed    = flag.Int64("seed", 1, "RNG seed")

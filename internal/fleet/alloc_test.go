@@ -125,3 +125,79 @@ func TestFleetStepZeroAllocsWithProbes(t *testing.T) {
 		t.Errorf("probed batched step: %v allocs in steady state, want 0", allocs)
 	}
 }
+
+// TestFleetWeightedStepZeroAllocsWithProbes pins the weighted kernels'
+// steady-state Step at zero allocations with the probes installed: the
+// ByValue ring insertions, preempt bookkeeping and greedy weighted
+// matching must all run on preallocated storage.
+func TestFleetWeightedStepZeroAllocsWithProbes(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetProbes(obs.NewFleetProbes(reg))
+	defer SetProbes(nil)
+
+	cfg := switchsim.Config{Inputs: 16, Outputs: 16, InputBuf: 4, OutputBuf: 4, Speedup: 2, RecordLatency: true}
+	const batch, slots = 8, 8000
+	f, err := NewCIOQFleet(cfg, func() switchsim.CIOQPolicy { return &core.PG{} }, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Reset(allocSeqs(cfg, batch, slots)); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := measureStepAllocs(t, f.Step); allocs != 0 {
+		t.Errorf("probed weighted batched step: %v allocs in steady state, want 0", allocs)
+	}
+
+	xcfg := cfg
+	xcfg.CrossBuf = 2
+	fx, err := NewCrossbarFleet(xcfg, func() switchsim.CrossbarPolicy { return &core.CPG{} }, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.Reset(allocSeqs(xcfg, batch, slots)); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := measureStepAllocs(t, fx.Step); allocs != 0 {
+		t.Errorf("probed weighted crossbar step: %v allocs in steady state, want 0", allocs)
+	}
+}
+
+// TestFleetWideStepZeroAllocs pins the wide engine's batched Step at zero
+// allocations in steady state — multi-word mask scans, the batched
+// matcher's counting buckets and the ByValue rings all run on storage
+// owned by the fleet.
+func TestFleetWideStepZeroAllocs(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 80, Outputs: 80, InputBuf: 2, OutputBuf: 2, Speedup: 1, RecordLatency: true}
+	const batch, slots = 4, 8000
+	for name, mk := range fleetCIOQPolicies() {
+		if name == "krmwm" {
+			// The Hungarian oracle's augmenting-path scratch grows with the
+			// live edge set; it is pinned at 16 ports by the narrow test.
+			continue
+		}
+		f, err := newWideCIOQFleet(cfg, mk, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Reset(allocSeqs(cfg, batch, slots)); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := measureStepAllocs(t, f.Step); allocs != 0 {
+			t.Errorf("wide %s: %v allocs per batched step in steady state, want 0", name, allocs)
+		}
+	}
+	xcfg := cfg
+	xcfg.CrossBuf = 2
+	for name, mk := range fleetCrossbarPolicies() {
+		f, err := newWideCrossbarFleet(xcfg, mk, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Reset(allocSeqs(xcfg, batch, slots)); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := measureStepAllocs(t, f.Step); allocs != 0 {
+			t.Errorf("wide %s: %v allocs per batched step in steady state, want 0", name, allocs)
+		}
+	}
+}

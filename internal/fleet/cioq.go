@@ -44,15 +44,19 @@ type ports struct {
 
 // hotCtr is the per-instance block of metric accumulators updated in the
 // per-slot loop, folded into switchsim.Metrics at retirement. The crossbar
-// fields stay zero for CIOQ fleets.
+// fields stay zero for CIOQ fleets; the preempt fields stay zero for the
+// unit-value kernels, whose admission and transfers never evict.
 type hotCtr struct {
-	arrived, arrivedVal           int64
-	accepted, acceptedVal         int64
-	rejected, rejectedVal         int64
-	transferred, transferredCross int64
-	sent, benefit                 int64
-	inOccup, crossOccup, outOccup int64
-	sampled                       int64
+	arrived, arrivedVal               int64
+	accepted, acceptedVal             int64
+	rejected, rejectedVal             int64
+	transferred, transferredCross     int64
+	sent, benefit                     int64
+	inOccup, crossOccup, outOccup     int64
+	sampled                           int64
+	preemptedIn, preemptedInVal       int64
+	preemptedCross, preemptedCrossVal int64
+	preemptedOut, preemptedOutVal     int64
 }
 
 // CIOQFleet is a batch of B independent CIOQ switch instances sharing one
@@ -89,6 +93,19 @@ type CIOQFleet struct {
 	oqHdr    []qhdr   // [k*m + j]
 	hot      []hotCtr // [k]
 
+	// ID lanes, allocated only for weighted kernels: the ByValue queue
+	// discipline breaks value ties on packet ID, so weighted rings carry
+	// the ID alongside the pkt payload (same indexing as iq/oq).
+	iqID []int64
+	oqID []int64
+
+	// iqHV caches each input ring's head value ([k*nm + q], weighted
+	// kernels only): the schedulers scan every occupied VOQ head per
+	// cycle, and the flat lane replaces the dependent header+ring load
+	// pair on that path. Entries are refreshed wherever the ring head
+	// changes and are read only under a set voq bit.
+	iqHV []int64
+
 	ms      []switchsim.Metrics
 	series  [][]int64
 	results []*switchsim.Result
@@ -113,6 +130,11 @@ type CIOQFleet struct {
 	grants   []uint64
 	edges    []matching.Edge
 	sched    matching.WeightedScheduler
+	hung     matching.HungarianSolver
+	wkeys    []uint32 // packed (w<<12|i<<6|j) eligible edges, (i,j)-ascending
+	wsorted  []uint32 // counting-scatter output, weight-descending
+	wcnt     []int32  // per-weight bucket counts/offsets
+	wcntHi   int32    // dirty prefix of wcnt to clear next cycle
 }
 
 // cioqView is the per-instance working set bound once per window: small
@@ -133,6 +155,7 @@ type cioqView struct {
 	oq       []pkt
 	series   []int64
 	rrG, rrA []int32
+	iqHV     []int64
 
 	n, m, nm       int
 	icapM, ocapM   int32 // ring index masks (capacity-1)
@@ -141,13 +164,20 @@ type cioqView struct {
 	speedup        int
 	recLat, recSer bool
 	wantByOut      bool // kernel reads voqByOut; maintain it
+	weighted       bool // ByValue rings with ID lanes and preemption
 	allIn          uint64
+
+	// ID lanes (weighted kernels only); same indexing as iq/oq.
+	iqID []int64
+	oqID []int64
 
 	// Direct pass-through delivery: a packet transferred into an empty
 	// output queue is necessarily that slot's transmit head, so its
 	// payload parks in pend[j] (direct bit set) instead of doing a ring
 	// store/load round-trip; the header still advances as if it had been
-	// written, keeping ring geometry consistent at any speedup.
+	// written, keeping ring geometry consistent at any speedup. Weighted
+	// kernels never use it: a ByValue insertion can land anywhere in the
+	// ring, so their transfers always do the ring store.
 	direct uint64
 	pend   []pkt
 }
@@ -171,6 +201,11 @@ func (v *cioqView) bind(f *CIOQFleet, k int) {
 	if f.rrGrant != nil {
 		v.rrG = f.rrGrant[k*f.m : (k+1)*f.m]
 		v.rrA = f.rrAccept[k*f.n : (k+1)*f.n]
+	}
+	if f.iqID != nil {
+		v.iqID = f.iqID[k*f.nm*f.icap : (k+1)*f.nm*f.icap]
+		v.oqID = f.oqID[k*f.m*f.ocap : (k+1)*f.m*f.ocap]
+		v.iqHV = f.iqHV[k*f.nm : (k+1)*f.nm]
 	}
 }
 
@@ -228,6 +263,12 @@ func NewCIOQFleet(cfg switchsim.Config, factory func() switchsim.CIOQPolicy, bat
 	v.wantByOut = kern.wantsVOQByOut() || cfg.Validate
 	v.allIn = f.allIn
 	v.pend = make([]pkt, m)
+	if kern.weighted() {
+		v.weighted = true
+		f.iqID = make([]int64, batch*f.nm*f.icap)
+		f.oqID = make([]int64, batch*m*f.ocap)
+		f.iqHV = make([]int64, batch*f.nm)
+	}
 	kern.reset(f)
 	return f, nil
 }
@@ -355,7 +396,7 @@ func (f *CIOQFleet) runWindow(k int32, end int) instStatus {
 	// Window-local metric accumulators: the per-packet counters are
 	// register adds here and a single flush into hm at every exit (all
 	// Metrics fields are sums, so accumulation order is free).
-	var aArr, aArrV, aAcc, aAccV, aRej, aRejV, tSent, tBen, oIn, oOut, oSamp int64
+	var aArr, aArrV, aAcc, aAccV, aRej, aRejV, aPre, aPreV, tSent, tBen, oIn, oOut, oSamp int64
 	flush := func() {
 		hm.arrived += aArr
 		hm.arrivedVal += aArrV
@@ -363,6 +404,8 @@ func (f *CIOQFleet) runWindow(k int32, end int) instStatus {
 		hm.acceptedVal += aAccV
 		hm.rejected += aRej
 		hm.rejectedVal += aRejV
+		hm.preemptedIn += aPre
+		hm.preemptedInVal += aPreV
 		hm.sent += tSent
 		hm.benefit += tBen
 		hm.inOccup += oIn
@@ -370,8 +413,11 @@ func (f *CIOQFleet) runWindow(k int32, end int) instStatus {
 		hm.sampled += oSamp
 	}
 	for {
-		// Admissions: accept iff the target queue has room (the ported
-		// unit-family rule).
+		// Admissions: the unit families accept iff the target queue has
+		// room; the weighted (ByValue) families additionally preempt the
+		// queue's least valuable packet when it is full and strictly worse
+		// (queue.Ring.PushPreempt semantics — occupancy is unchanged by a
+		// preempting admission, so the index bits stay put).
 		for nx < len(seq) && seq[nx].Arrival == T {
 			p := &seq[nx]
 			nx++
@@ -383,13 +429,51 @@ func (f *CIOQFleet) runWindow(k int32, end int) instStatus {
 			aArrV += p.Value
 			q := p.In*v.m + p.Out
 			h := &v.iqHdr[q]
-			if h.n >= v.inBuf {
-				aRej++
-				aRejV += p.Value
-				continue
+			if v.weighted {
+				pre := false
+				var preV int64
+				if h.n >= v.inBuf {
+					ti := q*v.icap + int((h.head+h.n-1)&v.icapM)
+					tv := v.iq[ti].v
+					if tv >= p.Value {
+						aRej++
+						aRejV += p.Value
+						continue
+					}
+					h.n--
+					pre, preV = true, tv
+				}
+				// Shallow rings make depths 0/1 the common insert cases;
+				// both are inlined here and yield the new head value
+				// without reloading the ring.
+				np := pkt{v: p.Value, a: int32(p.Arrival)}
+				switch h.n {
+				case 0:
+					ringInsert0(v.iq, v.iqID, h, q*v.icap, np, p.ID)
+					v.iqHV[q] = np.v
+				case 1:
+					b := q * v.icap
+					v.iqHV[q] = ringInsert1(v.iq[b:], v.iqID[b:], h, v.icapM, np, p.ID)
+				default:
+					v.iqInsert(q, np, p.ID)
+					v.iqHV[q] = v.iq[q*v.icap+int(h.head)].v
+				}
+				if pre {
+					aAcc++
+					aAccV += p.Value
+					aPre++
+					aPreV += preV
+					continue
+				}
+			} else {
+				if h.n >= v.inBuf {
+					aRej++
+					aRejV += p.Value
+					continue
+				}
+				v.iq[q*v.icap+int((h.head+h.n)&v.icapM)] = pkt{v: p.Value, a: int32(p.Arrival)}
+				h.n++
 			}
-			v.iq[q*v.icap+int((h.head+h.n)&v.icapM)] = pkt{v: p.Value, a: int32(p.Arrival)}
-			h.n++
 			v.voq[p.In] |= 1 << uint(p.Out)
 			if v.wantByOut {
 				v.voqByOut[p.Out] |= 1 << uint(p.In)
@@ -401,6 +485,12 @@ func (f *CIOQFleet) runWindow(k int32, end int) instStatus {
 
 		for c := 0; c < v.speedup; c++ {
 			f.kern.cycle(v, T, c)
+		}
+		if f.err != nil {
+			// A weighted transfer hit an ineligible full destination (only
+			// possible with a sub-1 user beta, where the scalar engine
+			// errors identically).
+			return instErr
 		}
 
 		// Transmission: every non-empty output queue sends its head.
@@ -523,6 +613,163 @@ func (v *cioqView) transfer(i, j int) {
 	v.hm.transferred++
 }
 
+// ringInsert0 is the depth-0 ringInsert special case, small enough to
+// inline at the transfer sites where an empty destination ring is the
+// common case (the new packet is trivially the head).
+func ringInsert0(buf []pkt, ids []int64, h *qhdr, base int, p pkt, id int64) {
+	x := base + int(h.head)
+	buf[x] = p
+	ids[x] = id
+	h.n = 1
+}
+
+// ringInsert1 is the depth-1 ringInsert special case (buf/ids already
+// sliced at the ring base), inlined at the
+// admission sites (shallow input rings make depth 1 the common case
+// there). It reports the new head value so weighted callers can refresh
+// their head-value lane without reloading the ring.
+func ringInsert1(buf []pkt, ids []int64, h *qhdr, capM int32, p pkt, id int64) int64 {
+	x0 := int(h.head)
+	hv := buf[x0].v
+	off := int32(1)
+	if hv < p.v || (hv == p.v && ids[x0] >= id) {
+		h.head = (h.head - 1) & capM
+		off = 0
+		hv = p.v
+	}
+	x := int((h.head + off) & capM)
+	buf[x] = p
+	ids[x] = id
+	h.n = 2
+	return hv
+}
+
+// ringInsert places (p, id) into the ByValue ring at base..base+cap-1
+// keeping (value desc, ID asc) order, reproducing queue.Ring.insert: a
+// binary search finds the slot, then the shorter side of the ring shifts
+// by one to open it. The header must have room (h.n < capacity).
+func ringInsert(buf []pkt, ids []int64, h *qhdr, base int, capM int32, p pkt, id int64) {
+	n := h.n
+	// Weighted rings are shallow in practice (buffer depths of a few
+	// packets), so the depth-0/1 cases skip the search-and-shift
+	// machinery. Both leave the same head-relative contents as the
+	// general path.
+	if n == 0 {
+		x := base + int(h.head)
+		buf[x] = p
+		ids[x] = id
+		h.n = 1
+		return
+	}
+	if n == 1 {
+		x0 := base + int(h.head)
+		var x int
+		if bv := buf[x0].v; bv > p.v || (bv == p.v && ids[x0] < id) {
+			x = base + int((h.head+1)&capM)
+		} else {
+			h.head = (h.head - 1) & capM
+			x = base + int(h.head)
+		}
+		buf[x] = p
+		ids[x] = id
+		h.n = 2
+		return
+	}
+	lo, hi := int32(0), n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		x := base + int((h.head+mid)&capM)
+		if bv := buf[x].v; bv > p.v || (bv == p.v && ids[x] < id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo <= n-lo {
+		// Shift the head segment [0, lo) one slot back.
+		h.head = (h.head - 1) & capM
+		for k := int32(0); k < lo; k++ {
+			dst := base + int((h.head+k)&capM)
+			src := base + int((h.head+k+1)&capM)
+			buf[dst] = buf[src]
+			ids[dst] = ids[src]
+		}
+	} else {
+		// Shift the tail segment [lo, n) one slot forward.
+		for k := n; k > lo; k-- {
+			dst := base + int((h.head+k)&capM)
+			src := base + int((h.head+k-1)&capM)
+			buf[dst] = buf[src]
+			ids[dst] = ids[src]
+		}
+	}
+	x := base + int((h.head+lo)&capM)
+	buf[x] = p
+	ids[x] = id
+	h.n++
+}
+
+// iqInsert is ringInsert on input ring q of the bound instance. Weighted
+// callers must refresh the iqHV head-value lane afterwards.
+func (v *cioqView) iqInsert(q int, p pkt, id int64) {
+	ringInsert(v.iq, v.iqID, &v.iqHdr[q], q*v.icap, v.icapM, p, id)
+}
+
+// wtransfer moves the most valuable packet of IQ(i,j) — the ByValue ring
+// head — into output queue j on the bound instance, preempting the
+// output's least valuable packet when it is full, exactly as the scalar
+// engine's executeTransfers does with PreemptIfFull set. Kernels only
+// produce transfers the eligibility rule admits, which with beta >= 1
+// guarantees the preemption is profitable; a sub-1 beta can produce an
+// unprofitable transfer, which errors here as it does in the scalar
+// engine.
+func (v *cioqView) wtransfer(i, j int) {
+	q := i*v.m + j
+	h := &v.iqHdr[q]
+	x := q*v.icap + int(h.head)
+	p := v.iq[x]
+	id := v.iqID[x]
+	h.head = (h.head + 1) & v.icapM
+	h.n--
+	if h.n == 0 {
+		v.voq[i] &^= 1 << uint(j)
+		if v.wantByOut {
+			v.voqByOut[j] &^= 1 << uint(i)
+		}
+	} else {
+		v.iqHV[q] = v.iq[q*v.icap+int(h.head)].v
+	}
+	st := v.st
+	st.inCount--
+	ho := &v.oqHdr[j]
+	base := j * v.ocap
+	if ho.n >= v.outBuf {
+		ti := base + int((ho.head+ho.n-1)&v.ocapM)
+		tv := v.oq[ti].v
+		if tv >= p.v {
+			v.f.err = fmt.Errorf("fleet: transfer %d->%d of value %d rejected by full OQ (tail %d not worse)", i, j, p.v, tv)
+			return
+		}
+		ho.n--
+		v.hm.preemptedOut++
+		v.hm.preemptedOutVal += tv
+	} else {
+		st.outBusy |= 1 << uint(j)
+		st.outCount++
+	}
+	if ho.n == 0 {
+		ringInsert0(v.oq, v.oqID, ho, base, p, id)
+	} else {
+		ringInsert(v.oq, v.oqID, ho, base, v.ocapM, p, id)
+	}
+	// A preempting insert leaves the queue full; re-clearing the bit is
+	// idempotent, so the fullness check is shared by both branches.
+	if ho.n >= v.outBuf {
+		st.outFree &^= 1 << uint(j)
+	}
+	v.hm.transferred++
+}
+
 // quiesce advances the bound instance across `jump` arrival-free
 // drain-only slots in closed form, mirroring (*switchsim.CIOQ).quiesce:
 // each non-empty output queue transmits one head packet per slot until it
@@ -574,6 +821,8 @@ func (f *CIOQFleet) retire(k int32) instStatus {
 	m.Rejected, m.RejectedValue = hm.rejected, hm.rejectedVal
 	m.Transferred = hm.transferred
 	m.Sent, m.Benefit = hm.sent, hm.benefit
+	m.PreemptedInput, m.PreemptedInputValue = hm.preemptedIn, hm.preemptedInVal
+	m.PreemptedOutput, m.PreemptedOutputValue = hm.preemptedOut, hm.preemptedOutVal
 	m.InputOccupSum, m.OutputOccupSum = hm.inOccup, hm.outOccup
 	m.AddSlotSamples(hm.sampled)
 	if f.cfg.RecordSeries {
@@ -581,9 +830,10 @@ func (f *CIOQFleet) retire(k int32) instStatus {
 	}
 	if f.cfg.Validate {
 		residual := int64(f.st[k].inCount) + int64(f.st[k].outCount)
-		if m.Accepted != m.Sent+residual {
-			f.err = fmt.Errorf("fleet: instance %d: conservation violated: accepted=%d sent=%d residual=%d",
-				k, m.Accepted, m.Sent, residual)
+		preempted := m.PreemptedInput + m.PreemptedOutput
+		if m.Accepted != m.Sent+preempted+residual {
+			f.err = fmt.Errorf("fleet: instance %d: conservation violated: accepted=%d sent=%d preempted=%d residual=%d",
+				k, m.Accepted, m.Sent, preempted, residual)
 			return instErr
 		}
 	}
@@ -611,6 +861,9 @@ func (f *CIOQFleet) validate(k, T int) error {
 			if got, want := f.voqByOut[k*f.m+j]&(1<<uint(i)) != 0, l > 0; got != want {
 				return fmt.Errorf("fleet: slot %d instance %d: VOQByOut[%d] bit %d = %v, len=%d", T, k, j, i, got, l)
 			}
+			if f.iqID != nil && !ringOrdered(f.iq, f.iqID, f.iqHdr[k*f.nm+i*f.m+j], (k*f.nm+i*f.m+j)*f.icap, int32(f.icap-1)) {
+				return fmt.Errorf("fleet: slot %d instance %d: IQ[%d][%d] not in ByValue order", T, k, i, j)
+			}
 		}
 	}
 	for j := 0; j < f.m; j++ {
@@ -618,6 +871,9 @@ func (f *CIOQFleet) validate(k, T int) error {
 		out += l
 		if l < 0 || l > f.outBuf {
 			return fmt.Errorf("fleet: slot %d instance %d: OQ[%d] length %d out of range", T, k, j, l)
+		}
+		if f.oqID != nil && !ringOrdered(f.oq, f.oqID, f.oqHdr[k*f.m+j], (k*f.m+j)*f.ocap, int32(f.ocap-1)) {
+			return fmt.Errorf("fleet: slot %d instance %d: OQ[%d] not in ByValue order", T, k, j)
 		}
 		if got, want := st.outFree&(1<<uint(j)) != 0, l < f.outBuf; got != want {
 			return fmt.Errorf("fleet: slot %d instance %d: OutFree bit %d = %v, len=%d", T, k, j, got, l)
@@ -633,6 +889,19 @@ func (f *CIOQFleet) validate(k, T int) error {
 	return nil
 }
 
+// ringOrdered reports whether the ring segment holds ByValue order
+// (value descending, ties by ascending ID) from head to tail.
+func ringOrdered(buf []pkt, ids []int64, h qhdr, base int, capM int32) bool {
+	for x := int32(1); x < h.n; x++ {
+		a := base + int((h.head+x-1)&capM)
+		b := base + int((h.head+x)&capM)
+		if buf[a].v < buf[b].v || (buf[a].v == buf[b].v && ids[a] >= ids[b]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Results returns one Result per loaded instance (in input order) once
 // every instance has retired. It errors if the fleet is still running or a
 // stepping error is pending. The backing array is reused by the next
@@ -646,3 +915,6 @@ func (f *CIOQFleet) Results() ([]*switchsim.Result, error) {
 	}
 	return f.results[:f.cur], nil
 }
+
+func (f *CIOQFleet) batchCap() int { return f.batch }
+func (f *CIOQFleet) passes() int64 { return f.passCount }

@@ -9,16 +9,26 @@
 //
 // # Columnar layout
 //
-// A fleet holds B instances of one geometry (Inputs, Outputs ≤ 64) in
-// struct-of-arrays form: every piece of per-switch state becomes a flat
-// lane indexed by instance. Occupancy masks are single uint64 words
-// (voq[k*n+i] is instance k's non-empty-VOQ mask for input i), queue
-// contents are flat power-of-two rings of (value, arrival) pairs, and the
-// per-slot metric accumulators (sent, benefit, occupancy integrals, ...)
-// are []int64 lanes. The per-slot loop therefore touches dense arrays with
-// no pointer chasing, no interface dispatch per queue operation, and no
-// allocation — the zero-allocs-per-batched-slot invariant is pinned by
-// alloc_test.go.
+// A fleet holds B instances of one geometry in struct-of-arrays form:
+// every piece of per-switch state becomes a flat lane indexed by
+// instance. Occupancy masks are uint64 words (voq[k*n+i] is instance k's
+// non-empty-VOQ mask for input i), queue contents are flat power-of-two
+// rings of (value, arrival) pairs — plus a parallel ID lane in the
+// weighted family, where rings are kept in ByValue order and admissions
+// and transfers may preempt the ring minimum — and the per-slot metric
+// accumulators (sent, benefit, occupancy integrals, ...) are []int64
+// lanes. The per-slot loop therefore touches dense arrays with no pointer
+// chasing, no interface dispatch per queue operation, and no allocation —
+// the zero-allocs-per-batched-slot invariant is pinned by alloc_test.go
+// for the unit, weighted and wide engines alike.
+//
+// Two engine widths share this design. The narrow engines (Inputs,
+// Outputs ≤ 64) keep every occupancy row in a single word. The wide
+// engines (65 ≤ ports ≤ 512) store each row as a multi-word
+// internal/bitset span behind row-accessor views, iterate them word by
+// word, and batch the weighted matchings through a counting-sort
+// bucketing shared across the batch; the narrow 1-word layout is
+// untouched. The runner picks the width per configuration.
 //
 // # Lockstep windows and the active list
 //
@@ -41,22 +51,38 @@
 //
 // # Kernels and bit-identical semantics
 //
-// A kernel is the batched counterpart of a scalar policy. The ported
-// family is the unit-value policies whose admission rule is "accept iff
-// the input queue has room" and whose quiescent-state evolution is either
-// frozen (RoundRobin pointers, NaiveFIFO) or derivable from the slot
-// clock (GM and CGU rotating-scan ticks): GM in all four edge orders,
-// RoundRobin, NaiveFIFO, and the crossbar CGU (plain and rotating).
+// A kernel is the batched counterpart of a scalar policy. Two families
+// are ported. The unit family is the policies whose admission rule is
+// "accept iff the input queue has room" and whose quiescent-state
+// evolution is either frozen (RoundRobin pointers, NaiveFIFO) or
+// derivable from the slot clock (GM and CGU rotating-scan ticks). The
+// weighted family adds the preemptive disciplines: ByValue rings,
+// preempt-the-minimum admission, preemptive transfers and weighted
+// matchings (greedy for PG/CPG, Hungarian for KRMWM), whose quiescent
+// drains are value-ordered but still policy-independent.
+//
+// Coverage matrix (policy × geometry; every ✓ is a batched kernel in
+// both the narrow ≤ 64-port and the wide 65–512-port engine):
+//
+//	policy                    CIOQ   crossbar
+//	GM (all four edge orders)  ✓        —
+//	RoundRobin, NaiveFIFO      ✓        —
+//	PG (incl. custom beta)     ✓        —
+//	KRMWM (maximum-weight)     ✓        —
+//	CGU (plain and rotating)   —        ✓
+//	CPG (incl. custom α/β)     —        ✓
+//
 // Every kernel reproduces its scalar policy's decisions exactly —
 // eligibility is read from the same pre-cycle state the scalar engine
 // exposes to policies — so fleet Metrics are reflect.DeepEqual to
 // per-instance switchsim runs, including latency histograms and per-slot
-// series. The differential suite, a fuzz target over batch size and
-// sequence shape, and the ratio-backend determinism tests gate this the
-// same way reference_test.go and eventdriven_test.go gated PR 1–3.
+// series. The differential suite, a fuzz target over batch size, weighted
+// tie-breaks, wide geometries and sequence shape, and the ratio-backend
+// determinism tests gate this the same way reference_test.go and
+// eventdriven_test.go gated PR 1–3.
 //
-// Policies without a kernel (the weighted family, randomized GM, ...)
-// and geometries beyond 64 ports fall back to per-instance scalar runs
-// behind the same RunCIOQ/RunCrossbar entry points, so callers need not
-// special-case batchability.
+// Policies without a kernel (randomized GM, the FIFO-discipline
+// variants, ...) and geometries beyond 512 ports fall back to
+// per-instance scalar runs behind the same RunCIOQ/RunCrossbar entry
+// points, so callers need not special-case batchability.
 package fleet

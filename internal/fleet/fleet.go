@@ -14,20 +14,32 @@ import (
 // runs instead of surfacing it.
 var ErrUnsupported = errors.New("fleet: not batchable")
 
-// maxPorts is the columnar engine's port limit: occupancy rows are single
-// uint64 words.
+// maxPorts is the single-word engine's port limit: its occupancy rows are
+// single uint64 words. Geometries up to maxWidePorts ride the multi-word
+// wide engine instead of falling back to scalar.
 const maxPorts = 64
 
-// BatchableCIOQ reports whether the policy produced by factory rides the
+// BatchableCIOQ reports whether the policy produced by factory rides a
 // columnar engine for this configuration (it has a batched kernel and the
-// geometry fits in single-word masks).
+// geometry fits the wide engine's rows). The narrow and wide kernel
+// tables cover the same policy families, so one predicate serves both.
 func BatchableCIOQ(cfg switchsim.Config, factory func() switchsim.CIOQPolicy) bool {
-	return cioqKernelFor(factory()) != nil && cfg.Inputs <= maxPorts && cfg.Outputs <= maxPorts
+	return cioqKernelFor(factory()) != nil && cfg.Inputs <= maxWidePorts && cfg.Outputs <= maxWidePorts
 }
 
 // BatchableCrossbar is BatchableCIOQ for crossbar policies.
 func BatchableCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy) bool {
-	return crossbarKernelFor(factory()) != nil && cfg.Inputs <= maxPorts && cfg.Outputs <= maxPorts
+	return crossbarKernelFor(factory()) != nil && cfg.Inputs <= maxWidePorts && cfg.Outputs <= maxWidePorts
+}
+
+// fleetEngine is the runner-facing surface shared by the single-word and
+// wide engines of each switch type.
+type fleetEngine interface {
+	Reset(seqs []packet.Sequence) error
+	Step() bool
+	Results() ([]*switchsim.Result, error)
+	batchCap() int
+	passes() int64
 }
 
 // RunCIOQ simulates the policy family produced by factory on every
@@ -56,7 +68,7 @@ func RunCrossbar(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy, 
 type CIOQRunner struct {
 	factory func() switchsim.CIOQPolicy
 	cfg     switchsim.Config
-	f       *CIOQFleet
+	f       fleetEngine
 }
 
 // NewCIOQRunner creates a runner for the policy family produced by
@@ -84,8 +96,14 @@ func (r *CIOQRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*switc
 		fleetProbes.Load().RecordFallback(int64(len(seqs)))
 		return out, nil
 	}
-	if r.f == nil || r.cfg != cfg || r.f.batch < len(seqs) {
-		f, err := NewCIOQFleet(cfg, r.factory, len(seqs))
+	if r.f == nil || r.cfg != cfg || r.f.batchCap() < len(seqs) {
+		var f fleetEngine
+		var err error
+		if cfg.Inputs <= maxPorts && cfg.Outputs <= maxPorts {
+			f, err = NewCIOQFleet(cfg, r.factory, len(seqs))
+		} else {
+			f, err = newWideCIOQFleet(cfg, r.factory, len(seqs))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +112,7 @@ func (r *CIOQRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*switc
 	if err := r.f.Reset(seqs); err != nil {
 		return nil, err
 	}
-	passBefore := r.f.passCount
+	passBefore := r.f.passes()
 	for r.f.Step() {
 	}
 	out, err := r.f.Results()
@@ -106,7 +124,7 @@ func (r *CIOQRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*switc
 		for _, res := range out {
 			slots += int64(res.Slots)
 		}
-		p.RecordKernel(int64(len(seqs)), slots, r.f.passCount-passBefore)
+		p.RecordKernel(int64(len(seqs)), slots, r.f.passes()-passBefore)
 	}
 	return out, nil
 }
@@ -115,7 +133,7 @@ func (r *CIOQRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*switc
 type CrossbarRunner struct {
 	factory func() switchsim.CrossbarPolicy
 	cfg     switchsim.Config
-	f       *CrossbarFleet
+	f       fleetEngine
 }
 
 // NewCrossbarRunner creates a runner for the policy family produced by
@@ -143,8 +161,14 @@ func (r *CrossbarRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*s
 		fleetProbes.Load().RecordFallback(int64(len(seqs)))
 		return out, nil
 	}
-	if r.f == nil || r.cfg != cfg || r.f.batch < len(seqs) {
-		f, err := NewCrossbarFleet(cfg, r.factory, len(seqs))
+	if r.f == nil || r.cfg != cfg || r.f.batchCap() < len(seqs) {
+		var f fleetEngine
+		var err error
+		if cfg.Inputs <= maxPorts && cfg.Outputs <= maxPorts {
+			f, err = NewCrossbarFleet(cfg, r.factory, len(seqs))
+		} else {
+			f, err = newWideCrossbarFleet(cfg, r.factory, len(seqs))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +177,7 @@ func (r *CrossbarRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*s
 	if err := r.f.Reset(seqs); err != nil {
 		return nil, err
 	}
-	passBefore := r.f.passCount
+	passBefore := r.f.passes()
 	for r.f.Step() {
 	}
 	out, err := r.f.Results()
@@ -165,7 +189,7 @@ func (r *CrossbarRunner) Run(cfg switchsim.Config, seqs []packet.Sequence) ([]*s
 		for _, res := range out {
 			slots += int64(res.Slots)
 		}
-		p.RecordKernel(int64(len(seqs)), slots, r.f.passCount-passBefore)
+		p.RecordKernel(int64(len(seqs)), slots, r.f.passes()-passBefore)
 	}
 	return out, nil
 }

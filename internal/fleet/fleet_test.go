@@ -25,13 +25,18 @@ func fleetCIOQPolicies() map[string]func() switchsim.CIOQPolicy {
 		"gm-longestfirst": func() switchsim.CIOQPolicy { return &core.GM{Order: core.LongestFirst} },
 		"naive-fifo":      func() switchsim.CIOQPolicy { return &core.NaiveFIFO{} },
 		"roundrobin":      func() switchsim.CIOQPolicy { return &core.RoundRobin{} },
+		"pg":              func() switchsim.CIOQPolicy { return &core.PG{} },
+		"pg-beta3":        func() switchsim.CIOQPolicy { return &core.PG{Beta: 3} },
+		"krmwm":           func() switchsim.CIOQPolicy { return &core.KRMWM{} },
 	}
 }
 
 func fleetCrossbarPolicies() map[string]func() switchsim.CrossbarPolicy {
 	return map[string]func() switchsim.CrossbarPolicy{
-		"cgu":          func() switchsim.CrossbarPolicy { return &core.CGU{} },
-		"cgu-rotating": func() switchsim.CrossbarPolicy { return &core.CGU{RotatePick: true} },
+		"cgu":             func() switchsim.CrossbarPolicy { return &core.CGU{} },
+		"cgu-rotating":    func() switchsim.CrossbarPolicy { return &core.CGU{RotatePick: true} },
+		"cpg":             func() switchsim.CrossbarPolicy { return &core.CPG{} },
+		"cpg-equalparams": func() switchsim.CrossbarPolicy { return core.CPGEqualParams() },
 	}
 }
 
@@ -172,14 +177,15 @@ func TestFleetDenseMatchesJumping(t *testing.T) {
 	}
 }
 
-// TestFleetFallbackUnportedPolicy routes a weighted policy (no kernel)
-// through the fleet entry points and checks the scalar fallback is taken
-// and bit-identical.
+// TestFleetFallbackUnportedPolicy routes a policy with no batched kernel
+// (randomized GM, whose per-cycle shuffles have no columnar port) through
+// the fleet entry points and checks the scalar fallback is taken and
+// bit-identical.
 func TestFleetFallbackUnportedPolicy(t *testing.T) {
 	cfg := switchsim.Config{Inputs: 4, Outputs: 4, InputBuf: 2, OutputBuf: 2, CrossBuf: 1, Speedup: 2, Validate: true}
-	mk := func() switchsim.CIOQPolicy { return &core.PG{} }
+	mk := func() switchsim.CIOQPolicy { return &core.RandomizedGM{} }
 	if BatchableCIOQ(cfg, mk) {
-		t.Fatal("PG unexpectedly reported batchable")
+		t.Fatal("RandomizedGM unexpectedly reported batchable")
 	}
 	gen := packet.Bernoulli{Load: 1.0, Values: packet.UniformValues{Hi: 20}}
 	seqs := fleetSeqs(cfg, gen, 3, 3, 60)
@@ -197,9 +203,9 @@ func TestFleetFallbackUnportedPolicy(t *testing.T) {
 		}
 	}
 
-	mkX := func() switchsim.CrossbarPolicy { return &core.CPG{} }
+	mkX := func() switchsim.CrossbarPolicy { return &core.CrossbarNaive{} }
 	if BatchableCrossbar(cfg, mkX) {
-		t.Fatal("CPG unexpectedly reported batchable")
+		t.Fatal("CrossbarNaive unexpectedly reported batchable")
 	}
 	rsX, err := RunCrossbar(cfg, mkX, seqs)
 	if err != nil {
@@ -216,16 +222,17 @@ func TestFleetFallbackUnportedPolicy(t *testing.T) {
 	}
 }
 
-// TestFleetGeometryFallback checks that >64-port geometries take the
-// scalar path rather than erroring.
+// TestFleetGeometryFallback checks that geometries beyond the wide
+// engine's limit take the scalar path rather than erroring.
 func TestFleetGeometryFallback(t *testing.T) {
-	cfg := switchsim.Config{Inputs: 65, Outputs: 65, InputBuf: 1, OutputBuf: 1, Speedup: 1}
+	const ports = maxWidePorts + 1
+	cfg := switchsim.Config{Inputs: ports, Outputs: ports, InputBuf: 1, OutputBuf: 1, Speedup: 1}
 	mk := func() switchsim.CIOQPolicy { return &core.GM{} }
 	if BatchableCIOQ(cfg, mk) {
-		t.Fatal("65x65 unexpectedly batchable")
+		t.Fatalf("%dx%d unexpectedly batchable", ports, ports)
 	}
 	rng := rand.New(rand.NewSource(1))
-	seqs := []packet.Sequence{packet.Bernoulli{Load: 0.5}.Generate(rng, 65, 65, 10)}
+	seqs := []packet.Sequence{packet.Bernoulli{Load: 0.1}.Generate(rng, ports, ports, 10)}
 	rs, err := RunCIOQ(cfg, mk, seqs)
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +243,122 @@ func TestFleetGeometryFallback(t *testing.T) {
 	}
 	if !reflect.DeepEqual(scalar.M, rs[0].M) {
 		t.Error("geometry fallback diverged from scalar")
+	}
+}
+
+// wideFleetConfigs are geometries past the single-word limit, so they
+// exercise the multi-word wide engine (including a non-square case whose
+// input- and output-indexed rows have different word counts).
+func wideFleetConfigs() []fleetConfig {
+	return []fleetConfig{
+		{"65x65", switchsim.Config{Inputs: 65, Outputs: 65, InputBuf: 2, OutputBuf: 2, CrossBuf: 1, Speedup: 1, Validate: true}},
+		{"96x70-speedup2", switchsim.Config{Inputs: 96, Outputs: 70, InputBuf: 3, OutputBuf: 2, CrossBuf: 2, Speedup: 2, Validate: true, RecordLatency: true}},
+	}
+}
+
+// TestFleetWideMatchesScalar is the differential suite for the wide
+// engine: every ported policy family, on >64-port geometries, must stay
+// bit-identical to per-instance scalar runs.
+func TestFleetWideMatchesScalar(t *testing.T) {
+	const batch = 3
+	gens := []packet.Generator{
+		packet.Bernoulli{Load: 0.9, Values: packet.UniformValues{Hi: 20}},
+		packet.PoissonBurst{OffMean: 40, BurstMean: 3, Values: packet.ZipfValues{Hi: 50, S: 1.3}},
+	}
+	for name, mk := range fleetCIOQPolicies() {
+		for _, rc := range wideFleetConfigs() {
+			if !BatchableCIOQ(rc.cfg, mk) {
+				t.Fatalf("%s/%s: expected a batched wide kernel", name, rc.name)
+			}
+			for gi, gen := range gens {
+				seqs := fleetSeqs(rc.cfg, gen, 7+int64(gi), batch, 150)
+				fleetRes, err := RunCIOQ(rc.cfg, mk, seqs)
+				if err != nil {
+					t.Fatalf("%s/%s/%s fleet: %v", name, rc.name, gen.Name(), err)
+				}
+				for k, seq := range seqs {
+					scalar, err := switchsim.RunCIOQ(rc.cfg, mk(), seq)
+					if err != nil {
+						t.Fatalf("%s/%s/%s scalar[%d]: %v", name, rc.name, gen.Name(), k, err)
+					}
+					if !reflect.DeepEqual(scalar.M, fleetRes[k].M) {
+						t.Errorf("%s/%s/%s instance %d: wide fleet diverged from scalar:\nscalar: %+v\nfleet:  %+v",
+							name, rc.name, gen.Name(), k, scalar.M, fleetRes[k].M)
+					}
+				}
+			}
+		}
+	}
+	for name, mk := range fleetCrossbarPolicies() {
+		for _, rc := range wideFleetConfigs() {
+			if !BatchableCrossbar(rc.cfg, mk) {
+				t.Fatalf("%s/%s: expected a batched wide kernel", name, rc.name)
+			}
+			for gi, gen := range gens {
+				seqs := fleetSeqs(rc.cfg, gen, 19+int64(gi), batch, 150)
+				fleetRes, err := RunCrossbar(rc.cfg, mk, seqs)
+				if err != nil {
+					t.Fatalf("%s/%s/%s fleet: %v", name, rc.name, gen.Name(), err)
+				}
+				for k, seq := range seqs {
+					scalar, err := switchsim.RunCrossbar(rc.cfg, mk(), seq)
+					if err != nil {
+						t.Fatalf("%s/%s/%s scalar[%d]: %v", name, rc.name, gen.Name(), k, err)
+					}
+					if !reflect.DeepEqual(scalar.M, fleetRes[k].M) {
+						t.Errorf("%s/%s/%s instance %d: wide fleet diverged from scalar:\nscalar: %+v\nfleet:  %+v",
+							name, rc.name, gen.Name(), k, scalar.M, fleetRes[k].M)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFleetWide256MatchesScalar spot-checks the batched-matching regime
+// (n = 256: four-word rows, counting-sort weight buckets) against scalar.
+// The Hungarian policy is left to the 65–96-port tier above: its scalar
+// oracle is cubic in ports.
+func TestFleetWide256MatchesScalar(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 256, Outputs: 256, InputBuf: 2, OutputBuf: 2, CrossBuf: 1, Speedup: 1, Validate: true}
+	gen := packet.Bernoulli{Load: 0.6, Values: packet.UniformValues{Hi: 30}}
+	seqs := fleetSeqs(cfg, gen, 3, 2, 60)
+	for name, mk := range map[string]func() switchsim.CIOQPolicy{
+		"gm-longestfirst": func() switchsim.CIOQPolicy { return &core.GM{Order: core.LongestFirst} },
+		"roundrobin":      func() switchsim.CIOQPolicy { return &core.RoundRobin{} },
+		"pg":              func() switchsim.CIOQPolicy { return &core.PG{} },
+	} {
+		fleetRes, err := RunCIOQ(cfg, mk, seqs)
+		if err != nil {
+			t.Fatalf("%s fleet: %v", name, err)
+		}
+		for k, seq := range seqs {
+			scalar, err := switchsim.RunCIOQ(cfg, mk(), seq)
+			if err != nil {
+				t.Fatalf("%s scalar[%d]: %v", name, k, err)
+			}
+			if !reflect.DeepEqual(scalar.M, fleetRes[k].M) {
+				t.Errorf("%s instance %d: 256-port fleet diverged from scalar", name, k)
+			}
+		}
+	}
+	for name, mk := range map[string]func() switchsim.CrossbarPolicy{
+		"cgu": func() switchsim.CrossbarPolicy { return &core.CGU{} },
+		"cpg": func() switchsim.CrossbarPolicy { return &core.CPG{} },
+	} {
+		fleetRes, err := RunCrossbar(cfg, mk, seqs)
+		if err != nil {
+			t.Fatalf("%s fleet: %v", name, err)
+		}
+		for k, seq := range seqs {
+			scalar, err := switchsim.RunCrossbar(cfg, mk(), seq)
+			if err != nil {
+				t.Fatalf("%s scalar[%d]: %v", name, k, err)
+			}
+			if !reflect.DeepEqual(scalar.M, fleetRes[k].M) {
+				t.Errorf("%s instance %d: 256-port fleet diverged from scalar", name, k)
+			}
+		}
 	}
 }
 
@@ -285,7 +408,7 @@ func TestRunnerReusesFleetAcrossShrinkingBatches(t *testing.T) {
 	gen := packet.PoissonBurst{OffMean: 30, BurstMean: 4}
 	seqs := fleetSeqs(cfg, gen, 31, 14, 300)
 	r := NewCIOQRunner(mk)
-	var firstFleet *CIOQFleet
+	var firstFleet fleetEngine
 	for _, chunk := range [][]packet.Sequence{seqs[:6], seqs[6:12], seqs[12:14], seqs[:6]} {
 		rs, err := r.Run(cfg, chunk)
 		if err != nil {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"math/bits"
 
 	"qswitch/internal/core"
@@ -24,12 +25,18 @@ type cioqKernel interface {
 	// occupancy rows; when false (and Validate is off) the engine skips
 	// maintaining them, saving two index updates per packet move.
 	wantsVOQByOut() bool
+	// weighted reports whether the kernel's policy family uses the
+	// ByValue queue discipline; the engine then allocates ID lanes and
+	// switches admission and transfers to preemptive ByValue insertion.
+	weighted() bool
 }
 
 // crossbarKernel is the batched counterpart of a scalar crossbar policy's
 // two subphases, under the same exactness contract as cioqKernel.
 type crossbarKernel interface {
 	cycle(v *crossbarView, slot, cycle int)
+	// weighted is as in cioqKernel.
+	weighted() bool
 }
 
 // cioqKernelFor maps a scalar policy to its batched kernel, or nil when
@@ -44,6 +51,23 @@ func cioqKernelFor(pol switchsim.CIOQPolicy) cioqKernel {
 		return &gmKernel{order: core.RowMajor}
 	case *core.RoundRobin:
 		return &rrKernel{}
+	case *core.PG:
+		// Replicates (*core.PG).Reset's beta resolution.
+		beta := p.Beta
+		if beta == 0 {
+			beta = core.DefaultBetaPG()
+		} else if beta < 1 {
+			beta = 1
+		}
+		return &pgKernel{beta: beta}
+	case *core.KRMWM:
+		// Replicates (*core.KRMWM).Reset: zero defaults to 2, and unlike
+		// PG there is no >=1 clamp.
+		beta := p.Beta
+		if beta == 0 {
+			beta = 2
+		}
+		return &pgKernel{beta: beta, maxWeight: true}
 	}
 	return nil
 }
@@ -53,8 +77,21 @@ func crossbarKernelFor(pol switchsim.CrossbarPolicy) crossbarKernel {
 	switch p := pol.(type) {
 	case *core.CGU:
 		return &cguKernel{rotate: p.RotatePick}
+	case *core.CPG:
+		// Replicates (*core.CPG).Reset's parameter resolution (zero means
+		// the paper default, anything else clamps to >= 1).
+		return &cpgKernel{beta: cpgParam(p.Beta, core.DefaultBetaCPG()), alpha: cpgParam(p.Alpha, core.DefaultAlphaCPG())}
 	}
 	return nil
+}
+
+// cpgParam mirrors core's betaOrDefault: zero picks the default, other
+// values clamp to at least 1.
+func cpgParam(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return math.Max(v, 1)
 }
 
 // gmKernel is the batched GM (and NaiveFIFO) scheduler: a greedy maximal
@@ -73,6 +110,8 @@ func (g *gmKernel) reset(f *CIOQFleet) {
 }
 
 func (g *gmKernel) wantsVOQByOut() bool { return g.order == core.ColMajor }
+
+func (g *gmKernel) weighted() bool { return false }
 
 func (g *gmKernel) cycle(v *cioqView, slot, cycle int) {
 	n, m := v.n, v.m
@@ -136,6 +175,8 @@ type rrKernel struct{}
 
 func (rrKernel) wantsVOQByOut() bool { return true }
 
+func (rrKernel) weighted() bool { return false }
+
 func (rrKernel) reset(f *CIOQFleet) {
 	if len(f.rrGrant) != f.batch*f.m {
 		f.rrGrant = make([]int32, f.batch*f.m)
@@ -174,6 +215,273 @@ func (rrKernel) cycle(v *cioqView, slot, cycle int) {
 	}
 }
 
+// pgKernel is the batched PG / KRMWM scheduler: enumerate the eligible
+// VOQ-head edges (destination open, or the head beats beta times the
+// destination's least valuable packet), match — greedy maximal for PG,
+// maximum-weight Hungarian for KRMWM — and execute each transfer with
+// output-side preemption. Both scalar policies resolve their beta in
+// Reset; the kernel bakes the resolved value in at construction. Neither
+// policy has slot-dependent state, so no idle hook is needed.
+type pgKernel struct {
+	beta      float64
+	maxWeight bool // KRMWM: maximum-weight matching instead of greedy maximal
+}
+
+// pgFastMaxW bounds the packed-key fast path of the greedy PG kernel; it
+// matches the counting-sort weight bound inside matching.WeightedScheduler
+// so the two paths cover exactly the same instances.
+const pgFastMaxW = 2048
+
+func (g *pgKernel) reset(f *CIOQFleet) {
+	if cap(f.edges) < f.nm {
+		f.edges = make([]matching.Edge, 0, f.nm)
+	}
+	if !g.maxWeight && (len(f.wcnt) != pgFastMaxW+1 || cap(f.wsorted) < f.nm) {
+		f.wkeys = make([]uint32, 0, f.nm)
+		f.wsorted = make([]uint32, f.nm)
+		f.wcnt = make([]int32, pgFastMaxW+1)
+		f.wcntHi = 0
+	}
+}
+
+func (g *pgKernel) wantsVOQByOut() bool { return false }
+
+func (g *pgKernel) weighted() bool { return true }
+
+func (g *pgKernel) cycle(v *cioqView, slot, cycle int) {
+	if !g.maxWeight && g.fastCycle(v) {
+		return
+	}
+	g.genericCycle(v)
+}
+
+// fastCycle is the greedy-PG hot path: eligible VOQ-head edges are packed
+// into uint32 keys (weight<<12 | input<<6 | output, valid because narrow
+// ports fit 6 bits and the fast path requires weight <= pgFastMaxW), a
+// stable counting scatter by weight descending reproduces the scheduler's
+// contract order (weight desc, ties input asc then output asc — the
+// enumeration itself is (input, output)-ascending), and the greedy accept
+// runs on two uint64 used-port masks, executing each accepted transfer
+// immediately. Decisions are identical to the matching-package path;
+// reports false without transferring anything when a head value exceeds
+// the packed range, so the caller can rerun the generic path.
+func (g *pgKernel) fastCycle(v *cioqView) bool {
+	f := v.f
+	cnt := f.wcnt
+	clear(cnt[:f.wcntHi])
+	keys := f.wkeys[:0]
+	maxW := int32(0)
+	of := v.st.outFree
+	// A full output's tail value (and its beta multiple) is shared by
+	// every input's eligibility test, so hoist both out of the edge scan
+	// and compute them once per cycle.
+	var tailV [64]int64
+	var tailB [64]float64
+	for w := allOnes(v.m) &^ of; w != 0; w &= w - 1 {
+		j := bits.TrailingZeros64(w)
+		ho := &v.oqHdr[j]
+		tv := v.oq[j*v.ocap+int((ho.head+ho.n-1)&v.ocapM)].v
+		tailV[j] = tv
+		tailB[j] = g.beta * float64(tv)
+	}
+	for i := 0; i < v.n; i++ {
+		w := v.voq[i]
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			w &= w - 1
+			q := i*v.m + j
+			hv := v.iqHV[q]
+			if of&(1<<uint(j)) == 0 {
+				// beta >= 1, so hv <= tail already fails eligibility;
+				// the integer compare keeps the float math off the
+				// common rejected path.
+				if hv <= tailV[j] || float64(hv) <= tailB[j] {
+					continue
+				}
+			}
+			if hv > pgFastMaxW {
+				// Out-of-range value: record the partially counted cnt
+				// range (the offending head was never counted) so the
+				// next clear wipes it.
+				f.wcntHi = maxW + 1
+				return false
+			}
+			cnt[hv]++
+			maxW = max(maxW, int32(hv))
+			keys = append(keys, uint32(hv)<<12|uint32(i)<<6|uint32(j))
+		}
+	}
+	f.wkeys = keys
+	f.wcntHi = maxW + 1
+	if len(keys) == 0 {
+		return true
+	}
+	// Prefix offsets with heavier weights first, then stable scatter.
+	total := int32(0)
+	for w := maxW; w >= 1; w-- {
+		c := cnt[w]
+		cnt[w] = total
+		total += c
+	}
+	sorted := f.wsorted[:len(keys)]
+	for _, k := range keys {
+		w := k >> 12
+		sorted[cnt[w]] = k
+		cnt[w]++
+	}
+	var usedU, usedV uint64
+	for _, k := range sorted {
+		i := int(k>>6) & 63
+		j := int(k) & 63
+		bi, bj := uint64(1)<<uint(i), uint64(1)<<uint(j)
+		if usedU&bi == 0 && usedV&bj == 0 {
+			usedU |= bi
+			usedV |= bj
+			v.wtransfer(i, j)
+		}
+	}
+	return true
+}
+
+// genericCycle enumerates eligible edges as matching.Edge values and
+// defers to the shared matchers: Hungarian for KRMWM, the weighted
+// scheduler (with its own counting/radix fast paths) for greedy PG edges
+// whose values overflow the packed fast path.
+func (g *pgKernel) genericCycle(v *cioqView) {
+	f := v.f
+	edges := f.edges[:0]
+	of := v.st.outFree
+	for i := 0; i < v.n; i++ {
+		w := v.voq[i]
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			w &= w - 1
+			q := i*v.m + j
+			hv := v.iqHV[q]
+			if of&(1<<uint(j)) == 0 {
+				ho := &v.oqHdr[j]
+				tv := v.oq[j*v.ocap+int((ho.head+ho.n-1)&v.ocapM)].v
+				if float64(hv) <= g.beta*float64(tv) {
+					continue
+				}
+			}
+			edges = append(edges, matching.Edge{U: i, V: j, W: hv})
+		}
+	}
+	f.edges = edges
+	var matched []matching.Edge
+	if g.maxWeight {
+		matched = f.hung.MaxWeightMatching(v.n, v.m, edges)
+	} else {
+		matched = f.sched.GreedyMaximalWeighted(v.n, v.m, edges)
+	}
+	for _, e := range matched {
+		v.wtransfer(e.U, e.V)
+	}
+}
+
+// cpgKernel is the batched CPG scheduler. Input subphase: each input
+// forwards its best eligible VOQ head (ByValue order over heads;
+// eligibility is crosspoint-open or head beats beta times the crosspoint
+// tail) to the crosspoint. Output subphase: each output pulls the best
+// occupied-crosspoint head, transferring only if the output queue is open
+// or the head beats alpha times the output tail. The scalar policy picks
+// every input's (and then every output's) move from the subphase-start
+// snapshot; picks here execute immediately, which is equivalent because a
+// pick reads only state that its own port's transfer mutates.
+type cpgKernel struct {
+	beta, alpha float64
+}
+
+func (c *cpgKernel) weighted() bool { return true }
+
+func (c *cpgKernel) cycle(v *crossbarView, slot, cycle int) {
+	for i := 0; i < v.n; i++ {
+		w := v.voq[i]
+		xfree := v.xFree[i]
+		bestJ := -1
+		haveID := false
+		var bestV, bestID int64
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			w &= w - 1
+			q := i*v.m + j
+			hv := v.iqHV[q]
+			if bestJ >= 0 && hv < bestV {
+				// A dominated head can never become the pick, eligible
+				// or not: skip the crosspoint-tail load and the beta
+				// comparison outright.
+				continue
+			}
+			if xfree&(1<<uint(j)) == 0 {
+				hx := &v.xqHdr[q]
+				tv := v.xq[q*v.xcap+int((hx.head+hx.n-1)&v.xcapM)].v
+				// beta >= 1: the integer compare rejects without the
+				// float math on the common path.
+				if hv <= tv || float64(hv) <= c.beta*float64(tv) {
+					continue
+				}
+			}
+			// Head IDs break value ties, so their (header, ring) load
+			// pairs are deferred until a tie actually happens.
+			if bestJ < 0 || hv > bestV {
+				bestJ, bestV = j, hv
+				haveID = false
+			} else {
+				if !haveID {
+					bq := i*v.m + bestJ
+					bestID = v.iqID[bq*v.icap+int(v.iqHdr[bq].head)]
+					haveID = true
+				}
+				if hid := v.iqID[q*v.icap+int(v.iqHdr[q].head)]; hid < bestID {
+					bestJ, bestID = j, hid
+				}
+			}
+		}
+		if bestJ >= 0 {
+			v.wInputTransfer(i, bestJ)
+		}
+	}
+	for j := 0; j < v.m; j++ {
+		w := v.xBusyByOut[j]
+		bestI := -1
+		haveID := false
+		var bestV, bestID int64
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			w &= w - 1
+			hv := v.xqHV[j*v.n+i] // transposed lane: sequential in i
+			if bestI < 0 || hv > bestV {
+				bestI, bestV = i, hv
+				haveID = false
+			} else if hv == bestV {
+				// Same lazy tie-break as the input subphase.
+				if !haveID {
+					bq := bestI*v.m + j
+					bestID = v.xqID[bq*v.xcap+int(v.xqHdr[bq].head)]
+					haveID = true
+				}
+				q := i*v.m + j
+				if hid := v.xqID[q*v.xcap+int(v.xqHdr[q].head)]; hid < bestID {
+					bestI, bestID = i, hid
+				}
+			}
+		}
+		if bestI < 0 {
+			continue
+		}
+		if v.st.outFree&(1<<uint(j)) == 0 {
+			ho := &v.oqHdr[j]
+			tv := v.oq[j*v.ocap+int((ho.head+ho.n-1)&v.ocapM)].v
+			// alpha >= 1: same integer pre-reject as the input subphase.
+			if bestV <= tv || float64(bestV) <= c.alpha*float64(tv) {
+				continue
+			}
+		}
+		v.wOutputTransfer(bestI, j)
+	}
+}
+
 // cguKernel is the batched CGU scheduler: per input, move the head of the
 // first non-empty VOQ whose crosspoint has room; per open output, pull
 // from the first non-empty crosspoint. The rotating variant's tick
@@ -181,6 +489,8 @@ func (rrKernel) cycle(v *cioqView, slot, cycle int) {
 type cguKernel struct {
 	rotate bool
 }
+
+func (c *cguKernel) weighted() bool { return false }
 
 func (c *cguKernel) cycle(v *crossbarView, slot, cycle int) {
 	n := v.n

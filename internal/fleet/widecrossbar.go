@@ -4,24 +4,22 @@ import (
 	"fmt"
 	"math/bits"
 
+	"qswitch/internal/bitset"
 	"qswitch/internal/packet"
 	"qswitch/internal/switchsim"
 )
 
-// CrossbarFleet is the buffered-crossbar counterpart of CIOQFleet: B
-// independent crossbar instances in columnar layout, stepped in lockstep
-// windows with per-instance quiescent jumps. Quiescence requires both the
-// input and the crosspoint layers to be empty — while crosspoints hold
-// packets the output subphase still makes policy-specific choices, so
-// those slots run densely, exactly as in the scalar engine.
-type CrossbarFleet struct {
+// wideCrossbarFleet is CrossbarFleet with multi-word occupancy rows; see
+// wideCIOQFleet and CrossbarFleet.
+type wideCrossbarFleet struct {
 	cfg      switchsim.Config
 	policy   string
-	kern     crossbarKernel
-	batch    int // storage capacity (construction batch size)
-	cur      int // instances loaded by the last Reset
+	kern     wideCrossbarKernel
+	batch    int
+	cur      int
 	n, m     int
 	nm       int
+	wn, wm   int
 	icap     int
 	xcap     int
 	ocap     int
@@ -29,16 +27,13 @@ type CrossbarFleet struct {
 	crossBuf int32
 	outBuf   int32
 
-	// passCount tallies pass-through deliveries (pend-buffer parks)
-	// across the fleet's lifetime; the runner diffs it around each batch
-	// to flush the fleet probes.
-	passCount int64
-
 	// Columnar switch state: per-instance blocks inside flat arrays.
-	voq        []uint64 // [k*n+i]: outputs j with IQ(k,i,j) non-empty
-	xFree      []uint64 // [k*n+i]: outputs j with XQ(k,i,j) not full
-	xBusyByOut []uint64 // [k*m+j]: inputs i with XQ(k,i,j) non-empty
-	st         []ports  // [k]
+	voq        bitset.Mask // [(k*n+i)*wm + w]: outputs j with IQ(k,i,j) non-empty
+	xFree      bitset.Mask // [(k*n+i)*wm + w]: outputs j with XQ(k,i,j) not full
+	xBusyByOut bitset.Mask // [(k*m+j)*wn + w]: inputs i with XQ(k,i,j) non-empty
+	outFree    bitset.Mask // [k*wm + w]
+	outBusy    bitset.Mask // [k*wm + w]
+	st         []wideCtr   // [k]
 	iq         []pkt
 	iqHdr      []qhdr
 	xq         []pkt
@@ -47,20 +42,10 @@ type CrossbarFleet struct {
 	oqHdr      []qhdr
 	hot        []hotCtr
 
-	// ID lanes, allocated only for weighted kernels; see CIOQFleet.
+	// ID lanes (weighted kernels only); see CIOQFleet.
 	iqID []int64
 	xqID []int64
 	oqID []int64
-
-	// Head-value lanes (weighted kernels only): cached ring head values
-	// for the input and crosspoint layers, refreshed at every head change
-	// and read only under a set occupancy bit; see CIOQFleet.iqHV. iqHV
-	// is indexed [k*nm + i*m + j] like the rings; xqHV is TRANSPOSED to
-	// [k*nm + j*n + i] because its only reader is the CPG output
-	// subphase, whose per-output argmax scan then walks it sequentially
-	// instead of at stride m.
-	iqHV []int64
-	xqHV []int64
 
 	ms      []switchsim.Metrics
 	series  [][]int64
@@ -77,61 +62,70 @@ type CrossbarFleet struct {
 	live   int
 	err    error
 
-	view crossbarView
+	view wideCrossbarView
 }
 
-// crossbarView is the per-instance working set bound once per window; see
-// cioqView.
-type crossbarView struct {
-	f          *CrossbarFleet
+// wideCrossbarView is the per-instance working set of a wide crossbar
+// instance; see crossbarView.
+type wideCrossbarView struct {
+	f          *wideCrossbarFleet
 	k          int
-	st         *ports
+	st         *wideCtr
 	hm         *hotCtr
 	lat        *switchsim.Metrics
-	voq        []uint64
-	xFree      []uint64
-	xBusyByOut []uint64
+	voq        bitset.Mask
+	xFree      bitset.Mask
+	xBusyByOut bitset.Mask
+	outFree    bitset.Mask
+	outBusy    bitset.Mask
 	iqHdr      []qhdr
 	iq         []pkt
 	xqHdr      []qhdr
 	xq         []pkt
 	oqHdr      []qhdr
 	oq         []pkt
+	iqID       []int64
+	xqID       []int64
+	oqID       []int64
 	series     []int64
 
 	n, m, nm            int
+	wn, wm              int
 	icap, xcap, ocap    int
 	icapM, xcapM, ocapM int32
 	inBuf, crossBuf     int32
 	outBuf              int32
 	speedup             int
 	recLat, recSer      bool
-	weighted            bool // ByValue rings with ID lanes and preemption
-
-	// ID lanes (weighted kernels only); same indexing as iq/xq/oq.
-	iqID []int64
-	xqID []int64
-	oqID []int64
-
-	// Head-value lanes (weighted kernels only); see CrossbarFleet.
-	iqHV []int64
-	xqHV []int64
-
-	// Direct pass-through delivery into output queues; see cioqView.
-	// Weighted kernels never use it (ByValue insertions are not FIFO).
-	direct uint64
-	pend   []pkt
+	weighted            bool
 }
 
-func (v *crossbarView) bind(f *CrossbarFleet, k int) {
+// voqRow returns input i's VOQ occupancy row.
+func (v *wideCrossbarView) voqRow(i int) bitset.Mask {
+	return v.voq[i*v.wm : (i+1)*v.wm]
+}
+
+// xFreeRow returns input i's crosspoint-has-room row.
+func (v *wideCrossbarView) xFreeRow(i int) bitset.Mask {
+	return v.xFree[i*v.wm : (i+1)*v.wm]
+}
+
+// xBusyByOutRow returns output j's occupied-crosspoint row.
+func (v *wideCrossbarView) xBusyByOutRow(j int) bitset.Mask {
+	return v.xBusyByOut[j*v.wn : (j+1)*v.wn]
+}
+
+func (v *wideCrossbarView) bind(f *wideCrossbarFleet, k int) {
 	v.f = f
 	v.k = k
 	v.st = &f.st[k]
 	v.hm = &f.hot[k]
 	v.lat = &f.ms[k]
-	v.voq = f.voq[k*f.n : (k+1)*f.n]
-	v.xFree = f.xFree[k*f.n : (k+1)*f.n]
-	v.xBusyByOut = f.xBusyByOut[k*f.m : (k+1)*f.m]
+	v.voq = f.voq[k*f.n*f.wm : (k+1)*f.n*f.wm]
+	v.xFree = f.xFree[k*f.n*f.wm : (k+1)*f.n*f.wm]
+	v.xBusyByOut = f.xBusyByOut[k*f.m*f.wn : (k+1)*f.m*f.wn]
+	v.outFree = f.outFree[k*f.wm : (k+1)*f.wm]
+	v.outBusy = f.outBusy[k*f.wm : (k+1)*f.wm]
 	v.iqHdr = f.iqHdr[k*f.nm : (k+1)*f.nm]
 	v.iq = f.iq[k*f.nm*f.icap : (k+1)*f.nm*f.icap]
 	v.xqHdr = f.xqHdr[k*f.nm : (k+1)*f.nm]
@@ -145,16 +139,12 @@ func (v *crossbarView) bind(f *CrossbarFleet, k int) {
 		v.iqID = f.iqID[k*f.nm*f.icap : (k+1)*f.nm*f.icap]
 		v.xqID = f.xqID[k*f.nm*f.xcap : (k+1)*f.nm*f.xcap]
 		v.oqID = f.oqID[k*f.m*f.ocap : (k+1)*f.m*f.ocap]
-		v.iqHV = f.iqHV[k*f.nm : (k+1)*f.nm]
-		v.xqHV = f.xqHV[k*f.nm : (k+1)*f.nm]
 	}
 }
 
-// NewCrossbarFleet sizes a fleet of `batch` crossbar instances for the
-// configuration and policy family produced by factory, returning
-// ErrUnsupported (possibly wrapped) when no batched kernel exists or the
-// geometry exceeds 64 ports.
-func NewCrossbarFleet(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy, batch int) (*CrossbarFleet, error) {
+// newWideCrossbarFleet sizes a wide crossbar fleet; see NewCrossbarFleet
+// and newWideCIOQFleet.
+func newWideCrossbarFleet(cfg switchsim.Config, factory func() switchsim.CrossbarPolicy, batch int) (*wideCrossbarFleet, error) {
 	if err := cfg.Check(true); err != nil {
 		return nil, err
 	}
@@ -162,24 +152,27 @@ func NewCrossbarFleet(cfg switchsim.Config, factory func() switchsim.CrossbarPol
 		return nil, fmt.Errorf("fleet: batch size %d < 1", batch)
 	}
 	pol := factory()
-	kern := crossbarKernelFor(pol)
+	kern := wideCrossbarKernelFor(pol)
 	if kern == nil {
 		return nil, fmt.Errorf("fleet: policy %q: %w", pol.Name(), ErrUnsupported)
 	}
-	if cfg.Inputs > maxPorts || cfg.Outputs > maxPorts {
-		return nil, fmt.Errorf("fleet: geometry %dx%d exceeds %d ports: %w", cfg.Inputs, cfg.Outputs, maxPorts, ErrUnsupported)
+	if cfg.Inputs > maxWidePorts || cfg.Outputs > maxWidePorts {
+		return nil, fmt.Errorf("fleet: geometry %dx%d exceeds %d ports: %w", cfg.Inputs, cfg.Outputs, maxWidePorts, ErrUnsupported)
 	}
 	n, m := cfg.Inputs, cfg.Outputs
-	f := &CrossbarFleet{
+	f := &wideCrossbarFleet{
 		cfg: cfg, policy: pol.Name(), kern: kern, batch: batch, cur: batch,
 		n: n, m: m, nm: n * m,
+		wn: bitset.Words(n), wm: bitset.Words(m),
 		icap: ceilPow2(cfg.InputBuf), xcap: ceilPow2(cfg.CrossBuf), ocap: ceilPow2(cfg.OutputBuf),
 		inBuf: int32(cfg.InputBuf), crossBuf: int32(cfg.CrossBuf), outBuf: int32(cfg.OutputBuf),
 	}
-	f.voq = make([]uint64, batch*n)
-	f.xFree = make([]uint64, batch*n)
-	f.xBusyByOut = make([]uint64, batch*m)
-	f.st = make([]ports, batch)
+	f.voq = make(bitset.Mask, batch*n*f.wm)
+	f.xFree = make(bitset.Mask, batch*n*f.wm)
+	f.xBusyByOut = make(bitset.Mask, batch*m*f.wn)
+	f.outFree = make(bitset.Mask, batch*f.wm)
+	f.outBusy = make(bitset.Mask, batch*f.wm)
+	f.st = make([]wideCtr, batch)
 	f.iq = make([]pkt, batch*f.nm*f.icap)
 	f.iqHdr = make([]qhdr, batch*f.nm)
 	f.xq = make([]pkt, batch*f.nm*f.xcap)
@@ -197,45 +190,42 @@ func NewCrossbarFleet(cfg switchsim.Config, factory func() switchsim.CrossbarPol
 	f.sleep = make([]sleeper, 0, batch)
 	v := &f.view
 	v.n, v.m, v.nm = n, m, f.nm
+	v.wn, v.wm = f.wn, f.wm
 	v.icap, v.xcap, v.ocap = f.icap, f.xcap, f.ocap
 	v.icapM, v.xcapM, v.ocapM = int32(f.icap-1), int32(f.xcap-1), int32(f.ocap-1)
 	v.inBuf, v.crossBuf, v.outBuf = f.inBuf, f.crossBuf, f.outBuf
 	v.speedup = cfg.Speedup
 	v.recLat, v.recSer = cfg.RecordLatency, cfg.RecordSeries
-	v.pend = make([]pkt, m)
 	if kern.weighted() {
 		v.weighted = true
 		f.iqID = make([]int64, batch*f.nm*f.icap)
 		f.xqID = make([]int64, batch*f.nm*f.xcap)
 		f.oqID = make([]int64, batch*m*f.ocap)
-		f.iqHV = make([]int64, batch*f.nm)
-		f.xqHV = make([]int64, batch*f.nm)
 	}
 	return f, nil
 }
 
-// Policy returns the name of the batched policy family.
-func (f *CrossbarFleet) Policy() string { return f.policy }
+func (f *wideCrossbarFleet) batchCap() int { return f.batch }
+func (f *wideCrossbarFleet) passes() int64 { return 0 }
 
-// Reset loads a new batch of arrival sequences (up to the construction
-// batch size) and rewinds every loaded instance to slot 0, reusing the
-// fleet's storage. Sequences are validated lazily; see (*CIOQFleet).Reset.
-func (f *CrossbarFleet) Reset(seqs []packet.Sequence) error {
+// Reset loads a new batch of sequences; see (*CrossbarFleet).Reset.
+func (f *wideCrossbarFleet) Reset(seqs []packet.Sequence) error {
 	if len(seqs) < 1 || len(seqs) > f.batch {
 		return fmt.Errorf("fleet: got %d sequences for a batch of %d", len(seqs), f.batch)
 	}
 	f.cur = len(seqs)
-	clear(f.voq)
-	clear(f.xBusyByOut)
+	f.voq.Zero()
+	f.xBusyByOut.Zero()
+	f.outBusy.Zero()
 	clear(f.iqHdr)
 	clear(f.xqHdr)
 	clear(f.oqHdr)
-	xAll := allOnes(f.m)
-	for x := range f.xFree {
-		f.xFree[x] = xAll
+	for r := 0; r < f.batch*f.n; r++ {
+		f.xFree[r*f.wm : (r+1)*f.wm].Fill(f.m)
 	}
-	for k := range f.st {
-		f.st[k] = ports{outFree: allOnes(f.m)}
+	for k := 0; k < f.batch; k++ {
+		f.outFree[k*f.wm : (k+1)*f.wm].Fill(f.m)
+		f.st[k] = wideCtr{}
 		f.hot[k] = hotCtr{}
 	}
 	f.seqs = seqs
@@ -244,7 +234,6 @@ func (f *CrossbarFleet) Reset(seqs []packet.Sequence) error {
 	f.slot = 0
 	f.live = f.cur
 	f.err = nil
-	f.view.direct = 0
 	for k := 0; k < f.cur; k++ {
 		f.ms[k] = switchsim.Metrics{}
 		if f.cfg.RecordLatency && f.cfg.StreamMetrics {
@@ -261,8 +250,6 @@ func (f *CrossbarFleet) Reset(seqs []packet.Sequence) error {
 		}
 		f.active = append(f.active, int32(k))
 	}
-	// Drop any tail a previous larger batch left behind; see
-	// (*CIOQFleet).Reset.
 	for k := f.cur; k < f.batch; k++ {
 		f.ms[k] = switchsim.Metrics{}
 		f.results[k] = nil
@@ -272,7 +259,7 @@ func (f *CrossbarFleet) Reset(seqs []packet.Sequence) error {
 }
 
 // Step advances the global clock by one window; see (*CIOQFleet).Step.
-func (f *CrossbarFleet) Step() bool {
+func (f *wideCrossbarFleet) Step() bool {
 	if f.err != nil || f.live == 0 {
 		return false
 	}
@@ -303,7 +290,7 @@ func (f *CrossbarFleet) Step() bool {
 	return f.live > 0 && f.err == nil
 }
 
-func (f *CrossbarFleet) runWindow(k int32, end int) instStatus {
+func (f *wideCrossbarFleet) runWindow(k int32, end int) instStatus {
 	kk := int(k)
 	v := &f.view
 	v.bind(f, kk)
@@ -344,10 +331,7 @@ func (f *CrossbarFleet) runWindow(k int32, end int) instStatus {
 			q := p.In*v.m + p.Out
 			h := &v.iqHdr[q]
 			if v.weighted {
-				// ByValue preemptive admission with the depth-0/1 insert
-				// fast paths; see (*CIOQFleet).runWindow.
-				pre := false
-				var preV int64
+				// ByValue preemptive admission; see (*CIOQFleet).runWindow.
 				if h.n >= v.inBuf {
 					ti := q*v.icap + int((h.head+h.n-1)&v.icapM)
 					tv := v.iq[ti].v
@@ -357,27 +341,14 @@ func (f *CrossbarFleet) runWindow(k int32, end int) instStatus {
 						continue
 					}
 					h.n--
-					pre, preV = true, tv
-				}
-				np := pkt{v: p.Value, a: int32(p.Arrival)}
-				switch h.n {
-				case 0:
-					ringInsert0(v.iq, v.iqID, h, q*v.icap, np, p.ID)
-					v.iqHV[q] = np.v
-				case 1:
-					b := q * v.icap
-					v.iqHV[q] = ringInsert1(v.iq[b:], v.iqID[b:], h, v.icapM, np, p.ID)
-				default:
-					ringInsert(v.iq, v.iqID, h, q*v.icap, v.icapM, np, p.ID)
-					v.iqHV[q] = v.iq[q*v.icap+int(h.head)].v
-				}
-				if pre {
+					ringInsert(v.iq, v.iqID, h, q*v.icap, v.icapM, pkt{v: p.Value, a: int32(p.Arrival)}, p.ID)
 					aAcc++
 					aAccV += p.Value
 					aPre++
-					aPreV += preV
+					aPreV += tv
 					continue
 				}
+				ringInsert(v.iq, v.iqID, h, q*v.icap, v.icapM, pkt{v: p.Value, a: int32(p.Arrival)}, p.ID)
 			} else {
 				if h.n >= v.inBuf {
 					aRej++
@@ -387,8 +358,8 @@ func (f *CrossbarFleet) runWindow(k int32, end int) instStatus {
 				v.iq[q*v.icap+int((h.head+h.n)&v.icapM)] = pkt{v: p.Value, a: int32(p.Arrival)}
 				h.n++
 			}
-			v.voq[p.In] |= 1 << uint(p.Out)
-			st.inCount++
+			v.voqRow(p.In).Set(p.Out)
+			st.in++
 			aAcc++
 			aAccV += p.Value
 		}
@@ -397,43 +368,38 @@ func (f *CrossbarFleet) runWindow(k int32, end int) instStatus {
 			f.kern.cycle(v, T, c)
 		}
 		if f.err != nil {
-			// A weighted transfer hit an ineligible full destination; see
-			// (*CIOQFleet).runWindow.
 			return instErr
 		}
 
-		w := st.outBusy
-		for w != 0 {
-			j := bits.TrailingZeros64(w)
-			w &= w - 1
-			h := &v.oqHdr[j]
-			var p pkt
-			if v.direct&(1<<uint(j)) != 0 {
-				p = v.pend[j]
-				v.direct &^= 1 << uint(j)
-			} else {
-				p = v.oq[j*v.ocap+int(h.head)]
-			}
-			h.head = (h.head + 1) & v.ocapM
-			h.n--
-			st.outCount--
-			st.outFree |= 1 << uint(j)
-			if h.n == 0 {
-				st.outBusy &^= 1 << uint(j)
-			}
-			tSent++
-			tBen += p.v
-			if v.recLat {
-				v.lat.RecordLatency(T - int(p.a))
-			}
-			if v.recSer {
-				v.series[T] += p.v
+		ob := v.outBusy
+		for wdx, word := range ob {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				j := wdx<<6 + b
+				h := &v.oqHdr[j]
+				p := v.oq[j*v.ocap+int(h.head)]
+				h.head = (h.head + 1) & v.ocapM
+				h.n--
+				st.out--
+				v.outFree[wdx] |= 1 << uint(b)
+				if h.n == 0 {
+					ob[wdx] &^= 1 << uint(b)
+				}
+				tSent++
+				tBen += p.v
+				if v.recLat {
+					v.lat.RecordLatency(T - int(p.a))
+				}
+				if v.recSer {
+					v.series[T] += p.v
+				}
 			}
 		}
 
-		oIn += int64(st.inCount)
-		oX += int64(st.crossCount)
-		oOut += int64(st.outCount)
+		oIn += int64(st.in)
+		oX += int64(st.cross)
+		oOut += int64(st.out)
 		oSamp++
 
 		if f.cfg.Validate {
@@ -443,7 +409,7 @@ func (f *CrossbarFleet) runWindow(k int32, end int) instStatus {
 			}
 		}
 
-		if !f.cfg.Dense && st.inCount == 0 && st.crossCount == 0 {
+		if !f.cfg.Dense && st.in == 0 && st.cross == 0 {
 			to := horizon
 			if nx < len(seq) && seq[nx].Arrival < to {
 				to = seq[nx].Arrival
@@ -478,69 +444,59 @@ func (f *CrossbarFleet) runWindow(k int32, end int) instStatus {
 	}
 }
 
-// inputTransfer moves the head packet of IQ(i,j) to XQ(i,j) on the bound
-// instance. Kernels only produce transfers whose crosspoint has room.
-func (v *crossbarView) inputTransfer(i, j int) {
+// inputTransfer moves the head packet of IQ(i,j) to XQ(i,j); see
+// (*crossbarView).inputTransfer.
+func (v *wideCrossbarView) inputTransfer(i, j int) {
 	q := i*v.m + j
 	h := &v.iqHdr[q]
 	p := v.iq[q*v.icap+int(h.head)]
 	h.head = (h.head + 1) & v.icapM
 	h.n--
 	if h.n == 0 {
-		v.voq[i] &^= 1 << uint(j)
+		v.voqRow(i).Clear(j)
 	}
 	hx := &v.xqHdr[q]
 	v.xq[q*v.xcap+int((hx.head+hx.n)&v.xcapM)] = p
 	hx.n++
-	v.xBusyByOut[j] |= 1 << uint(i)
+	v.xBusyByOutRow(j).Set(i)
 	if hx.n >= v.crossBuf {
-		v.xFree[i] &^= 1 << uint(j)
+		v.xFreeRow(i).Clear(j)
 	}
 	st := v.st
-	st.inCount--
-	st.crossCount++
+	st.in--
+	st.cross++
 	v.hm.transferred++
 }
 
-// outputTransfer moves the head packet of XQ(i,j) to OQ(j) on the bound
-// instance. Kernels only produce transfers whose output queue has room.
-func (v *crossbarView) outputTransfer(i, j int) {
+// outputTransfer moves the head packet of XQ(i,j) to OQ(j); see
+// (*crossbarView).outputTransfer. The wide engine always does the ring
+// store.
+func (v *wideCrossbarView) outputTransfer(i, j int) {
 	q := i*v.m + j
 	h := &v.xqHdr[q]
 	p := v.xq[q*v.xcap+int(h.head)]
 	h.head = (h.head + 1) & v.xcapM
 	h.n--
 	if h.n == 0 {
-		v.xBusyByOut[j] &^= 1 << uint(i)
+		v.xBusyByOutRow(j).Clear(i)
 	}
-	v.xFree[i] |= 1 << uint(j)
+	v.xFreeRow(i).Set(j)
 	ho := &v.oqHdr[j]
-	if ho.n == 0 {
-		// Empty destination: the packet is this slot's transmit head, so
-		// park it in the pass-through buffer instead of the ring.
-		v.pend[j] = p
-		v.direct |= 1 << uint(j)
-		v.f.passCount++
-	} else {
-		v.oq[j*v.ocap+int((ho.head+ho.n)&v.ocapM)] = p
-	}
+	v.oq[j*v.ocap+int((ho.head+ho.n)&v.ocapM)] = p
 	ho.n++
 	st := v.st
-	st.crossCount--
-	st.outBusy |= 1 << uint(j)
+	st.cross--
+	v.outBusy.Set(j)
 	if ho.n >= v.outBuf {
-		st.outFree &^= 1 << uint(j)
+		v.outFree.Clear(j)
 	}
-	st.outCount++
+	st.out++
 	v.hm.transferredCross++
 }
 
-// wInputTransfer moves the most valuable packet of IQ(i,j) — the ByValue
-// ring head — into crosspoint XQ(i,j), preempting the crosspoint's least
-// valuable packet when it is full, exactly as the scalar engine's
-// executeInputSubphase does for preemptive policies. See
-// (*cioqView).wtransfer for the eligibility/error contract.
-func (v *crossbarView) wInputTransfer(i, j int) {
+// wInputTransfer is the weighted counterpart of inputTransfer; see
+// (*crossbarView).wInputTransfer.
+func (v *wideCrossbarView) wInputTransfer(i, j int) {
 	q := i*v.m + j
 	h := &v.iqHdr[q]
 	x := q*v.icap + int(h.head)
@@ -549,12 +505,10 @@ func (v *crossbarView) wInputTransfer(i, j int) {
 	h.head = (h.head + 1) & v.icapM
 	h.n--
 	if h.n == 0 {
-		v.voq[i] &^= 1 << uint(j)
-	} else {
-		v.iqHV[q] = v.iq[q*v.icap+int(h.head)].v
+		v.voqRow(i).Clear(j)
 	}
 	st := v.st
-	st.inCount--
+	st.in--
 	hx := &v.xqHdr[q]
 	base := q * v.xcap
 	if hx.n >= v.crossBuf {
@@ -565,34 +519,23 @@ func (v *crossbarView) wInputTransfer(i, j int) {
 			return
 		}
 		hx.n--
+		ringInsert(v.xq, v.xqID, hx, base, v.xcapM, p, id)
 		v.hm.preemptedCross++
 		v.hm.preemptedCrossVal += tv
 	} else {
-		v.xBusyByOut[j] |= 1 << uint(i)
-		st.crossCount++
-	}
-	if hx.n == 0 {
-		// Empty (or fully preempted, CrossBuf 1) crosspoint: the insert
-		// is a store and the new head value is the packet itself.
-		ringInsert0(v.xq, v.xqID, hx, base, p, id)
-		v.xqHV[j*v.n+i] = p.v
-	} else {
 		ringInsert(v.xq, v.xqID, hx, base, v.xcapM, p, id)
-		v.xqHV[j*v.n+i] = v.xq[base+int(hx.head)].v
-	}
-	// A preempting insert leaves the crosspoint full; re-clearing the
-	// bit is idempotent, so the fullness check is shared by both
-	// branches.
-	if hx.n >= v.crossBuf {
-		v.xFree[i] &^= 1 << uint(j)
+		v.xBusyByOutRow(j).Set(i)
+		if hx.n >= v.crossBuf {
+			v.xFreeRow(i).Clear(j)
+		}
+		st.cross++
 	}
 	v.hm.transferred++
 }
 
-// wOutputTransfer moves the most valuable packet of XQ(i,j) into output
-// queue j, preempting the output's least valuable packet when it is full,
-// exactly as the scalar engine's executeOutputSubphase does.
-func (v *crossbarView) wOutputTransfer(i, j int) {
+// wOutputTransfer is the weighted counterpart of outputTransfer; see
+// (*crossbarView).wOutputTransfer.
+func (v *wideCrossbarView) wOutputTransfer(i, j int) {
 	q := i*v.m + j
 	h := &v.xqHdr[q]
 	x := q*v.xcap + int(h.head)
@@ -601,13 +544,11 @@ func (v *crossbarView) wOutputTransfer(i, j int) {
 	h.head = (h.head + 1) & v.xcapM
 	h.n--
 	if h.n == 0 {
-		v.xBusyByOut[j] &^= 1 << uint(i)
-	} else {
-		v.xqHV[j*v.n+i] = v.xq[q*v.xcap+int(h.head)].v
+		v.xBusyByOutRow(j).Clear(i)
 	}
-	v.xFree[i] |= 1 << uint(j)
+	v.xFreeRow(i).Set(j)
 	st := v.st
-	st.crossCount--
+	st.cross--
 	ho := &v.oqHdr[j]
 	base := j * v.ocap
 	if ho.n >= v.outBuf {
@@ -618,59 +559,58 @@ func (v *crossbarView) wOutputTransfer(i, j int) {
 			return
 		}
 		ho.n--
+		ringInsert(v.oq, v.oqID, ho, base, v.ocapM, p, id)
 		v.hm.preemptedOut++
 		v.hm.preemptedOutVal += tv
 	} else {
-		st.outBusy |= 1 << uint(j)
-		st.outCount++
-	}
-	if ho.n == 0 {
-		ringInsert0(v.oq, v.oqID, ho, base, p, id)
-	} else {
 		ringInsert(v.oq, v.oqID, ho, base, v.ocapM, p, id)
-	}
-	// Idempotent for the preempting branch, as in wInputTransfer.
-	if ho.n >= v.outBuf {
-		st.outFree &^= 1 << uint(j)
+		v.outBusy.Set(j)
+		if ho.n >= v.outBuf {
+			v.outFree.Clear(j)
+		}
+		st.out++
 	}
 	v.hm.transferredCross++
 }
 
-// quiesce advances the bound instance across `jump` arrival-free
-// drain-only slots in closed form; see (*cioqView).quiesce.
-func (v *crossbarView) quiesce(T, jump int) {
+// quiesce advances the bound instance across `jump` arrival-free slots;
+// see (*cioqView).quiesce.
+func (v *wideCrossbarView) quiesce(T, jump int) {
 	st := v.st
 	hm := v.hm
-	w := st.outBusy
-	for w != 0 {
-		j := bits.TrailingZeros64(w)
-		w &= w - 1
-		h := &v.oqHdr[j]
-		l := int(h.n)
-		d := min(l, jump)
-		for x := 1; x <= d; x++ {
-			p := v.oq[j*v.ocap+int(h.head)]
-			h.head = (h.head + 1) & v.ocapM
-			h.n--
-			hm.sent++
-			hm.benefit += p.v
-			if v.recLat {
-				v.lat.RecordLatency(T + x - int(p.a))
+	ob := v.outBusy
+	for wdx, word := range ob {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			j := wdx<<6 + b
+			h := &v.oqHdr[j]
+			l := int(h.n)
+			d := min(l, jump)
+			for x := 1; x <= d; x++ {
+				p := v.oq[j*v.ocap+int(h.head)]
+				h.head = (h.head + 1) & v.ocapM
+				h.n--
+				hm.sent++
+				hm.benefit += p.v
+				if v.recLat {
+					v.lat.RecordLatency(T + x - int(p.a))
+				}
+				if v.recSer {
+					v.series[T+x] += p.v
+				}
 			}
-			if v.recSer {
-				v.series[T+x] += p.v
+			st.out -= int32(d)
+			hm.outOccup += int64(d)*int64(l) - int64(d)*int64(d+1)/2
+			if h.n == 0 {
+				ob[wdx] &^= 1 << uint(b)
 			}
-		}
-		st.outCount -= int32(d)
-		hm.outOccup += int64(d)*int64(l) - int64(d)*int64(d+1)/2
-		if h.n == 0 {
-			st.outBusy &^= 1 << uint(j)
 		}
 	}
 	hm.sampled += int64(jump)
 }
 
-func (f *CrossbarFleet) retire(k int32) instStatus {
+func (f *wideCrossbarFleet) retire(k int32) instStatus {
 	if err := checkResidual(int(k), f.seqs[k], f.next[k], f.horizon[k]); err != nil {
 		f.err = err
 		return instErr
@@ -691,7 +631,7 @@ func (f *CrossbarFleet) retire(k int32) instStatus {
 		m.SlotBenefit = f.series[k]
 	}
 	if f.cfg.Validate {
-		residual := int64(f.st[k].inCount) + int64(f.st[k].crossCount) + int64(f.st[k].outCount)
+		residual := int64(f.st[k].in) + int64(f.st[k].cross) + int64(f.st[k].out)
 		preempted := m.PreemptedInput + m.PreemptedCross + m.PreemptedOutput
 		if m.Accepted != m.Sent+preempted+residual {
 			f.err = fmt.Errorf("fleet: instance %d: conservation violated: accepted=%d sent=%d preempted=%d residual=%d",
@@ -704,10 +644,14 @@ func (f *CrossbarFleet) retire(k int32) instStatus {
 	return instRetired
 }
 
-func (f *CrossbarFleet) validate(k, T int) error {
+func (f *wideCrossbarFleet) validate(k, T int) error {
 	var in, cross, out int32
 	st := &f.st[k]
+	outFree := f.outFree[k*f.wm : (k+1)*f.wm]
+	outBusy := f.outBusy[k*f.wm : (k+1)*f.wm]
 	for i := 0; i < f.n; i++ {
+		voqRow := f.voq[(k*f.n+i)*f.wm : (k*f.n+i+1)*f.wm]
+		xFreeRow := f.xFree[(k*f.n+i)*f.wm : (k*f.n+i+1)*f.wm]
 		for j := 0; j < f.m; j++ {
 			q := k*f.nm + i*f.m + j
 			il, xl := f.iqHdr[q].n, f.xqHdr[q].n
@@ -716,13 +660,13 @@ func (f *CrossbarFleet) validate(k, T int) error {
 			if il < 0 || il > f.inBuf || xl < 0 || xl > f.crossBuf {
 				return fmt.Errorf("fleet: slot %d instance %d: queue (%d,%d) lengths iq=%d xq=%d out of range", T, k, i, j, il, xl)
 			}
-			if got, want := f.voq[k*f.n+i]&(1<<uint(j)) != 0, il > 0; got != want {
+			if got, want := voqRow.Test(j), il > 0; got != want {
 				return fmt.Errorf("fleet: slot %d instance %d: VOQ[%d] bit %d = %v, len=%d", T, k, i, j, got, il)
 			}
-			if got, want := f.xFree[k*f.n+i]&(1<<uint(j)) != 0, xl < f.crossBuf; got != want {
+			if got, want := xFreeRow.Test(j), xl < f.crossBuf; got != want {
 				return fmt.Errorf("fleet: slot %d instance %d: XFree[%d] bit %d = %v, len=%d", T, k, i, j, got, xl)
 			}
-			if got, want := f.xBusyByOut[k*f.m+j]&(1<<uint(i)) != 0, xl > 0; got != want {
+			if got, want := f.xBusyByOut[(k*f.m+j)*f.wn:].Test(i), xl > 0; got != want {
 				return fmt.Errorf("fleet: slot %d instance %d: XBusyByOut[%d] bit %d = %v, len=%d", T, k, j, i, got, xl)
 			}
 			if f.iqID != nil {
@@ -741,27 +685,26 @@ func (f *CrossbarFleet) validate(k, T int) error {
 		if l < 0 || l > f.outBuf {
 			return fmt.Errorf("fleet: slot %d instance %d: OQ[%d] length %d out of range", T, k, j, l)
 		}
+		if got, want := outFree.Test(j), l < f.outBuf; got != want {
+			return fmt.Errorf("fleet: slot %d instance %d: OutFree bit %d = %v, len=%d", T, k, j, got, l)
+		}
+		if got, want := outBusy.Test(j), l > 0; got != want {
+			return fmt.Errorf("fleet: slot %d instance %d: OutBusy bit %d = %v, len=%d", T, k, j, got, l)
+		}
 		if f.oqID != nil && !ringOrdered(f.oq, f.oqID, f.oqHdr[k*f.m+j], (k*f.m+j)*f.ocap, int32(f.ocap-1)) {
 			return fmt.Errorf("fleet: slot %d instance %d: OQ[%d] not in ByValue order", T, k, j)
 		}
-		if got, want := st.outFree&(1<<uint(j)) != 0, l < f.outBuf; got != want {
-			return fmt.Errorf("fleet: slot %d instance %d: OutFree bit %d = %v, len=%d", T, k, j, got, l)
-		}
-		if got, want := st.outBusy&(1<<uint(j)) != 0, l > 0; got != want {
-			return fmt.Errorf("fleet: slot %d instance %d: OutBusy bit %d = %v, len=%d", T, k, j, got, l)
-		}
 	}
-	if in != st.inCount || cross != st.crossCount || out != st.outCount {
+	if in != st.in || cross != st.cross || out != st.out {
 		return fmt.Errorf("fleet: slot %d instance %d: counters (in=%d,cross=%d,out=%d) but queues hold (%d,%d,%d)",
-			T, k, st.inCount, st.crossCount, st.outCount, in, cross, out)
+			T, k, st.in, st.cross, st.out, in, cross, out)
 	}
 	return nil
 }
 
-// Results returns one Result per loaded instance once every instance
-// retired. The backing array is reused by the next Reset; see
+// Results returns one Result per loaded instance; see
 // (*CIOQFleet).Results.
-func (f *CrossbarFleet) Results() ([]*switchsim.Result, error) {
+func (f *wideCrossbarFleet) Results() ([]*switchsim.Result, error) {
 	if f.err != nil {
 		return nil, f.err
 	}
@@ -770,6 +713,3 @@ func (f *CrossbarFleet) Results() ([]*switchsim.Result, error) {
 	}
 	return f.results[:f.cur], nil
 }
-
-func (f *CrossbarFleet) batchCap() int { return f.batch }
-func (f *CrossbarFleet) passes() int64 { return f.passCount }

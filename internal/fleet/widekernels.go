@@ -1,0 +1,341 @@
+package fleet
+
+import (
+	"math/bits"
+
+	"qswitch/internal/core"
+	"qswitch/internal/matching"
+	"qswitch/internal/switchsim"
+)
+
+// wideCIOQKernel is cioqKernel over multi-word views; the exactness
+// contract is identical. Every policy family with a single-word kernel
+// has a wide one, so a single Batchable predicate covers both engines.
+type wideCIOQKernel interface {
+	reset(f *wideCIOQFleet)
+	cycle(v *wideCIOQView, slot, cycle int)
+	wantsVOQByOut() bool
+	weighted() bool
+}
+
+// wideCrossbarKernel is crossbarKernel over multi-word views.
+type wideCrossbarKernel interface {
+	cycle(v *wideCrossbarView, slot, cycle int)
+	weighted() bool
+}
+
+// wideCIOQKernelFor mirrors cioqKernelFor (the two switches must stay in
+// lockstep so narrow and wide coverage agree).
+func wideCIOQKernelFor(pol switchsim.CIOQPolicy) wideCIOQKernel {
+	switch p := pol.(type) {
+	case *core.GM:
+		return &wideGMKernel{order: p.Order}
+	case *core.NaiveFIFO:
+		return &wideGMKernel{order: core.RowMajor}
+	case *core.RoundRobin:
+		return &wideRRKernel{}
+	case *core.PG:
+		beta := p.Beta
+		if beta == 0 {
+			beta = core.DefaultBetaPG()
+		} else if beta < 1 {
+			beta = 1
+		}
+		return &widePGKernel{beta: beta}
+	case *core.KRMWM:
+		beta := p.Beta
+		if beta == 0 {
+			beta = 2
+		}
+		return &widePGKernel{beta: beta, maxWeight: true}
+	}
+	return nil
+}
+
+// wideCrossbarKernelFor mirrors crossbarKernelFor.
+func wideCrossbarKernelFor(pol switchsim.CrossbarPolicy) wideCrossbarKernel {
+	switch p := pol.(type) {
+	case *core.CGU:
+		return &wideCGUKernel{rotate: p.RotatePick}
+	case *core.CPG:
+		return &wideCPGKernel{beta: cpgParam(p.Beta, core.DefaultBetaCPG()), alpha: cpgParam(p.Alpha, core.DefaultAlphaCPG())}
+	}
+	return nil
+}
+
+// wideGMKernel is gmKernel over multi-word rows.
+type wideGMKernel struct {
+	order core.EdgeOrder
+}
+
+func (g *wideGMKernel) reset(f *wideCIOQFleet) {
+	if g.order == core.LongestFirst && cap(f.edges) < f.nm {
+		f.edges = make([]matching.Edge, 0, f.nm)
+	}
+}
+
+func (g *wideGMKernel) wantsVOQByOut() bool { return g.order == core.ColMajor }
+
+func (g *wideGMKernel) weighted() bool { return false }
+
+func (g *wideGMKernel) cycle(v *wideCIOQView, slot, cycle int) {
+	f := v.f
+	n, m := v.n, v.m
+	switch g.order {
+	case core.ColMajor:
+		availIn := f.availIn
+		availIn.Fill(n)
+		for j := 0; j < m; j++ {
+			if !v.outFree.Test(j) {
+				continue
+			}
+			if i := v.voqByOutRow(j).FirstAnd(availIn); i >= 0 {
+				availIn.Clear(i)
+				v.transfer(i, j)
+			}
+		}
+	case core.Rotating:
+		ticks := slot*v.speedup + cycle
+		oi, oj := ticks%n, ticks%m
+		avail := f.availOut
+		avail.Copy(v.outFree)
+		for di := 0; di < n; di++ {
+			i := (oi + di) % n
+			if j := v.voqRow(i).FirstAndFrom(avail, oj); j >= 0 {
+				avail.Clear(j)
+				v.transfer(i, j)
+			}
+		}
+	case core.LongestFirst:
+		edges := f.edges[:0]
+		for i := 0; i < n; i++ {
+			row := v.voqRow(i)
+			for wdx, word := range row {
+				word &= v.outFree[wdx]
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &= word - 1
+					j := wdx<<6 + b
+					edges = append(edges, matching.Edge{U: i, V: j, W: int64(v.iqHdr[i*m+j].n)})
+				}
+			}
+		}
+		f.edges = edges
+		for _, e := range f.matcher.match(n, m, edges, &f.sched) {
+			v.transfer(e.U, e.V)
+		}
+	default: // core.RowMajor
+		avail := f.availOut
+		avail.Copy(v.outFree)
+		for i := 0; i < n; i++ {
+			if j := v.voqRow(i).FirstAnd(avail); j >= 0 {
+				avail.Clear(j)
+				v.transfer(i, j)
+			}
+		}
+	}
+}
+
+// wideRRKernel is rrKernel over multi-word rows: the grant rows become a
+// bitset matrix in one flat scratch allocation.
+type wideRRKernel struct{}
+
+func (wideRRKernel) wantsVOQByOut() bool { return true }
+
+func (wideRRKernel) weighted() bool { return false }
+
+func (wideRRKernel) reset(f *wideCIOQFleet) {
+	if len(f.rrGrant) != f.batch*f.m {
+		f.rrGrant = make([]int32, f.batch*f.m)
+		f.rrAccept = make([]int32, f.batch*f.n)
+		f.grants = make([]uint64, f.n*f.wm)
+	}
+	clear(f.rrGrant)
+	clear(f.rrAccept)
+}
+
+func (wideRRKernel) cycle(v *wideCIOQView, slot, cycle int) {
+	f := v.f
+	n, m, wm := v.n, v.m, v.wm
+	grants := f.grants
+	grants.Zero()
+	// Grant: each open output grants the first requesting input at or
+	// after its grant pointer.
+	for j := 0; j < m; j++ {
+		if !v.outFree.Test(j) {
+			continue
+		}
+		if i := v.voqByOutRow(j).FirstFrom(int(v.rrG[j])); i >= 0 {
+			grants[i*wm : (i+1)*wm].Set(j)
+		}
+	}
+	// Accept: each input accepts the first granting output at or after
+	// its accept pointer; pointers advance only on acceptance.
+	for i := 0; i < n; i++ {
+		if ch := grants[i*wm : (i+1)*wm].FirstFrom(int(v.rrA[i])); ch >= 0 {
+			v.transfer(i, ch)
+			v.rrA[i] = int32((ch + 1) % m)
+			v.rrG[ch] = int32((i + 1) % n)
+		}
+	}
+}
+
+// widePGKernel is pgKernel over multi-word rows, with the matching run
+// through the wide batched matcher (counting-sort weight buckets plus
+// bitset-mask acceptance, scratch shared across the batch).
+type widePGKernel struct {
+	beta      float64
+	maxWeight bool
+}
+
+func (g *widePGKernel) reset(f *wideCIOQFleet) {
+	if cap(f.edges) < f.nm {
+		f.edges = make([]matching.Edge, 0, f.nm)
+	}
+}
+
+func (g *widePGKernel) wantsVOQByOut() bool { return false }
+
+func (g *widePGKernel) weighted() bool { return true }
+
+func (g *widePGKernel) cycle(v *wideCIOQView, slot, cycle int) {
+	f := v.f
+	edges := f.edges[:0]
+	for i := 0; i < v.n; i++ {
+		row := v.voqRow(i)
+		for wdx, word := range row {
+			of := v.outFree[wdx]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				j := wdx<<6 + b
+				q := i*v.m + j
+				hv := v.iq[q*v.icap+int(v.iqHdr[q].head)].v
+				if of&(1<<uint(b)) == 0 {
+					ho := &v.oqHdr[j]
+					tv := v.oq[j*v.ocap+int((ho.head+ho.n-1)&v.ocapM)].v
+					if float64(hv) <= g.beta*float64(tv) {
+						continue
+					}
+				}
+				edges = append(edges, matching.Edge{U: i, V: j, W: hv})
+			}
+		}
+	}
+	f.edges = edges
+	var matched []matching.Edge
+	if g.maxWeight {
+		matched = f.hung.MaxWeightMatching(v.n, v.m, edges)
+	} else {
+		matched = f.matcher.match(v.n, v.m, edges, &f.sched)
+	}
+	for _, e := range matched {
+		v.wtransfer(e.U, e.V)
+	}
+}
+
+// wideCGUKernel is cguKernel over multi-word rows.
+type wideCGUKernel struct {
+	rotate bool
+}
+
+func (c *wideCGUKernel) weighted() bool { return false }
+
+func (c *wideCGUKernel) cycle(v *wideCrossbarView, slot, cycle int) {
+	n := v.n
+	ticks := slot*v.speedup + cycle
+	startJ, startI := 0, 0
+	if c.rotate {
+		startJ, startI = ticks%v.m, ticks%n
+	}
+	for i := 0; i < n; i++ {
+		if j := v.voqRow(i).FirstAndFrom(v.xFreeRow(i), startJ); j >= 0 {
+			v.inputTransfer(i, j)
+		}
+	}
+	// Per open output, pull from the first non-empty crosspoint. An
+	// output's transfer only mutates its own outFree bit, so word copies
+	// are equivalent to a live scan.
+	ofr := v.outFree
+	for wdx, word := range ofr {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			j := wdx<<6 + b
+			if i := v.xBusyByOutRow(j).FirstFrom(startI); i >= 0 {
+				v.outputTransfer(i, j)
+			}
+		}
+	}
+}
+
+// wideCPGKernel is cpgKernel over multi-word rows.
+type wideCPGKernel struct {
+	beta, alpha float64
+}
+
+func (c *wideCPGKernel) weighted() bool { return true }
+
+func (c *wideCPGKernel) cycle(v *wideCrossbarView, slot, cycle int) {
+	for i := 0; i < v.n; i++ {
+		row := v.voqRow(i)
+		xfree := v.xFreeRow(i)
+		bestJ := -1
+		var bestV, bestID int64
+		for wdx, word := range row {
+			xf := xfree[wdx]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				j := wdx<<6 + b
+				q := i*v.m + j
+				x := q*v.icap + int(v.iqHdr[q].head)
+				hv := v.iq[x].v
+				if xf&(1<<uint(b)) == 0 {
+					hx := &v.xqHdr[q]
+					tv := v.xq[q*v.xcap+int((hx.head+hx.n-1)&v.xcapM)].v
+					if float64(hv) <= c.beta*float64(tv) {
+						continue
+					}
+				}
+				hid := v.iqID[x]
+				if bestJ < 0 || hv > bestV || (hv == bestV && hid < bestID) {
+					bestJ, bestV, bestID = j, hv, hid
+				}
+			}
+		}
+		if bestJ >= 0 {
+			v.wInputTransfer(i, bestJ)
+		}
+	}
+	for j := 0; j < v.m; j++ {
+		row := v.xBusyByOutRow(j)
+		bestI := -1
+		var bestV, bestID int64
+		for wdx, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				i := wdx<<6 + b
+				q := i*v.m + j
+				x := q*v.xcap + int(v.xqHdr[q].head)
+				hv := v.xq[x].v
+				hid := v.xqID[x]
+				if bestI < 0 || hv > bestV || (hv == bestV && hid < bestID) {
+					bestI, bestV, bestID = i, hv, hid
+				}
+			}
+		}
+		if bestI < 0 {
+			continue
+		}
+		if !v.outFree.Test(j) {
+			ho := &v.oqHdr[j]
+			tv := v.oq[j*v.ocap+int((ho.head+ho.n-1)&v.ocapM)].v
+			if float64(bestV) <= c.alpha*float64(tv) {
+				continue
+			}
+		}
+		v.wOutputTransfer(bestI, j)
+	}
+}

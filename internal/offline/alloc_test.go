@@ -54,6 +54,82 @@ func TestUpperBoundSolverZeroAllocsSteadyState(t *testing.T) {
 	}
 }
 
+// TestExactUnitSolverWarmAllocsOnlyMemo pins the reusable-solver
+// treatment of the exact unit DPs: once a solver is warm, re-Solving
+// allocates only the retained memo key strings (one per memoized state)
+// plus the per-slot arrival partition — every recursion frame, state
+// buffer, edge list and matching flag is reused.
+func TestExactUnitSolverWarmAllocsOnlyMemo(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 2, Outputs: 2,
+		InputBuf: 2, OutputBuf: 2, Speedup: 1, Validate: true}
+	rng := rand.New(rand.NewSource(3))
+	seq := packet.Bernoulli{Load: 1.2}.Generate(rng, 2, 2, 6)
+
+	var s UnitCIOQSolver
+	if _, err := s.Solve(cfg, seq); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(16, func() { s.Solve(cfg, seq) })
+	if budget := float64(len(s.memo) + 8); warm > budget {
+		t.Errorf("warm UnitCIOQSolver.Solve allocates %.1f, want <= %.0f (%d memo entries)",
+			warm, budget, len(s.memo))
+	}
+
+	xcfg := cfg
+	xcfg.CrossBuf = 1
+	xseq := packet.Bernoulli{Load: 1.2}.Generate(rand.New(rand.NewSource(3)), 2, 2, 5)
+	var sx UnitCrossbarSolver
+	if _, err := sx.Solve(xcfg, xseq); err != nil {
+		t.Fatal(err)
+	}
+	warmX := testing.AllocsPerRun(16, func() { sx.Solve(xcfg, xseq) })
+	if budget := float64(len(sx.memo) + 8); warmX > budget {
+		t.Errorf("warm UnitCrossbarSolver.Solve allocates %.1f, want <= %.0f (%d memo entries)",
+			warmX, budget, len(sx.memo))
+	}
+}
+
+// TestExactSolverScratchReuseHalvesColdAllocs isolates the scratch that
+// the reusable exact solvers retain across Solve calls (memo buckets,
+// recursion frames, key buffers, used-port flags): on an instance whose
+// search tree is shallow, those one-time structures dominate a cold
+// solve, so a warm re-Solve must cost at most half a cold one.
+func TestExactSolverScratchReuseHalvesColdAllocs(t *testing.T) {
+	cfg := switchsim.Config{Inputs: 2, Outputs: 2,
+		InputBuf: 2, OutputBuf: 2, CrossBuf: 2,
+		Speedup: 2, Slots: 12, Validate: true}
+
+	pin := func(name string, solve func() (int64, error), warmSolve func() (int64, error)) {
+		t.Helper()
+		cold := testing.AllocsPerRun(8, func() {
+			if _, err := solve(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if _, err := warmSolve(); err != nil {
+			t.Fatal(err)
+		}
+		warm := testing.AllocsPerRun(8, func() { warmSolve() })
+		if warm > cold/2 {
+			t.Errorf("%s: warm re-Solve allocates %.1f vs %.1f cold, want <= half",
+				name, warm, cold)
+		}
+	}
+
+	var su UnitCIOQSolver
+	pin("UnitCIOQSolver",
+		func() (int64, error) { var s UnitCIOQSolver; return s.Solve(cfg, nil) },
+		func() (int64, error) { return su.Solve(cfg, nil) })
+	var sw WeightedSolver
+	pin("WeightedSolver/cioq",
+		func() (int64, error) { var s WeightedSolver; return s.SolveCIOQ(cfg, nil) },
+		func() (int64, error) { return sw.SolveCIOQ(cfg, nil) })
+	var swx WeightedSolver
+	pin("WeightedSolver/crossbar",
+		func() (int64, error) { var s WeightedSolver; return s.SolveCrossbar(cfg, nil) },
+		func() (int64, error) { return swx.SolveCrossbar(cfg, nil) })
+}
+
 // TestMCMFSolverZeroAllocsSteadyState pins the solver-object refactor of
 // the retained flow reference: rebuilding and solving a same-shaped graph
 // on a reused MCMFSolver allocates nothing once warm.

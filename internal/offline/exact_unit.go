@@ -3,6 +3,7 @@ package offline
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"qswitch/internal/packet"
 	"qswitch/internal/switchsim"
@@ -39,7 +40,82 @@ func unitStateEstimate(cfg switchsim.Config, crossbar bool) float64 {
 	return est
 }
 
-// ExactUnitCIOQ computes the exact offline optimum benefit (= number of
+// unitEdge is one eligible transfer edge of a scheduling cycle.
+type unitEdge struct{ i, j int32 }
+
+// exactFrame is the per-recursion-depth scratch of the exact solvers.
+// Depths are derived from (slot, cycle), which strictly increases down
+// the recursion, so a frame's buffers stay live exactly for the subtree
+// rooted at its call and can be reused across sibling explorations and
+// across Solve calls.
+type exactFrame struct {
+	state   []byte
+	key     []byte
+	edges   []unitEdge
+	usedIn  []bool
+	usedOut []bool
+}
+
+// exactScratch is the storage shared by the reusable solver objects:
+// frames indexed by recursion depth, the state-keyed memo (cleared but
+// not discarded between Solves, retaining its buckets), and the root
+// state buffer.
+type exactScratch struct {
+	memo   map[string]int64
+	frames []exactFrame
+	root   []byte
+}
+
+// frame returns the depth-d frame sized for the current instance.
+func (s *exactScratch) frame(d, stateLen, n, m int) *exactFrame {
+	for len(s.frames) <= d {
+		s.frames = append(s.frames, exactFrame{})
+	}
+	fr := &s.frames[d]
+	if cap(fr.state) < stateLen {
+		fr.state = make([]byte, stateLen)
+	}
+	fr.state = fr.state[:stateLen]
+	if cap(fr.usedIn) < n {
+		fr.usedIn = make([]bool, n)
+	}
+	fr.usedIn = fr.usedIn[:n]
+	if cap(fr.usedOut) < m {
+		fr.usedOut = make([]bool, m)
+	}
+	fr.usedOut = fr.usedOut[:m]
+	return fr
+}
+
+// reset prepares the scratch for a new instance, keeping capacity.
+func (s *exactScratch) reset(stateLen int) []byte {
+	if s.memo == nil {
+		s.memo = make(map[string]int64, 1<<10)
+	} else {
+		clear(s.memo)
+	}
+	if cap(s.root) < stateLen {
+		s.root = make([]byte, stateLen)
+	}
+	root := s.root[:stateLen]
+	clear(root)
+	return root
+}
+
+// UnitCIOQSolver is a reusable exact-DP solver for unit-value CIOQ
+// instances. The zero value is ready; Solve may be called repeatedly and
+// reuses the memo buckets, recursion frames and state buffers across
+// calls, so steady-state solving allocates only the retained memo
+// entries. Not safe for concurrent use; ExactUnitCIOQ wraps a pool of
+// these for the concurrent-judge case.
+type UnitCIOQSolver struct {
+	cfg      switchsim.Config
+	slots    int
+	arrivals [][]packet.Packet
+	exactScratch
+}
+
+// Solve computes the exact offline optimum benefit (= number of
 // transmitted packets) for a unit-value CIOQ instance by dynamic
 // programming over queue-length states.
 //
@@ -52,7 +128,7 @@ func unitStateEstimate(cfg switchsim.Config, crossbar bool) float64 {
 // every scheduling cycle.
 //
 // Returns ErrTooLarge for instances beyond the tractability guards.
-func ExactUnitCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+func (s *UnitCIOQSolver) Solve(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
 	if err := cfg.Check(false); err != nil {
 		return 0, err
 	}
@@ -69,58 +145,42 @@ func ExactUnitCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
 		return 0, ErrTooLarge
 	}
 	judgeProbes.Load().RecordExactSolve()
-	s := &unitCIOQSolver{
-		cfg:      cfg,
-		slots:    slots,
-		arrivals: seq.BySlot(slots),
-		memo:     make(map[unitKey]int64),
-	}
+	s.cfg, s.slots = cfg, slots
+	s.arrivals = seq.BySlot(slots)
 	n, m := cfg.Inputs, cfg.Outputs
-	state := make([]byte, n*m+m) // iq lengths then oq lengths
-	v, err := s.slot(0, state)
-	if err != nil {
-		return 0, err
-	}
-	return v, nil
+	root := s.reset(n*m + m) // iq lengths then oq lengths
+	return s.slot(0, root)
 }
 
-type unitKey struct {
-	slot  int
-	cycle int
-	state string
-}
-
-type unitCIOQSolver struct {
-	cfg      switchsim.Config
-	slots    int
-	arrivals [][]packet.Packet
-	memo     map[unitKey]int64
-}
-
-// slot applies slot t's arrival phase and descends into its cycles.
-func (s *unitCIOQSolver) slot(t int, state []byte) (int64, error) {
+// slot applies slot t's arrival phase and descends into its cycles. The
+// caller owns state; it is copied into this depth's frame before any
+// mutation.
+func (s *UnitCIOQSolver) slot(t int, state []byte) (int64, error) {
 	if t == s.slots {
 		return 0, nil
 	}
 	n, m := s.cfg.Inputs, s.cfg.Outputs
-	st := append([]byte(nil), state...)
+	fr := s.frame(t*(s.cfg.Speedup+2), len(state), n, m)
+	st := fr.state
+	copy(st, state)
 	for _, p := range s.arrivals[t] {
 		idx := p.In*m + p.Out
 		if int(st[idx]) < s.cfg.InputBuf {
 			st[idx]++ // greedy accept is WLOG-optimal for unit values
 		}
 	}
-	_ = n
 	return s.cycle(t, 0, st)
 }
 
 // cycle branches over all matchings for cycle c of slot t; after the last
 // cycle it applies the (work-conserving) transmission phase.
-func (s *unitCIOQSolver) cycle(t, c int, state []byte) (int64, error) {
+func (s *UnitCIOQSolver) cycle(t, c int, state []byte) (int64, error) {
 	n, m := s.cfg.Inputs, s.cfg.Outputs
+	fr := s.frame(t*(s.cfg.Speedup+2)+1+c, len(state), n, m)
 	if c == s.cfg.Speedup {
 		// Transmission: one packet from every non-empty output queue.
-		st := append([]byte(nil), state...)
+		st := fr.state
+		copy(st, state)
 		var sent int64
 		for j := 0; j < m; j++ {
 			if st[n*m+j] > 0 {
@@ -131,72 +191,99 @@ func (s *unitCIOQSolver) cycle(t, c int, state []byte) (int64, error) {
 		rest, err := s.slot(t+1, st)
 		return sent + rest, err
 	}
-	key := unitKey{slot: t, cycle: c, state: string(state)}
-	if v, ok := s.memo[key]; ok {
+	// The string conversion in the index expression does not allocate;
+	// only a memo store copies the key onto the heap.
+	fr.key = append(append(fr.key[:0], byte(t), byte(c)), state...)
+	if v, ok := s.memo[string(fr.key)]; ok {
 		return v, nil
 	}
 	if len(s.memo) > memoCap {
 		return 0, ErrTooLarge
 	}
 	// Eligible transfer edges at the start of this cycle.
-	type edge struct{ i, j int }
-	var edges []edge
+	edges := fr.edges[:0]
 	for i := 0; i < n; i++ {
 		for j := 0; j < m; j++ {
 			if state[i*m+j] > 0 && int(state[n*m+j]) < s.cfg.OutputBuf {
-				edges = append(edges, edge{i, j})
+				edges = append(edges, unitEdge{int32(i), int32(j)})
 			}
 		}
 	}
+	fr.edges = edges
+	clear(fr.usedIn)
+	clear(fr.usedOut)
+	copy(fr.state, state)
 	best := int64(-1)
-	usedIn := make([]bool, n)
-	usedOut := make([]bool, m)
-	st := append([]byte(nil), state...)
-	var rec func(k int) error
-	rec = func(k int) error {
-		if k == len(edges) {
-			v, err := s.cycle(t, c+1, st)
-			if err != nil {
-				return err
-			}
-			if v > best {
-				best = v
-			}
-			return nil
-		}
-		// Skip edge k.
-		if err := rec(k + 1); err != nil {
-			return err
-		}
-		e := edges[k]
-		if !usedIn[e.i] && !usedOut[e.j] {
-			usedIn[e.i], usedOut[e.j] = true, true
-			st[e.i*m+e.j]--
-			st[n*m+e.j]++
-			err := rec(k + 1)
-			st[e.i*m+e.j]++
-			st[n*m+e.j]--
-			usedIn[e.i], usedOut[e.j] = false, false
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := rec(0); err != nil {
+	if err := s.explore(t, c, 0, fr, &best); err != nil {
 		return 0, err
 	}
-	s.memo[key] = best
+	s.memo[string(fr.key)] = best
 	return best, nil
 }
 
-// ExactUnitCrossbar computes the exact offline optimum for a unit-value
-// buffered crossbar instance, analogously to ExactUnitCIOQ but with the
+// explore enumerates matchings over fr.edges (skip or, endpoints free,
+// take each edge), recursing into the next cycle at each leaf.
+func (s *UnitCIOQSolver) explore(t, c, k int, fr *exactFrame, best *int64) error {
+	if k == len(fr.edges) {
+		v, err := s.cycle(t, c+1, fr.state)
+		if err != nil {
+			return err
+		}
+		if v > *best {
+			*best = v
+		}
+		return nil
+	}
+	// Skip edge k.
+	if err := s.explore(t, c, k+1, fr, best); err != nil {
+		return err
+	}
+	e := fr.edges[k]
+	i, j := int(e.i), int(e.j)
+	if !fr.usedIn[i] && !fr.usedOut[j] {
+		n, m := s.cfg.Inputs, s.cfg.Outputs
+		fr.usedIn[i], fr.usedOut[j] = true, true
+		fr.state[i*m+j]--
+		fr.state[n*m+j]++
+		err := s.explore(t, c, k+1, fr, best)
+		fr.state[i*m+j]++
+		fr.state[n*m+j]--
+		fr.usedIn[i], fr.usedOut[j] = false, false
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var unitCIOQPool = sync.Pool{New: func() any { return new(UnitCIOQSolver) }}
+
+// ExactUnitCIOQ solves a unit-value CIOQ instance exactly on a pooled
+// reusable solver; see (*UnitCIOQSolver).Solve.
+func ExactUnitCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	s := unitCIOQPool.Get().(*UnitCIOQSolver)
+	defer unitCIOQPool.Put(s)
+	return s.Solve(cfg, seq)
+}
+
+// UnitCrossbarSolver is the buffered-crossbar counterpart of
+// UnitCIOQSolver: the crosspoint queue lengths join the state and each
+// cycle enumerates the two scheduling subphases. The zero value is
+// ready; not safe for concurrent use.
+type UnitCrossbarSolver struct {
+	cfg      switchsim.Config
+	slots    int
+	arrivals [][]packet.Packet
+	exactScratch
+}
+
+// Solve computes the exact offline optimum for a unit-value buffered
+// crossbar instance, analogously to (*UnitCIOQSolver).Solve but with the
 // crosspoint queue lengths in the state and the two scheduling subphases
-// enumerated per cycle: the input subphase picks, for each input port, one
-// eligible queue (or none); the output subphase picks, for each output
-// port, one eligible crosspoint queue (or none).
-func ExactUnitCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+// enumerated per cycle: the input subphase picks, for each input port,
+// one eligible queue (or none); the output subphase picks, for each
+// output port, one eligible crosspoint queue (or none).
+func (s *UnitCrossbarSolver) Solve(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
 	if err := cfg.Check(true); err != nil {
 		return 0, err
 	}
@@ -213,31 +300,22 @@ func ExactUnitCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error)
 		return 0, ErrTooLarge
 	}
 	judgeProbes.Load().RecordExactSolve()
-	s := &unitXbarSolver{
-		cfg:      cfg,
-		slots:    slots,
-		arrivals: seq.BySlot(slots),
-		memo:     make(map[unitKey]int64),
-	}
+	s.cfg, s.slots = cfg, slots
+	s.arrivals = seq.BySlot(slots)
 	n, m := cfg.Inputs, cfg.Outputs
 	// State layout: iq (n*m), xq (n*m), oq (m).
-	state := make([]byte, 2*n*m+m)
-	return s.slot(0, state)
+	root := s.reset(2*n*m + m)
+	return s.slot(0, root)
 }
 
-type unitXbarSolver struct {
-	cfg      switchsim.Config
-	slots    int
-	arrivals [][]packet.Packet
-	memo     map[unitKey]int64
-}
-
-func (s *unitXbarSolver) slot(t int, state []byte) (int64, error) {
+func (s *UnitCrossbarSolver) slot(t int, state []byte) (int64, error) {
 	if t == s.slots {
 		return 0, nil
 	}
-	m := s.cfg.Outputs
-	st := append([]byte(nil), state...)
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	fr := s.frame(t*(s.cfg.Speedup+2), len(state), n, m)
+	st := fr.state
+	copy(st, state)
 	for _, p := range s.arrivals[t] {
 		idx := p.In*m + p.Out
 		if int(st[idx]) < s.cfg.InputBuf {
@@ -247,10 +325,12 @@ func (s *unitXbarSolver) slot(t int, state []byte) (int64, error) {
 	return s.cycle(t, 0, st)
 }
 
-func (s *unitXbarSolver) cycle(t, c int, state []byte) (int64, error) {
+func (s *UnitCrossbarSolver) cycle(t, c int, state []byte) (int64, error) {
 	n, m := s.cfg.Inputs, s.cfg.Outputs
+	fr := s.frame(t*(s.cfg.Speedup+2)+1+c, len(state), n, m)
 	if c == s.cfg.Speedup {
-		st := append([]byte(nil), state...)
+		st := fr.state
+		copy(st, state)
 		var sent int64
 		for j := 0; j < m; j++ {
 			if st[2*n*m+j] > 0 {
@@ -261,76 +341,90 @@ func (s *unitXbarSolver) cycle(t, c int, state []byte) (int64, error) {
 		rest, err := s.slot(t+1, st)
 		return sent + rest, err
 	}
-	key := unitKey{slot: t, cycle: c, state: string(state)}
-	if v, ok := s.memo[key]; ok {
+	fr.key = append(append(fr.key[:0], byte(t), byte(c)), state...)
+	if v, ok := s.memo[string(fr.key)]; ok {
 		return v, nil
 	}
 	if len(s.memo) > memoCap {
 		return 0, ErrTooLarge
 	}
+	copy(fr.state, state)
 	best := int64(-1)
-	st := append([]byte(nil), state...)
-	// Input subphase: for each input, choose an eligible j or none.
-	var inputRec func(i int) error
-	var outputRec func(j int) error
-	inputRec = func(i int) error {
-		if i == n {
-			return outputRec(0)
+	if err := s.inputRec(t, c, 0, fr, &best); err != nil {
+		return 0, err
+	}
+	s.memo[string(fr.key)] = best
+	return best, nil
+}
+
+// inputRec enumerates the input subphase: for each input, choose an
+// eligible crosspoint queue to feed, or none.
+func (s *UnitCrossbarSolver) inputRec(t, c, i int, fr *exactFrame, best *int64) error {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	if i == n {
+		return s.outputRec(t, c, 0, fr, best)
+	}
+	// Choice: no transfer from input i.
+	if err := s.inputRec(t, c, i+1, fr, best); err != nil {
+		return err
+	}
+	for j := 0; j < m; j++ {
+		iq, xq := i*m+j, n*m+i*m+j
+		if fr.state[iq] > 0 && int(fr.state[xq]) < s.cfg.CrossBuf {
+			fr.state[iq]--
+			fr.state[xq]++
+			err := s.inputRec(t, c, i+1, fr, best)
+			fr.state[iq]++
+			fr.state[xq]--
+			if err != nil {
+				return err
+			}
 		}
-		// Choice: no transfer from input i.
-		if err := inputRec(i + 1); err != nil {
+	}
+	return nil
+}
+
+// outputRec enumerates the output subphase: for each output, choose an
+// eligible crosspoint queue to drain, or none.
+func (s *UnitCrossbarSolver) outputRec(t, c, j int, fr *exactFrame, best *int64) error {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	if j == m {
+		v, err := s.cycle(t, c+1, fr.state)
+		if err != nil {
 			return err
 		}
-		for j := 0; j < m; j++ {
-			iq, xq := i*m+j, n*m+i*m+j
-			if st[iq] > 0 && int(st[xq]) < s.cfg.CrossBuf {
-				st[iq]--
-				st[xq]++
-				err := inputRec(i + 1)
-				st[iq]++
-				st[xq]--
+		if v > *best {
+			*best = v
+		}
+		return nil
+	}
+	if err := s.outputRec(t, c, j+1, fr, best); err != nil {
+		return err
+	}
+	if int(fr.state[2*n*m+j]) < s.cfg.OutputBuf {
+		for i := 0; i < n; i++ {
+			xq := n*m + i*m + j
+			if fr.state[xq] > 0 {
+				fr.state[xq]--
+				fr.state[2*n*m+j]++
+				err := s.outputRec(t, c, j+1, fr, best)
+				fr.state[xq]++
+				fr.state[2*n*m+j]--
 				if err != nil {
 					return err
 				}
 			}
 		}
-		return nil
 	}
-	// Output subphase: for each output, choose an eligible i or none.
-	outputRec = func(j int) error {
-		if j == m {
-			v, err := s.cycle(t, c+1, st)
-			if err != nil {
-				return err
-			}
-			if v > best {
-				best = v
-			}
-			return nil
-		}
-		if err := outputRec(j + 1); err != nil {
-			return err
-		}
-		if int(st[2*n*m+j]) < s.cfg.OutputBuf {
-			for i := 0; i < n; i++ {
-				xq := n*m + i*m + j
-				if st[xq] > 0 {
-					st[xq]--
-					st[2*n*m+j]++
-					err := outputRec(j + 1)
-					st[xq]++
-					st[2*n*m+j]--
-					if err != nil {
-						return err
-					}
-				}
-			}
-		}
-		return nil
-	}
-	if err := inputRec(0); err != nil {
-		return 0, err
-	}
-	s.memo[key] = best
-	return best, nil
+	return nil
+}
+
+var unitXbarPool = sync.Pool{New: func() any { return new(UnitCrossbarSolver) }}
+
+// ExactUnitCrossbar solves a unit-value buffered-crossbar instance
+// exactly on a pooled reusable solver; see (*UnitCrossbarSolver).Solve.
+func ExactUnitCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	s := unitXbarPool.Get().(*UnitCrossbarSolver)
+	defer unitXbarPool.Put(s)
+	return s.Solve(cfg, seq)
 }

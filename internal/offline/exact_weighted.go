@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"qswitch/internal/packet"
 	"qswitch/internal/switchsim"
@@ -18,76 +19,6 @@ const (
 	maxWSlots   = 16
 	maxWPackets = 14
 )
-
-// ExactWeightedCIOQ computes the exact offline optimum benefit of a micro
-// weighted CIOQ instance by memoized search.
-//
-// The state is the multiset of packet values per queue. The paper's
-// exchange arguments (Assumptions A1–A3 plus the standard preempt-the-
-// minimum argument) let the search branch only over:
-//
-//   - admissions: reject, or accept (preempting the queue minimum if full
-//     and strictly smaller than the arrival), and
-//   - scheduling: every matching over the edges (i,j) where Q*_ij is
-//     non-empty and Q*_j has room or its minimum is smaller than the head
-//     of Q*_ij; matched edges always move the queue head (the maximum).
-//
-// Transmission is fixed: send the maximum of every non-empty output queue.
-// Returns ErrTooLarge when the instance exceeds the guards.
-func ExactWeightedCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
-	if err := cfg.Check(false); err != nil {
-		return 0, err
-	}
-	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
-		return 0, fmt.Errorf("offline: bad sequence: %w", err)
-	}
-	slots := cfg.HorizonFor(seq)
-	if cfg.Inputs > maxWPorts || cfg.Outputs > maxWPorts ||
-		cfg.InputBuf > maxWBuf || cfg.OutputBuf > maxWBuf ||
-		cfg.Speedup > maxWSpeedup || slots > maxWSlots || len(seq) > maxWPackets {
-		return 0, ErrTooLarge
-	}
-	judgeProbes.Load().RecordExactSolve()
-	s := &weightedSolver{
-		cfg:      cfg,
-		crossbar: false,
-		slots:    slots,
-		arrivals: seq.BySlot(slots),
-		memo:     make(map[wKey]int64),
-	}
-	st := newWState(cfg.Inputs, cfg.Outputs, false)
-	return s.slot(0, st)
-}
-
-// ExactWeightedCrossbar is the buffered-crossbar counterpart of
-// ExactWeightedCIOQ: the state additionally tracks crosspoint queue
-// multisets, and each cycle branches over the input subphase (per input:
-// one eligible queue or none) and the output subphase (per output: one
-// eligible crosspoint queue or none).
-func ExactWeightedCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
-	if err := cfg.Check(true); err != nil {
-		return 0, err
-	}
-	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
-		return 0, fmt.Errorf("offline: bad sequence: %w", err)
-	}
-	slots := cfg.HorizonFor(seq)
-	if cfg.Inputs > maxWPorts || cfg.Outputs > maxWPorts ||
-		cfg.InputBuf > maxWBuf || cfg.OutputBuf > maxWBuf || cfg.CrossBuf > maxWBuf ||
-		cfg.Speedup > maxWSpeedup || slots > maxWSlots || len(seq) > maxWPackets {
-		return 0, ErrTooLarge
-	}
-	judgeProbes.Load().RecordExactSolve()
-	s := &weightedSolver{
-		cfg:      cfg,
-		crossbar: true,
-		slots:    slots,
-		arrivals: seq.BySlot(slots),
-		memo:     make(map[wKey]int64),
-	}
-	st := newWState(cfg.Inputs, cfg.Outputs, true)
-	return s.slot(0, st)
-}
 
 // vset is a value multiset kept sorted descending (index 0 = maximum).
 type vset []int64
@@ -130,10 +61,9 @@ func (st *wState) clone() *wState {
 	return out
 }
 
-// key encodes the state compactly: queue lengths and values, varint-free
-// fixed 8-byte little-endian values with 0xFF separators between queues.
-func (st *wState) key() string {
-	var buf []byte
+// appendKey encodes the state compactly onto buf: fixed 8-byte
+// little-endian values with 0xFF separators between queues.
+func (st *wState) appendKey(buf []byte) []byte {
 	var tmp [8]byte
 	app := func(sets []vset) {
 		for _, s := range sets {
@@ -149,33 +79,84 @@ func (st *wState) key() string {
 		app(st.xq)
 	}
 	app(st.oq)
-	return string(buf)
+	return buf
 }
 
-type wKey struct {
-	slot  int
-	phase int // 0..speedup-1 = cycle index; arrivals folded into slot entry
-	state string
-}
-
-type weightedSolver struct {
+// WeightedSolver is a reusable exact solver for micro weighted instances
+// (CIOQ or buffered crossbar). The zero value is ready; SolveCIOQ and
+// SolveCrossbar may be called repeatedly and reuse the memo buckets,
+// per-depth edge lists, used-port flags and key buffers across calls.
+// The multiset states themselves are still cloned along the search — at
+// these micro sizes they are small, and persistent sharing of the vset
+// spines keeps clones shallow. Not safe for concurrent use; the package
+// functions wrap a pool of these.
+type WeightedSolver struct {
 	cfg      switchsim.Config
 	crossbar bool
 	slots    int
 	arrivals [][]packet.Packet
-	memo     map[wKey]int64
+	exactScratch
+}
+
+// SolveCIOQ computes the exact offline optimum benefit of a micro
+// weighted CIOQ instance by memoized search.
+//
+// The state is the multiset of packet values per queue. The paper's
+// exchange arguments (Assumptions A1–A3 plus the standard preempt-the-
+// minimum argument) let the search branch only over:
+//
+//   - admissions: reject, or accept (preempting the queue minimum if full
+//     and strictly smaller than the arrival), and
+//   - scheduling: every matching over the edges (i,j) where Q*_ij is
+//     non-empty and Q*_j has room or its minimum is smaller than the head
+//     of Q*_ij; matched edges always move the queue head (the maximum).
+//
+// Transmission is fixed: send the maximum of every non-empty output queue.
+// Returns ErrTooLarge when the instance exceeds the guards.
+func (s *WeightedSolver) SolveCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return s.solve(cfg, seq, false)
+}
+
+// SolveCrossbar is the buffered-crossbar counterpart of SolveCIOQ: the
+// state additionally tracks crosspoint queue multisets, and each cycle
+// branches over the input subphase (per input: one eligible queue or
+// none) and the output subphase (per output: one eligible crosspoint
+// queue or none).
+func (s *WeightedSolver) SolveCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	return s.solve(cfg, seq, true)
+}
+
+func (s *WeightedSolver) solve(cfg switchsim.Config, seq packet.Sequence, crossbar bool) (int64, error) {
+	if err := cfg.Check(crossbar); err != nil {
+		return 0, err
+	}
+	if err := seq.Validate(cfg.Inputs, cfg.Outputs); err != nil {
+		return 0, fmt.Errorf("offline: bad sequence: %w", err)
+	}
+	slots := cfg.HorizonFor(seq)
+	if cfg.Inputs > maxWPorts || cfg.Outputs > maxWPorts ||
+		cfg.InputBuf > maxWBuf || cfg.OutputBuf > maxWBuf ||
+		(crossbar && cfg.CrossBuf > maxWBuf) ||
+		cfg.Speedup > maxWSpeedup || slots > maxWSlots || len(seq) > maxWPackets {
+		return 0, ErrTooLarge
+	}
+	judgeProbes.Load().RecordExactSolve()
+	s.cfg, s.crossbar, s.slots = cfg, crossbar, slots
+	s.arrivals = seq.BySlot(slots)
+	s.reset(0)
+	return s.slot(0, newWState(cfg.Inputs, cfg.Outputs, crossbar))
 }
 
 // slot branches over admission decisions for slot t's arrivals, then
 // descends into the scheduling cycles.
-func (s *weightedSolver) slot(t int, st *wState) (int64, error) {
+func (s *WeightedSolver) slot(t int, st *wState) (int64, error) {
 	if t == s.slots {
 		return 0, nil
 	}
 	return s.admit(t, 0, st)
 }
 
-func (s *weightedSolver) admit(t, k int, st *wState) (int64, error) {
+func (s *WeightedSolver) admit(t, k int, st *wState) (int64, error) {
 	if k == len(s.arrivals[t]) {
 		return s.cycle(t, 0, st)
 	}
@@ -213,7 +194,7 @@ func (s *weightedSolver) admit(t, k int, st *wState) (int64, error) {
 
 // cycle branches over the scheduling decisions of cycle c; after the last
 // cycle it applies the fixed transmission phase.
-func (s *weightedSolver) cycle(t, c int, st *wState) (int64, error) {
+func (s *WeightedSolver) cycle(t, c int, st *wState) (int64, error) {
 	if c == s.cfg.Speedup {
 		st2 := st.clone()
 		var sent int64
@@ -227,32 +208,33 @@ func (s *weightedSolver) cycle(t, c int, st *wState) (int64, error) {
 		rest, err := s.slot(t+1, st2)
 		return sent + rest, err
 	}
-	key := wKey{slot: t, phase: c, state: st.key()}
-	if v, ok := s.memo[key]; ok {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	fr := s.frame(t*s.cfg.Speedup+c, 0, n, m)
+	fr.key = st.appendKey(append(fr.key[:0], byte(t), byte(c)))
+	if v, ok := s.memo[string(fr.key)]; ok {
 		return v, nil
 	}
 	if len(s.memo) > memoCap {
 		return 0, ErrTooLarge
 	}
-	var best int64 = -1
+	var best int64
 	var err error
 	if s.crossbar {
 		best, err = s.xbarCycle(t, c, st)
 	} else {
-		best, err = s.cioqCycle(t, c, st)
+		best, err = s.cioqCycle(t, c, fr, st)
 	}
 	if err != nil {
 		return 0, err
 	}
-	s.memo[key] = best
+	s.memo[string(fr.key)] = best
 	return best, nil
 }
 
 // cioqCycle enumerates matchings over eligible (i,j) edges.
-func (s *weightedSolver) cioqCycle(t, c int, st *wState) (int64, error) {
+func (s *WeightedSolver) cioqCycle(t, c int, fr *exactFrame, st *wState) (int64, error) {
 	n, m := s.cfg.Inputs, s.cfg.Outputs
-	type edge struct{ i, j int }
-	var edges []edge
+	edges := fr.edges[:0]
 	for i := 0; i < n; i++ {
 		for j := 0; j < m; j++ {
 			q := st.iq[i*m+j]
@@ -261,126 +243,149 @@ func (s *weightedSolver) cioqCycle(t, c int, st *wState) (int64, error) {
 			}
 			oq := st.oq[j]
 			if len(oq) < s.cfg.OutputBuf || oq[len(oq)-1] < q[0] {
-				edges = append(edges, edge{i, j})
+				edges = append(edges, unitEdge{int32(i), int32(j)})
 			}
 		}
 	}
+	fr.edges = edges
+	clear(fr.usedIn)
+	clear(fr.usedOut)
 	best := int64(-1)
-	usedIn := make([]bool, n)
-	usedOut := make([]bool, m)
-	var rec func(k int, cur *wState) error
-	rec = func(k int, cur *wState) error {
-		if k == len(edges) {
-			v, err := s.cycle(t, c+1, cur)
-			if err != nil {
-				return err
-			}
-			if v > best {
-				best = v
-			}
-			return nil
-		}
-		if err := rec(k+1, cur); err != nil {
-			return err
-		}
-		e := edges[k]
-		if usedIn[e.i] || usedOut[e.j] {
-			return nil
-		}
-		usedIn[e.i], usedOut[e.j] = true, true
-		st2 := cur.clone()
-		var v int64
-		v, st2.iq[e.i*m+e.j] = st2.iq[e.i*m+e.j].popHead()
-		oq := st2.oq[e.j]
-		if len(oq) == s.cfg.OutputBuf {
-			_, oq = oq.popTail() // preempt the minimum
-		}
-		st2.oq[e.j] = oq.insert(v)
-		err := rec(k+1, st2)
-		usedIn[e.i], usedOut[e.j] = false, false
-		return err
-	}
-	if err := rec(0, st); err != nil {
+	if err := s.cioqRec(t, c, 0, fr, st, &best); err != nil {
 		return 0, err
 	}
 	return best, nil
 }
 
+func (s *WeightedSolver) cioqRec(t, c, k int, fr *exactFrame, cur *wState, best *int64) error {
+	if k == len(fr.edges) {
+		v, err := s.cycle(t, c+1, cur)
+		if err != nil {
+			return err
+		}
+		if v > *best {
+			*best = v
+		}
+		return nil
+	}
+	if err := s.cioqRec(t, c, k+1, fr, cur, best); err != nil {
+		return err
+	}
+	e := fr.edges[k]
+	i, j := int(e.i), int(e.j)
+	if fr.usedIn[i] || fr.usedOut[j] {
+		return nil
+	}
+	m := s.cfg.Outputs
+	fr.usedIn[i], fr.usedOut[j] = true, true
+	st2 := cur.clone()
+	var v int64
+	v, st2.iq[i*m+j] = st2.iq[i*m+j].popHead()
+	oq := st2.oq[j]
+	if len(oq) == s.cfg.OutputBuf {
+		_, oq = oq.popTail() // preempt the minimum
+	}
+	st2.oq[j] = oq.insert(v)
+	err := s.cioqRec(t, c, k+1, fr, st2, best)
+	fr.usedIn[i], fr.usedOut[j] = false, false
+	return err
+}
+
 // xbarCycle enumerates input-subphase and output-subphase choices.
-func (s *weightedSolver) xbarCycle(t, c int, st *wState) (int64, error) {
-	n, m := s.cfg.Inputs, s.cfg.Outputs
+func (s *WeightedSolver) xbarCycle(t, c int, st *wState) (int64, error) {
 	best := int64(-1)
-	var outputRec func(j int, cur *wState) error
-	outputRec = func(j int, cur *wState) error {
-		if j == m {
-			v, err := s.cycle(t, c+1, cur)
-			if err != nil {
-				return err
-			}
-			if v > best {
-				best = v
-			}
-			return nil
-		}
-		if err := outputRec(j+1, cur); err != nil {
-			return err
-		}
-		for i := 0; i < n; i++ {
-			q := cur.xq[i*m+j]
-			if len(q) == 0 {
-				continue
-			}
-			oq := cur.oq[j]
-			if len(oq) == s.cfg.OutputBuf && oq[len(oq)-1] >= q[0] {
-				continue
-			}
-			st2 := cur.clone()
-			var v int64
-			v, st2.xq[i*m+j] = st2.xq[i*m+j].popHead()
-			o2 := st2.oq[j]
-			if len(o2) == s.cfg.OutputBuf {
-				_, o2 = o2.popTail()
-			}
-			st2.oq[j] = o2.insert(v)
-			if err := outputRec(j+1, st2); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var inputRec func(i int, cur *wState) error
-	inputRec = func(i int, cur *wState) error {
-		if i == n {
-			return outputRec(0, cur)
-		}
-		if err := inputRec(i+1, cur); err != nil {
-			return err
-		}
-		for j := 0; j < m; j++ {
-			q := cur.iq[i*m+j]
-			if len(q) == 0 {
-				continue
-			}
-			xq := cur.xq[i*m+j]
-			if len(xq) == s.cfg.CrossBuf && xq[len(xq)-1] >= q[0] {
-				continue
-			}
-			st2 := cur.clone()
-			var v int64
-			v, st2.iq[i*m+j] = st2.iq[i*m+j].popHead()
-			x2 := st2.xq[i*m+j]
-			if len(x2) == s.cfg.CrossBuf {
-				_, x2 = x2.popTail()
-			}
-			st2.xq[i*m+j] = x2.insert(v)
-			if err := inputRec(i+1, st2); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := inputRec(0, st); err != nil {
+	if err := s.xbarInputRec(t, c, 0, st, &best); err != nil {
 		return 0, err
 	}
 	return best, nil
+}
+
+func (s *WeightedSolver) xbarInputRec(t, c, i int, cur *wState, best *int64) error {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	if i == n {
+		return s.xbarOutputRec(t, c, 0, cur, best)
+	}
+	if err := s.xbarInputRec(t, c, i+1, cur, best); err != nil {
+		return err
+	}
+	for j := 0; j < m; j++ {
+		q := cur.iq[i*m+j]
+		if len(q) == 0 {
+			continue
+		}
+		xq := cur.xq[i*m+j]
+		if len(xq) == s.cfg.CrossBuf && xq[len(xq)-1] >= q[0] {
+			continue
+		}
+		st2 := cur.clone()
+		var v int64
+		v, st2.iq[i*m+j] = st2.iq[i*m+j].popHead()
+		x2 := st2.xq[i*m+j]
+		if len(x2) == s.cfg.CrossBuf {
+			_, x2 = x2.popTail()
+		}
+		st2.xq[i*m+j] = x2.insert(v)
+		if err := s.xbarInputRec(t, c, i+1, st2, best); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *WeightedSolver) xbarOutputRec(t, c, j int, cur *wState, best *int64) error {
+	n, m := s.cfg.Inputs, s.cfg.Outputs
+	if j == m {
+		v, err := s.cycle(t, c+1, cur)
+		if err != nil {
+			return err
+		}
+		if v > *best {
+			*best = v
+		}
+		return nil
+	}
+	if err := s.xbarOutputRec(t, c, j+1, cur, best); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		q := cur.xq[i*m+j]
+		if len(q) == 0 {
+			continue
+		}
+		oq := cur.oq[j]
+		if len(oq) == s.cfg.OutputBuf && oq[len(oq)-1] >= q[0] {
+			continue
+		}
+		st2 := cur.clone()
+		var v int64
+		v, st2.xq[i*m+j] = st2.xq[i*m+j].popHead()
+		o2 := st2.oq[j]
+		if len(o2) == s.cfg.OutputBuf {
+			_, o2 = o2.popTail()
+		}
+		st2.oq[j] = o2.insert(v)
+		if err := s.xbarOutputRec(t, c, j+1, st2, best); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var weightedPool = sync.Pool{New: func() any { return new(WeightedSolver) }}
+
+// ExactWeightedCIOQ solves a micro weighted CIOQ instance exactly on a
+// pooled reusable solver; see (*WeightedSolver).SolveCIOQ.
+func ExactWeightedCIOQ(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	s := weightedPool.Get().(*WeightedSolver)
+	defer weightedPool.Put(s)
+	return s.SolveCIOQ(cfg, seq)
+}
+
+// ExactWeightedCrossbar solves a micro weighted buffered-crossbar
+// instance exactly on a pooled reusable solver; see
+// (*WeightedSolver).SolveCrossbar.
+func ExactWeightedCrossbar(cfg switchsim.Config, seq packet.Sequence) (int64, error) {
+	s := weightedPool.Get().(*WeightedSolver)
+	defer weightedPool.Put(s)
+	return s.SolveCrossbar(cfg, seq)
 }

@@ -1,0 +1,76 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCrossDrainShape pins the structural properties that make the
+// generator's traces crosspoint-drain-heavy on a buffered crossbar:
+// every input sends at line rate during an event, within a slot the
+// inputs target pairwise-distinct outputs (no fan-in contention on the
+// way into the crosspoint matrix), and over an event each input stacks
+// exactly Depth packets on each of Sweep distinct crosspoints.
+func TestCrossDrainShape(t *testing.T) {
+	const inputs, outputs, slots = 5, 7, 4000
+	for seed := int64(1); seed <= 12; seed++ {
+		sweep := 1 + int(seed)%outputs
+		depth := 1 + int(seed)%3
+		gen := CrossDrain{OffMean: 90, Sweep: sweep, Depth: depth, Values: UniformValues{Hi: 9}}
+		seq := gen.Generate(rand.New(rand.NewSource(seed)), inputs, outputs, slots)
+		if err := seq.Validate(inputs, outputs); err != nil {
+			t.Fatalf("seed %d: invalid sequence: %v", seed, err)
+		}
+		if len(seq) == 0 {
+			t.Fatalf("seed %d: empty sequence", seed)
+		}
+		outAt := map[[2]int]bool{} // (slot, output): distinct targets per slot
+		seen := map[[2]int]bool{}  // (input, slot): line rate
+		perQueue := map[[2]int]int{}
+		for _, p := range seq {
+			if key := [2]int{p.Arrival, p.Out}; outAt[key] {
+				t.Fatalf("seed %d: slot %d targets output %d twice — rotation must be conflict-free",
+					seed, p.Arrival, p.Out)
+			} else {
+				outAt[key] = true
+			}
+			if key := [2]int{p.In, p.Arrival}; seen[key] {
+				t.Fatalf("seed %d: input %d sends twice in slot %d — beyond line rate", seed, p.In, p.Arrival)
+			} else {
+				seen[key] = true
+			}
+			perQueue[[2]int{p.In, p.Out}]++
+		}
+		// Each input visits at most Sweep distinct outputs per event and
+		// stacks Depth packets per visited crosspoint, so across the whole
+		// trace every (input, output) count is a multiple of event
+		// participation; at minimum, some queue must reach depth >= Depth
+		// (a truncated final event can undercut it, hence "some").
+		maxDepth := 0
+		for _, c := range perQueue {
+			if c > maxDepth {
+				maxDepth = c
+			}
+		}
+		if maxDepth < depth {
+			t.Errorf("seed %d: deepest crosspoint stack %d, want >= %d", seed, maxDepth, depth)
+		}
+	}
+}
+
+// TestCrossDrainDefaults checks the parameter clamps: Sweep <= 0 (or
+// beyond the port count) means all outputs, Depth 0 means 1.
+func TestCrossDrainDefaults(t *testing.T) {
+	gen := CrossDrain{OffMean: 10, Sweep: 0, Depth: 0}
+	seq := gen.Generate(rand.New(rand.NewSource(3)), 3, 3, 2000)
+	if err := seq.Validate(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	targets := map[int]bool{}
+	for _, p := range seq {
+		targets[p.Out] = true
+	}
+	if len(targets) != 3 {
+		t.Errorf("sweep 0 should visit all 3 outputs, saw %d", len(targets))
+	}
+}

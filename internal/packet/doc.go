@@ -22,12 +22,15 @@
 // Two generator families cover the two traffic regimes: the Bernoulli
 // family (Bernoulli, Bursty, Hotspot, Diagonal, Permutation) models heavy
 // sustained load, while the sparse family (PoissonBurst, Diurnal,
-// HeavyTail, BurstyBlocking) models long quiet or drain-only stretches —
-// the regime the event-driven simulator fast path exploits, and the shape
-// of adversarial lower-bound constructions. BurstyBlocking specifically
-// produces backlogged-but-quiescent states: bursts converging on one hot
-// output that, at speedup >= 2, leave a deep output-queue backlog
-// draining long after the input side has emptied. FlowMix adds a
+// HeavyTail, BurstyBlocking, CrossDrain) models long quiet or drain-only
+// stretches — the regime the event-driven simulator fast path exploits,
+// and the shape of adversarial lower-bound constructions. BurstyBlocking
+// specifically produces backlogged-but-quiescent states: bursts
+// converging on one hot output that, at speedup >= 2, leave a deep
+// output-queue backlog draining long after the input side has emptied.
+// CrossDrain is its buffered-crossbar counterpart: conflict-free
+// all-to-all rotations that park the backlog across the crosspoint
+// matrix, making the quiet stretches pure crosspoint drain. FlowMix adds a
 // flow-level process (open flows emitting packet trains, a rat/elephant
 // size mix, a cyclic intensity profile) whose state is bounded by its
 // open-flow cap rather than the horizon.

@@ -88,6 +88,18 @@ func GeneratorByName(traffic, values string, load float64) (Generator, error) {
 			return nil, fmt.Errorf("burstblock needs 0 < load < %.2f (got %g); use uniform or bursty for dense traffic", bb/(bb+1), load)
 		}
 		return BurstyBlocking{OffMean: bb * (1 - load) / load, Burst: int(bb), Values: vd}, nil
+	case "crossdrain":
+		// Conflict-free all-to-all rotations (8 outputs x 2 deep) at line
+		// rate, separated by idle gaps sized to hit the requested per-input
+		// load — the shape that parks the backlog in the crosspoint matrix
+		// of a buffered crossbar and makes the quiet stretches pure
+		// crosspoint drain. The 16-slot event caps the load at 16/17, so
+		// the CLIs' default -load 0.9 still resolves.
+		const cd = 16.0
+		if load >= cd/(cd+1) {
+			return nil, fmt.Errorf("crossdrain needs 0 < load < %.2f (got %g); use uniform or bursty for dense traffic", cd/(cd+1), load)
+		}
+		return CrossDrain{OffMean: cd * (1 - load) / load, Sweep: 8, Depth: 2, Values: vd}, nil
 	case "heavytail":
 		// Pareto(1.5) gaps with mean 1/load slots per input. The minimum
 		// gap of one slot caps the pattern at load 1/3; reject rather

@@ -23,6 +23,7 @@ var trafficCatalog = []struct {
 	{"diurnal", 0.3},
 	{"flowmix", 0.7},
 	{"burstblock", 0.5},
+	{"crossdrain", 0.5},
 	{"heavytail", 0.1},
 }
 
@@ -85,6 +86,7 @@ func TestGeneratorByNameDenseLoadRejections(t *testing.T) {
 	}{
 		{"poissonburst", 0.9},
 		{"burstblock", 0.97},
+		{"crossdrain", 0.97},
 		{"heavytail", 0.5},
 	} {
 		if _, err := GeneratorByName(tc.name, "unit", tc.load); err == nil {

@@ -145,6 +145,8 @@ type genSpec struct {
 	BurstMean float64         `json:"burstMean,omitempty"`
 	Burst     int             `json:"burst,omitempty"`
 	Fanin     int             `json:"fanin,omitempty"`
+	Sweep     int             `json:"sweep,omitempty"`
+	Depth     int             `json:"depth,omitempty"`
 	Period    int             `json:"period,omitempty"`
 	Amplitude float64         `json:"amplitude,omitempty"`
 	Alpha     float64         `json:"alpha,omitempty"`
@@ -204,6 +206,9 @@ func encodeGen(g packet.Generator) (genSpec, error) {
 	case packet.BurstyBlocking:
 		return genSpec{Type: "burstyblocking", OffMean: g.OffMean, Burst: g.Burst, Fanin: g.Fanin,
 			Values: encodeValues(g.Values)}, nil
+	case packet.CrossDrain:
+		return genSpec{Type: "crossdrain", OffMean: g.OffMean, Sweep: g.Sweep, Depth: g.Depth,
+			Values: encodeValues(g.Values)}, nil
 	case packet.FlowMix:
 		return genSpec{Type: "flowmix", FlowRate: g.FlowRate, EFrac: g.ElephantFrac,
 			RatPkts: g.RatPackets, EPkts: g.ElephantPackets, Stages: g.Stages,
@@ -244,6 +249,8 @@ func decodeGen(gs genSpec) (packet.Generator, error) {
 		return packet.HeavyTail{Alpha: gs.Alpha, MinGap: gs.MinGap, Values: vd}, nil
 	case "burstyblocking":
 		return packet.BurstyBlocking{OffMean: gs.OffMean, Burst: gs.Burst, Fanin: gs.Fanin, Values: vd}, nil
+	case "crossdrain":
+		return packet.CrossDrain{OffMean: gs.OffMean, Sweep: gs.Sweep, Depth: gs.Depth, Values: vd}, nil
 	case "flowmix":
 		return packet.FlowMix{FlowRate: gs.FlowRate, ElephantFrac: gs.EFrac,
 			RatPackets: gs.RatPkts, ElephantPackets: gs.EPkts, Stages: gs.Stages,

@@ -27,6 +27,7 @@ func TestGenCodecRoundTrip(t *testing.T) {
 		packet.HeavyTail{Alpha: 1.5, MinGap: 2.25},
 		packet.BurstyBlocking{OffMean: 30, Burst: 16, Fanin: 4,
 			Values: packet.BimodalValues{LowHi: 4, HighLo: 90, HighHi: 110, PHigh: 0.05}},
+		packet.CrossDrain{OffMean: 45, Sweep: 8, Depth: 2, Values: packet.UniformValues{Hi: 50}},
 		packet.Fixed{Label: "handcrafted", Seq: packet.Sequence{{Arrival: 0, In: 0, Out: 1, Value: 3, ID: 0}}},
 	}
 	for _, g := range gens {
